@@ -1,0 +1,186 @@
+//! State-space exploration utilities: reachability, deadlock detection, and
+//! bounded label languages.
+//!
+//! Reo connectors are routinely model checked before deployment (Sect. II of
+//! the paper); this module provides the lightweight analyses our tests and
+//! benchmarks need — full temporal-logic checking is out of scope, but
+//! deadlock freedom and trace comparison cover the invariants the paper's
+//! examples rely on.
+
+use std::collections::{BTreeSet, HashSet, VecDeque};
+
+use crate::automaton::{Automaton, StateId};
+use crate::port::PortSet;
+
+/// Control states reachable from the initial state (ignoring guards, so a
+/// superset of the operationally reachable states).
+pub fn reachable_states(aut: &Automaton) -> Vec<StateId> {
+    let mut seen: HashSet<StateId> = HashSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(aut.initial());
+    queue.push_back(aut.initial());
+    let mut order = vec![aut.initial()];
+    while let Some(s) = queue.pop_front() {
+        for t in aut.transitions_from(s) {
+            if seen.insert(t.target) {
+                queue.push_back(t.target);
+                order.push(t.target);
+            }
+        }
+    }
+    order
+}
+
+/// Reachable states with no outgoing transitions at all. A connector whose
+/// automaton has such a state can stop responding to every task forever.
+pub fn deadlock_states(aut: &Automaton) -> Vec<StateId> {
+    reachable_states(aut)
+        .into_iter()
+        .filter(|s| aut.transitions_from(*s).is_empty())
+        .collect()
+}
+
+/// True iff no reachable control state is a dead end.
+pub fn is_deadlock_free(aut: &Automaton) -> bool {
+    deadlock_states(aut).is_empty()
+}
+
+/// The set of label traces (sequences of synchronization sets) of length
+/// ≤ `depth`, **ignoring guards and data**. Suitable for comparing automata
+/// whose guards are all `True` — e.g. for checking the algebraic laws of ×
+/// on stateless-data connectors. τ-steps (empty labels) are skipped over
+/// (weak traces).
+pub fn bounded_label_traces(aut: &Automaton, depth: usize) -> BTreeSet<Vec<Vec<u32>>> {
+    let mut traces = BTreeSet::new();
+    let mut stack: Vec<(StateId, Vec<Vec<u32>>, usize)> = vec![(aut.initial(), Vec::new(), 0)];
+    // Guard against τ-cycles: bound total expansion work.
+    let mut budget = 200_000usize;
+    while let Some((s, trace, tau_depth)) = stack.pop() {
+        if budget == 0 {
+            break;
+        }
+        budget -= 1;
+        traces.insert(trace.clone());
+        if trace.len() >= depth {
+            continue;
+        }
+        for t in aut.transitions_from(s) {
+            if t.is_internal() {
+                if tau_depth < 8 {
+                    stack.push((t.target, trace.clone(), tau_depth + 1));
+                }
+            } else {
+                let mut next = trace.clone();
+                next.push(key_of(&t.sync));
+                stack.push((t.target, next, 0));
+            }
+        }
+    }
+    traces
+}
+
+fn key_of(s: &PortSet) -> Vec<u32> {
+    s.iter().map(|p| p.0).collect()
+}
+
+/// Per-state statistics, for benchmark reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpaceStats {
+    pub states: usize,
+    pub transitions: usize,
+    pub max_fanout: usize,
+}
+
+/// Reachable-space statistics of an automaton.
+pub fn space_stats(aut: &Automaton) -> SpaceStats {
+    let reachable = reachable_states(aut);
+    let transitions: usize = reachable
+        .iter()
+        .map(|s| aut.transitions_from(*s).len())
+        .sum();
+    let max_fanout = reachable
+        .iter()
+        .map(|s| aut.transitions_from(*s).len())
+        .max()
+        .unwrap_or(0);
+    SpaceStats {
+        states: reachable.len(),
+        transitions,
+        max_fanout,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::port::{MemId, PortId};
+    use crate::primitives::*;
+    use crate::product::{product, product_all, ProductOptions};
+
+    fn p(i: u32) -> PortId {
+        PortId(i)
+    }
+
+    #[test]
+    fn reachable_covers_fifo_states() {
+        let aut = fifo1(p(0), p(1), MemId(0));
+        assert_eq!(reachable_states(&aut).len(), 2);
+        assert!(is_deadlock_free(&aut));
+    }
+
+    #[test]
+    fn product_associativity_on_label_traces() {
+        let a = sync(p(0), p(1));
+        let b = merger(&[p(1), p(2)], p(3));
+        let c = sync(p(3), p(4));
+        let opts = ProductOptions::default();
+        let left = product(&product(&a, &b, &opts).unwrap(), &c, &opts).unwrap();
+        let right = product(&a, &product(&b, &c, &opts).unwrap(), &opts).unwrap();
+        assert_eq!(
+            bounded_label_traces(&left, 3),
+            bounded_label_traces(&right, 3)
+        );
+    }
+
+    #[test]
+    fn product_commutativity_on_label_traces() {
+        let a = fifo1(p(0), p(1), MemId(0));
+        let b = sync(p(1), p(2));
+        let opts = ProductOptions::default();
+        let ab = product(&a, &b, &opts).unwrap();
+        let ba = product(&b, &a, &opts).unwrap();
+        assert_eq!(bounded_label_traces(&ab, 4), bounded_label_traces(&ba, 4));
+    }
+
+    #[test]
+    fn seq2_traces_are_strictly_alternating() {
+        let aut = seq_k(&[p(0), p(1)]);
+        let traces = bounded_label_traces(&aut, 3);
+        assert!(traces.contains(&vec![vec![0], vec![1], vec![0]]));
+        assert!(!traces.contains(&vec![vec![1]]));
+        assert!(!traces.contains(&vec![vec![0], vec![0]]));
+    }
+
+    #[test]
+    fn stats_report_fanout() {
+        let f1 = fifo1(p(0), p(1), MemId(0));
+        let f2 = fifo1(p(2), p(3), MemId(1));
+        let prod = product_all(&[f1, f2], &ProductOptions::default()).unwrap();
+        let stats = space_stats(&prod);
+        assert_eq!(stats.states, 4);
+        // Initial state: two independent fills + joint = 3.
+        assert_eq!(stats.max_fanout, 3);
+    }
+
+    #[test]
+    fn dead_end_detected() {
+        use crate::automaton::{AutomatonBuilder, Transition};
+        let mut b = AutomatonBuilder::new("dead");
+        let s0 = b.state();
+        let s1 = b.state(); // no outgoing transitions
+        b.transition(s0, Transition::new(PortSet::singleton(p(0)), s1));
+        let aut = b.build();
+        assert_eq!(deadlock_states(&aut), vec![StateId(1)]);
+        assert!(!is_deadlock_free(&aut));
+    }
+}

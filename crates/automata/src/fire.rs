@@ -1,0 +1,299 @@
+//! Firing semantics: executing one transition.
+//!
+//! When a transition fires, values flow through every port in its
+//! synchronization set *in the same instant*. Values at the connector's
+//! input ports come from pending `send` operations; values at internal and
+//! output ports are produced by the transition's own assignments. Because an
+//! assignment may read a port that another assignment of the same transition
+//! writes (e.g. a replicator feeding a fifo through a shared vertex), the
+//! port valuation is resolved as a dataflow fixpoint before anything is
+//! committed.
+
+use crate::automaton::Transition;
+use crate::port::PortId;
+use crate::store::Store;
+use crate::value::Value;
+
+/// Result of successfully firing a transition.
+#[derive(Debug)]
+pub struct Firing {
+    /// Values delivered to ports (internal deliveries included; the engine
+    /// forwards only those on task-facing output ports).
+    pub deliveries: Vec<(PortId, Value)>,
+}
+
+/// Error: the transition's dataflow could not be resolved — an assignment or
+/// guard reads a port that neither a pending send nor another assignment
+/// defines. This indicates a malformed connector (e.g. a causal cycle of
+/// sync channels) and is surfaced loudly rather than treated as "disabled".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnresolvedPort(pub PortId);
+
+impl std::fmt::Display for UnresolvedPort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "transition reads port {} but no send or assignment defines it \
+             (causal cycle or missing writer)",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for UnresolvedPort {}
+
+/// Small association list: port valuations stay tiny (size of a sync set).
+#[derive(Debug, Default)]
+pub struct Valuation {
+    entries: Vec<(PortId, Value)>,
+}
+
+impl Valuation {
+    pub fn get(&self, p: PortId) -> Option<&Value> {
+        self.entries
+            .iter()
+            .find_map(|(q, v)| (*q == p).then_some(v))
+    }
+
+    fn insert(&mut self, p: PortId, v: Value) {
+        debug_assert!(self.get(p).is_none(), "port {p:?} valued twice");
+        self.entries.push((p, v));
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (PortId, &Value)> {
+        self.entries.iter().map(|(p, v)| (*p, v))
+    }
+}
+
+/// Attempt to fire `t`.
+///
+/// * `input_value(p)` returns the value of the pending `send` on input port
+///   `p`, or `None` if `p` is not an input port with a pending send (the
+///   caller must have already checked *operational* enabledness: every sync
+///   port either has a pending operation or is internal).
+/// * Returns `Ok(None)` if the guard is false (store untouched).
+/// * Returns `Ok(Some(firing))` on success, with the store updated.
+/// * Returns `Err` if the dataflow cannot be resolved.
+pub fn try_fire(
+    t: &Transition,
+    input_value: &dyn Fn(PortId) -> Option<Value>,
+    store: &mut Store,
+) -> Result<Option<Firing>, UnresolvedPort> {
+    let valuation = resolve_valuation(t, input_value, store)?;
+
+    let resolver = |p: PortId| -> Value {
+        valuation
+            .get(p)
+            .cloned()
+            .unwrap_or_else(|| panic!("guard/assign read unresolved port {p:?}"))
+    };
+
+    if !t.guard.eval(&resolver, store) {
+        return Ok(None);
+    }
+
+    // Commit: evaluate memory-bound sources against the pre-state, then pop,
+    // then write. Port-bound deliveries come straight from the valuation.
+    let mut staged_mem_writes = Vec::new();
+    let mut deliveries = Vec::new();
+    for a in &t.assigns {
+        match a.dst {
+            crate::assign::Dst::Port(p) => {
+                // Already resolved in the valuation fixpoint.
+                deliveries.push((
+                    p,
+                    valuation
+                        .get(p)
+                        .cloned()
+                        .expect("valuation resolved every written port"),
+                ));
+            }
+            crate::assign::Dst::MemSet(m) => {
+                staged_mem_writes.push((false, m, a.src.eval(&resolver, store)));
+            }
+            crate::assign::Dst::MemPush(m) => {
+                staged_mem_writes.push((true, m, a.src.eval(&resolver, store)));
+            }
+        }
+    }
+    for &m in &t.pops {
+        store.pop(m);
+    }
+    for (is_push, m, v) in staged_mem_writes {
+        if is_push {
+            store.push(m, v);
+        } else {
+            store.set(m, v);
+        }
+    }
+    Ok(Some(Firing { deliveries }))
+}
+
+/// Resolve the value flowing through every *written or sent* port of the
+/// transition, as a dataflow fixpoint over the assignments.
+fn resolve_valuation(
+    t: &Transition,
+    input_value: &dyn Fn(PortId) -> Option<Value>,
+    store: &Store,
+) -> Result<Valuation, UnresolvedPort> {
+    let mut val = Valuation::default();
+    // Seed with pending sends on the sync set.
+    for p in t.sync.iter() {
+        if let Some(v) = input_value(p) {
+            val.insert(p, v);
+        }
+    }
+
+    // Port-writing assignments, resolved in dependency order.
+    let mut pending: Vec<&crate::assign::Assign> = t
+        .assigns
+        .iter()
+        .filter(|a| matches!(a.dst, crate::assign::Dst::Port(_)))
+        .collect();
+
+    let mut scratch = Vec::new();
+    while !pending.is_empty() {
+        let before = pending.len();
+        pending.retain(|a| {
+            scratch.clear();
+            a.src.ports_read(&mut scratch);
+            let ready = scratch.iter().all(|p| val.get(*p).is_some());
+            if ready {
+                let resolver = |p: PortId| -> Value {
+                    val.get(p).cloned().expect("checked ready above")
+                };
+                let v = a.src.eval(&resolver, store);
+                if let crate::assign::Dst::Port(p) = a.dst {
+                    // A port can be written at most once per transition
+                    // (single incoming arc per vertex); composition upholds
+                    // this, so an existing value is a model bug.
+                    if val.get(p).is_none() {
+                        val.insert(p, v);
+                    }
+                }
+                false // resolved; drop from pending
+            } else {
+                true // keep waiting
+            }
+        });
+        if pending.len() == before {
+            // No progress: a genuine causal cycle or missing writer.
+            scratch.clear();
+            pending[0].src.ports_read(&mut scratch);
+            let culprit = scratch
+                .iter()
+                .find(|p| val.get(**p).is_none())
+                .copied()
+                .unwrap_or(PortId(u32::MAX));
+            return Err(UnresolvedPort(culprit));
+        }
+    }
+
+    // Guard reads must all be resolved too.
+    let mut guard_ports = Vec::new();
+    t.guard.ports_read(&mut guard_ports);
+    for p in guard_ports {
+        if val.get(p).is_none() {
+            return Err(UnresolvedPort(p));
+        }
+    }
+    Ok(val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assign::Assign;
+    use crate::automaton::StateId;
+    use crate::guard::{Cmp, Guard};
+    use crate::port::{MemId, PortSet};
+    use crate::store::MemLayout;
+    use crate::term::Term;
+
+    fn send(v: i64) -> impl Fn(PortId) -> Option<Value> {
+        move |p| (p == PortId(0)).then(|| Value::Int(v))
+    }
+
+    #[test]
+    fn sync_moves_data_end_to_end() {
+        // sync: {p0; p1}, p1 := p0
+        let t = Transition::new(PortSet::from_iter([PortId(0), PortId(1)]), StateId(0))
+            .with_assign(Assign::to_port(PortId(1), Term::Port(PortId(0))));
+        let mut store = Store::new(&MemLayout::cells(0));
+        let firing = try_fire(&t, &send(5), &mut store).unwrap().unwrap();
+        assert_eq!(firing.deliveries.len(), 1);
+        assert_eq!(firing.deliveries[0].0, PortId(1));
+        assert_eq!(firing.deliveries[0].1.as_int(), Some(5));
+    }
+
+    #[test]
+    fn chained_assignments_resolve_in_order() {
+        // p0 -> internal p1 -> p2: two assignments forming a chain.
+        let t = Transition::new(
+            PortSet::from_iter([PortId(0), PortId(1), PortId(2)]),
+            StateId(0),
+        )
+        .with_assign(Assign::to_port(PortId(2), Term::Port(PortId(1))))
+        .with_assign(Assign::to_port(PortId(1), Term::Port(PortId(0))));
+        let mut store = Store::new(&MemLayout::cells(0));
+        let firing = try_fire(&t, &send(7), &mut store).unwrap().unwrap();
+        // Both the internal and the final delivery carry the value.
+        assert_eq!(firing.deliveries.len(), 2);
+        assert!(firing
+            .deliveries
+            .iter()
+            .any(|(p, v)| *p == PortId(2) && v.as_int() == Some(7)));
+    }
+
+    #[test]
+    fn false_guard_leaves_store_untouched() {
+        let m = MemId(0);
+        let t = Transition::new(PortSet::singleton(PortId(0)), StateId(0))
+            .with_guard(Guard::MemLen(m, Cmp::Gt, 0))
+            .with_assign(Assign::set_mem(m, Term::Port(PortId(0))));
+        let mut store = Store::new(&MemLayout::cells(1));
+        let out = try_fire(&t, &send(1), &mut store).unwrap();
+        assert!(out.is_none());
+        assert!(store.is_cell_empty(m));
+    }
+
+    #[test]
+    fn causal_cycle_is_an_error() {
+        // p1 := p2 and p2 := p1 with no seed: unresolvable.
+        let t = Transition::new(PortSet::from_iter([PortId(1), PortId(2)]), StateId(0))
+            .with_assign(Assign::to_port(PortId(1), Term::Port(PortId(2))))
+            .with_assign(Assign::to_port(PortId(2), Term::Port(PortId(1))));
+        let mut store = Store::new(&MemLayout::cells(0));
+        let err = try_fire(&t, &|_| None, &mut store).unwrap_err();
+        assert!(err.0 == PortId(1) || err.0 == PortId(2));
+    }
+
+    #[test]
+    fn fifo_fill_then_take() {
+        let m = MemId(0);
+        let fill = Transition::new(PortSet::singleton(PortId(0)), StateId(1))
+            .with_assign(Assign::set_mem(m, Term::Port(PortId(0))));
+        let take = Transition::new(PortSet::singleton(PortId(1)), StateId(0))
+            .with_assign(Assign::to_port(PortId(1), Term::Mem(m)))
+            .with_pop(m);
+        let mut store = Store::new(&MemLayout::cells(1));
+        try_fire(&fill, &send(42), &mut store).unwrap().unwrap();
+        assert_eq!(store.len(m), 1);
+        let firing = try_fire(&take, &|_| None, &mut store).unwrap().unwrap();
+        assert_eq!(firing.deliveries[0].1.as_int(), Some(42));
+        assert!(store.is_cell_empty(m));
+    }
+
+    #[test]
+    fn guard_reading_unresolved_port_errors() {
+        // Guard reads p5, which is not in the sync set and never written.
+        let t = Transition::new(PortSet::singleton(PortId(0)), StateId(0)).with_guard(
+            Guard::TermEq(Term::Port(PortId(5)), Term::Const(Value::Unit)),
+        );
+        let mut store = Store::new(&MemLayout::cells(0));
+        assert_eq!(
+            try_fire(&t, &send(1), &mut store).unwrap_err(),
+            UnresolvedPort(PortId(5))
+        );
+    }
+}

@@ -1,0 +1,284 @@
+//! Transition guards (data constraints).
+//!
+//! A transition may only fire when its guard holds under the values offered
+//! on its ports and the current store. Guards keep automata finite where the
+//! data is not: an unbounded fifo has two control states plus length guards.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::port::{MemId, PortId};
+use crate::store::Store;
+use crate::term::Term;
+use crate::value::Value;
+
+/// Comparison operator for integer/length guards.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Cmp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl Cmp {
+    pub fn holds(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            Cmp::Eq => lhs == rhs,
+            Cmp::Ne => lhs != rhs,
+            Cmp::Lt => lhs < rhs,
+            Cmp::Le => lhs <= rhs,
+            Cmp::Gt => lhs > rhs,
+            Cmp::Ge => lhs >= rhs,
+        }
+    }
+}
+
+impl fmt::Display for Cmp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cmp::Eq => "==",
+            Cmp::Ne => "!=",
+            Cmp::Lt => "<",
+            Cmp::Le => "<=",
+            Cmp::Gt => ">",
+            Cmp::Ge => ">=",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A named predicate over one value, for filter channels.
+#[derive(Clone)]
+pub struct Pred {
+    name: Arc<str>,
+    f: Arc<dyn Fn(&Value) -> bool + Send + Sync>,
+}
+
+impl Pred {
+    pub fn new(name: &str, f: impl Fn(&Value) -> bool + Send + Sync + 'static) -> Self {
+        Self {
+            name: name.into(),
+            f: Arc::new(f),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn test(&self, v: &Value) -> bool {
+        (self.f)(v)
+    }
+
+    pub fn same(&self, other: &Pred) -> bool {
+        Arc::ptr_eq(&self.f, &other.f)
+    }
+}
+
+impl fmt::Debug for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pred:{}", self.name)
+    }
+}
+
+/// A guard formula.
+#[derive(Clone, Debug, Default)]
+pub enum Guard {
+    /// Always true (the common case; kept allocation-free).
+    #[default]
+    True,
+    /// Structural equality of two terms.
+    TermEq(Term, Term),
+    /// Structural inequality of two terms.
+    TermNe(Term, Term),
+    /// Compare the queue length of a memory cell against a constant.
+    MemLen(MemId, Cmp, i64),
+    /// A custom predicate applied to a term's value.
+    Pred(Pred, Term),
+    /// Negation of a custom predicate applied to a term's value.
+    NotPred(Pred, Term),
+    /// Conjunction.
+    And(Box<Guard>, Box<Guard>),
+}
+
+impl Guard {
+    /// Conjoin two guards, flattening `True` away (product composition).
+    pub fn and(self, other: Guard) -> Guard {
+        match (self, other) {
+            (Guard::True, g) | (g, Guard::True) => g,
+            (a, b) => Guard::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Evaluate under the firing ports' values and the current store.
+    pub fn eval(&self, ports: &dyn Fn(PortId) -> Value, store: &Store) -> bool {
+        match self {
+            Guard::True => true,
+            Guard::TermEq(a, b) => a.eval(ports, store).structurally_eq(&b.eval(ports, store)),
+            Guard::TermNe(a, b) => !a.eval(ports, store).structurally_eq(&b.eval(ports, store)),
+            Guard::MemLen(m, cmp, n) => cmp.holds(store.len(*m) as i64, *n),
+            Guard::Pred(p, t) => p.test(&t.eval(ports, store)),
+            Guard::NotPred(p, t) => !p.test(&t.eval(ports, store)),
+            Guard::And(a, b) => a.eval(ports, store) && b.eval(ports, store),
+        }
+    }
+
+    /// True iff the guard can be decided *without* port values — i.e. it
+    /// only looks at the store. Engines use this to pre-filter transitions
+    /// before checking pending operations.
+    pub fn is_state_only(&self) -> bool {
+        match self {
+            Guard::True | Guard::MemLen(..) => true,
+            Guard::TermEq(a, b) | Guard::TermNe(a, b) => {
+                let mut ports = Vec::new();
+                a.ports_read(&mut ports);
+                b.ports_read(&mut ports);
+                ports.is_empty()
+            }
+            Guard::Pred(_, t) | Guard::NotPred(_, t) => {
+                let mut ports = Vec::new();
+                t.ports_read(&mut ports);
+                ports.is_empty()
+            }
+            Guard::And(a, b) => a.is_state_only() && b.is_state_only(),
+        }
+    }
+
+    /// Substitute reads of `port` inside guard terms (label simplification).
+    pub fn substitute_port(&self, port: PortId, replacement: &Term) -> Guard {
+        match self {
+            Guard::True => Guard::True,
+            Guard::TermEq(a, b) => Guard::TermEq(
+                a.substitute_port(port, replacement),
+                b.substitute_port(port, replacement),
+            ),
+            Guard::TermNe(a, b) => Guard::TermNe(
+                a.substitute_port(port, replacement),
+                b.substitute_port(port, replacement),
+            ),
+            Guard::MemLen(m, c, n) => Guard::MemLen(*m, *c, *n),
+            Guard::Pred(p, t) => Guard::Pred(p.clone(), t.substitute_port(port, replacement)),
+            Guard::NotPred(p, t) => {
+                Guard::NotPred(p.clone(), t.substitute_port(port, replacement))
+            }
+            Guard::And(a, b) => Guard::And(
+                Box::new(a.substitute_port(port, replacement)),
+                Box::new(b.substitute_port(port, replacement)),
+            ),
+        }
+    }
+
+    /// Structural equality (predicates by pointer identity). Used by
+    /// transition deduplication after label simplification.
+    pub fn structurally_eq(&self, other: &Guard) -> bool {
+        match (self, other) {
+            (Guard::True, Guard::True) => true,
+            (Guard::TermEq(a1, b1), Guard::TermEq(a2, b2))
+            | (Guard::TermNe(a1, b1), Guard::TermNe(a2, b2)) => {
+                a1.structurally_eq(a2) && b1.structurally_eq(b2)
+            }
+            (Guard::MemLen(m1, c1, n1), Guard::MemLen(m2, c2, n2)) => {
+                m1 == m2 && c1 == c2 && n1 == n2
+            }
+            (Guard::Pred(p1, t1), Guard::Pred(p2, t2))
+            | (Guard::NotPred(p1, t1), Guard::NotPred(p2, t2)) => {
+                p1.same(p2) && t1.structurally_eq(t2)
+            }
+            (Guard::And(a1, b1), Guard::And(a2, b2)) => {
+                a1.structurally_eq(a2) && b1.structurally_eq(b2)
+            }
+            _ => false,
+        }
+    }
+
+    /// All ports whose values the guard reads.
+    pub fn ports_read(&self, out: &mut Vec<PortId>) {
+        match self {
+            Guard::True | Guard::MemLen(..) => {}
+            Guard::TermEq(a, b) | Guard::TermNe(a, b) => {
+                a.ports_read(out);
+                b.ports_read(out);
+            }
+            Guard::Pred(_, t) | Guard::NotPred(_, t) => t.ports_read(out),
+            Guard::And(a, b) => {
+                a.ports_read(out);
+                b.ports_read(out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemLayout;
+
+    fn no_ports(_: PortId) -> Value {
+        panic!("no ports")
+    }
+
+    #[test]
+    fn cmp_operators() {
+        assert!(Cmp::Eq.holds(1, 1));
+        assert!(Cmp::Ne.holds(1, 2));
+        assert!(Cmp::Lt.holds(1, 2));
+        assert!(Cmp::Le.holds(2, 2));
+        assert!(Cmp::Gt.holds(3, 2));
+        assert!(Cmp::Ge.holds(2, 2));
+        assert!(!Cmp::Lt.holds(2, 2));
+    }
+
+    #[test]
+    fn memlen_guard_tracks_store() {
+        let mut store = Store::new(&MemLayout::cells(1));
+        let g_empty = Guard::MemLen(MemId(0), Cmp::Eq, 0);
+        let g_nonempty = Guard::MemLen(MemId(0), Cmp::Gt, 0);
+        assert!(g_empty.eval(&no_ports, &store));
+        assert!(!g_nonempty.eval(&no_ports, &store));
+        store.push(MemId(0), Value::Unit);
+        assert!(!g_empty.eval(&no_ports, &store));
+        assert!(g_nonempty.eval(&no_ports, &store));
+    }
+
+    #[test]
+    fn term_eq_and_conjunction() {
+        let store = Store::new(&MemLayout::cells(0));
+        let ports = |p: PortId| Value::Int(p.0 as i64);
+        let g = Guard::TermEq(Term::Port(PortId(2)), Term::Const(Value::Int(2)))
+            .and(Guard::TermNe(Term::Port(PortId(3)), Term::Const(Value::Int(9))));
+        assert!(g.eval(&ports, &store));
+        let bad = Guard::TermEq(Term::Port(PortId(2)), Term::Const(Value::Int(5)));
+        assert!(!bad.eval(&ports, &store));
+    }
+
+    #[test]
+    fn and_with_true_is_identity() {
+        let g = Guard::MemLen(MemId(0), Cmp::Eq, 0);
+        assert!(matches!(g.clone().and(Guard::True), Guard::MemLen(..)));
+        assert!(matches!(Guard::True.and(g), Guard::MemLen(..)));
+    }
+
+    #[test]
+    fn pred_guards() {
+        let store = Store::new(&MemLayout::cells(0));
+        let even = Pred::new("even", |v| v.as_int().is_some_and(|i| i % 2 == 0));
+        let ports = |_: PortId| Value::Int(4);
+        assert!(Guard::Pred(even.clone(), Term::Port(PortId(0))).eval(&ports, &store));
+        assert!(!Guard::NotPred(even, Term::Port(PortId(0))).eval(&ports, &store));
+    }
+
+    #[test]
+    fn state_only_classification() {
+        assert!(Guard::True.is_state_only());
+        assert!(Guard::MemLen(MemId(0), Cmp::Eq, 0).is_state_only());
+        assert!(
+            Guard::TermEq(Term::Mem(MemId(0)), Term::Const(Value::Unit)).is_state_only()
+        );
+        assert!(
+            !Guard::TermEq(Term::Port(PortId(0)), Term::Const(Value::Unit)).is_state_only()
+        );
+    }
+}

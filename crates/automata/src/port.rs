@@ -1,0 +1,379 @@
+//! Port (vertex) identifiers and sets of ports.
+//!
+//! In Reo's formal model a connector is a hypergraph over *vertices*; tasks
+//! are linked to public vertices through outports and inports, and every
+//! transition of a constraint automaton is labelled with the set of vertices
+//! through which messages synchronously flow (Fig. 7 of the paper). We call
+//! those vertices *ports* and identify them by dense `u32` ids handed out by
+//! a [`PortAllocator`].
+
+use std::fmt;
+
+/// A vertex of a connector. Dense ids so engines can index arrays by port.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub u32);
+
+impl PortId {
+    /// The id as a usize, for direct array indexing in engines.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Hands out fresh [`PortId`]s and memory-cell ids.
+///
+/// One allocator is shared per connector program so that distinct primitives
+/// never collide on ids, which lets the run-time address pending-operation
+/// tables and stores as flat arrays.
+#[derive(Debug, Default, Clone)]
+pub struct PortAllocator {
+    next_port: u32,
+    next_mem: u32,
+}
+
+impl PortAllocator {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate one fresh port.
+    pub fn fresh_port(&mut self) -> PortId {
+        let id = PortId(self.next_port);
+        self.next_port += 1;
+        id
+    }
+
+    /// Allocate `n` consecutive fresh ports.
+    pub fn fresh_ports(&mut self, n: usize) -> Vec<PortId> {
+        (0..n).map(|_| self.fresh_port()).collect()
+    }
+
+    /// Allocate one fresh memory cell.
+    pub fn fresh_mem(&mut self) -> MemId {
+        let id = MemId(self.next_mem);
+        self.next_mem += 1;
+        id
+    }
+
+    /// Number of ports allocated so far (= size of engine port tables).
+    pub fn port_count(&self) -> usize {
+        self.next_port as usize
+    }
+
+    /// Number of memory cells allocated so far (= size of engine stores).
+    pub fn mem_count(&self) -> usize {
+        self.next_mem as usize
+    }
+}
+
+/// A memory cell of a constraint automaton with memory (e.g. a fifo buffer).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MemId(pub u32);
+
+impl MemId {
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for MemId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A sorted, duplicate-free set of ports.
+///
+/// Transition synchronization sets are small (rarely more than a few dozen
+/// ports), so a sorted `Vec` beats hash sets on every operation the engines
+/// perform: subset tests, intersection emptiness, and ordered iteration.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct PortSet {
+    items: Vec<PortId>,
+}
+
+impl PortSet {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from an iterator; sorts and deduplicates.
+    pub fn from_iter<I: IntoIterator<Item = PortId>>(iter: I) -> Self {
+        let mut items: Vec<PortId> = iter.into_iter().collect();
+        items.sort_unstable();
+        items.dedup();
+        Self { items }
+    }
+
+    pub fn singleton(p: PortId) -> Self {
+        Self { items: vec![p] }
+    }
+
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    pub fn contains(&self, p: PortId) -> bool {
+        self.items.binary_search(&p).is_ok()
+    }
+
+    /// Insert a port, keeping the set sorted.
+    pub fn insert(&mut self, p: PortId) {
+        if let Err(pos) = self.items.binary_search(&p) {
+            self.items.insert(pos, p);
+        }
+    }
+
+    /// Remove a port if present; returns whether it was present.
+    pub fn remove(&mut self, p: PortId) -> bool {
+        match self.items.binary_search(&p) {
+            Ok(pos) => {
+                self.items.remove(pos);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = PortId> + '_ {
+        self.items.iter().copied()
+    }
+
+    pub fn as_slice(&self) -> &[PortId] {
+        &self.items
+    }
+
+    /// Set union (merge of two sorted runs).
+    pub fn union(&self, other: &PortSet) -> PortSet {
+        let mut items = Vec::with_capacity(self.items.len() + other.items.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => {
+                    items.push(self.items[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    items.push(other.items[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    items.push(self.items[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        items.extend_from_slice(&self.items[i..]);
+        items.extend_from_slice(&other.items[j..]);
+        PortSet { items }
+    }
+
+    /// Set intersection.
+    pub fn intersection(&self, other: &PortSet) -> PortSet {
+        let mut items = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    items.push(self.items[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        PortSet { items }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &PortSet) -> PortSet {
+        let mut items = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() {
+            if j >= other.items.len() {
+                items.extend_from_slice(&self.items[i..]);
+                break;
+            }
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => {
+                    items.push(self.items[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        PortSet { items }
+    }
+
+    /// True iff the two sets have no port in common. The hot check of the
+    /// product and of just-in-time expansion, so it avoids allocation.
+    pub fn is_disjoint(&self, other: &PortSet) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => return false,
+            }
+        }
+        true
+    }
+
+    /// True iff every port of `self` is in `other`.
+    pub fn is_subset(&self, other: &PortSet) -> bool {
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() {
+            if j >= other.items.len() {
+                return false;
+            }
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => return false,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        true
+    }
+
+    /// Intersection equality without allocating: `self ∩ w == other ∩ w`.
+    ///
+    /// This is the compatibility condition of the synchronous product —
+    /// two transitions agree on a shared-port window `w`.
+    pub fn agrees_on(&self, other: &PortSet, window: &PortSet) -> bool {
+        // Walk the window; each window port must be in both or neither.
+        window
+            .iter()
+            .all(|p| self.contains(p) == other.contains(p))
+    }
+
+    /// Retain only ports satisfying the predicate.
+    pub fn retain(&mut self, mut f: impl FnMut(PortId) -> bool) {
+        self.items.retain(|&p| f(p));
+    }
+}
+
+impl fmt::Debug for PortSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.items.iter()).finish()
+    }
+}
+
+impl FromIterator<PortId> for PortSet {
+    fn from_iter<I: IntoIterator<Item = PortId>>(iter: I) -> Self {
+        PortSet::from_iter(iter)
+    }
+}
+
+impl<'a> IntoIterator for &'a PortSet {
+    type Item = PortId;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, PortId>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(ids: &[u32]) -> PortSet {
+        PortSet::from_iter(ids.iter().map(|&i| PortId(i)))
+    }
+
+    #[test]
+    fn allocator_hands_out_distinct_ids() {
+        let mut alloc = PortAllocator::new();
+        let a = alloc.fresh_port();
+        let b = alloc.fresh_port();
+        let m = alloc.fresh_mem();
+        assert_ne!(a, b);
+        assert_eq!(alloc.port_count(), 2);
+        assert_eq!(alloc.mem_count(), 1);
+        assert_eq!(m.index(), 0);
+    }
+
+    #[test]
+    fn from_iter_sorts_and_dedups() {
+        let s = set(&[3, 1, 2, 3, 1]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.as_slice(), &[PortId(1), PortId(2), PortId(3)]);
+    }
+
+    #[test]
+    fn insert_keeps_sorted_and_unique() {
+        let mut s = set(&[5, 1]);
+        s.insert(PortId(3));
+        s.insert(PortId(3));
+        assert_eq!(s.as_slice(), &[PortId(1), PortId(3), PortId(5)]);
+    }
+
+    #[test]
+    fn remove_reports_presence() {
+        let mut s = set(&[1, 2]);
+        assert!(s.remove(PortId(1)));
+        assert!(!s.remove(PortId(1)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn union_intersection_difference() {
+        let a = set(&[1, 2, 3]);
+        let b = set(&[3, 4]);
+        assert_eq!(a.union(&b), set(&[1, 2, 3, 4]));
+        assert_eq!(a.intersection(&b), set(&[3]));
+        assert_eq!(a.difference(&b), set(&[1, 2]));
+        assert_eq!(b.difference(&a), set(&[4]));
+    }
+
+    #[test]
+    fn disjoint_and_subset() {
+        let a = set(&[1, 2]);
+        let b = set(&[3, 4]);
+        let c = set(&[2, 3]);
+        assert!(a.is_disjoint(&b));
+        assert!(!a.is_disjoint(&c));
+        assert!(set(&[1]).is_subset(&a));
+        assert!(!c.is_subset(&a));
+        assert!(set(&[]).is_subset(&b));
+    }
+
+    #[test]
+    fn agrees_on_window() {
+        let a = set(&[1, 2, 5]);
+        let b = set(&[2, 3, 5]);
+        // Window {2,5}: both contain 2 and 5 -> agree.
+        assert!(a.agrees_on(&b, &set(&[2, 5])));
+        // Window {1}: a contains 1, b does not -> disagree.
+        assert!(!a.agrees_on(&b, &set(&[1])));
+        // Empty window always agrees.
+        assert!(a.agrees_on(&b, &set(&[])));
+    }
+}

@@ -1,0 +1,226 @@
+//! Transition-label simplification — the compile-time optimization of
+//! Jongmans & Arbab, *Take Command of Your Constraints!* (COORDINATION '15),
+//! reference [30] of the paper.
+//!
+//! After composition, a transition's label mentions every vertex data flowed
+//! through, and its assignments route data hop by hop across internal
+//! vertices. Firing then pays for each hop. Simplification contracts those
+//! dataflow chains through ports not in a caller-supplied *keep* set, drops
+//! the contracted ports from the synchronization label, and deduplicates the
+//! transitions that become identical. The paper reports 1.2×–48.9× speedups
+//! from this optimization in the existing compiler, and notes it is equally
+//! applicable (per medium automaton) in the new approach — which is what
+//! [`crate::simplify::simplify`] enables and the `ablations` bench measures.
+
+use crate::assign::{Assign, Dst};
+use crate::automaton::{Automaton, AutomatonBuilder, Transition};
+use crate::port::PortSet;
+
+/// Simplify every transition of `aut`, hiding all ports *not* in `keep`.
+///
+/// `keep` must contain every port that other automata or tasks observe:
+/// typically `aut.boundary_ports()` for a fully composed connector, or the
+/// boundary plus cross-template ports for a medium automaton.
+pub fn simplify(aut: &Automaton, keep: &PortSet) -> Automaton {
+    let mut builder = AutomatonBuilder::new(format!("{}*", aut.name()));
+    for _ in 0..aut.state_count() {
+        builder.state();
+    }
+    builder.set_initial(aut.initial());
+
+    for s in aut.all_states() {
+        let mut simplified: Vec<Transition> = Vec::new();
+        for t in aut.transitions_from(s) {
+            let new_t = simplify_transition(t, keep);
+            // Drop no-op τ self-loops: they would make engines spin.
+            if new_t.is_internal()
+                && new_t.target == s
+                && new_t.assigns.is_empty()
+                && new_t.pops.is_empty()
+            {
+                continue;
+            }
+            // Deduplicate transitions that became observably identical.
+            let duplicate = simplified.iter().any(|u| {
+                u.target == new_t.target
+                    && u.sync == new_t.sync
+                    && u.pops == new_t.pops
+                    && u.guard.structurally_eq(&new_t.guard)
+                    && u.assigns.len() == new_t.assigns.len()
+                    && u.assigns
+                        .iter()
+                        .zip(&new_t.assigns)
+                        .all(|(x, y)| x.structurally_eq(y))
+            });
+            if !duplicate {
+                simplified.push(new_t);
+            }
+        }
+        for t in simplified {
+            builder.transition(s, t);
+        }
+    }
+
+    let mut result = builder.build();
+    let inputs = aut.inputs().intersection(keep);
+    let outputs = aut.outputs().intersection(keep);
+    let internals = aut.internals().intersection(keep);
+    result.set_port_classes(inputs, outputs, internals);
+    result.replace_mems(aut.mem_layout().clone(), aut.mem_ids().to_vec());
+    // A simplified queue is still a queue, provided its ends survive.
+    result.set_queue_hint(aut.queue_hint().cloned().filter(|h| {
+        keep.contains(h.input) && keep.contains(h.output)
+    }));
+    result
+}
+
+/// Contract dataflow chains through hidden ports in one transition.
+fn simplify_transition(t: &Transition, keep: &PortSet) -> Transition {
+    let mut assigns: Vec<Assign> = t.assigns.clone();
+    let mut guard = t.guard.clone();
+
+    // Repeatedly pick an assignment writing a hidden port, substitute its
+    // source into every reader, and drop it. Each round removes one
+    // assignment, so this terminates.
+    loop {
+        let Some(pos) = assigns.iter().position(|a| {
+            matches!(a.dst, Dst::Port(p) if !keep.contains(p))
+        }) else {
+            break;
+        };
+        let a = assigns.remove(pos);
+        let Dst::Port(hidden) = a.dst else { unreachable!() };
+        for other in &mut assigns {
+            other.src = other.src.substitute_port(hidden, &a.src);
+        }
+        guard = guard.substitute_port(hidden, &a.src);
+    }
+
+    let mut sync = t.sync.clone();
+    sync.retain(|p| keep.contains(p));
+
+    Transition {
+        sync,
+        guard,
+        assigns,
+        pops: t.pops.clone(),
+        target: t.target,
+    }
+}
+
+/// Count the data "hops" (port-to-port assignments) in an automaton; the
+/// metric the simplification ablation reports.
+pub fn hop_count(aut: &Automaton) -> usize {
+    aut.all_states()
+        .flat_map(|s| aut.transitions_from(s))
+        .map(|t| t.assigns.len())
+        .sum()
+}
+
+/// Total number of ports mentioned across all transition labels.
+pub fn label_width(aut: &Automaton) -> usize {
+    aut.all_states()
+        .flat_map(|s| aut.transitions_from(s))
+        .map(|t| t.sync.len())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fire::try_fire;
+    use crate::port::{MemId, PortId};
+    use crate::primitives::*;
+    use crate::product::{product_all, ProductOptions};
+    use crate::store::Store;
+    use crate::value::Value;
+
+    fn p(i: u32) -> PortId {
+        PortId(i)
+    }
+
+    #[test]
+    fn sync_chain_collapses_to_single_hop() {
+        // sync(0;1) x sync(1;2) x sync(2;3), keep {0,3}.
+        let autos = vec![sync(p(0), p(1)), sync(p(1), p(2)), sync(p(2), p(3))];
+        let prod = product_all(&autos, &ProductOptions::default()).unwrap();
+        assert_eq!(hop_count(&prod), 3);
+        let keep = PortSet::from_iter([p(0), p(3)]);
+        let simple = simplify(&prod, &keep);
+        assert_eq!(simple.transition_count(), 1);
+        let t = &simple.transitions_from(simple.initial())[0];
+        assert_eq!(t.sync.as_slice(), &[p(0), p(3)]);
+        assert_eq!(t.assigns.len(), 1);
+        // End-to-end data still flows.
+        let mut store = Store::new(simple.mem_layout());
+        let f = try_fire(t, &|q| (q == p(0)).then(|| Value::Int(8)), &mut store)
+            .unwrap()
+            .unwrap();
+        assert_eq!(f.deliveries.len(), 1);
+        assert_eq!(f.deliveries[0].0, p(3));
+        assert_eq!(f.deliveries[0].1.as_int(), Some(8));
+    }
+
+    #[test]
+    fn fifo_between_syncs_keeps_memory_moves() {
+        // sync(0;1) x fifo1(1;2) x sync(2;3), keep {0,3}.
+        let autos = vec![
+            sync(p(0), p(1)),
+            fifo1(p(1), p(2), MemId(0)),
+            sync(p(2), p(3)),
+        ];
+        let prod = product_all(&autos, &ProductOptions::default()).unwrap();
+        let keep = PortSet::from_iter([p(0), p(3)]);
+        let simple = simplify(&prod, &keep);
+        assert_eq!(simple.state_count(), 2);
+        // Fill: {0} with mem := port0 (chain contracted through vertex 1).
+        let fill = &simple.transitions_from(simple.initial())[0];
+        assert_eq!(fill.sync.as_slice(), &[p(0)]);
+        let mut store = Store::new(simple.mem_layout());
+        try_fire(fill, &|q| (q == p(0)).then(|| Value::Int(5)), &mut store)
+            .unwrap()
+            .unwrap();
+        assert_eq!(store.peek(MemId(0)).unwrap().as_int(), Some(5));
+        // Take: {3} delivering from memory.
+        let take = &simple.transitions_from(fill.target)[0];
+        assert_eq!(take.sync.as_slice(), &[p(3)]);
+        let f = try_fire(take, &|_| None, &mut store).unwrap().unwrap();
+        assert_eq!(f.deliveries[0].1.as_int(), Some(5));
+    }
+
+    #[test]
+    fn drain_side_assignments_vanish() {
+        // replicator(0; 1,2) x sync_drain(1,9;)... use two-port drain built
+        // from seq2-style loss: replicate into a drain leg; after hiding the
+        // leg the delivery to it disappears.
+        let autos = vec![replicator(p(0), &[p(1), p(2)]), sync(p(1), p(3))];
+        let prod = product_all(&autos, &ProductOptions::default()).unwrap();
+        // Keep 0, 2 only: the 1->3 leg is dropped entirely.
+        let keep = PortSet::from_iter([p(0), p(2)]);
+        let simple = simplify(&prod, &keep);
+        let t = &simple.transitions_from(simple.initial())[0];
+        assert_eq!(t.sync.as_slice(), &[p(0), p(2)]);
+        // Only the kept delivery remains.
+        assert_eq!(t.assigns.len(), 1);
+    }
+
+    #[test]
+    fn duplicates_collapse_after_hiding() {
+        // router(0; 1,2) with both heads hidden: the two transitions become
+        // indistinguishable {0} steps and must collapse into one.
+        let aut = router(p(0), &[p(1), p(2)]);
+        let keep = PortSet::singleton(p(0));
+        let simple = simplify(&aut, &keep);
+        assert_eq!(simple.transition_count(), 1);
+    }
+
+    #[test]
+    fn hop_and_width_metrics_shrink() {
+        let autos: Vec<_> = (0..6).map(|i| sync(p(i), p(i + 1))).collect();
+        let prod = product_all(&autos, &ProductOptions::default()).unwrap();
+        let keep = PortSet::from_iter([p(0), p(6)]);
+        let simple = simplify(&prod, &keep);
+        assert!(hop_count(&simple) < hop_count(&prod));
+        assert!(label_width(&simple) < label_width(&prod));
+    }
+}

@@ -1,0 +1,186 @@
+//! The memory-cell store.
+//!
+//! Constraint automata stay finite-state by keeping *data* out of the control
+//! state: a fifo1's control state only records whether its buffer is empty or
+//! full, while the buffered value itself lives in a memory cell. The store
+//! holds every memory cell of a running connector, indexed densely by
+//! [`MemId`].
+//!
+//! Every cell is a queue; a plain cell is simply a queue used at depth ≤ 1.
+//! Unbounded fifos use deeper queues together with [`crate::guard::Guard`]
+//! length guards, which keeps the automaton finite while the queue grows.
+
+use std::collections::VecDeque;
+
+use crate::port::MemId;
+use crate::value::Value;
+
+/// Initial contents for each memory cell of an automaton or engine.
+#[derive(Clone, Debug, Default)]
+pub struct MemLayout {
+    /// `init[m]` = initial queue contents of cell `m`.
+    init: Vec<Vec<Value>>,
+}
+
+impl MemLayout {
+    /// `n` empty cells.
+    pub fn cells(n: usize) -> Self {
+        Self {
+            init: vec![Vec::new(); n],
+        }
+    }
+
+    /// Extend with one cell with the given initial contents; returns its id
+    /// *relative to this layout* (callers allocating globally should use
+    /// [`crate::port::PortAllocator`] and [`MemLayout::ensure`] instead).
+    pub fn push(&mut self, init: Vec<Value>) -> MemId {
+        self.init.push(init);
+        MemId((self.init.len() - 1) as u32)
+    }
+
+    /// Make sure cell `m` exists (empty-initialized), growing as needed.
+    pub fn ensure(&mut self, m: MemId) {
+        if self.init.len() <= m.index() {
+            self.init.resize(m.index() + 1, Vec::new());
+        }
+    }
+
+    /// Set the initial contents of cell `m`, growing as needed.
+    pub fn set_init(&mut self, m: MemId, init: Vec<Value>) {
+        self.ensure(m);
+        self.init[m.index()] = init;
+    }
+
+    pub fn len(&self) -> usize {
+        self.init.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.init.is_empty()
+    }
+
+    pub fn initial_contents(&self, m: MemId) -> &[Value] {
+        &self.init[m.index()]
+    }
+
+    /// Merge another layout indexed by the *same global* id space.
+    pub fn merge(&mut self, other: &MemLayout) {
+        if other.init.len() > self.init.len() {
+            self.init.resize(other.init.len(), Vec::new());
+        }
+        for (i, contents) in other.init.iter().enumerate() {
+            if !contents.is_empty() {
+                self.init[i] = contents.clone();
+            }
+        }
+    }
+}
+
+/// The run-time store: one queue per memory cell.
+#[derive(Clone, Debug)]
+pub struct Store {
+    cells: Vec<VecDeque<Value>>,
+}
+
+impl Store {
+    /// Build a store with the layout's initial contents.
+    pub fn new(layout: &MemLayout) -> Self {
+        Self {
+            cells: layout
+                .init
+                .iter()
+                .map(|init| init.iter().cloned().collect())
+                .collect(),
+        }
+    }
+
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Front value of cell `m`, if any.
+    pub fn peek(&self, m: MemId) -> Option<&Value> {
+        self.cells[m.index()].front()
+    }
+
+    /// Queue length of cell `m`.
+    pub fn len(&self, m: MemId) -> usize {
+        self.cells[m.index()].len()
+    }
+
+    pub fn is_cell_empty(&self, m: MemId) -> bool {
+        self.cells[m.index()].is_empty()
+    }
+
+    /// Replace the contents of cell `m` by exactly `v`.
+    pub fn set(&mut self, m: MemId, v: Value) {
+        let cell = &mut self.cells[m.index()];
+        cell.clear();
+        cell.push_back(v);
+    }
+
+    /// Enqueue at the back of cell `m`.
+    pub fn push(&mut self, m: MemId, v: Value) {
+        self.cells[m.index()].push_back(v);
+    }
+
+    /// Dequeue from the front of cell `m`.
+    pub fn pop(&mut self, m: MemId) -> Option<Value> {
+        self.cells[m.index()].pop_front()
+    }
+
+    /// Drop all contents of cell `m`.
+    pub fn clear(&mut self, m: MemId) {
+        self.cells[m.index()].clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_initializes_store() {
+        let mut layout = MemLayout::cells(1);
+        let m = layout.push(vec![Value::Int(1), Value::Int(2)]);
+        let store = Store::new(&layout);
+        assert_eq!(store.cell_count(), 2);
+        assert!(store.is_cell_empty(MemId(0)));
+        assert_eq!(store.len(m), 2);
+        assert_eq!(store.peek(m).unwrap().as_int(), Some(1));
+    }
+
+    #[test]
+    fn queue_semantics_fifo_order() {
+        let mut store = Store::new(&MemLayout::cells(1));
+        let m = MemId(0);
+        store.push(m, Value::Int(1));
+        store.push(m, Value::Int(2));
+        assert_eq!(store.pop(m).unwrap().as_int(), Some(1));
+        assert_eq!(store.pop(m).unwrap().as_int(), Some(2));
+        assert!(store.pop(m).is_none());
+    }
+
+    #[test]
+    fn set_replaces_contents() {
+        let mut store = Store::new(&MemLayout::cells(1));
+        let m = MemId(0);
+        store.push(m, Value::Int(1));
+        store.push(m, Value::Int(2));
+        store.set(m, Value::Int(9));
+        assert_eq!(store.len(m), 1);
+        assert_eq!(store.peek(m).unwrap().as_int(), Some(9));
+    }
+
+    #[test]
+    fn ensure_and_merge_grow_layouts() {
+        let mut a = MemLayout::cells(0);
+        a.ensure(MemId(2));
+        assert_eq!(a.len(), 3);
+        let mut b = MemLayout::cells(0);
+        b.set_init(MemId(1), vec![Value::Unit]);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.initial_contents(MemId(1)).len(), 1);
+    }
+}

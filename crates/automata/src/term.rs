@@ -1,0 +1,194 @@
+//! Data terms: the right-hand sides of transition assignments and the
+//! operands of guards.
+//!
+//! A term is evaluated when a transition fires, against (a) the values
+//! offered on the ports in the transition's synchronization set and (b) the
+//! memory-cell store. These are the "data constraints" the paper's Fig. 7
+//! elides ("these technicalities do not matter in the rest of this paper")
+//! but that any executable connector needs.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::port::{MemId, PortId};
+use crate::store::Store;
+use crate::value::Value;
+
+/// A pure function usable inside terms (transform channels, filters).
+///
+/// Functions are compared by pointer identity: two terms are structurally
+/// equal only if they share the same function object.
+#[derive(Clone)]
+pub struct Func {
+    name: Arc<str>,
+    f: Arc<dyn Fn(&[Value]) -> Value + Send + Sync>,
+}
+
+impl Func {
+    pub fn new(name: &str, f: impl Fn(&[Value]) -> Value + Send + Sync + 'static) -> Self {
+        Self {
+            name: name.into(),
+            f: Arc::new(f),
+        }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn call(&self, args: &[Value]) -> Value {
+        (self.f)(args)
+    }
+
+    /// Pointer identity; used by structural equality on terms.
+    pub fn same(&self, other: &Func) -> bool {
+        Arc::ptr_eq(&self.f, &other.f)
+    }
+}
+
+impl fmt::Debug for Func {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn:{}", self.name)
+    }
+}
+
+/// A data term.
+#[derive(Clone, Debug)]
+pub enum Term {
+    /// The value offered on a port that fires in the same transition.
+    Port(PortId),
+    /// The value at the front of a memory cell (peek, no modification).
+    Mem(MemId),
+    /// A constant.
+    Const(Value),
+    /// Function application.
+    Apply(Func, Vec<Term>),
+}
+
+impl Term {
+    /// Evaluate against port values and the (read-only) store.
+    ///
+    /// `ports` resolves the value offered on a firing port. Calling it for a
+    /// port outside the transition's synchronization set is a logic error in
+    /// the automaton; the engine's resolver panics in that case, which unit
+    /// tests exercise deliberately.
+    pub fn eval(&self, ports: &dyn Fn(PortId) -> Value, store: &Store) -> Value {
+        match self {
+            Term::Port(p) => ports(*p),
+            Term::Mem(m) => store
+                .peek(*m)
+                .cloned()
+                .unwrap_or_else(|| panic!("read of empty memory cell {m:?}")),
+            Term::Const(v) => v.clone(),
+            Term::Apply(f, args) => {
+                let vals: Vec<Value> = args.iter().map(|t| t.eval(ports, store)).collect();
+                f.call(&vals)
+            }
+        }
+    }
+
+    /// All ports read by this term.
+    pub fn ports_read(&self, out: &mut Vec<PortId>) {
+        match self {
+            Term::Port(p) => out.push(*p),
+            Term::Apply(_, args) => {
+                for a in args {
+                    a.ports_read(out);
+                }
+            }
+            Term::Mem(_) | Term::Const(_) => {}
+        }
+    }
+
+    /// Substitute reads of `port` by `replacement` (label simplification).
+    pub fn substitute_port(&self, port: PortId, replacement: &Term) -> Term {
+        match self {
+            Term::Port(p) if *p == port => replacement.clone(),
+            Term::Apply(f, args) => Term::Apply(
+                f.clone(),
+                args.iter()
+                    .map(|a| a.substitute_port(port, replacement))
+                    .collect(),
+            ),
+            other => other.clone(),
+        }
+    }
+
+    /// Structural equality (functions by pointer, floats bitwise).
+    pub fn structurally_eq(&self, other: &Term) -> bool {
+        match (self, other) {
+            (Term::Port(a), Term::Port(b)) => a == b,
+            (Term::Mem(a), Term::Mem(b)) => a == b,
+            (Term::Const(a), Term::Const(b)) => a.structurally_eq(b),
+            (Term::Apply(f, a), Term::Apply(g, b)) => {
+                f.same(g)
+                    && a.len() == b.len()
+                    && a.iter().zip(b).all(|(x, y)| x.structurally_eq(y))
+            }
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::MemLayout;
+
+    fn no_ports(_: PortId) -> Value {
+        panic!("no port values in this test")
+    }
+
+    #[test]
+    fn const_and_mem_eval() {
+        let mut store = Store::new(&MemLayout::cells(1));
+        store.set(MemId(0), Value::Int(42));
+        let t = Term::Mem(MemId(0));
+        assert_eq!(t.eval(&no_ports, &store).as_int(), Some(42));
+        let c = Term::Const(Value::Int(7));
+        assert_eq!(c.eval(&no_ports, &store).as_int(), Some(7));
+    }
+
+    #[test]
+    fn port_eval_uses_resolver() {
+        let store = Store::new(&MemLayout::cells(0));
+        let t = Term::Port(PortId(3));
+        let v = t.eval(&|p| Value::Int(p.0 as i64 * 10), &store);
+        assert_eq!(v.as_int(), Some(30));
+    }
+
+    #[test]
+    fn apply_calls_function() {
+        let store = Store::new(&MemLayout::cells(0));
+        let inc = Func::new("inc", |args| {
+            Value::Int(args[0].as_int().unwrap() + 1)
+        });
+        let t = Term::Apply(inc, vec![Term::Const(Value::Int(1))]);
+        assert_eq!(t.eval(&no_ports, &store).as_int(), Some(2));
+    }
+
+    #[test]
+    fn substitution_rewrites_reads() {
+        let t = Term::Port(PortId(1));
+        let s = t.substitute_port(PortId(1), &Term::Const(Value::Int(9)));
+        assert!(s.structurally_eq(&Term::Const(Value::Int(9))));
+        let untouched = t.substitute_port(PortId(2), &Term::Const(Value::Unit));
+        assert!(untouched.structurally_eq(&Term::Port(PortId(1))));
+    }
+
+    #[test]
+    fn ports_read_collects_nested() {
+        let f = Func::new("pair", |args| Value::pair(args[0].clone(), args[1].clone()));
+        let t = Term::Apply(f, vec![Term::Port(PortId(1)), Term::Port(PortId(2))]);
+        let mut ports = Vec::new();
+        t.ports_read(&mut ports);
+        assert_eq!(ports, vec![PortId(1), PortId(2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty memory cell")]
+    fn reading_empty_cell_panics() {
+        let store = Store::new(&MemLayout::cells(1));
+        Term::Mem(MemId(0)).eval(&no_ports, &store);
+    }
+}

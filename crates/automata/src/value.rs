@@ -1,0 +1,180 @@
+//! Message values flowing through connectors.
+//!
+//! Connectors are data-agnostic: they move values between ports and memory
+//! cells without inspecting them (except through [`crate::guard::Guard`]
+//! predicates on filter channels). Bulk payloads are wrapped in `Arc` so a
+//! replicator can broadcast a large vector without copying it per head.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A message. `Clone` is cheap for every variant (bulk data is `Arc`-shared).
+#[derive(Clone, Debug, Default)]
+pub enum Value {
+    /// The unit token; what spouts and token rings circulate.
+    #[default]
+    Unit,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(Arc<str>),
+    /// A shared vector of floats (NPB vectors travel as one of these).
+    FloatVec(Arc<Vec<f64>>),
+    /// A shared vector of ints.
+    IntVec(Arc<Vec<i64>>),
+    /// A pair, for tagging payloads (e.g. `(slave index, partial result)`).
+    Pair(Arc<(Value, Value)>),
+}
+
+impl Value {
+    pub fn str(s: impl Into<Arc<str>>) -> Self {
+        Value::Str(s.into())
+    }
+
+    pub fn floats(v: Vec<f64>) -> Self {
+        Value::FloatVec(Arc::new(v))
+    }
+
+    pub fn ints(v: Vec<i64>) -> Self {
+        Value::IntVec(Arc::new(v))
+    }
+
+    pub fn pair(a: Value, b: Value) -> Self {
+        Value::Pair(Arc::new((a, b)))
+    }
+
+    /// Integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    pub fn as_floats(&self) -> Option<&Arc<Vec<f64>>> {
+        match self {
+            Value::FloatVec(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_pair(&self) -> Option<(&Value, &Value)> {
+        match self {
+            Value::Pair(p) => Some((&p.0, &p.1)),
+            _ => None,
+        }
+    }
+
+    /// Structural equality. `Value` deliberately does not implement
+    /// `PartialEq` with NaN-sensitive float semantics in guard position;
+    /// guards use this bitwise-for-floats comparison instead so that
+    /// filters behave deterministically.
+    pub fn structurally_eq(&self, other: &Value) -> bool {
+        match (self, other) {
+            (Value::Unit, Value::Unit) => true,
+            (Value::Bool(a), Value::Bool(b)) => a == b,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Float(a), Value::Float(b)) => a.to_bits() == b.to_bits(),
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::FloatVec(a), Value::FloatVec(b)) => {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b.iter())
+                        .all(|(x, y)| x.to_bits() == y.to_bits())
+            }
+            (Value::IntVec(a), Value::IntVec(b)) => a == b,
+            (Value::Pair(a), Value::Pair(b)) => {
+                a.0.structurally_eq(&b.0) && a.1.structurally_eq(&b.1)
+            }
+            _ => false,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Unit => write!(f, "()"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::FloatVec(v) => write!(f, "floats[{}]", v.len()),
+            Value::IntVec(v) => write!(f, "ints[{}]", v.len()),
+            Value::Pair(p) => write!(f, "({}, {})", p.0, p.1),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(x: f64) -> Self {
+        Value::Float(x)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<()> for Value {
+    fn from(_: ()) -> Self {
+        Value::Unit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_match_variants() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Unit.as_int(), None);
+        assert_eq!(Value::Float(1.5).as_float(), Some(1.5));
+        let v = Value::floats(vec![1.0, 2.0]);
+        assert_eq!(v.as_floats().unwrap().len(), 2);
+        let p = Value::pair(Value::Int(1), Value::Unit);
+        let (a, b) = p.as_pair().unwrap();
+        assert_eq!(a.as_int(), Some(1));
+        assert!(matches!(b, Value::Unit));
+    }
+
+    #[test]
+    fn structural_eq_is_bitwise_for_floats() {
+        assert!(Value::Float(f64::NAN).structurally_eq(&Value::Float(f64::NAN)));
+        assert!(!Value::Float(0.0).structurally_eq(&Value::Float(-0.0)));
+        assert!(Value::Int(3).structurally_eq(&Value::Int(3)));
+        assert!(!Value::Int(3).structurally_eq(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn arc_sharing_makes_clone_cheap() {
+        let big = Value::floats((0..1024).map(|i| i as f64).collect());
+        let copy = big.clone();
+        match (&big, &copy) {
+            (Value::FloatVec(a), Value::FloatVec(b)) => assert!(Arc::ptr_eq(a, b)),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Value::Unit.to_string(), "()");
+        assert_eq!(Value::floats(vec![0.0; 3]).to_string(), "floats[3]");
+    }
+}

@@ -1,0 +1,115 @@
+//! Criterion version of the Fig. 12 connector comparison: end-to-end
+//! message latency through representative connectors, existing vs new
+//! approach, across N.
+
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reo_automata::Value;
+use reo_connectors::families;
+use reo_runtime::{Connector, Mode};
+
+/// Drive the `ordered` connector (the paper's ConnectorEx11N) for one round
+/// of N sends + N receives from two threads; returns the elapsed time.
+fn ordered_round(n: usize, mode: Mode, rounds: u64) -> Duration {
+    let family = families()
+        .into_iter()
+        .find(|f| f.name == "ordered")
+        .expect("ordered family");
+    let program = family.program();
+    let connector = Connector::compile(&program, family.def, mode).unwrap();
+    let mut connected = connector.connect(&[("tl", n), ("hd", n)]).unwrap();
+    let senders = connected.take_outports("tl");
+    let receivers = connected.take_inports("hd");
+
+    let start = Instant::now();
+    let producer = std::thread::spawn(move || {
+        for _ in 0..rounds {
+            for s in &senders {
+                s.send(Value::Int(1)).unwrap();
+            }
+        }
+    });
+    for _ in 0..rounds {
+        for r in &receivers {
+            r.recv().unwrap();
+        }
+    }
+    producer.join().unwrap();
+    start.elapsed()
+}
+
+fn bench_ordered(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_ordered");
+    for n in [2usize, 4, 8, 16] {
+        for (label, mode) in [("existing", Mode::existing()), ("new_jit", Mode::jit())] {
+            // The existing approach cannot build ordered(N) beyond N = 4
+            // (state-space explosion — the Fig. 12 NEW-ONLY cells); skip
+            // rather than crash the harness.
+            if label == "existing" && n > 4 {
+                continue;
+            }
+            group.bench_with_input(
+                BenchmarkId::new(label, n),
+                &n,
+                |b, &n| {
+                    b.iter_custom(|iters| ordered_round(n, mode, iters));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Merger latency: N producers funnel into one consumer.
+fn merger_round(n: usize, mode: Mode, rounds: u64) -> Duration {
+    let family = families()
+        .into_iter()
+        .find(|f| f.name == "merger")
+        .expect("merger family");
+    let program = family.program();
+    let connector = Connector::compile(&program, family.def, mode).unwrap();
+    let mut connected = connector.connect(&[("tl", n)]).unwrap();
+    let senders = connected.take_outports("tl");
+    let receiver = connected.take_inports("hd").pop().unwrap();
+
+    let start = Instant::now();
+    let producer = std::thread::spawn(move || {
+        for _ in 0..rounds {
+            for s in &senders {
+                s.send(Value::Int(7)).unwrap();
+            }
+        }
+    });
+    for _ in 0..rounds * n as u64 {
+        receiver.recv().unwrap();
+    }
+    producer.join().unwrap();
+    start.elapsed()
+}
+
+fn bench_merger(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig12_merger");
+    for n in [2usize, 8, 32] {
+        for (label, mode) in [("existing", Mode::existing()), ("new_jit", Mode::jit())] {
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter_custom(|iters| merger_round(n, mode, iters));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_secs(2))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_ordered, bench_merger
+}
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! Criterion version of the Fig. 13 comparison: one CG power iteration and
+//! one LU iteration bundle on a small workload, original vs Reo back end.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use reo_npb::{cg, lu, CgClass, HandWritten, LuClass, ReoComm};
+use reo_runtime::Mode;
+
+fn bench_cg(c: &mut Criterion) {
+    let class = CgClass {
+        name: "bench",
+        na: 400,
+        nonzer: 5,
+        niter: 1,
+        shift: 10.0,
+        zeta_verify: None,
+    };
+    let a = Arc::new(cg::class_matrix(&class));
+    let mut group = c.benchmark_group("fig13_cg");
+    for n in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("original", n), &n, |b, &n| {
+            b.iter(|| cg::run_parallel(Arc::clone(&a), &class, HandWritten::new(n)));
+        });
+        group.bench_with_input(BenchmarkId::new("reo_jit", n), &n, |b, &n| {
+            b.iter(|| {
+                let comm = ReoComm::new(n, Mode::jit()).unwrap();
+                cg::run_parallel(Arc::clone(&a), &class, comm)
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("reo_partitioned", n), &n, |b, &n| {
+            b.iter(|| {
+                let comm = ReoComm::new(
+                    n,
+                    Mode::JitPartitioned {
+                        cache: reo_runtime::CachePolicy::Unbounded,
+                    },
+                )
+                .unwrap();
+                cg::run_parallel(Arc::clone(&a), &class, comm)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_lu(c: &mut Criterion) {
+    let class = LuClass {
+        name: "bench",
+        nx: 24,
+        ny: 24,
+        itmax: 4,
+        omega: 1.2,
+        jblock: 8,
+    };
+    let mut group = c.benchmark_group("fig13_lu");
+    for n in [2usize, 4] {
+        group.bench_with_input(BenchmarkId::new("original", n), &n, |b, &n| {
+            b.iter(|| lu::run_parallel(&class, HandWritten::new(n)));
+        });
+        group.bench_with_input(BenchmarkId::new("reo_jit", n), &n, |b, &n| {
+            b.iter(|| {
+                let comm = ReoComm::new(n, Mode::jit()).unwrap();
+                lu::run_parallel(&class, comm)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(3))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_cg, bench_lu
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Regenerates Fig. 12: the connector benchmarks.
+//!
+//! ```text
+//! cargo run --release -p reo-bench --bin fig12 -- \
+//!     [--secs 0.3] [--ns 2,4,8,16,32,64] [--families merger,router,…] \
+//!     [--partitioned]
+//! ```
+
+use std::time::Duration;
+
+use reo_bench::fig12::{classify, run, summarize, Config};
+use reo_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let mut config = Config {
+        window: Duration::from_secs_f64(args.f64("secs", 0.3)),
+        ns: args.usize_list("ns", &[2, 4, 8, 16, 32, 64]),
+        partitioned: args.bool("partitioned"),
+        ..Config::default()
+    };
+    if args.get("families").is_some() {
+        config.family_filter = Some(args.list("families", &[]));
+    }
+
+    println!(
+        "Fig. 12 reproduction: {:.2}s window per cell, N in {:?}, existing vs new approach{}",
+        config.window.as_secs_f64(),
+        config.ns,
+        if config.partitioned {
+            " (+ partitioned)"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "{:<16}{:>4}  {:>14}  {:>14}  {:>9}  {}",
+        "connector", "N", "existing st/s", "new st/s", "ratio", "bin"
+    );
+
+    let window = config.window;
+    let cells = run(&config, |cell| {
+        let fmt = |o: &reo_connectors::RunOutcome| match &o.failure {
+            Some(_) => "FAIL".to_string(),
+            None => format!("{:.0}", o.steps_per_sec(window)),
+        };
+        let ratio = if cell.existing.failure.is_none() && cell.new.failure.is_none() {
+            format!(
+                "{:.2}",
+                cell.new.steps as f64 / cell.existing.steps.max(1) as f64
+            )
+        } else {
+            "-".into()
+        };
+        let part = match &cell.partitioned {
+            Some(o) => format!("  part={}", fmt(o)),
+            None => String::new(),
+        };
+        println!(
+            "{:<16}{:>4}  {:>14}  {:>14}  {:>9}  {}{}",
+            cell.family,
+            cell.n,
+            fmt(&cell.existing),
+            fmt(&cell.new),
+            ratio,
+            classify(cell).label(),
+            part
+        );
+    });
+
+    println!("{}", summarize(&cells, &config.ns));
+    println!(
+        "Paper's Fig. 12 pie for reference: NEW-ONLY 8%, NEW-WINS 42%, \
+         EXIST<=10x 42%, EXIST<=100x 8%."
+    );
+}

@@ -1,0 +1,111 @@
+//! Regenerates Fig. 13: the NPB benchmarks.
+//!
+//! ```text
+//! cargo run --release -p reo-bench --bin fig13 -- \
+//!     [--prog cg|lu|both] [--classes S,C-scaled] [--ns 2,4,8] \
+//!     [--timeout 120] [--large-n]
+//! ```
+//!
+//! `--large-n` switches to the finding-3 reproduction: N ∈ {16,32,64},
+//! Reo-JIT (expected DNF) vs Reo-partitioned (expected to finish).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use reo_bench::fig13::{
+    large_n_backends, measure_cg, measure_lu, render, standard_backends, BackendKind,
+};
+use reo_bench::Args;
+use reo_npb::{cg, CgClass, LuClass};
+
+fn main() {
+    let args = Args::from_env();
+    let progs = match args.get("prog").unwrap_or("both") {
+        "cg" => vec!["cg"],
+        "lu" => vec!["lu"],
+        _ => vec!["cg", "lu"],
+    };
+    let large_n = args.bool("large-n");
+    let default_ns: &[usize] = if large_n { &[16, 32, 64] } else { &[2, 4, 8] };
+    let ns = args.usize_list("ns", default_ns);
+    let classes = args.list("classes", if large_n { &["S"] } else { &["S", "C-scaled"] });
+    let timeout = Duration::from_secs_f64(args.f64("timeout", if large_n { 30.0 } else { 600.0 }));
+    let backends: Vec<BackendKind> = if large_n {
+        large_n_backends()
+    } else {
+        standard_backends()
+    };
+
+    println!(
+        "Fig. 13 reproduction: programs {:?}, classes {:?}, N {:?} ({})",
+        progs,
+        classes,
+        ns,
+        if large_n {
+            "finding-3 mode: jit vs partitioned"
+        } else {
+            "original vs Reo-based"
+        }
+    );
+
+    for prog in &progs {
+        for class_name in &classes {
+            match *prog {
+                "cg" => {
+                    let Some(class) = CgClass::by_name(class_name) else {
+                        eprintln!("unknown CG class {class_name}");
+                        continue;
+                    };
+                    println!(
+                        "\nCG, size {} (na={}, nonzer={}, niter={}):",
+                        class.name, class.na, class.nonzer, class.niter
+                    );
+                    let a = Arc::new(cg::class_matrix(&class));
+                    header(&backends);
+                    for &n in &ns {
+                        print!("{n:>4}  ");
+                        for backend in &backends {
+                            let m = measure_cg(&a, &class, n, *backend, timeout);
+                            print!("{:>24}  ", render(&m));
+                        }
+                        println!();
+                    }
+                }
+                "lu" => {
+                    let Some(class) = LuClass::by_name(class_name) else {
+                        eprintln!("unknown LU class {class_name}");
+                        continue;
+                    };
+                    println!(
+                        "\nLU (SSOR substitute), size {} ({}x{}, itmax={}):",
+                        class.name, class.nx, class.ny, class.itmax
+                    );
+                    header(&backends);
+                    for &n in &ns {
+                        print!("{n:>4}  ");
+                        for backend in &backends {
+                            let m = measure_lu(&class, n, *backend, timeout);
+                            print!("{:>24}  ", render(&m));
+                        }
+                        println!();
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    println!(
+        "\nPaper's Fig. 13 shape for reference: class S — Reo overhead dominates;\n\
+         class C — comparable run times for N in {{2,4,8}}; N >= 16 without\n\
+         partitioning — DNF (exponentially many transitions in one state)."
+    );
+}
+
+fn header(backends: &[BackendKind]) {
+    print!("{:>4}  ", "N");
+    for b in backends {
+        print!("{:>24}  ", b.label());
+    }
+    println!();
+}

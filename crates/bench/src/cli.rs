@@ -1,0 +1,101 @@
+//! Minimal flag parsing shared by the harness binaries (no external deps).
+
+use std::collections::HashMap;
+
+/// Parsed `--key value` flags plus positionals.
+#[derive(Clone, Debug, Default)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    pub positional: Vec<String>,
+}
+
+impl Args {
+    pub fn parse(argv: impl Iterator<Item = String>) -> Args {
+        let mut args = Args::default();
+        let mut argv = argv.peekable();
+        while let Some(a) = argv.next() {
+            if let Some(key) = a.strip_prefix("--") {
+                let value = match argv.peek() {
+                    Some(v) if !v.starts_with("--") => argv.next().expect("peeked"),
+                    _ => "true".to_string(),
+                };
+                args.flags.insert(key.to_string(), value);
+            } else {
+                args.positional.push(a);
+            }
+        }
+        args
+    }
+
+    pub fn from_env() -> Args {
+        Self::parse(std::env::args().skip(1))
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(|s| s.as_str())
+    }
+
+    pub fn f64(&self, key: &str, default: f64) -> f64 {
+        self.get(key)
+            .map(|s| s.parse().unwrap_or_else(|_| panic!("--{key} expects a number")))
+            .unwrap_or(default)
+    }
+
+    pub fn usize(&self, key: &str, default: usize) -> usize {
+        self.get(key)
+            .map(|s| s.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .unwrap_or(default)
+    }
+
+    pub fn bool(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true") | Some("1") | Some("yes"))
+    }
+
+    /// Comma-separated list flag.
+    pub fn list(&self, key: &str, default: &[&str]) -> Vec<String> {
+        match self.get(key) {
+            Some(s) => s.split(',').map(|x| x.trim().to_string()).collect(),
+            None => default.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    pub fn usize_list(&self, key: &str, default: &[usize]) -> Vec<usize> {
+        match self.get(key) {
+            Some(s) => s
+                .split(',')
+                .map(|x| {
+                    x.trim()
+                        .parse()
+                        .unwrap_or_else(|_| panic!("--{key} expects integers"))
+                })
+                .collect(),
+            None => default.to_vec(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn flags_and_positionals() {
+        let a = parse("--secs 0.5 --ns 2,4,8 run --verbose");
+        assert_eq!(a.f64("secs", 1.0), 0.5);
+        assert_eq!(a.usize_list("ns", &[1]), vec![2, 4, 8]);
+        assert!(a.bool("verbose"));
+        assert_eq!(a.positional, vec!["run"]);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("");
+        assert_eq!(a.f64("secs", 0.25), 0.25);
+        assert_eq!(a.list("families", &["x", "y"]), vec!["x", "y"]);
+        assert!(!a.bool("missing"));
+    }
+}

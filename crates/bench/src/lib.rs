@@ -1,0 +1,18 @@
+//! # reo-bench
+//!
+//! Harnesses regenerating the paper's evaluation:
+//!
+//! * `fig12` binary — the connector benchmarks (Sect. V-B): 18 families ×
+//!   N ∈ {2,…,64} × {existing, new}, step counts in a wall-clock window,
+//!   plus the classification summary of Fig. 12.
+//! * `fig13` binary — the NPB benchmarks (Sect. V-C): CG/LU × class × N,
+//!   original vs Reo-based run times, plus the N ≥ 16 non-termination
+//!   reproduction and its partitioned-execution fix.
+//! * criterion benches (`substrate`, `fig12_connectors`, `fig13_npb`,
+//!   `ablations`) — micro-level measurements and the DESIGN.md ablations.
+
+pub mod cli;
+pub mod fig12;
+pub mod fig13;
+
+pub use cli::Args;

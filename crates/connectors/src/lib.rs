@@ -1,0 +1,11 @@
+//! # reo-connectors
+//!
+//! The eighteen parametrizable connector families of the paper's Fig. 12
+//! connector benchmarks, written in the textual syntax of Sect. IV-B, with
+//! the no-compute benchmark driver of Sect. V-B.
+
+pub mod driver;
+pub mod families;
+
+pub use driver::{drive, drive_family, RunOutcome};
+pub use families::{families, Family, Role};

@@ -1,0 +1,281 @@
+//! Builtin primitive signatures and construction.
+//!
+//! The textual syntax instantiates primitives by name (`Fifo1`, `Repl2`,
+//! `Seq2`, …). This module maps those names — including the
+//! arity-suffixed spellings of the paper's Fig. 8 (`Repl2`, `Merg2`) and the
+//! variadic spellings (`Replicator`, `Merger`) — to the small automata of
+//! [`reo_automata::primitives`].
+
+use reo_automata::{primitives, Automaton, MemId, PortId, Value};
+
+use crate::error::CoreError;
+use crate::ir::Arity;
+
+/// The builtin primitive kinds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Builtin {
+    Sync,
+    Lossy,
+    SyncDrain,
+    AsyncDrain,
+    SyncSpout,
+    Fifo1,
+    /// Initially-full fifo1; optional integer argument sets the token value
+    /// (default: the unit token).
+    Fifo1Full,
+    /// Unbounded fifo.
+    Fifo,
+    /// Bounded fifo; one integer argument: the capacity.
+    FifoN,
+    /// k-phase sequencing drain (`Seq2` of the paper, generalized).
+    Seq,
+    Merger,
+    Replicator,
+    Router,
+    Variable,
+}
+
+/// Resolve a primitive name. Arity-suffixed spellings (`Repl2`, `Merg3`,
+/// `Seq2`, `Router4`) resolve to the variadic kind; the suffix is checked
+/// against the operand count at build time.
+pub fn lookup(name: &str) -> Option<Builtin> {
+    match name {
+        "Sync" => Some(Builtin::Sync),
+        "Lossy" | "LossySync" => Some(Builtin::Lossy),
+        "SyncDrain" => Some(Builtin::SyncDrain),
+        "AsyncDrain" => Some(Builtin::AsyncDrain),
+        "SyncSpout" => Some(Builtin::SyncSpout),
+        "Fifo1" => Some(Builtin::Fifo1),
+        "Fifo1Full" | "FifoFull" => Some(Builtin::Fifo1Full),
+        "Fifo" => Some(Builtin::Fifo),
+        "FifoN" => Some(Builtin::FifoN),
+        "Var" | "Variable" => Some(Builtin::Variable),
+        "Merger" => Some(Builtin::Merger),
+        "Replicator" => Some(Builtin::Replicator),
+        "Router" | "XRouter" => Some(Builtin::Router),
+        "Seq" => Some(Builtin::Seq),
+        _ => {
+            // Numeric arity suffixes: Repl2, Merg3, Seq2, Router4, ...
+            for (prefix, kind) in [
+                ("Repl", Builtin::Replicator),
+                ("Merg", Builtin::Merger),
+                ("Seq", Builtin::Seq),
+                ("Router", Builtin::Router),
+            ] {
+                if let Some(rest) = name.strip_prefix(prefix) {
+                    if !rest.is_empty() && rest.chars().all(|c| c.is_ascii_digit()) {
+                        return Some(kind);
+                    }
+                }
+            }
+            None
+        }
+    }
+}
+
+/// Declared arities: (tails, heads, integer-argument count).
+///
+/// `Seq` is polarity-insensitive (all its operands are consumption points);
+/// its arity is checked on the *total* operand count.
+pub fn arity(kind: Builtin) -> (Arity, Arity, usize) {
+    match kind {
+        Builtin::Sync | Builtin::Lossy | Builtin::Fifo1 | Builtin::Fifo | Builtin::Variable => {
+            (Arity::Exact(1), Arity::Exact(1), 0)
+        }
+        Builtin::Fifo1Full => (Arity::Exact(1), Arity::Exact(1), 0), // iarg optional
+        Builtin::FifoN => (Arity::Exact(1), Arity::Exact(1), 1),
+        Builtin::SyncDrain => (Arity::Exact(2), Arity::Exact(0), 0),
+        Builtin::AsyncDrain => (Arity::Exact(2), Arity::Exact(0), 0),
+        Builtin::SyncSpout => (Arity::Exact(0), Arity::Exact(2), 0),
+        Builtin::Seq => (Arity::AtLeast(0), Arity::AtLeast(0), 0),
+        Builtin::Merger => (Arity::AtLeast(1), Arity::Exact(1), 0),
+        Builtin::Replicator => (Arity::Exact(1), Arity::AtLeast(1), 0),
+        Builtin::Router => (Arity::Exact(1), Arity::AtLeast(1), 0),
+    }
+}
+
+/// Check an arity-suffixed name against the actual operand counts.
+fn check_suffix(name: &str, kind: Builtin, tails: usize, heads: usize) -> Result<(), CoreError> {
+    let suffix: Option<usize> = ["Repl", "Merg", "Router", "Seq"]
+        .iter()
+        .find_map(|prefix| name.strip_prefix(prefix).and_then(|r| r.parse().ok()));
+    let Some(n) = suffix else { return Ok(()) };
+    let actual = match kind {
+        Builtin::Replicator | Builtin::Router => heads,
+        Builtin::Merger => tails,
+        Builtin::Seq => tails + heads,
+        _ => return Ok(()),
+    };
+    if actual != n {
+        return Err(CoreError::ArityMismatch {
+            name: name.to_string(),
+            expected: n.to_string(),
+            got: actual.to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Build the small automaton of a builtin for concrete ports.
+///
+/// `fresh_mem` allocates globally unique memory cells for stateful builtins.
+pub fn build(
+    name: &str,
+    kind: Builtin,
+    iargs: &[i64],
+    tails: &[PortId],
+    heads: &[PortId],
+    fresh_mem: &mut dyn FnMut() -> MemId,
+) -> Result<Automaton, CoreError> {
+    let (ta, ha, ia) = arity(kind);
+    let polarity_insensitive = matches!(kind, Builtin::Seq);
+    if !polarity_insensitive && (!ta.admits(tails.len()) || !ha.admits(heads.len())) {
+        return Err(CoreError::ArityMismatch {
+            name: name.to_string(),
+            expected: format!("({ta:?};{ha:?})"),
+            got: format!("({};{})", tails.len(), heads.len()),
+        });
+    }
+    let optional_iarg = matches!(kind, Builtin::Fifo1Full);
+    if iargs.len() != ia && !(optional_iarg && iargs.len() <= 1) {
+        return Err(CoreError::ArityMismatch {
+            name: name.to_string(),
+            expected: format!("{ia} integer argument(s)"),
+            got: iargs.len().to_string(),
+        });
+    }
+    check_suffix(name, kind, tails.len(), heads.len())?;
+
+    Ok(match kind {
+        Builtin::Sync => primitives::sync(tails[0], heads[0]),
+        Builtin::Lossy => primitives::lossy(tails[0], heads[0]),
+        Builtin::SyncDrain => primitives::sync_drain(tails[0], tails[1]),
+        Builtin::AsyncDrain => primitives::async_drain(tails[0], tails[1]),
+        Builtin::SyncSpout => primitives::sync_spout(heads[0], heads[1]),
+        Builtin::Fifo1 => primitives::fifo1(tails[0], heads[0], fresh_mem()),
+        Builtin::Fifo1Full => {
+            let token = iargs.first().map(|&i| Value::Int(i)).unwrap_or(Value::Unit);
+            primitives::fifo1_full(tails[0], heads[0], fresh_mem(), token)
+        }
+        Builtin::Fifo => primitives::fifo_unbounded(tails[0], heads[0], fresh_mem()),
+        Builtin::FifoN => {
+            let n = iargs[0];
+            if n < 1 {
+                return Err(CoreError::BadIntArg {
+                    name: name.to_string(),
+                    value: n,
+                });
+            }
+            primitives::fifo_n(tails[0], heads[0], fresh_mem(), n as usize)
+        }
+        Builtin::Seq => {
+            // Polarity-insensitive: every operand is a consumption point.
+            let all: Vec<PortId> = tails.iter().chain(heads.iter()).copied().collect();
+            if all.len() < 2 {
+                return Err(CoreError::ArityMismatch {
+                    name: name.to_string(),
+                    expected: "at least 2 operands".into(),
+                    got: all.len().to_string(),
+                });
+            }
+            primitives::seq_k(&all)
+        }
+        Builtin::Merger => primitives::merger(tails, heads[0]),
+        Builtin::Replicator => primitives::replicator(tails[0], heads),
+        Builtin::Router => primitives::router(tails[0], heads),
+        Builtin::Variable => primitives::variable(tails[0], heads[0], fresh_mem()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(i: u32) -> PortId {
+        PortId(i)
+    }
+
+    fn mems() -> impl FnMut() -> MemId {
+        let mut next = 0u32;
+        move || {
+            next += 1;
+            MemId(next - 1)
+        }
+    }
+
+    #[test]
+    fn paper_spellings_resolve() {
+        assert_eq!(lookup("Repl2"), Some(Builtin::Replicator));
+        assert_eq!(lookup("Merg2"), Some(Builtin::Merger));
+        assert_eq!(lookup("Seq2"), Some(Builtin::Seq));
+        assert_eq!(lookup("Fifo1"), Some(Builtin::Fifo1));
+        assert_eq!(lookup("Sync"), Some(Builtin::Sync));
+        assert_eq!(lookup("NoSuchThing"), None);
+        assert_eq!(lookup("ReplX"), None);
+    }
+
+    #[test]
+    fn suffix_mismatch_rejected() {
+        let mut fm = mems();
+        let err = build(
+            "Repl3",
+            Builtin::Replicator,
+            &[],
+            &[p(0)],
+            &[p(1), p(2)],
+            &mut fm,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::ArityMismatch { .. }));
+        // Correct suffix passes.
+        build(
+            "Repl2",
+            Builtin::Replicator,
+            &[],
+            &[p(0)],
+            &[p(1), p(2)],
+            &mut fm,
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn seq2_accepts_both_polarities() {
+        let mut fm = mems();
+        // Fig. 8 style: both operands as tails.
+        let a = build("Seq2", Builtin::Seq, &[], &[p(0), p(1)], &[], &mut fm).unwrap();
+        // Fig. 9 style: one tail, one head — same automaton shape.
+        let b = build("Seq2", Builtin::Seq, &[], &[p(0)], &[p(1)], &mut fm).unwrap();
+        assert_eq!(a.state_count(), b.state_count());
+        assert_eq!(a.transition_count(), b.transition_count());
+    }
+
+    #[test]
+    fn fifon_validates_capacity() {
+        let mut fm = mems();
+        assert!(matches!(
+            build("FifoN", Builtin::FifoN, &[0], &[p(0)], &[p(1)], &mut fm),
+            Err(CoreError::BadIntArg { .. })
+        ));
+        let ok = build("FifoN", Builtin::FifoN, &[2], &[p(0)], &[p(1)], &mut fm).unwrap();
+        assert_eq!(ok.state_count(), 3);
+    }
+
+    #[test]
+    fn fifo1full_token_from_iarg() {
+        let mut fm = mems();
+        let aut = build("Fifo1Full", Builtin::Fifo1Full, &[7], &[p(0)], &[p(1)], &mut fm).unwrap();
+        let init = aut.mem_layout().initial_contents(MemId(0));
+        assert_eq!(init.len(), 1);
+        assert_eq!(init[0].as_int(), Some(7));
+    }
+
+    #[test]
+    fn wrong_arity_rejected() {
+        let mut fm = mems();
+        assert!(matches!(
+            build("Sync", Builtin::Sync, &[], &[p(0), p(1)], &[p(2)], &mut fm),
+            Err(CoreError::ArityMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,116 @@
+//! Errors of parametrized compilation and instantiation.
+
+use std::fmt;
+
+use reo_automata::Explosion;
+
+/// Everything that can go wrong between IR and running connector.
+#[derive(Debug)]
+pub enum CoreError {
+    /// Reference to an undefined connector.
+    UnknownConnector(String),
+    /// Reference to a name that is neither a builtin, a custom primitive,
+    /// nor a definition.
+    UnknownPrimitive(String),
+    /// Operand-list lengths do not match the primitive/definition signature.
+    ArityMismatch {
+        name: String,
+        expected: String,
+        got: String,
+    },
+    /// Recursive connector definitions are not supported.
+    RecursiveDefinition(String),
+    /// An index expression multiplies two symbols.
+    NonAffineIndex(String),
+    /// An iteration variable or `main` parameter is unbound.
+    UnboundVar(String),
+    /// `#array` of an unknown array.
+    UnboundLen(String),
+    /// A scalar name was used where an array is needed, or vice versa.
+    KindMismatch { name: String, expected_array: bool },
+    /// Array index out of the 1..=len range.
+    IndexOutOfBounds { name: String, index: i64, len: i64 },
+    /// Two symbolic ports of one compile-time-composed section evaluated to
+    /// the same concrete port; the section's composition would be unsound.
+    AliasedPorts { section: String, port: String },
+    /// Arrays must be non-empty (the paper stipulates this).
+    EmptyArray(String),
+    /// Integer argument of a builtin out of range (e.g. FifoN capacity 0).
+    BadIntArg { name: String, value: i64 },
+    /// Product state-space explosion (carries which composition failed).
+    Explosion(Explosion),
+    /// A slice argument was passed to a definition expecting a scalar.
+    SliceAsScalar(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownConnector(n) => write!(f, "unknown connector definition `{n}`"),
+            CoreError::UnknownPrimitive(n) => {
+                write!(f, "`{n}` is neither a builtin primitive, a registered custom primitive, nor a definition")
+            }
+            CoreError::ArityMismatch {
+                name,
+                expected,
+                got,
+            } => write!(f, "arity mismatch instantiating `{name}`: expected {expected}, got {got}"),
+            CoreError::RecursiveDefinition(n) => {
+                write!(f, "recursive connector definition `{n}` (cycle while flattening)")
+            }
+            CoreError::NonAffineIndex(e) => write!(f, "non-affine index expression `{e}`"),
+            CoreError::UnboundVar(v) => write!(f, "unbound variable `{v}`"),
+            CoreError::UnboundLen(a) => write!(f, "length of unknown array `#{a}`"),
+            CoreError::KindMismatch {
+                name,
+                expected_array,
+            } => {
+                if *expected_array {
+                    write!(f, "`{name}` is a scalar but an array was expected")
+                } else {
+                    write!(f, "`{name}` is an array but a scalar was expected")
+                }
+            }
+            CoreError::IndexOutOfBounds { name, index, len } => {
+                write!(f, "index {index} out of bounds for `{name}` of length {len} (arrays are 1-based)")
+            }
+            CoreError::AliasedPorts { section, port } => {
+                write!(f, "section `{section}`: two symbolic ports alias concrete port {port}; rewrite the connector so aliasing ports are in separate constituents")
+            }
+            CoreError::EmptyArray(n) => write!(f, "array `{n}` must be non-empty"),
+            CoreError::BadIntArg { name, value } => {
+                write!(f, "invalid integer argument {value} for `{name}`")
+            }
+            CoreError::Explosion(e) => write!(f, "{e}"),
+            CoreError::SliceAsScalar(n) => {
+                write!(f, "slice argument passed where scalar `{n}` expected")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<Explosion> for CoreError {
+    fn from(e: Explosion) -> Self {
+        CoreError::Explosion(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_actionable() {
+        let e = CoreError::IndexOutOfBounds {
+            name: "tl".into(),
+            index: 0,
+            len: 4,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("tl"));
+        assert!(msg.contains("1-based"));
+        assert!(CoreError::UnboundVar("i".into()).to_string().contains("`i`"));
+    }
+}

@@ -1,0 +1,158 @@
+//! The paper's running example, as programmatic IR.
+//!
+//! `ConnectorEx11a`, `ConnectorEx11b`, `X` are Fig. 8 verbatim;
+//! `ConnectorEx11N` is Fig. 9 (Example 8): N producers whose messages reach
+//! one consumer strictly in producer order. These definitions double as
+//! test fixtures across the workspace and as the quickstart connector.
+
+use crate::ir::*;
+
+fn r(n: &str) -> PortRef {
+    PortRef::name(n)
+}
+
+fn ix(n: &str, e: IExpr) -> PortRef {
+    PortRef::indexed(n, e)
+}
+
+fn i_var(v: &str) -> IExpr {
+    IExpr::var(v)
+}
+
+/// Fig. 8 + Fig. 9 of the paper as one program.
+pub fn paper_program() -> Program {
+    Program::new(vec![
+        connector_ex11a(),
+        connector_ex11b(),
+        x_def(),
+        connector_ex11n(),
+    ])
+}
+
+/// `ConnectorEx11a(tl1,tl2;hd1,hd2)` — Fig. 8 lines 1–5.
+pub fn connector_ex11a() -> ConnectorDef {
+    ConnectorDef {
+        name: "ConnectorEx11a".into(),
+        tails: vec![Param::scalar("tl1"), Param::scalar("tl2")],
+        heads: vec![Param::scalar("hd1"), Param::scalar("hd2")],
+        body: CExpr::Mult(vec![
+            CExpr::Inst(Inst::new("Repl2", vec![r("tl1")], vec![r("prev1"), r("v1")])),
+            CExpr::Inst(Inst::new("Repl2", vec![r("tl2")], vec![r("prev2"), r("v2")])),
+            CExpr::Inst(Inst::new("Fifo1", vec![r("v1")], vec![r("w1")])),
+            CExpr::Inst(Inst::new("Fifo1", vec![r("v2")], vec![r("w2")])),
+            CExpr::Inst(Inst::new("Repl2", vec![r("w1")], vec![r("next1"), r("hd1")])),
+            CExpr::Inst(Inst::new("Repl2", vec![r("w2")], vec![r("next2"), r("hd2")])),
+            CExpr::Inst(Inst::new("Seq2", vec![r("next1"), r("prev2")], vec![])),
+            CExpr::Inst(Inst::new("Seq2", vec![r("prev1"), r("next2")], vec![])),
+        ]),
+    }
+}
+
+/// `ConnectorEx11b(tl1,tl2;hd1,hd2)` — Fig. 8 lines 7–9.
+pub fn connector_ex11b() -> ConnectorDef {
+    ConnectorDef {
+        name: "ConnectorEx11b".into(),
+        tails: vec![Param::scalar("tl1"), Param::scalar("tl2")],
+        heads: vec![Param::scalar("hd1"), Param::scalar("hd2")],
+        body: CExpr::Mult(vec![
+            CExpr::Inst(Inst::new(
+                "X",
+                vec![r("tl1")],
+                vec![r("prev1"), r("next1"), r("hd1")],
+            )),
+            CExpr::Inst(Inst::new(
+                "X",
+                vec![r("tl2")],
+                vec![r("prev2"), r("next2"), r("hd2")],
+            )),
+            CExpr::Inst(Inst::new("Seq2", vec![r("next1"), r("prev2")], vec![])),
+            CExpr::Inst(Inst::new("Seq2", vec![r("prev1"), r("next2")], vec![])),
+        ]),
+    }
+}
+
+/// `X(tl;prev,next,hd)` — Fig. 8 lines 11–12.
+pub fn x_def() -> ConnectorDef {
+    ConnectorDef {
+        name: "X".into(),
+        tails: vec![Param::scalar("tl")],
+        heads: vec![
+            Param::scalar("prev"),
+            Param::scalar("next"),
+            Param::scalar("hd"),
+        ],
+        body: CExpr::Mult(vec![
+            CExpr::Inst(Inst::new("Repl2", vec![r("tl")], vec![r("prev"), r("v")])),
+            CExpr::Inst(Inst::new("Fifo1", vec![r("v")], vec![r("w")])),
+            CExpr::Inst(Inst::new("Repl2", vec![r("w")], vec![r("next"), r("hd")])),
+        ]),
+    }
+}
+
+/// `ConnectorEx11N(tl[];hd[])` — Fig. 9 lines 1–8 (Example 8).
+pub fn connector_ex11n() -> ConnectorDef {
+    ConnectorDef {
+        name: "ConnectorEx11N".into(),
+        tails: vec![Param::array("tl")],
+        heads: vec![Param::array("hd")],
+        body: CExpr::If {
+            cond: BExpr::Cmp(Cmp::Eq, IExpr::len("tl"), IExpr::Const(1)),
+            then_branch: Box::new(CExpr::Inst(Inst::new(
+                "Fifo1",
+                vec![ix("tl", IExpr::Const(1))],
+                vec![ix("hd", IExpr::Const(1))],
+            ))),
+            else_branch: Some(Box::new(CExpr::Mult(vec![
+                CExpr::prod(
+                    "i",
+                    IExpr::Const(1),
+                    IExpr::len("tl"),
+                    CExpr::Inst(Inst::new(
+                        "X",
+                        vec![ix("tl", i_var("i"))],
+                        vec![
+                            ix("prev", i_var("i")),
+                            ix("next", i_var("i")),
+                            ix("hd", i_var("i")),
+                        ],
+                    )),
+                ),
+                CExpr::prod(
+                    "i",
+                    IExpr::Const(1),
+                    IExpr::len("tl").sub(IExpr::Const(1)),
+                    CExpr::Inst(Inst::new(
+                        "Seq2",
+                        vec![ix("next", i_var("i"))],
+                        vec![ix("prev", i_var("i").add(IExpr::Const(1)))],
+                    )),
+                ),
+                CExpr::Inst(Inst::new(
+                    "Seq2",
+                    vec![ix("prev", IExpr::Const(1))],
+                    vec![ix("next", IExpr::len("tl"))],
+                )),
+            ]))),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_contains_all_definitions() {
+        let prog = paper_program();
+        for name in ["ConnectorEx11a", "ConnectorEx11b", "X", "ConnectorEx11N"] {
+            assert!(prog.def(name).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn ex11n_signature_is_parametric() {
+        let def = connector_ex11n();
+        assert!(def.tails[0].is_array);
+        assert!(def.heads[0].is_array);
+    }
+}

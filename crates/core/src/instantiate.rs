@@ -1,0 +1,322 @@
+//! Instantiation: the run-time share of parametrized compilation.
+//!
+//! Once `connect` is called and the numbers of connectees (array lengths)
+//! are known, the residual [`CompiledNode`] tree is walked: conditionals are
+//! decided, iterations unrolled, and each medium-automaton template is
+//! stamped out with concrete ports and fresh memory cells — yielding the
+//! list of state machines that the execution engines then compose
+//! ahead-of-time or just-in-time (Sect. IV-D).
+
+use std::collections::HashMap;
+
+use reo_automata::{remap::remap, Automaton, MemId, MemLayout, PortAllocator, PortId};
+
+use crate::affine::Env;
+use crate::compile::{build_prim, CompiledConnector, CompiledNode, MediumTemplate};
+use crate::error::CoreError;
+use crate::flat::{FlatBool, FlatInst};
+use crate::resolve::{env_from_binding, Binding, Resolver};
+
+/// A fully instantiated connector: concrete medium automata plus interface
+/// metadata, ready to hand to an execution engine.
+#[derive(Clone, Debug)]
+pub struct ConnectorInstance {
+    /// The concrete medium automata (one for the monolithic baseline).
+    pub automata: Vec<Automaton>,
+    /// Concrete ports per formal parameter name.
+    pub boundary: Binding,
+    /// Total ports allocated (sizes engine tables).
+    pub port_count: usize,
+    /// Merged initial memory layout of all automata.
+    pub mem_layout: MemLayout,
+}
+
+impl ConnectorInstance {
+    pub(crate) fn from_automata(
+        automata: Vec<Automaton>,
+        boundary: Binding,
+        alloc: &PortAllocator,
+    ) -> Self {
+        let mut mem_layout = MemLayout::cells(alloc.mem_count());
+        for a in &automata {
+            mem_layout.merge(a.mem_layout());
+        }
+        ConnectorInstance {
+            automata,
+            boundary,
+            port_count: alloc.port_count(),
+            mem_layout,
+        }
+    }
+
+    /// Total number of control states across the medium automata.
+    pub fn total_states(&self) -> usize {
+        self.automata.iter().map(|a| a.state_count()).sum()
+    }
+}
+
+/// Instantiate a compiled connector for the given boundary ports.
+///
+/// `binding` supplies one concrete port array per formal parameter (scalar
+/// parameters: singleton arrays); `alloc` must be the allocator those ports
+/// came from, and is advanced for private vertices and memory cells.
+pub fn instantiate(
+    cc: &CompiledConnector,
+    binding: &Binding,
+    alloc: &mut PortAllocator,
+) -> Result<ConnectorInstance, CoreError> {
+    for p in cc.params() {
+        let ports = binding
+            .get(&p.name)
+            .ok_or_else(|| CoreError::UnboundLen(p.name.clone()))?;
+        if ports.is_empty() {
+            return Err(CoreError::EmptyArray(p.name.clone()));
+        }
+        if !p.is_array && ports.len() != 1 {
+            return Err(CoreError::KindMismatch {
+                name: p.name.clone(),
+                expected_array: false,
+            });
+        }
+    }
+    let mut env = env_from_binding(binding);
+    let mut resolver = Resolver::new(binding, alloc);
+    let mut automata = Vec::new();
+    walk(&cc.root, cc, &mut env, &mut resolver, &mut automata)?;
+    Ok(ConnectorInstance::from_automata(
+        automata,
+        binding.clone(),
+        alloc,
+    ))
+}
+
+fn walk(
+    node: &CompiledNode,
+    cc: &CompiledConnector,
+    env: &mut Env,
+    resolver: &mut Resolver<'_>,
+    out: &mut Vec<Automaton>,
+) -> Result<(), CoreError> {
+    match node {
+        CompiledNode::Medium(template) => {
+            out.push(stamp(template, env, resolver)?);
+            Ok(())
+        }
+        CompiledNode::Deferred(inst) => {
+            out.push(build_deferred(inst, cc, env, resolver)?);
+            Ok(())
+        }
+        CompiledNode::Seq(parts) => {
+            for p in parts {
+                walk(p, cc, env, resolver, out)?;
+            }
+            Ok(())
+        }
+        CompiledNode::For { var, lo, hi, body } => {
+            let lo = lo.eval(env)?;
+            let hi = hi.eval(env)?;
+            for k in lo..=hi {
+                env.set_var(var, k);
+                walk(body, cc, env, resolver, out)?;
+            }
+            env.remove_var(var);
+            Ok(())
+        }
+        CompiledNode::If {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            if eval_cond(cond, env)? {
+                walk(then_branch, cc, env, resolver, out)
+            } else if let Some(e) = else_branch {
+                walk(e, cc, env, resolver, out)
+            } else {
+                Ok(())
+            }
+        }
+    }
+}
+
+pub(crate) fn eval_cond(cond: &FlatBool, env: &Env) -> Result<bool, CoreError> {
+    Ok(match cond {
+        FlatBool::Cmp(op, a, b) => op.holds(a.eval(env)?, b.eval(env)?),
+        FlatBool::And(a, b) => eval_cond(a, env)? && eval_cond(b, env)?,
+        FlatBool::Or(a, b) => eval_cond(a, env)? || eval_cond(b, env)?,
+        FlatBool::Not(a) => !eval_cond(a, env)?,
+    })
+}
+
+/// Stamp out one medium-automaton instance: symbolic ports to concrete
+/// ports, symbolic memory cells to fresh cells.
+fn stamp(
+    template: &MediumTemplate,
+    env: &Env,
+    resolver: &mut Resolver<'_>,
+) -> Result<Automaton, CoreError> {
+    let mut port_map: Vec<PortId> = Vec::with_capacity(template.sym_ports.len());
+    let mut seen: HashMap<PortId, usize> = HashMap::new();
+    for (k, fr) in template.sym_ports.iter().enumerate() {
+        let concrete = resolver.resolve_one(fr, env)?;
+        if let Some(_prev) = seen.insert(concrete, k) {
+            return Err(CoreError::AliasedPorts {
+                section: template.automaton.name().to_string(),
+                port: concrete.to_string(),
+            });
+        }
+        port_map.push(concrete);
+    }
+    let mem_map: Vec<MemId> = (0..template.mem_count)
+        .map(|_| resolver.alloc().fresh_mem())
+        .collect();
+    Ok(remap(
+        &template.automaton,
+        &|p| port_map[p.index()],
+        &|m| mem_map[m.index()],
+    ))
+}
+
+/// Build a deferred (variable-shape) constituent directly.
+fn build_deferred(
+    inst: &FlatInst,
+    cc: &CompiledConnector,
+    env: &Env,
+    resolver: &mut Resolver<'_>,
+) -> Result<Automaton, CoreError> {
+    let mut tails = Vec::new();
+    for op in &inst.tails {
+        tails.extend(resolver.resolve_operand(op, env)?);
+    }
+    let mut heads = Vec::new();
+    for op in &inst.heads {
+        heads.extend(resolver.resolve_operand(op, env)?);
+    }
+    let iargs = inst
+        .iargs
+        .iter()
+        .map(|a| a.eval(env))
+        .collect::<Result<Vec<i64>, _>>()?;
+    // The resolver's allocator hands out the fresh memory cells.
+    let mut mems = Vec::new();
+    {
+        let alloc = resolver.alloc();
+        // Reserve lazily: builtins ask for cells one at a time.
+        let mut fresh = || {
+            let m = alloc.fresh_mem();
+            mems.push(m);
+            m
+        };
+        return build_prim(&cc.registry, &inst.prim, &iargs, &tails, &heads, &mut fresh);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use crate::examples;
+
+    fn bind(
+        alloc: &mut PortAllocator,
+        spec: &[(&str, usize)],
+    ) -> Binding {
+        spec.iter()
+            .map(|(name, n)| (name.to_string(), alloc.fresh_ports(*n)))
+            .collect()
+    }
+
+    #[test]
+    fn ex11n_with_one_producer_is_single_fifo() {
+        let prog = examples::paper_program();
+        let cc = compile(&prog, "ConnectorEx11N").unwrap();
+        let mut alloc = PortAllocator::new();
+        let binding = bind(&mut alloc, &[("tl", 1), ("hd", 1)]);
+        let inst = instantiate(&cc, &binding, &mut alloc).unwrap();
+        assert_eq!(inst.automata.len(), 1);
+        assert_eq!(inst.automata[0].state_count(), 2); // fifo1
+    }
+
+    #[test]
+    fn ex11n_scales_with_n() {
+        let prog = examples::paper_program();
+        let cc = compile(&prog, "ConnectorEx11N").unwrap();
+        for n in [2usize, 4, 8] {
+            let mut alloc = PortAllocator::new();
+            let binding = bind(&mut alloc, &[("tl", n), ("hd", n)]);
+            let inst = instantiate(&cc, &binding, &mut alloc).unwrap();
+            // Fig. 10: 1 Seq2(prev[1];next[N]) + N X-instances + (N-1) Seq2.
+            assert_eq!(inst.automata.len(), 1 + n + (n - 1), "n={n}");
+            // Private vertices allocated: prev[i], next[i] for each i.
+            assert!(inst.port_count > 2 * n);
+            // Each X carries one buffer cell.
+            assert_eq!(inst.mem_layout.len(), n);
+        }
+    }
+
+    #[test]
+    fn iterations_share_cross_referenced_vertices() {
+        // Seq2(next[i];prev[i+1]) must resolve prev[i+1] to the same port
+        // as X(i+1)'s prev[i+1]: count distinct ports.
+        let prog = examples::paper_program();
+        let cc = compile(&prog, "ConnectorEx11N").unwrap();
+        let mut alloc = PortAllocator::new();
+        let binding = bind(&mut alloc, &[("tl", 3), ("hd", 3)]);
+        let inst = instantiate(&cc, &binding, &mut alloc).unwrap();
+        // Boundary 6 + locals: prev[1..3] and next[1..3] = 6 more.
+        assert_eq!(inst.port_count, 12);
+        // Every automaton's ports are within the allocated range.
+        for a in &inst.automata {
+            for p in a.ports().iter() {
+                assert!(p.index() < inst.port_count);
+            }
+        }
+    }
+
+    #[test]
+    fn missing_binding_is_reported() {
+        let prog = examples::paper_program();
+        let cc = compile(&prog, "ConnectorEx11N").unwrap();
+        let mut alloc = PortAllocator::new();
+        let binding = bind(&mut alloc, &[("tl", 2)]);
+        assert!(instantiate(&cc, &binding, &mut alloc).is_err());
+    }
+
+    #[test]
+    fn scalar_param_requires_single_port() {
+        let prog = examples::paper_program();
+        let cc = compile(&prog, "ConnectorEx11a").unwrap();
+        let mut alloc = PortAllocator::new();
+        let binding = bind(
+            &mut alloc,
+            &[("tl1", 2), ("tl2", 1), ("hd1", 1), ("hd2", 1)],
+        );
+        assert!(matches!(
+            instantiate(&cc, &binding, &mut alloc),
+            Err(CoreError::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn fresh_mems_per_instance() {
+        // Two instantiations from one compiled connector must not share
+        // memory cells when drawn from the same allocator.
+        let prog = examples::paper_program();
+        let cc = compile(&prog, "ConnectorEx11a").unwrap();
+        let mut alloc = PortAllocator::new();
+        let b1 = bind(
+            &mut alloc,
+            &[("tl1", 1), ("tl2", 1), ("hd1", 1), ("hd2", 1)],
+        );
+        let b2 = bind(
+            &mut alloc,
+            &[("tl1", 1), ("tl2", 1), ("hd1", 1), ("hd2", 1)],
+        );
+        let i1 = instantiate(&cc, &b1, &mut alloc).unwrap();
+        let i2 = instantiate(&cc, &b2, &mut alloc).unwrap();
+        let mems1: Vec<_> = i1.automata.iter().flat_map(|a| a.mem_ids()).collect();
+        let mems2: Vec<_> = i2.automata.iter().flat_map(|a| a.mem_ids()).collect();
+        for m in &mems1 {
+            assert!(!mems2.contains(m));
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # reo-core
+//!
+//! Parametrized compilation of Reo connector definitions — the central
+//! contribution of *Modular Programming of Synchronization and Communication
+//! among Tasks in Parallel Programs* (van Veen & Jongmans, IPDPSW 2018).
+//!
+//! The pipeline (Sect. IV-C of the paper):
+//!
+//! 1. **IR** ([`ir`]): connector definitions with port arrays, `#lengths`,
+//!    iteration (`prod`) and conditionals — built programmatically or by the
+//!    `reo-dsl` parser.
+//! 2. **Flattening** ([`flat`]): composites expanded and in-lined, locals
+//!    renamed apart (Example 9).
+//! 3. **Normalization** ([`normalize`]): constituents ∥ iterations ∥
+//!    conditionals (Example 10).
+//! 4. **Compilation** ([`compile`]): each constituents section composed into
+//!    a *medium automaton* over symbolic ports; the rest kept as a residual
+//!    tree — the compile-time share.
+//! 5. **Instantiation** ([`instantiate`]): at `connect` time, with array
+//!    lengths known, the residual tree is walked and templates are stamped
+//!    out — the run-time share.
+//!
+//! [`elaborate`] implements the *existing* approach (full elaboration for a
+//! fixed N and composition into one large automaton) as the baseline that
+//! Fig. 12 compares against.
+
+pub mod affine;
+pub mod builtins;
+pub mod compile;
+pub mod elaborate;
+pub mod error;
+pub mod examples;
+pub mod flat;
+pub mod instantiate;
+pub mod ir;
+pub mod normalize;
+pub mod resolve;
+
+pub use compile::{compile, CompiledConnector, CompiledNode, MediumTemplate};
+pub use elaborate::{compile_monolithic, elaborate, MonolithicOptions};
+pub use error::CoreError;
+pub use flat::{flatten, FlatDef};
+pub use instantiate::{instantiate, ConnectorInstance};
+pub use ir::{
+    Arity, BExpr, CExpr, Cmp, ConnectorDef, CustomPrim, IExpr, Inst, MainDef, Param, PortRef,
+    PrimRegistry, Program, TaskInst,
+};
+pub use normalize::{normalize, NormalForm};
+pub use resolve::{env_from_binding, Binding};

@@ -1,0 +1,204 @@
+//! Resolution of flat port references to concrete ports at run time.
+//!
+//! Formal parameters resolve into the port arrays supplied by `connect`;
+//! local vertex names resolve into fresh ports, allocated once per distinct
+//! concrete index vector (this is what makes `prod`-replicated constituents
+//! share exactly the vertices their index expressions say they share).
+
+use std::collections::HashMap;
+
+use reo_automata::{PortAllocator, PortId};
+
+use crate::affine::{Affine, Env};
+use crate::error::CoreError;
+use crate::flat::{FlatOperand, FlatRef, FlatSlice};
+
+/// Maps formal parameter names to the caller-supplied concrete ports.
+/// Scalar parameters are singleton arrays.
+pub type Binding = HashMap<String, Vec<PortId>>;
+
+/// Build the evaluation environment induced by a binding: `#array` is the
+/// supplied array's length.
+pub fn env_from_binding(binding: &Binding) -> Env {
+    let mut env = Env::new();
+    for (name, ports) in binding {
+        env.set_len(name, ports.len() as i64);
+    }
+    env
+}
+
+/// Run-time resolver: formals via the binding, locals via a memo table.
+pub struct Resolver<'a> {
+    binding: &'a Binding,
+    alloc: &'a mut PortAllocator,
+    locals: HashMap<(String, Vec<i64>), PortId>,
+}
+
+impl<'a> Resolver<'a> {
+    pub fn new(binding: &'a Binding, alloc: &'a mut PortAllocator) -> Self {
+        Self {
+            binding,
+            alloc,
+            locals: HashMap::new(),
+        }
+    }
+
+    pub fn alloc(&mut self) -> &mut PortAllocator {
+        self.alloc
+    }
+
+    /// Number of distinct local vertices materialized so far.
+    pub fn local_count(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Resolve a single-vertex reference.
+    pub fn resolve_one(&mut self, fr: &FlatRef, env: &Env) -> Result<PortId, CoreError> {
+        let indices = fr
+            .indices
+            .iter()
+            .map(|a| a.eval(env))
+            .collect::<Result<Vec<i64>, _>>()?;
+        if let Some(ports) = self.binding.get(&fr.base) {
+            return match indices.as_slice() {
+                [] if ports.len() == 1 => Ok(ports[0]),
+                [] => Err(CoreError::KindMismatch {
+                    name: fr.base.clone(),
+                    expected_array: false,
+                }),
+                [k] => {
+                    if *k < 1 || *k > ports.len() as i64 {
+                        Err(CoreError::IndexOutOfBounds {
+                            name: fr.base.clone(),
+                            index: *k,
+                            len: ports.len() as i64,
+                        })
+                    } else {
+                        Ok(ports[(*k - 1) as usize])
+                    }
+                }
+                _ => Err(CoreError::KindMismatch {
+                    name: fr.base.clone(),
+                    expected_array: false,
+                }),
+            };
+        }
+        // Local vertex: one fresh port per distinct (base, indices).
+        let key = (fr.base.clone(), indices);
+        if let Some(&p) = self.locals.get(&key) {
+            return Ok(p);
+        }
+        let p = self.alloc.fresh_port();
+        self.locals.insert(key, p);
+        Ok(p)
+    }
+
+    /// Resolve a slice to its element ports, in order.
+    pub fn resolve_slice(&mut self, sl: &FlatSlice, env: &Env) -> Result<Vec<PortId>, CoreError> {
+        let lo = sl.lo.eval(env)?;
+        let hi = sl.hi.eval(env)?;
+        if hi < lo {
+            return Err(CoreError::EmptyArray(sl.base.clone()));
+        }
+        let mut out = Vec::with_capacity((hi - lo + 1) as usize);
+        for k in lo..=hi {
+            let mut indices = vec![Affine::constant(k)];
+            indices.extend(sl.suffix.iter().cloned());
+            out.push(self.resolve_one(
+                &FlatRef {
+                    base: sl.base.clone(),
+                    indices,
+                },
+                env,
+            )?);
+        }
+        Ok(out)
+    }
+
+    /// Resolve an operand to its (one or more) ports.
+    pub fn resolve_operand(
+        &mut self,
+        op: &FlatOperand,
+        env: &Env,
+    ) -> Result<Vec<PortId>, CoreError> {
+        match op {
+            FlatOperand::One(fr) => Ok(vec![self.resolve_one(fr, env)?]),
+            FlatOperand::Many(sl) => self.resolve_slice(sl, env),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::Sym;
+
+    fn fr(base: &str, idx: &[i64]) -> FlatRef {
+        FlatRef {
+            base: base.into(),
+            indices: idx.iter().map(|&k| Affine::constant(k)).collect(),
+        }
+    }
+
+    #[test]
+    fn formals_resolve_into_binding_one_based() {
+        let mut alloc = PortAllocator::new();
+        let ports = alloc.fresh_ports(3);
+        let binding: Binding = [("tl".to_string(), ports.clone())].into();
+        let env = env_from_binding(&binding);
+        let mut r = Resolver::new(&binding, &mut alloc);
+        assert_eq!(r.resolve_one(&fr("tl", &[1]), &env).unwrap(), ports[0]);
+        assert_eq!(r.resolve_one(&fr("tl", &[3]), &env).unwrap(), ports[2]);
+        assert!(matches!(
+            r.resolve_one(&fr("tl", &[0]), &env),
+            Err(CoreError::IndexOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            r.resolve_one(&fr("tl", &[4]), &env),
+            Err(CoreError::IndexOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn locals_memoized_per_index_vector() {
+        let mut alloc = PortAllocator::new();
+        let binding: Binding = Binding::new();
+        let env = Env::new();
+        let mut r = Resolver::new(&binding, &mut alloc);
+        let a = r.resolve_one(&fr("v~1", &[1]), &env).unwrap();
+        let b = r.resolve_one(&fr("v~1", &[2]), &env).unwrap();
+        let a2 = r.resolve_one(&fr("v~1", &[1]), &env).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(a, a2);
+        assert_eq!(r.local_count(), 2);
+    }
+
+    #[test]
+    fn env_exposes_lengths() {
+        let mut alloc = PortAllocator::new();
+        let binding: Binding = [("tl".to_string(), alloc.fresh_ports(5))].into();
+        let env = env_from_binding(&binding);
+        let len = Affine {
+            constant: 0,
+            terms: vec![(Sym::Len("tl".into()), 1)],
+        };
+        assert_eq!(len.eval(&env).unwrap(), 5);
+    }
+
+    #[test]
+    fn slices_expand_in_order() {
+        let mut alloc = PortAllocator::new();
+        let ports = alloc.fresh_ports(4);
+        let binding: Binding = [("out".to_string(), ports.clone())].into();
+        let env = env_from_binding(&binding);
+        let mut r = Resolver::new(&binding, &mut alloc);
+        let sl = FlatSlice {
+            base: "out".into(),
+            lo: Affine::constant(2),
+            hi: Affine::constant(4),
+            suffix: vec![],
+        };
+        let got = r.resolve_slice(&sl, &env).unwrap();
+        assert_eq!(got, vec![ports[1], ports[2], ports[3]]);
+    }
+}

@@ -1,0 +1,244 @@
+//! The graph-to-text translator (Fig. 11, left-most workflow step).
+//!
+//! The intended workflow of Sect. IV-B: *first draw the connector in the
+//! graphical syntax* (a hypergraph of vertices and typed arcs, Fig. 5),
+//! *then translate it to the textual syntax* (Fig. 8), *then parametrize by
+//! hand*. [`Diagram`] models the graphical syntax; [`Diagram::to_def`]
+//! performs the mechanical translation: public vertices (at most one
+//! incoming or outgoing arc) become formal parameters, private vertices
+//! become local variables.
+
+use std::collections::HashMap;
+
+use reo_core::ir::{CExpr, ConnectorDef, IExpr, Inst, Param, PortRef};
+
+/// A vertex of a Reo diagram, identified by name.
+pub type Vertex = String;
+
+/// A typed (hyper)arc: a primitive with tail and head vertex lists.
+#[derive(Clone, Debug)]
+pub struct Arc {
+    /// Primitive name (`Sync`, `Fifo1`, `Repl2`, …).
+    pub prim: String,
+    /// Integer arguments of the primitive, if any.
+    pub iargs: Vec<i64>,
+    pub tails: Vec<Vertex>,
+    pub heads: Vec<Vertex>,
+}
+
+/// A connector diagram in Reo's graphical syntax.
+#[derive(Clone, Debug, Default)]
+pub struct Diagram {
+    pub name: String,
+    pub arcs: Vec<Arc>,
+}
+
+/// Errors of graph-to-text translation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GraphError {
+    /// A vertex is the tail of more than one arc — implicit replication is
+    /// not part of the formal model (Sect. III-A); use an explicit
+    /// `Replicator`.
+    MultipleReaders(Vertex),
+    /// A vertex is the head of more than one arc — use an explicit
+    /// `Merger`.
+    MultipleWriters(Vertex),
+    /// The diagram has no arcs.
+    Empty,
+}
+
+impl std::fmt::Display for GraphError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GraphError::MultipleReaders(v) => write!(
+                f,
+                "vertex `{v}` is the tail of multiple arcs; insert an explicit Replicator"
+            ),
+            GraphError::MultipleWriters(v) => write!(
+                f,
+                "vertex `{v}` is the head of multiple arcs; insert an explicit Merger"
+            ),
+            GraphError::Empty => write!(f, "diagram has no arcs"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl Diagram {
+    pub fn new(name: &str) -> Self {
+        Self {
+            name: name.to_string(),
+            arcs: Vec::new(),
+        }
+    }
+
+    /// Add an arc (builder style).
+    pub fn arc(mut self, prim: &str, tails: &[&str], heads: &[&str]) -> Self {
+        self.arcs.push(Arc {
+            prim: prim.to_string(),
+            iargs: Vec::new(),
+            tails: tails.iter().map(|s| s.to_string()).collect(),
+            heads: heads.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Classify vertices: a vertex is *public* iff it has at most one
+    /// incoming or outgoing arc in total (the paper's definition); public
+    /// vertices with an outgoing arc are connector inputs (tails), public
+    /// vertices with an incoming arc are outputs (heads).
+    pub fn classify(&self) -> Result<Classification, GraphError> {
+        if self.arcs.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        let mut readers: HashMap<&str, usize> = HashMap::new();
+        let mut writers: HashMap<&str, usize> = HashMap::new();
+        for arc in &self.arcs {
+            for t in &arc.tails {
+                *readers.entry(t).or_insert(0) += 1;
+            }
+            for h in &arc.heads {
+                *writers.entry(h).or_insert(0) += 1;
+            }
+        }
+        for (v, n) in &readers {
+            if *n > 1 {
+                return Err(GraphError::MultipleReaders(v.to_string()));
+            }
+        }
+        for (v, n) in &writers {
+            if *n > 1 {
+                return Err(GraphError::MultipleWriters(v.to_string()));
+            }
+        }
+        let mut inputs = Vec::new();
+        let mut outputs = Vec::new();
+        let mut privates = Vec::new();
+        let mut all: Vec<&str> = readers.keys().chain(writers.keys()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        for v in all {
+            let read = readers.contains_key(v);
+            let written = writers.contains_key(v);
+            match (read, written) {
+                (true, false) => inputs.push(v.to_string()),
+                (false, true) => outputs.push(v.to_string()),
+                (true, true) => privates.push(v.to_string()),
+                (false, false) => unreachable!(),
+            }
+        }
+        Ok(Classification {
+            inputs,
+            outputs,
+            privates,
+        })
+    }
+
+    /// Translate to a (non-parametrized) textual definition.
+    pub fn to_def(&self) -> Result<ConnectorDef, GraphError> {
+        let classes = self.classify()?;
+        let body_parts: Vec<CExpr> = self
+            .arcs
+            .iter()
+            .map(|arc| {
+                let mut inst = Inst::new(
+                    &arc.prim,
+                    arc.tails.iter().map(|v| PortRef::name(v)).collect(),
+                    arc.heads.iter().map(|v| PortRef::name(v)).collect(),
+                );
+                for &k in &arc.iargs {
+                    inst = inst.with_iarg(IExpr::Const(k));
+                }
+                CExpr::Inst(inst)
+            })
+            .collect();
+        let body = if body_parts.len() == 1 {
+            body_parts.into_iter().next().expect("len checked")
+        } else {
+            CExpr::Mult(body_parts)
+        };
+        Ok(ConnectorDef {
+            name: self.name.clone(),
+            tails: classes.inputs.iter().map(|v| Param::scalar(v)).collect(),
+            heads: classes.outputs.iter().map(|v| Param::scalar(v)).collect(),
+            body,
+        })
+    }
+}
+
+/// Vertex classification of a diagram.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Classification {
+    pub inputs: Vec<Vertex>,
+    pub outputs: Vec<Vertex>,
+    pub privates: Vec<Vertex>,
+}
+
+/// The Fig. 5 diagram of the paper (Example 4), for tests and docs.
+pub fn fig5_diagram() -> Diagram {
+    Diagram::new("ConnectorEx11")
+        .arc("Repl2", &["tl1"], &["prev1", "v1"])
+        .arc("Repl2", &["tl2"], &["prev2", "v2"])
+        .arc("Fifo1", &["v1"], &["w1"])
+        .arc("Fifo1", &["v2"], &["w2"])
+        .arc("Repl2", &["w1"], &["next1", "hd1"])
+        .arc("Repl2", &["w2"], &["next2", "hd2"])
+        .arc("Seq2", &["next1", "prev2"], &[])
+        .arc("Seq2", &["prev1", "next2"], &[])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pretty::pretty_def;
+
+    #[test]
+    fn fig5_classifies_like_example5() {
+        // "The connector in Fig. 5 is a composite. It has four public
+        // vertices." — tl1, tl2 (inputs) and hd1, hd2 (outputs).
+        let classes = fig5_diagram().classify().unwrap();
+        assert_eq!(classes.inputs, vec!["tl1", "tl2"]);
+        assert_eq!(classes.outputs, vec!["hd1", "hd2"]);
+        assert_eq!(classes.privates.len(), 8); // prev/next/v/w x 2
+    }
+
+    #[test]
+    fn fig5_translates_to_fig8() {
+        // The graph-to-text translator output parses and compiles like the
+        // hand-written Fig. 8 definition.
+        let def = fig5_diagram().to_def().unwrap();
+        assert_eq!(def.tails.len(), 2);
+        assert_eq!(def.heads.len(), 2);
+        let printed = pretty_def(&def);
+        let reparsed = crate::parser::parse_def(&printed).unwrap();
+        assert_eq!(def, reparsed);
+    }
+
+    #[test]
+    fn implicit_merge_is_rejected() {
+        let d = Diagram::new("bad")
+            .arc("Sync", &["a"], &["c"])
+            .arc("Sync", &["b"], &["c"]);
+        assert_eq!(
+            d.classify().unwrap_err(),
+            GraphError::MultipleWriters("c".into())
+        );
+    }
+
+    #[test]
+    fn implicit_replication_is_rejected() {
+        let d = Diagram::new("bad")
+            .arc("Sync", &["a"], &["b"])
+            .arc("Sync", &["a"], &["c"]);
+        assert_eq!(
+            d.classify().unwrap_err(),
+            GraphError::MultipleReaders("a".into())
+        );
+    }
+
+    #[test]
+    fn empty_diagram_is_an_error() {
+        assert_eq!(Diagram::new("e").classify().unwrap_err(), GraphError::Empty);
+    }
+}

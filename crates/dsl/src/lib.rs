@@ -1,0 +1,27 @@
+//! # reo-dsl
+//!
+//! The textual syntax of Sect. IV-B of *Modular Programming of
+//! Synchronization and Communication among Tasks in Parallel Programs*:
+//! a lexer and recursive-descent parser producing `reo-core` IR, a
+//! pretty-printer (round-trip tested), the graph-to-text translator of the
+//! paper's intended workflow (Fig. 11), and the paper's running examples as
+//! source text.
+//!
+//! ```
+//! let program = reo_dsl::parse_program(
+//!     "Buffered(a;b) = Sync(a;m) mult Fifo1(m;w) mult Sync(w;b)",
+//! ).unwrap();
+//! let compiled = reo_core::compile(&program, "Buffered").unwrap();
+//! assert_eq!(compiled.root.template_count(), 1);
+//! ```
+
+pub mod graph;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod stdlib;
+
+pub use graph::{Diagram, GraphError};
+pub use lexer::{lex, LexError, Tok, Token};
+pub use parser::{parse_def, parse_program, ParseError};
+pub use pretty::{pretty_def, pretty_program};

@@ -1,0 +1,34 @@
+//! The NPB CG kernel: eigenvalue estimation by inverse power iteration
+//! with a conjugate-gradient inner solver, in a sequential reference
+//! version and the master–slaves parallel version of Fig. 13.
+
+pub mod matrix;
+pub mod parallel;
+pub mod sequential;
+
+pub use matrix::{makea, Csr};
+pub use parallel::run_parallel;
+pub use sequential::{run_sequential, CgResult};
+
+use crate::classes::CgClass;
+use crate::randlc::Randlc;
+
+/// NPB CG's fixed inner-iteration count.
+pub const CGITMAX: usize = 25;
+/// NPB CG's condition-number parameter.
+pub const RCOND: f64 = 0.1;
+
+/// Build the class matrix with the benchmark's exact RNG protocol: seed
+/// `tran`, draw the initial `zeta` once, then run `makea`.
+pub fn class_matrix(class: &CgClass) -> Csr {
+    let mut rng = Randlc::npb_default();
+    let _zeta0 = rng.next_f64();
+    makea(&mut rng, class.na, class.nonzer, RCOND, class.shift)
+}
+
+/// Verification per the NPB harness: |zeta − reference| ≤ 1e-10.
+pub fn verify(class: &CgClass, zeta: f64) -> Option<bool> {
+    class
+        .zeta_verify
+        .map(|expected| (zeta - expected).abs() <= CgClass::EPSILON)
+}

@@ -1,0 +1,144 @@
+//! Sequential CG — the reference the parallel versions are checked against,
+//! and the ground truth for the official verification values.
+
+use crate::classes::CgClass;
+use crate::cg::{class_matrix, verify, Csr, CGITMAX};
+
+/// Result of one CG benchmark run.
+#[derive(Clone, Debug)]
+pub struct CgResult {
+    pub zeta: f64,
+    /// Final residual norm of the last inner solve.
+    pub rnorm: f64,
+    /// `Some(true)` if the class has an official value and we match it.
+    pub verified: Option<bool>,
+}
+
+/// One inner conjugate-gradient solve: approximately solve `A z = x`,
+/// returning `‖x − A z‖`.
+pub fn conj_grad(a: &Csr, x: &[f64], z: &mut [f64]) -> f64 {
+    let n = a.n;
+    let mut q = vec![0.0; n];
+    let mut r = x.to_vec();
+    let mut p = r.clone();
+    z.iter_mut().for_each(|v| *v = 0.0);
+    let mut rho: f64 = r.iter().map(|v| v * v).sum();
+
+    for _ in 0..CGITMAX {
+        a.mul(&p, &mut q);
+        let d: f64 = p.iter().zip(&q).map(|(pi, qi)| pi * qi).sum();
+        let alpha = rho / d;
+        for j in 0..n {
+            z[j] += alpha * p[j];
+            r[j] -= alpha * q[j];
+        }
+        let rho0 = rho;
+        rho = r.iter().map(|v| v * v).sum();
+        let beta = rho / rho0;
+        for j in 0..n {
+            p[j] = r[j] + beta * p[j];
+        }
+    }
+    // rnorm = ‖x − A z‖
+    a.mul(z, &mut q);
+    let sum: f64 = x
+        .iter()
+        .zip(&q)
+        .map(|(xi, qi)| (xi - qi) * (xi - qi))
+        .sum();
+    sum.sqrt()
+}
+
+/// The full benchmark: warm-up solve, then `niter` power iterations.
+pub fn run_sequential(class: &CgClass) -> CgResult {
+    let a = class_matrix(class);
+    run_on_matrix(&a, class)
+}
+
+/// Run the power iteration on a prebuilt matrix (lets callers share the
+/// expensive `makea` across measurements).
+pub fn run_on_matrix(a: &Csr, class: &CgClass) -> CgResult {
+    let n = a.n;
+    let mut x = vec![1.0; n];
+    let mut z = vec![0.0; n];
+
+    // One untimed warm-up iteration, exactly like the reference.
+    conj_grad(a, &x, &mut z);
+    normalize_into(&mut x, &z);
+    x.iter_mut().for_each(|v| *v = 1.0);
+
+    let mut zeta = 0.0;
+    let mut rnorm = 0.0;
+    for _ in 0..class.niter {
+        rnorm = conj_grad(a, &x, &mut z);
+        let norm11: f64 = x.iter().zip(&z).map(|(xi, zi)| xi * zi).sum();
+        zeta = class.shift + 1.0 / norm11;
+        normalize_into(&mut x, &z);
+    }
+    CgResult {
+        zeta,
+        rnorm,
+        verified: verify(class, zeta),
+    }
+}
+
+/// `x = z / ‖z‖`.
+fn normalize_into(x: &mut [f64], z: &[f64]) {
+    let norm: f64 = z.iter().map(|v| v * v).sum::<f64>().sqrt();
+    let inv = 1.0 / norm;
+    for (xi, zi) in x.iter_mut().zip(z) {
+        *xi = zi * inv;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_s_matches_official_zeta() {
+        let result = run_sequential(&CgClass::S);
+        assert_eq!(
+            result.verified,
+            Some(true),
+            "zeta = {:.13} (expected {:.13})",
+            result.zeta,
+            CgClass::S.zeta_verify.unwrap()
+        );
+        assert!(result.rnorm < 1.0e-10);
+    }
+
+    #[test]
+    fn inner_solve_reduces_residual() {
+        let class = CgClass {
+            name: "tiny",
+            na: 200,
+            nonzer: 5,
+            niter: 3,
+            shift: 4.0,
+            zeta_verify: None,
+        };
+        let a = class_matrix(&class);
+        let x = vec![1.0; a.n];
+        let mut z = vec![0.0; a.n];
+        let rnorm = conj_grad(&a, &x, &mut z);
+        // ‖x‖ = sqrt(200) ≈ 14; CG with 25 iterations must do far better.
+        assert!(rnorm < 1.0, "rnorm = {rnorm}");
+        assert!(z.iter().any(|v| *v != 0.0));
+    }
+
+    #[test]
+    fn zeta_is_deterministic() {
+        let class = CgClass {
+            name: "tiny",
+            na: 150,
+            nonzer: 4,
+            niter: 4,
+            shift: 6.0,
+            zeta_verify: None,
+        };
+        let a = run_sequential(&class);
+        let b = run_sequential(&class);
+        assert_eq!(a.zeta.to_bits(), b.zeta.to_bits());
+    }
+}

@@ -1,0 +1,208 @@
+//! Ahead-of-time composition (Sect. IV-D, first approach).
+//!
+//! All medium automata are composed into the one large automaton *before*
+//! the actual computations start. "The advantage is that it is easy to
+//! implement; the disadvantage is that resources may be spent unnecessarily"
+//! — including, for exponential state spaces, failing outright, which this
+//! module reports as [`RuntimeError::Explosion`].
+
+use reo_automata::{
+    product_all, simplify, Automaton, PortSet, ProductOptions, StateId, Store,
+};
+use reo_core::ConnectorInstance;
+
+use crate::engine::{fire_one, op_enabled, EngineCore, Pending};
+use crate::error::RuntimeError;
+
+/// Sequential state machine over one fully composed automaton. Also the
+/// executor for the *existing approach* (monolithic compilation), which
+/// produces the identical artifact at compile time.
+pub struct AotCore {
+    automaton: Automaton,
+    state: StateId,
+    inputs: PortSet,
+    outputs: PortSet,
+    /// Fairness: rotate the scan start so that no transition starves.
+    rotation: usize,
+}
+
+impl AotCore {
+    /// Compose the instance's automata now; optionally label-simplify the
+    /// result down to the boundary ports.
+    pub fn compose(
+        instance: &ConnectorInstance,
+        opts: &ProductOptions,
+        apply_simplify: bool,
+    ) -> Result<Self, RuntimeError> {
+        let large = product_all(&instance.automata, opts)?;
+        let boundary: PortSet = instance.boundary.values().flatten().copied().collect();
+        let large = if apply_simplify {
+            simplify(&large, &boundary)
+        } else {
+            large
+        };
+        Ok(Self::from_automaton(large))
+    }
+
+    /// Wrap an already-composed automaton (the monolithic path).
+    pub fn from_automaton(automaton: Automaton) -> Self {
+        let inputs = automaton.inputs().clone();
+        let outputs = automaton.outputs().clone();
+        let state = automaton.initial();
+        AotCore {
+            automaton,
+            state,
+            inputs,
+            outputs,
+            rotation: 0,
+        }
+    }
+
+    pub fn state_count(&self) -> usize {
+        self.automaton.state_count()
+    }
+
+    pub fn transition_count(&self) -> usize {
+        self.automaton.transition_count()
+    }
+}
+
+impl EngineCore for AotCore {
+    fn try_step(
+        &mut self,
+        pending: &mut [Pending],
+        store: &mut Store,
+    ) -> Result<bool, RuntimeError> {
+        let transitions = self.automaton.transitions_from(self.state);
+        let n = transitions.len();
+        for k in 0..n {
+            let t = &transitions[(k + self.rotation) % n];
+            if !op_enabled(t, &self.inputs, &self.outputs, pending) {
+                continue;
+            }
+            if fire_one(t, &self.inputs, &self.outputs, pending, store)? {
+                self.state = t.target;
+                self.rotation = self.rotation.wrapping_add(1);
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    fn boundary_inputs(&self) -> &PortSet {
+        &self.inputs
+    }
+
+    fn boundary_outputs(&self) -> &PortSet {
+        &self.outputs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use reo_automata::{MemLayout, PortAllocator, PortId, Value};
+    use reo_core::{compile, examples, instantiate, Binding};
+
+    fn build_ex11(n: usize, simplify: bool) -> (Engine, Vec<PortId>, Vec<PortId>) {
+        let prog = examples::paper_program();
+        let cc = compile(&prog, "ConnectorEx11N").unwrap();
+        let mut alloc = PortAllocator::new();
+        let tl = alloc.fresh_ports(n);
+        let hd = alloc.fresh_ports(n);
+        let binding: Binding = [
+            ("tl".to_string(), tl.clone()),
+            ("hd".to_string(), hd.clone()),
+        ]
+        .into();
+        let inst = instantiate(&cc, &binding, &mut alloc).unwrap();
+        let core =
+            AotCore::compose(&inst, &ProductOptions::default(), simplify).unwrap();
+        let mut layout = MemLayout::cells(alloc.mem_count());
+        layout.merge(&inst.mem_layout);
+        let engine = Engine::new(Box::new(core), alloc.port_count(), Store::new(&layout));
+        (engine, tl, hd)
+    }
+
+    #[test]
+    fn ex11_n2_enforces_producer_order() {
+        // Producer 2's send must NOT be completable before the consumer
+        // received producer 1's message.
+        let (eng, tl, hd) = build_ex11(2, true);
+        // Producer 1 sends: completes (buffered).
+        eng.register_send(tl[0], Value::Int(1)).unwrap();
+        eng.wait_send(tl[0]).unwrap();
+        // Producer 2 registers a send; it must stay pending.
+        eng.register_send(tl[1], Value::Int(2)).unwrap();
+        assert_eq!(eng.steps(), 1);
+        // Consumer receives from hd[1]: value 1 arrives, and only then can
+        // producer 2's send complete.
+        eng.register_recv(hd[0]).unwrap();
+        let v1 = eng.wait_recv(hd[0]).unwrap();
+        assert_eq!(v1.as_int(), Some(1));
+        eng.wait_send(tl[1]).unwrap();
+        eng.register_recv(hd[1]).unwrap();
+        assert_eq!(eng.wait_recv(hd[1]).unwrap().as_int(), Some(2));
+    }
+
+    #[test]
+    fn simplified_and_unsimplified_agree_on_order() {
+        for simplify in [false, true] {
+            let (eng, tl, hd) = build_ex11(3, simplify);
+            for (i, &t) in tl.iter().enumerate() {
+                eng.register_send(t, Value::Int(i as i64)).unwrap();
+            }
+            // Only producer 1's send can complete before any receive.
+            eng.wait_send(tl[0]).unwrap();
+            for (i, &h) in hd.iter().enumerate() {
+                eng.register_recv(h).unwrap();
+                assert_eq!(
+                    eng.wait_recv(h).unwrap().as_int(),
+                    Some(i as i64),
+                    "simplify={simplify}"
+                );
+            }
+            eng.wait_send(tl[1]).unwrap();
+            eng.wait_send(tl[2]).unwrap();
+        }
+    }
+
+    #[test]
+    fn composition_failure_reports_explosion() {
+        // Wide unsynchronized connector: AOT must fail within budget.
+        use reo_core::ir::*;
+        let def = ConnectorDef {
+            name: "Buffers".into(),
+            tails: vec![Param::array("a")],
+            heads: vec![Param::array("b")],
+            body: CExpr::prod(
+                "i",
+                IExpr::Const(1),
+                IExpr::len("a"),
+                CExpr::Inst(Inst::new(
+                    "Fifo1",
+                    vec![PortRef::indexed("a", IExpr::var("i"))],
+                    vec![PortRef::indexed("b", IExpr::var("i"))],
+                )),
+            ),
+        };
+        let prog = reo_core::Program::new(vec![def]);
+        let cc = compile(&prog, "Buffers").unwrap();
+        let mut alloc = PortAllocator::new();
+        let binding: Binding = [
+            ("a".to_string(), alloc.fresh_ports(20)),
+            ("b".to_string(), alloc.fresh_ports(20)),
+        ]
+        .into();
+        let inst = instantiate(&cc, &binding, &mut alloc).unwrap();
+        let opts = ProductOptions {
+            max_states: 1 << 12,
+            max_transitions: 1 << 14,
+        };
+        assert!(matches!(
+            AotCore::compose(&inst, &opts, true),
+            Err(RuntimeError::Explosion(_))
+        ));
+    }
+}

@@ -1,0 +1,321 @@
+//! The `Connector` front-end: compile once, `connect` per run — with the
+//! number of connectees chosen at `connect` time (the whole point of the
+//! paper).
+//!
+//! Execution modes mirror the paper's evaluation matrix:
+//!
+//! * [`Mode::ExistingMonolithic`] — the *existing* approach: elaborate every
+//!   primitive for the now-known N, compose one large automaton, run it.
+//!   Work that the existing Reo compiler did at compile time happens inside
+//!   `connect`; the harness times it separately.
+//! * [`Mode::AotCompose`] — the *new* approach with ahead-of-time
+//!   composition of the medium automata at `connect` time.
+//! * [`Mode::Jit`] — the new approach with just-in-time composition.
+//! * [`Mode::JitPartitioned`] — JIT plus the partitioning optimization of
+//!   reference [32].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use reo_automata::{MemLayout, PortAllocator, ProductOptions, Store};
+use reo_core::{
+    compile, compile_monolithic, instantiate, Binding, CompiledConnector, ConnectorInstance,
+    MonolithicOptions, Program,
+};
+
+use crate::aot::AotCore;
+use crate::cache::{CachePolicy, CacheStats};
+use crate::engine::Engine;
+use crate::error::RuntimeError;
+use crate::jit::JitCore;
+use crate::partition::{partition, Partitioned};
+use crate::port::{Backend, Inport, Outport};
+
+/// Execution mode (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    ExistingMonolithic { simplify: bool },
+    AotCompose { simplify: bool },
+    Jit { cache: CachePolicy },
+    JitPartitioned { cache: CachePolicy },
+}
+
+impl Mode {
+    /// The paper's default for the new approach.
+    pub fn jit() -> Self {
+        Mode::Jit {
+            cache: CachePolicy::Unbounded,
+        }
+    }
+
+    /// The paper's baseline (existing approach, with its optimizations on).
+    pub fn existing() -> Self {
+        Mode::ExistingMonolithic { simplify: true }
+    }
+
+    pub fn is_parametrized(&self) -> bool {
+        !matches!(self, Mode::ExistingMonolithic { .. })
+    }
+}
+
+/// Tuning knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Budget for any eager product (monolithic / AOT composition).
+    pub product: ProductOptions,
+    /// Budget for JIT expansion of a single state.
+    pub expansion_budget: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            product: ProductOptions::default(),
+            expansion_budget: 1 << 20,
+        }
+    }
+}
+
+/// A compiled connector, ready to be connected for any number of tasks.
+pub struct Connector {
+    program: Program,
+    name: String,
+    mode: Mode,
+    limits: Limits,
+    /// Present for parametrized modes (compiled once, independent of N).
+    compiled: Option<CompiledConnector>,
+}
+
+impl Connector {
+    /// Compile `name` from `program` for the given mode. For parametrized
+    /// modes this performs the compile-time share now; for the existing
+    /// approach compilation must wait for N and happens in [`connect`].
+    ///
+    /// [`connect`]: Connector::connect
+    pub fn compile(program: &Program, name: &str, mode: Mode) -> Result<Self, RuntimeError> {
+        Self::compile_with_limits(program, name, mode, Limits::default())
+    }
+
+    pub fn compile_with_limits(
+        program: &Program,
+        name: &str,
+        mode: Mode,
+        limits: Limits,
+    ) -> Result<Self, RuntimeError> {
+        let compiled = if mode.is_parametrized() {
+            Some(compile(program, name)?)
+        } else {
+            // Validate the definition exists even though elaboration waits.
+            reo_core::flatten(program, name)?;
+            None
+        };
+        Ok(Connector {
+            program: program.clone(),
+            name: name.to_string(),
+            mode,
+            limits,
+            compiled,
+        })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn mode(&self) -> Mode {
+        self.mode
+    }
+
+    /// The program this connector was compiled from.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Instantiate for concrete array sizes and build the engine(s).
+    ///
+    /// `sizes` gives the length per array parameter; scalar parameters
+    /// default to 1 and may be omitted.
+    pub fn connect(&self, sizes: &[(&str, usize)]) -> Result<Connected, RuntimeError> {
+        let mut alloc = PortAllocator::new();
+        let (params, tail_names): (Vec<(String, bool)>, Vec<String>) = match &self.compiled {
+            Some(cc) => (
+                cc.params().map(|p| (p.name.clone(), p.is_array)).collect(),
+                cc.tails.iter().map(|p| p.name.clone()).collect(),
+            ),
+            None => {
+                let flat = reo_core::flatten(&self.program, &self.name)?;
+                (
+                    flat.params().map(|p| (p.name.clone(), p.is_array)).collect(),
+                    flat.tails.iter().map(|p| p.name.clone()).collect(),
+                )
+            }
+        };
+        let mut binding: Binding = HashMap::new();
+        for (name, is_array) in &params {
+            let n = sizes
+                .iter()
+                .find(|(s, _)| s == name)
+                .map(|(_, n)| *n)
+                .unwrap_or(1);
+            let n = if *is_array { n } else { 1 };
+            binding.insert(name.clone(), alloc.fresh_ports(n));
+        }
+
+        let instance: ConnectorInstance = match (&self.compiled, self.mode) {
+            (None, Mode::ExistingMonolithic { simplify }) => compile_monolithic(
+                &self.program,
+                &self.name,
+                &binding,
+                &mut alloc,
+                &MonolithicOptions {
+                    product: self.limits.product,
+                    simplify,
+                },
+            )?,
+            (Some(cc), _) => instantiate(cc, &binding, &mut alloc)?,
+            (None, _) => unreachable!("parametrized modes always compile eagerly"),
+        };
+
+        let mut layout = MemLayout::cells(alloc.mem_count());
+        layout.merge(&instance.mem_layout);
+        let medium_count = instance.automata.len();
+
+        let backend = match self.mode {
+            Mode::ExistingMonolithic { .. } => {
+                let [large] = <[_; 1]>::try_from(instance.automata)
+                    .expect("monolithic instance has exactly one automaton");
+                let core = AotCore::from_automaton(large);
+                Backend::Single(Arc::new(Engine::new(
+                    Box::new(core),
+                    alloc.port_count(),
+                    Store::new(&layout),
+                )))
+            }
+            Mode::AotCompose { simplify } => {
+                let core = AotCore::compose(&instance, &self.limits.product, simplify)?;
+                Backend::Single(Arc::new(Engine::new(
+                    Box::new(core),
+                    alloc.port_count(),
+                    Store::new(&layout),
+                )))
+            }
+            Mode::Jit { cache } => {
+                let core = JitCore::new(
+                    instance.automata,
+                    cache.build(),
+                    self.limits.expansion_budget,
+                );
+                Backend::Single(Arc::new(Engine::new(
+                    Box::new(core),
+                    alloc.port_count(),
+                    Store::new(&layout),
+                )))
+            }
+            Mode::JitPartitioned { cache } => {
+                let parts: Arc<Partitioned> = Arc::new(partition(
+                    instance.automata,
+                    alloc.port_count(),
+                    &layout,
+                    cache,
+                    self.limits.expansion_budget,
+                )?);
+                parts.pump();
+                Backend::Multi(parts)
+            }
+        };
+
+        // Hand out port handles by formal parameter, tails as outports.
+        let mut outports = HashMap::new();
+        let mut inports = HashMap::new();
+        for (name, ports) in &binding {
+            let is_tail = tail_names.iter().any(|t| t == name);
+            if is_tail {
+                outports.insert(
+                    name.clone(),
+                    ports
+                        .iter()
+                        .map(|&p| Outport {
+                            backend: backend.clone(),
+                            port: p,
+                        })
+                        .collect(),
+                );
+            } else {
+                inports.insert(
+                    name.clone(),
+                    ports
+                        .iter()
+                        .map(|&p| Inport {
+                            backend: backend.clone(),
+                            port: p,
+                        })
+                        .collect(),
+                );
+            }
+        }
+
+        Ok(Connected {
+            outports,
+            inports,
+            handle: ConnectorHandle {
+                backend,
+                medium_count,
+            },
+        })
+    }
+}
+
+/// A connected connector: live port handles plus a control handle.
+pub struct Connected {
+    outports: HashMap<String, Vec<Outport>>,
+    inports: HashMap<String, Vec<Inport>>,
+    handle: ConnectorHandle,
+}
+
+impl Connected {
+    /// Take the outports of tail parameter `name` (panics if absent or
+    /// already taken — ports are single-owner).
+    pub fn take_outports(&mut self, name: &str) -> Vec<Outport> {
+        self.outports
+            .remove(name)
+            .unwrap_or_else(|| panic!("no untaken outports `{name}`"))
+    }
+
+    pub fn take_inports(&mut self, name: &str) -> Vec<Inport> {
+        self.inports
+            .remove(name)
+            .unwrap_or_else(|| panic!("no untaken inports `{name}`"))
+    }
+
+    pub fn handle(&self) -> ConnectorHandle {
+        self.handle.clone()
+    }
+}
+
+/// Control handle: step counting, statistics, shutdown.
+#[derive(Clone)]
+pub struct ConnectorHandle {
+    backend: Backend,
+    medium_count: usize,
+}
+
+impl ConnectorHandle {
+    /// Global execution steps fired so far — the Fig. 12 metric.
+    pub fn steps(&self) -> u64 {
+        self.backend.steps()
+    }
+
+    /// Shut the connector down; all blocked tasks get `Closed` errors.
+    pub fn close(&self) {
+        self.backend.close();
+    }
+
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.backend.cache_stats()
+    }
+
+    /// Number of medium automata the instance consists of.
+    pub fn medium_count(&self) -> usize {
+        self.medium_count
+    }
+}

@@ -1,0 +1,459 @@
+//! The sequential protocol state machine and its blocking port operations.
+//!
+//! This is the run-time system of Sect. III-B/IV-D: a generated state
+//! machine "monitors the outports/inports linked to its vertices. Whenever a
+//! task performs a send/receive …, the state machine reacts by checking
+//! whether this operation enables a transition. If so, [it] makes the
+//! transition, distributes messages …, and completes all operations
+//! involved. If not, [it] does nothing and awaits the next send or receive."
+//!
+//! The machine itself is pluggable ([`EngineCore`]): ahead-of-time
+//! composition drives one large automaton, just-in-time composition drives
+//! a tuple of medium automata with memoized expansion.
+
+use parking_lot::{Condvar, Mutex};
+use reo_automata::{
+    automaton::Transition, fire::try_fire, PortId, PortSet, Store, Value,
+};
+
+use crate::error::RuntimeError;
+
+/// The per-port pending-operation slot.
+#[derive(Clone, Debug, Default)]
+pub enum Pending {
+    /// No operation pending (also the state of internal ports).
+    #[default]
+    None,
+    /// A task blocked in `send(v)`.
+    Send(Value),
+    /// A task blocked in `recv()`.
+    Recv,
+    /// The send was taken by a transition; the task may return.
+    DoneSend,
+    /// A value was delivered; the task may take it and return.
+    DoneRecv(Value),
+}
+
+/// A pluggable state machine: fires at most one global step per call.
+pub trait EngineCore: Send {
+    /// Try to fire one enabled transition given the pending operations and
+    /// the store. `Ok(true)` iff something fired.
+    fn try_step(&mut self, pending: &mut [Pending], store: &mut Store)
+        -> Result<bool, RuntimeError>;
+
+    /// Ports where tasks send (connector inputs).
+    fn boundary_inputs(&self) -> &PortSet;
+
+    /// Ports where tasks receive (connector outputs).
+    fn boundary_outputs(&self) -> &PortSet;
+
+    /// Optional cache statistics (JIT engines).
+    fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        None
+    }
+}
+
+pub(crate) struct EngineInner {
+    pub core: Box<dyn EngineCore>,
+    pub pending: Vec<Pending>,
+    pub store: Store,
+    pub steps: u64,
+    pub closed: bool,
+    /// Set when a fire failed irrecoverably; all operations then error.
+    pub poisoned: Option<String>,
+}
+
+/// One sequential protocol engine, shared by all ports it serves.
+pub struct Engine {
+    inner: Mutex<EngineInner>,
+    cv: Condvar,
+    /// Mirrors `inner.closed`, but settable without the engine lock so that
+    /// `close()` can interrupt a long fire loop instead of queueing behind
+    /// it (a fire loop may expand large states under the lock).
+    closing: std::sync::atomic::AtomicBool,
+}
+
+impl Engine {
+    pub fn new(core: Box<dyn EngineCore>, port_count: usize, store: Store) -> Self {
+        Engine {
+            inner: Mutex::new(EngineInner {
+                core,
+                pending: vec![Pending::None; port_count],
+                store,
+                steps: 0,
+                closed: false,
+                poisoned: None,
+            }),
+            cv: Condvar::new(),
+            closing: std::sync::atomic::AtomicBool::new(false),
+        }
+    }
+
+    /// Number of global execution steps fired so far — the Fig. 12 metric.
+    pub fn steps(&self) -> u64 {
+        self.inner.lock().steps
+    }
+
+    pub fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        self.inner.lock().core.cache_stats()
+    }
+
+    /// Shut down: every pending and future operation returns `Closed`.
+    ///
+    /// The flag is raised *before* taking the lock so a fire loop in
+    /// progress stops at its next step boundary instead of draining every
+    /// enabled transition first.
+    pub fn close(&self) {
+        self.closing
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+        self.cv.notify_all();
+        let mut inner = self.inner.lock();
+        inner.closed = true;
+        self.cv.notify_all();
+    }
+
+    pub fn is_closed(&self) -> bool {
+        self.inner.lock().closed
+    }
+
+    /// Fire transitions until quiescent. Called with the lock held.
+    fn fire_loop(&self, inner: &mut EngineInner) {
+        if inner.poisoned.is_some() || inner.closed {
+            return;
+        }
+        loop {
+            if self.closing.load(std::sync::atomic::Ordering::Relaxed) {
+                inner.closed = true;
+                self.cv.notify_all();
+                break;
+            }
+            let EngineInner {
+                core,
+                pending,
+                store,
+                ..
+            } = inner;
+            match core.try_step(pending, store) {
+                Ok(true) => {
+                    inner.steps += 1;
+                    self.cv.notify_all();
+                }
+                Ok(false) => break,
+                Err(e) => {
+                    inner.poisoned = Some(e.to_string());
+                    inner.closed = true;
+                    self.cv.notify_all();
+                    break;
+                }
+            }
+        }
+    }
+
+    fn check_open(inner: &EngineInner) -> Result<(), RuntimeError> {
+        if let Some(msg) = &inner.poisoned {
+            return Err(RuntimeError::Poisoned(msg.clone()));
+        }
+        if inner.closed {
+            return Err(RuntimeError::Closed);
+        }
+        Ok(())
+    }
+
+    /// Phase 1 of `send`: register the operation and fire what it enables.
+    pub(crate) fn register_send(&self, p: PortId, v: Value) -> Result<(), RuntimeError> {
+        let mut inner = self.inner.lock();
+        Self::check_open(&inner)?;
+        match inner.pending[p.index()] {
+            Pending::None => inner.pending[p.index()] = Pending::Send(v),
+            _ => return Err(RuntimeError::PortBusy(p)),
+        }
+        self.fire_loop(&mut inner);
+        Ok(())
+    }
+
+    /// Phase 2 of `send`: block until the operation completes.
+    pub(crate) fn wait_send(&self, p: PortId) -> Result<(), RuntimeError> {
+        let mut inner = self.inner.lock();
+        loop {
+            if matches!(inner.pending[p.index()], Pending::DoneSend) {
+                inner.pending[p.index()] = Pending::None;
+                return Ok(());
+            }
+            if let Some(msg) = &inner.poisoned {
+                return Err(RuntimeError::Poisoned(msg.clone()));
+            }
+            if inner.closed {
+                return Err(RuntimeError::Closed);
+            }
+            self.cv.wait(&mut inner);
+        }
+    }
+
+    /// Phase 1 of `recv`.
+    pub(crate) fn register_recv(&self, p: PortId) -> Result<(), RuntimeError> {
+        let mut inner = self.inner.lock();
+        Self::check_open(&inner)?;
+        match inner.pending[p.index()] {
+            Pending::None => inner.pending[p.index()] = Pending::Recv,
+            _ => return Err(RuntimeError::PortBusy(p)),
+        }
+        self.fire_loop(&mut inner);
+        Ok(())
+    }
+
+    /// Phase 2 of `recv`.
+    pub(crate) fn wait_recv(&self, p: PortId) -> Result<Value, RuntimeError> {
+        let mut inner = self.inner.lock();
+        loop {
+            if matches!(inner.pending[p.index()], Pending::DoneRecv(_)) {
+                let Pending::DoneRecv(v) =
+                    std::mem::take(&mut inner.pending[p.index()])
+                else {
+                    unreachable!("matched above");
+                };
+                return Ok(v);
+            }
+            if let Some(msg) = &inner.poisoned {
+                return Err(RuntimeError::Poisoned(msg.clone()));
+            }
+            if inner.closed {
+                return Err(RuntimeError::Closed);
+            }
+            self.cv.wait(&mut inner);
+        }
+    }
+
+    /// Non-blocking probe used by link pumping: take a delivery at `p`.
+    pub(crate) fn link_take_delivery(&self, p: PortId) -> Option<Value> {
+        let mut inner = self.inner.lock();
+        if matches!(inner.pending[p.index()], Pending::DoneRecv(_)) {
+            let Pending::DoneRecv(v) = std::mem::take(&mut inner.pending[p.index()]) else {
+                unreachable!();
+            };
+            Some(v)
+        } else {
+            None
+        }
+    }
+
+    /// Link pumping: arm a receive on `p` if the slot is free; fires.
+    /// Returns true if newly armed.
+    pub(crate) fn link_arm_recv(&self, p: PortId) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.closed || inner.poisoned.is_some() {
+            return false;
+        }
+        if matches!(inner.pending[p.index()], Pending::None) {
+            inner.pending[p.index()] = Pending::Recv;
+            self.fire_loop(&mut inner);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Link pumping: acknowledge a consumed send at `p`.
+    pub(crate) fn link_take_send_done(&self, p: PortId) -> bool {
+        let mut inner = self.inner.lock();
+        if matches!(inner.pending[p.index()], Pending::DoneSend) {
+            inner.pending[p.index()] = Pending::None;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Link pumping: offer a value on `p` if the slot is free; fires.
+    pub(crate) fn link_arm_send(&self, p: PortId, v: &Value) -> bool {
+        let mut inner = self.inner.lock();
+        if inner.closed || inner.poisoned.is_some() {
+            return false;
+        }
+        if matches!(inner.pending[p.index()], Pending::None) {
+            inner.pending[p.index()] = Pending::Send(v.clone());
+            self.fire_loop(&mut inner);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Operational enabledness: every fired port must carry the right pending
+/// operation (internal ports carry none).
+pub(crate) fn op_enabled(
+    t: &Transition,
+    inputs: &PortSet,
+    outputs: &PortSet,
+    pending: &[Pending],
+) -> bool {
+    t.sync.iter().all(|p| {
+        if inputs.contains(p) {
+            matches!(pending[p.index()], Pending::Send(_))
+        } else if outputs.contains(p) {
+            matches!(pending[p.index()], Pending::Recv)
+        } else {
+            true
+        }
+    })
+}
+
+/// Fire `t` against the pending table: on success, complete the operations
+/// it involves. `Ok(true)` iff the guard held and the step committed.
+pub(crate) fn fire_one(
+    t: &Transition,
+    inputs: &PortSet,
+    outputs: &PortSet,
+    pending: &mut [Pending],
+    store: &mut Store,
+) -> Result<bool, RuntimeError> {
+    let input_value = |p: PortId| -> Option<Value> {
+        match &pending[p.index()] {
+            Pending::Send(v) => Some(v.clone()),
+            _ => None,
+        }
+    };
+    let firing = match try_fire(t, &input_value, store) {
+        Ok(Some(f)) => f,
+        Ok(None) => return Ok(false),
+        Err(e) => return Err(RuntimeError::Unresolved(e)),
+    };
+    for p in t.sync.iter() {
+        if inputs.contains(p) {
+            debug_assert!(matches!(pending[p.index()], Pending::Send(_)));
+            pending[p.index()] = Pending::DoneSend;
+        }
+    }
+    for (p, v) in firing.deliveries {
+        if outputs.contains(p) {
+            debug_assert!(matches!(pending[p.index()], Pending::Recv));
+            pending[p.index()] = Pending::DoneRecv(v);
+        }
+        // Internal deliveries evaporate: they only existed to carry data
+        // across the shared vertex within this instant.
+    }
+    Ok(true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reo_automata::{primitives, Automaton, MemLayout, StateId};
+
+    /// Minimal core driving a single primitive automaton, for engine tests.
+    struct OneAutomaton {
+        aut: Automaton,
+        state: StateId,
+    }
+
+    impl EngineCore for OneAutomaton {
+        fn try_step(
+            &mut self,
+            pending: &mut [Pending],
+            store: &mut Store,
+        ) -> Result<bool, RuntimeError> {
+            let transitions = self.aut.transitions_from(self.state).to_vec();
+            for t in &transitions {
+                if op_enabled(t, self.aut.inputs(), self.aut.outputs(), pending)
+                    && fire_one(t, self.aut.inputs(), self.aut.outputs(), pending, store)?
+                {
+                    self.state = t.target;
+                    return Ok(true);
+                }
+            }
+            Ok(false)
+        }
+
+        fn boundary_inputs(&self) -> &PortSet {
+            self.aut.inputs()
+        }
+
+        fn boundary_outputs(&self) -> &PortSet {
+            self.aut.outputs()
+        }
+    }
+
+    fn engine_for(aut: Automaton, ports: usize) -> Engine {
+        let mut layout = MemLayout::cells(0);
+        layout.merge(aut.mem_layout());
+        let store = Store::new(&layout);
+        let state = aut.initial();
+        Engine::new(Box::new(OneAutomaton { aut, state }), ports, store)
+    }
+
+    #[test]
+    fn fifo_send_completes_immediately_recv_after() {
+        let eng = engine_for(
+            primitives::fifo1(PortId(0), PortId(1), reo_automata::MemId(0)),
+            2,
+        );
+        eng.register_send(PortId(0), Value::Int(7)).unwrap();
+        eng.wait_send(PortId(0)).unwrap();
+        eng.register_recv(PortId(1)).unwrap();
+        let v = eng.wait_recv(PortId(1)).unwrap();
+        assert_eq!(v.as_int(), Some(7));
+        assert_eq!(eng.steps(), 2);
+    }
+
+    #[test]
+    fn sync_blocks_until_both_sides_arrive() {
+        use std::sync::Arc;
+        let eng = Arc::new(engine_for(primitives::sync(PortId(0), PortId(1)), 2));
+        let e2 = Arc::clone(&eng);
+        let receiver = std::thread::spawn(move || {
+            e2.register_recv(PortId(1)).unwrap();
+            e2.wait_recv(PortId(1)).unwrap()
+        });
+        // Give the receiver a chance to block first (not strictly needed).
+        std::thread::yield_now();
+        eng.register_send(PortId(0), Value::Int(3)).unwrap();
+        eng.wait_send(PortId(0)).unwrap();
+        let got = receiver.join().unwrap();
+        assert_eq!(got.as_int(), Some(3));
+        assert_eq!(eng.steps(), 1);
+    }
+
+    #[test]
+    fn close_unblocks_waiters_with_error() {
+        use std::sync::Arc;
+        let eng = Arc::new(engine_for(primitives::sync(PortId(0), PortId(1)), 2));
+        let e2 = Arc::clone(&eng);
+        let waiter = std::thread::spawn(move || {
+            e2.register_recv(PortId(1)).unwrap();
+            e2.wait_recv(PortId(1))
+        });
+        while !matches!(
+            eng.inner.lock().pending[1],
+            Pending::Recv
+        ) {
+            std::thread::yield_now();
+        }
+        eng.close();
+        assert!(matches!(waiter.join().unwrap(), Err(RuntimeError::Closed)));
+    }
+
+    #[test]
+    fn double_operation_on_port_rejected() {
+        let eng = engine_for(
+            primitives::fifo1(PortId(0), PortId(1), reo_automata::MemId(0)),
+            2,
+        );
+        // Fill the buffer, then a second send is *pending* (buffer full);
+        // a third register on the same port must be refused.
+        eng.register_send(PortId(0), Value::Int(1)).unwrap();
+        eng.wait_send(PortId(0)).unwrap();
+        eng.register_send(PortId(0), Value::Int(2)).unwrap();
+        assert!(matches!(
+            eng.register_send(PortId(0), Value::Int(3)),
+            Err(RuntimeError::PortBusy(_))
+        ));
+    }
+
+    #[test]
+    fn lossy_completes_send_even_without_receiver() {
+        let eng = engine_for(primitives::lossy(PortId(0), PortId(1)), 2);
+        eng.register_send(PortId(0), Value::Int(9)).unwrap();
+        eng.wait_send(PortId(0)).unwrap();
+        assert_eq!(eng.steps(), 1);
+    }
+}

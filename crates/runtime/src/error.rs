@@ -1,0 +1,81 @@
+//! Runtime errors.
+
+use std::fmt;
+
+/// Why a port operation or connector construction failed.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// The connector was shut down while the operation was pending.
+    Closed,
+    /// Ahead-of-time composition exceeded its state/transition budget —
+    /// the "existing approach fails" outcome of Fig. 12.
+    Explosion(reo_automata::Explosion),
+    /// Just-in-time expansion of a single state exceeded the transition
+    /// budget — the "did not terminate" outcome of Fig. 13 finding 3.
+    ExpansionOverflow {
+        state_transitions: usize,
+        budget: usize,
+    },
+    /// Compilation/instantiation failed.
+    Core(reo_core::CoreError),
+    /// A port operation was issued on a port that already has one pending
+    /// (ports are single-owner, one operation at a time).
+    PortBusy(reo_automata::PortId),
+    /// The transition's dataflow could not be resolved (malformed connector).
+    Unresolved(reo_automata::fire::UnresolvedPort),
+    /// A previous firing failed; the engine refuses further operations.
+    Poisoned(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Closed => write!(f, "connector closed"),
+            RuntimeError::Explosion(e) => write!(f, "ahead-of-time composition failed: {e}"),
+            RuntimeError::ExpansionOverflow {
+                state_transitions,
+                budget,
+            } => write!(
+                f,
+                "just-in-time expansion overflow: a single state has more than {budget} \
+                 global transitions ({state_transitions} built) — consider partitioned \
+                 execution (Mode::JitPartitioned)"
+            ),
+            RuntimeError::Core(e) => write!(f, "{e}"),
+            RuntimeError::PortBusy(p) => {
+                write!(f, "port {p} already has a pending operation")
+            }
+            RuntimeError::Unresolved(e) => write!(f, "{e}"),
+            RuntimeError::Poisoned(msg) => write!(f, "engine poisoned: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<reo_core::CoreError> for RuntimeError {
+    fn from(e: reo_core::CoreError) -> Self {
+        RuntimeError::Core(e)
+    }
+}
+
+impl From<reo_automata::Explosion> for RuntimeError {
+    fn from(e: reo_automata::Explosion) -> Self {
+        RuntimeError::Explosion(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_remedy() {
+        let e = RuntimeError::ExpansionOverflow {
+            state_transitions: 9999,
+            budget: 1000,
+        };
+        assert!(e.to_string().contains("JitPartitioned"));
+        assert!(RuntimeError::Closed.to_string().contains("closed"));
+    }
+}

@@ -1,0 +1,44 @@
+//! # reo-runtime
+//!
+//! Parametrized execution (Sect. IV-D of van Veen & Jongmans, IPDPSW 2018):
+//! blocking ports in the generalized Foster–Chandy model, a sequential
+//! protocol engine, and four execution modes —
+//!
+//! * the **existing approach** (one large automaton composed from fully
+//!   elaborated primitives),
+//! * **ahead-of-time composition** of medium automata at `connect` time,
+//! * **just-in-time composition** with an unbounded or bounded-LRU state
+//!   cache, and
+//! * **partitioned just-in-time composition** (the optimization of the
+//!   paper's reference [32], which fixes Fig. 13's finding 3).
+//!
+//! ```
+//! use reo_runtime::{Connector, Mode};
+//!
+//! let program = reo_dsl::parse_program(
+//!     "Buf(a[];b[]) = prod (i:1..#a) Fifo1(a[i];b[i])",
+//! ).unwrap();
+//! let connector = Connector::compile(&program, "Buf", Mode::jit()).unwrap();
+//! let mut connected = connector.connect(&[("a", 2), ("b", 2)]).unwrap();
+//! let senders = connected.take_outports("a");
+//! let receivers = connected.take_inports("b");
+//! senders[0].send(7i64).unwrap();
+//! assert_eq!(receivers[0].recv().unwrap().as_int(), Some(7));
+//! ```
+
+pub mod analyze;
+pub mod aot;
+pub mod cache;
+pub mod connector;
+pub mod engine;
+pub mod error;
+pub mod jit;
+pub mod partition;
+pub mod port;
+pub mod program;
+
+pub use cache::{CachePolicy, CacheStats};
+pub use connector::{Connected, Connector, ConnectorHandle, Limits, Mode};
+pub use error::RuntimeError;
+pub use port::{Inport, Outport};
+pub use program::{run_main, RunReport, TaskCtx, TaskRegistry};

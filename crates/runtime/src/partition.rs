@@ -1,0 +1,395 @@
+//! Partitioned execution — the optimization of Jongmans/Santini/Arbab 2015
+//! (reference [32]; Fig. 13 finding 3 names it as the fix for the
+//! exponential transition fan-out at N ≥ 16).
+//!
+//! "This technique involves static analysis of the 'small automata' …;
+//! the set of 'small automata' is partitioned, after which only automata in
+//! the same subset are composed." Synchrony cannot cross a plain queue: a
+//! fifo's two ports never fire together. So the medium-automata set is cut
+//! at queue automata ([`reo_automata::automaton::QueueHint`]): each
+//! synchronous region gets its own engine, and each cut fifo becomes a
+//! [`Link`] — an actual queue moving values from one engine's boundary to
+//! another's. Expansion work then scales with the largest *region*, not
+//! with the whole connector.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use reo_automata::{Automaton, MemLayout, PortId, Store, Value};
+
+use crate::cache::CachePolicy;
+use crate::engine::Engine;
+use crate::error::RuntimeError;
+use crate::jit::JitCore;
+
+/// A cut fifo: an engine-to-engine queue.
+pub struct Link {
+    /// The fifo's tail vertex — a boundary *output* of engine `from`.
+    pub in_port: PortId,
+    /// The fifo's head vertex — a boundary *input* of engine `to`.
+    pub out_port: PortId,
+    pub from: usize,
+    pub to: usize,
+    capacity: Option<usize>,
+    queue: Mutex<std::collections::VecDeque<Value>>,
+    /// True while a value is armed as a pending send on `out_port` (it
+    /// stays at the queue front until the engine consumes it).
+    armed: Mutex<bool>,
+}
+
+impl Link {
+    pub fn depth(&self) -> usize {
+        self.queue.lock().len()
+    }
+}
+
+/// The result of partitioning a set of medium automata.
+pub struct Partitioned {
+    /// One engine per synchronous region.
+    pub engines: Vec<Arc<Engine>>,
+    pub links: Vec<Link>,
+    /// Port → engine index (boundary and internal ports of each region).
+    pub router: HashMap<PortId, usize>,
+    pub region_sizes: Vec<usize>,
+}
+
+/// Split `automata` into synchronous regions connected by queue links.
+///
+/// Every automaton *without* a queue hint goes into a region; regions are
+/// the connected components over shared ports. A queue automaton whose two
+/// sides touch different regions becomes a [`Link`]; one with both sides in
+/// the same region (or dangling sides) stays an ordinary automaton of that
+/// region.
+pub fn partition(
+    automata: Vec<Automaton>,
+    port_count: usize,
+    mem_layout: &MemLayout,
+    cache: CachePolicy,
+    expansion_budget: usize,
+) -> Result<Partitioned, RuntimeError> {
+    let n = automata.len();
+    let is_queue: Vec<bool> = automata.iter().map(|a| a.queue_hint().is_some()).collect();
+
+    // Union-find over non-queue automata sharing ports.
+    let mut uf = UnionFind::new(n);
+    let mut port_owner: HashMap<PortId, Vec<usize>> = HashMap::new();
+    for (i, a) in automata.iter().enumerate() {
+        for p in a.ports().iter() {
+            port_owner.entry(p).or_default().push(i);
+        }
+    }
+    for owners in port_owner.values() {
+        let solid: Vec<usize> = owners.iter().copied().filter(|&i| !is_queue[i]).collect();
+        for w in solid.windows(2) {
+            uf.union(w[0], w[1]);
+        }
+    }
+
+    // Decide the fate of each queue automaton.
+    let mut keep_in_region: Vec<Option<usize>> = vec![None; n]; // root it joins
+    let mut cut: Vec<bool> = vec![false; n];
+    for (i, a) in automata.iter().enumerate() {
+        let Some(hint) = a.queue_hint() else { continue };
+        let neighbor = |p: PortId| -> Option<usize> {
+            port_owner
+                .get(&p)?
+                .iter()
+                .copied()
+                .find(|&j| j != i && !is_queue[j])
+        };
+        let up = neighbor(hint.input);
+        let down = neighbor(hint.output);
+        match (up, down) {
+            (Some(u), Some(d)) if uf.find(u) != uf.find(d) => cut[i] = true,
+            (Some(u), _) => keep_in_region[i] = Some(uf.find(u)),
+            (_, Some(d)) => keep_in_region[i] = Some(uf.find(d)),
+            (None, None) => keep_in_region[i] = None, // its own region
+        }
+    }
+    // Two queue automata chained back to back: if either side's neighbor is
+    // itself a queue that got cut, the inner one keeps a dangling side —
+    // treat conservatively by keeping (not cutting) chained queues.
+    // (`neighbor` above only looks at non-queue automata, so a fifo chain
+    // collapses into per-fifo singleton regions linked pairwise — correct,
+    // if not maximally clever.)
+
+    // Build regions: roots of non-queue automata + kept queues + singleton
+    // queues.
+    let mut region_of_root: HashMap<usize, usize> = HashMap::new();
+    let mut regions: Vec<Vec<Automaton>> = Vec::new();
+    let mut automaton_region: Vec<Option<usize>> = vec![None; n];
+    for (i, a) in automata.iter().enumerate() {
+        if cut[i] {
+            continue;
+        }
+        let root = if !is_queue[i] {
+            Some(uf.find(i))
+        } else {
+            keep_in_region[i]
+        };
+        let region = match root {
+            Some(r) => *region_of_root.entry(r).or_insert_with(|| {
+                regions.push(Vec::new());
+                regions.len() - 1
+            }),
+            None => {
+                regions.push(Vec::new());
+                regions.len() - 1
+            }
+        };
+        regions[region].push(a.clone());
+        automaton_region[i] = Some(region);
+    }
+
+    // Links for the cut queues.
+    let mut links = Vec::new();
+    for (i, a) in automata.iter().enumerate() {
+        if !cut[i] {
+            continue;
+        }
+        let hint = a.queue_hint().expect("cut implies hint");
+        let owner_region = |p: PortId| -> usize {
+            port_owner[&p]
+                .iter()
+                .copied()
+                .filter(|&j| j != i)
+                .find_map(|j| automaton_region[j])
+                .expect("cut queue has solid neighbors")
+        };
+        links.push(Link {
+            in_port: hint.input,
+            out_port: hint.output,
+            from: owner_region(hint.input),
+            to: owner_region(hint.output),
+            capacity: hint.capacity,
+            queue: Mutex::new(hint.initial.iter().cloned().collect()),
+            armed: Mutex::new(false),
+        });
+    }
+
+    // One engine per region, each with the full-size pending table and the
+    // full store (regions touch disjoint cells, so sharing the layout is
+    // safe and keeps ids global).
+    let region_sizes: Vec<usize> = regions.iter().map(Vec::len).collect();
+    let engines: Vec<Arc<Engine>> = regions
+        .into_iter()
+        .map(|autos| {
+            let core = JitCore::new(autos, cache.build(), expansion_budget);
+            Arc::new(Engine::new(
+                Box::new(core),
+                port_count,
+                Store::new(mem_layout),
+            ))
+        })
+        .collect();
+
+    let mut router = HashMap::new();
+    for (i, region) in automaton_region.iter().enumerate() {
+        if let Some(r) = region {
+            for p in automata[i].ports().iter() {
+                router.entry(p).or_insert(*r);
+            }
+        }
+    }
+
+    Ok(Partitioned {
+        engines,
+        links,
+        router,
+        region_sizes,
+    })
+}
+
+impl Partitioned {
+    /// Move values across links until quiescent. Run by every task thread
+    /// after it registers or completes an operation; never holds two engine
+    /// locks at once.
+    pub fn pump(&self) {
+        loop {
+            let mut progressed = false;
+            for link in &self.links {
+                // Accept side: collect a delivered value, re-arm if room.
+                if let Some(v) = self.engines[link.from].link_take_delivery(link.in_port) {
+                    link.queue.lock().push_back(v);
+                    progressed = true;
+                }
+                let room = match link.capacity {
+                    Some(cap) => link.queue.lock().len() < cap,
+                    None => true,
+                };
+                if room && self.engines[link.from].link_arm_recv(link.in_port) {
+                    progressed = true;
+                }
+                // Emit side: acknowledge consumption, then offer the front.
+                if self.engines[link.to].link_take_send_done(link.out_port) {
+                    link.queue.lock().pop_front();
+                    *link.armed.lock() = false;
+                    progressed = true;
+                }
+                let front = link.queue.lock().front().cloned();
+                if let Some(v) = front {
+                    let mut armed = link.armed.lock();
+                    if !*armed && self.engines[link.to].link_arm_send(link.out_port, &v) {
+                        *armed = true;
+                        progressed = true;
+                    }
+                }
+            }
+            if !progressed {
+                return;
+            }
+        }
+    }
+
+    /// Sum of global steps over all regions.
+    pub fn steps(&self) -> u64 {
+        self.engines.iter().map(|e| e.steps()).sum()
+    }
+
+    pub fn close(&self) {
+        for e in &self.engines {
+            e.close();
+        }
+    }
+
+    /// Which engine serves port `p` (boundary ports of cut links route to
+    /// the engine that owns the surviving side).
+    pub fn engine_for(&self, p: PortId) -> &Arc<Engine> {
+        &self.engines[self.router[&p]]
+    }
+}
+
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, i: usize) -> usize {
+        if self.parent[i] != i {
+            let root = self.find(self.parent[i]);
+            self.parent[i] = root;
+        }
+        self.parent[i]
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use reo_automata::{primitives, MemId};
+
+    fn p(i: u32) -> PortId {
+        PortId(i)
+    }
+
+    #[test]
+    fn fifo_between_regions_is_cut() {
+        // merger(0,1;2) -> fifo(2;3) -> replicator(3;4,5): two synchronous
+        // regions joined by one link.
+        let autos = vec![
+            primitives::merger(&[p(0), p(1)], p(2)),
+            primitives::fifo1(p(2), p(3), MemId(0)),
+            primitives::replicator(p(3), &[p(4), p(5)]),
+        ];
+        let layout = MemLayout::cells(1);
+        let part = partition(autos, 6, &layout, CachePolicy::Unbounded, 1 << 20).unwrap();
+        assert_eq!(part.engines.len(), 2);
+        assert_eq!(part.links.len(), 1);
+        assert_eq!(part.region_sizes, vec![1, 1]);
+        assert_ne!(part.links[0].from, part.links[0].to);
+    }
+
+    #[test]
+    fn synchronous_connector_stays_whole() {
+        let autos = vec![
+            primitives::sync(p(0), p(1)),
+            primitives::sync(p(1), p(2)),
+            primitives::replicator(p(2), &[p(3), p(4)]),
+        ];
+        let layout = MemLayout::cells(0);
+        let part = partition(autos, 5, &layout, CachePolicy::Unbounded, 1 << 20).unwrap();
+        assert_eq!(part.engines.len(), 1);
+        assert!(part.links.is_empty());
+    }
+
+    #[test]
+    fn task_facing_fifo_is_kept_not_cut() {
+        // Task -> fifo -> sync -> task: the fifo's tail is task-facing, so
+        // it must stay inside the (single) region.
+        let autos = vec![
+            primitives::fifo1(p(0), p(1), MemId(0)),
+            primitives::sync(p(1), p(2)),
+        ];
+        let layout = MemLayout::cells(1);
+        let part = partition(autos, 3, &layout, CachePolicy::Unbounded, 1 << 20).unwrap();
+        assert_eq!(part.engines.len(), 1);
+        assert!(part.links.is_empty());
+    }
+
+    #[test]
+    fn values_flow_across_a_link_end_to_end() {
+        let autos = vec![
+            primitives::sync(p(0), p(1)),
+            primitives::fifo1(p(1), p(2), MemId(0)),
+            primitives::sync(p(2), p(3)),
+        ];
+        let layout = MemLayout::cells(1);
+        let part = Arc::new(
+            partition(autos, 4, &layout, CachePolicy::Unbounded, 1 << 20).unwrap(),
+        );
+        part.pump(); // initial arming
+        let sender_engine = Arc::clone(part.engine_for(p(0)));
+        let recv_engine = Arc::clone(part.engine_for(p(3)));
+        assert!(!Arc::ptr_eq(&sender_engine, &recv_engine));
+
+        let part2 = Arc::clone(&part);
+        let rx = std::thread::spawn(move || {
+            let e = part2.engine_for(p(3));
+            e.register_recv(p(3)).unwrap();
+            part2.pump();
+            let v = e.wait_recv(p(3)).unwrap();
+            part2.pump();
+            v
+        });
+        let e = part.engine_for(p(0));
+        e.register_send(p(0), Value::Int(21)).unwrap();
+        part.pump();
+        e.wait_send(p(0)).unwrap();
+        part.pump();
+        assert_eq!(rx.join().unwrap().as_int(), Some(21));
+    }
+
+    #[test]
+    fn initial_tokens_survive_the_cut()
+    {
+        // sync -> fifo1full(token) -> sync: the receiver must get the token
+        // before any send happens.
+        let autos = vec![
+            primitives::sync(p(0), p(1)),
+            primitives::fifo1_full(p(1), p(2), MemId(0), Value::Int(99)),
+            primitives::sync(p(2), p(3)),
+        ];
+        let layout = MemLayout::cells(1);
+        let part =
+            partition(autos, 4, &layout, CachePolicy::Unbounded, 1 << 20).unwrap();
+        part.pump();
+        let e = part.engine_for(p(3));
+        e.register_recv(p(3)).unwrap();
+        part.pump();
+        assert_eq!(e.wait_recv(p(3)).unwrap().as_int(), Some(99));
+    }
+}

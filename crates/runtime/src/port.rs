@@ -1,0 +1,137 @@
+//! The task-side API: outports and inports (Figs. 1/3 of the paper).
+//!
+//! In the generalized Foster–Chandy model both operations block: a `send`
+//! completes only when the connector accepts the message (a connector with
+//! buffer space accepts immediately, making the send effectively
+//! nonblocking — Footnote 1), and a `recv` completes only when the
+//! connector delivers one.
+
+use std::sync::Arc;
+
+use reo_automata::{PortId, Value};
+
+use crate::engine::Engine;
+use crate::error::RuntimeError;
+use crate::partition::Partitioned;
+
+/// How a port reaches its engine(s).
+#[derive(Clone)]
+pub(crate) enum Backend {
+    Single(Arc<Engine>),
+    Multi(Arc<Partitioned>),
+}
+
+impl Backend {
+    fn send(&self, p: PortId, v: Value) -> Result<(), RuntimeError> {
+        match self {
+            Backend::Single(e) => {
+                e.register_send(p, v)?;
+                e.wait_send(p)
+            }
+            Backend::Multi(m) => {
+                let e = Arc::clone(m.engine_for(p));
+                e.register_send(p, v)?;
+                m.pump();
+                let r = e.wait_send(p);
+                m.pump();
+                r
+            }
+        }
+    }
+
+    fn recv(&self, p: PortId) -> Result<Value, RuntimeError> {
+        match self {
+            Backend::Single(e) => {
+                e.register_recv(p)?;
+                e.wait_recv(p)
+            }
+            Backend::Multi(m) => {
+                let e = Arc::clone(m.engine_for(p));
+                e.register_recv(p)?;
+                m.pump();
+                let r = e.wait_recv(p);
+                m.pump();
+                r
+            }
+        }
+    }
+
+    pub(crate) fn steps(&self) -> u64 {
+        match self {
+            Backend::Single(e) => e.steps(),
+            Backend::Multi(m) => m.steps(),
+        }
+    }
+
+    pub(crate) fn close(&self) {
+        match self {
+            Backend::Single(e) => e.close(),
+            Backend::Multi(m) => m.close(),
+        }
+    }
+
+    pub(crate) fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
+        match self {
+            Backend::Single(e) => e.cache_stats(),
+            Backend::Multi(m) => {
+                let mut acc = crate::cache::CacheStats::default();
+                for e in &m.engines {
+                    if let Some(s) = e.cache_stats() {
+                        acc.hits += s.hits;
+                        acc.misses += s.misses;
+                        acc.evictions += s.evictions;
+                        acc.resident += s.resident;
+                    }
+                }
+                Some(acc)
+            }
+        }
+    }
+}
+
+/// Where a task sends messages into the connector (`void send(Object o)`).
+pub struct Outport {
+    pub(crate) backend: Backend,
+    pub(crate) port: PortId,
+}
+
+impl Outport {
+    /// Blocking send: returns once the connector has accepted the message.
+    pub fn send(&self, v: impl Into<Value>) -> Result<(), RuntimeError> {
+        self.backend.send(self.port, v.into())
+    }
+
+    /// The underlying vertex (diagnostics).
+    pub fn id(&self) -> PortId {
+        self.port
+    }
+}
+
+/// Where a task receives messages from the connector (`Object recv()`).
+pub struct Inport {
+    pub(crate) backend: Backend,
+    pub(crate) port: PortId,
+}
+
+impl Inport {
+    /// Blocking receive: returns the delivered message.
+    pub fn recv(&self) -> Result<Value, RuntimeError> {
+        self.backend.recv(self.port)
+    }
+
+    pub fn id(&self) -> PortId {
+        self.port
+    }
+}
+
+impl std::fmt::Debug for Outport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Outport({})", self.port)
+    }
+}
+
+impl std::fmt::Debug for Inport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Inport({})", self.port)
+    }
+}

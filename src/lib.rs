@@ -1,0 +1,48 @@
+//! # reo
+//!
+//! A Rust reproduction of **van Veen & Jongmans, *Modular Programming of
+//! Synchronization and Communication among Tasks in Parallel Programs***
+//! (IPDPSW 2018): Reo connectors parametrized in the number of tasks,
+//! compiled into constraint-automata state machines with ahead-of-time or
+//! just-in-time composition.
+//!
+//! This facade crate re-exports the workspace layers:
+//!
+//! * [`automata`] — constraint automata with memory (the formal substrate);
+//! * [`core`] — parametrized compilation (flattening, normalization,
+//!   medium-automata templates, instantiation);
+//! * [`dsl`] — the textual syntax of Sect. IV-B;
+//! * [`runtime`] — blocking ports and the four execution modes;
+//! * [`connectors`] — the 18 parametrizable connector families of Fig. 12;
+//! * [`npb`] — the NAS Parallel Benchmarks substrate of Fig. 13.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use reo::runtime::{Connector, Mode};
+//!
+//! // The paper's Example 8: N producers, one consumer, strictly ordered.
+//! let program = reo::dsl::parse_program(reo::dsl::stdlib::FIG9_SOURCE).unwrap();
+//! let connector = Connector::compile(&program, "ConnectorEx11N", Mode::jit()).unwrap();
+//!
+//! // Choose N at *run time* — the generalization the paper contributes.
+//! let n = 3;
+//! let mut connected = connector.connect(&[("tl", n), ("hd", n)]).unwrap();
+//! let producers = connected.take_outports("tl");
+//! let consumer = connected.take_inports("hd");
+//!
+//! // Producer 1 may send immediately; the others are held back until the
+//! // consumer catches up, enforcing producer order end to end.
+//! producers[0].send(10i64).unwrap();
+//! assert_eq!(consumer[0].recv().unwrap().as_int(), Some(10));
+//! ```
+
+pub use reo_automata as automata;
+pub use reo_connectors as connectors;
+pub use reo_core as core;
+pub use reo_dsl as dsl;
+pub use reo_npb as npb;
+pub use reo_runtime as runtime;
+
+pub use reo_automata::Value;
+pub use reo_runtime::{Connector, Inport, Mode, Outport, RuntimeError};

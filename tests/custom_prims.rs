@@ -1,0 +1,133 @@
+//! Custom (host-language) primitives: Rust-defined channels registered by
+//! name and used from the textual syntax alongside the builtins — the
+//! extension point that keeps the connector language open-ended.
+
+use std::sync::Arc;
+use std::thread;
+
+use reo::automata::{primitives, Func, Pred};
+use reo::core::{Arity, CustomPrim};
+use reo::runtime::{Connector, Mode};
+use reo::Value;
+
+#[test]
+fn filter_channel_drops_non_matching_messages() {
+    let mut program = reo::dsl::parse_program(
+        "Evens(a;b) = EvenFilter(a;m) mult Fifo1(m;b)",
+    )
+    .unwrap();
+    let even = Pred::new("even", |v| v.as_int().is_some_and(|i| i % 2 == 0));
+    program.registry.register(
+        "EvenFilter",
+        CustomPrim {
+            tails: Arity::Exact(1),
+            heads: Arity::Exact(1),
+            build: Arc::new(move |tails, heads, _mems| {
+                primitives::filter(tails[0], heads[0], even.clone())
+            }),
+        },
+    );
+
+    for mode in [Mode::jit(), Mode::existing()] {
+        let connector = Connector::compile(&program, "Evens", mode).unwrap();
+        let mut connected = connector.connect(&[]).unwrap();
+        let tx = connected.take_outports("a").pop().unwrap();
+        let rx = connected.take_inports("b").pop().unwrap();
+        let producer = thread::spawn(move || {
+            for i in 0..10i64 {
+                tx.send(Value::Int(i)).unwrap();
+            }
+        });
+        for expected in [0i64, 2, 4, 6, 8] {
+            assert_eq!(rx.recv().unwrap().as_int(), Some(expected), "{mode:?}");
+        }
+        producer.join().unwrap();
+    }
+}
+
+#[test]
+fn transformer_applies_function_in_flight() {
+    let mut program =
+        reo::dsl::parse_program("Doubler(a;b) = Twice(a;m) mult Fifo1(m;b)").unwrap();
+    let twice = Func::new("twice", |args| {
+        Value::Int(args[0].as_int().unwrap() * 2)
+    });
+    program.registry.register(
+        "Twice",
+        CustomPrim {
+            tails: Arity::Exact(1),
+            heads: Arity::Exact(1),
+            build: Arc::new(move |tails, heads, _mems| {
+                primitives::transform(tails[0], heads[0], twice.clone())
+            }),
+        },
+    );
+    let connector = Connector::compile(&program, "Doubler", Mode::jit()).unwrap();
+    let mut connected = connector.connect(&[]).unwrap();
+    let tx = connected.take_outports("a").pop().unwrap();
+    let rx = connected.take_inports("b").pop().unwrap();
+    tx.send(Value::Int(21)).unwrap();
+    assert_eq!(rx.recv().unwrap().as_int(), Some(42));
+}
+
+#[test]
+fn custom_prims_compose_under_iteration() {
+    // A custom filter replicated by `prod` — templates must stamp one
+    // automaton per iteration, sharing nothing.
+    let mut program = reo::dsl::parse_program(
+        "Gate(a[];b[]) = prod (i:1..#a) Positive(a[i];b[i])",
+    )
+    .unwrap();
+    let positive = Pred::new("positive", |v| v.as_int().is_some_and(|i| i > 0));
+    program.registry.register(
+        "Positive",
+        CustomPrim {
+            tails: Arity::Exact(1),
+            heads: Arity::Exact(1),
+            build: Arc::new(move |tails, heads, _mems| {
+                primitives::filter(tails[0], heads[0], positive.clone())
+            }),
+        },
+    );
+    let connector = Connector::compile(&program, "Gate", Mode::jit()).unwrap();
+    let mut connected = connector.connect(&[("a", 3), ("b", 3)]).unwrap();
+    let txs = connected.take_outports("a");
+    let rxs = connected.take_inports("b");
+    // Negative values are swallowed (filter's lossy branch), positives pass.
+    let senders: Vec<_> = txs
+        .into_iter()
+        .enumerate()
+        .map(|(i, tx)| {
+            thread::spawn(move || {
+                tx.send(Value::Int(-1)).unwrap(); // dropped
+                tx.send(Value::Int(i as i64 + 1)).unwrap(); // delivered
+            })
+        })
+        .collect();
+    for (i, rx) in rxs.iter().enumerate() {
+        assert_eq!(rx.recv().unwrap().as_int(), Some(i as i64 + 1));
+    }
+    for s in senders {
+        s.join().unwrap();
+    }
+}
+
+#[test]
+fn unknown_custom_prim_is_a_compile_error() {
+    let program = reo::dsl::parse_program("Nope(a;b) = Mystery(a;b)").unwrap();
+    assert!(Connector::compile(&program, "Nope", Mode::jit()).is_err());
+}
+
+#[test]
+fn custom_prim_arity_is_checked() {
+    let mut program = reo::dsl::parse_program("Bad(a;b,c) = One2One(a;b,c)").unwrap();
+    program.registry.register(
+        "One2One",
+        CustomPrim {
+            tails: Arity::Exact(1),
+            heads: Arity::Exact(1),
+            build: Arc::new(|tails, heads, _| primitives::sync(tails[0], heads[0])),
+        },
+    );
+    assert!(Connector::compile(&program, "Bad", Mode::jit()).is_err());
+}
