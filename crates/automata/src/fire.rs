@@ -159,9 +159,8 @@ fn resolve_valuation(
             a.src.ports_read(&mut scratch);
             let ready = scratch.iter().all(|p| val.get(*p).is_some());
             if ready {
-                let resolver = |p: PortId| -> Value {
-                    val.get(p).cloned().expect("checked ready above")
-                };
+                let resolver =
+                    |p: PortId| -> Value { val.get(p).cloned().expect("checked ready above") };
                 let v = a.src.eval(&resolver, store);
                 if let crate::assign::Dst::Port(p) = a.dst {
                     // A port can be written at most once per transition
@@ -211,7 +210,7 @@ mod tests {
     use crate::term::Term;
 
     fn send(v: i64) -> impl Fn(PortId) -> Option<Value> {
-        move |p| (p == PortId(0)).then(|| Value::Int(v))
+        move |p| (p == PortId(0)).then_some(Value::Int(v))
     }
 
     #[test]

@@ -161,9 +161,7 @@ impl Guard {
             ),
             Guard::MemLen(m, c, n) => Guard::MemLen(*m, *c, *n),
             Guard::Pred(p, t) => Guard::Pred(p.clone(), t.substitute_port(port, replacement)),
-            Guard::NotPred(p, t) => {
-                Guard::NotPred(p.clone(), t.substitute_port(port, replacement))
-            }
+            Guard::NotPred(p, t) => Guard::NotPred(p.clone(), t.substitute_port(port, replacement)),
             Guard::And(a, b) => Guard::And(
                 Box::new(a.substitute_port(port, replacement)),
                 Box::new(b.substitute_port(port, replacement)),
@@ -247,8 +245,9 @@ mod tests {
     fn term_eq_and_conjunction() {
         let store = Store::new(&MemLayout::cells(0));
         let ports = |p: PortId| Value::Int(p.0 as i64);
-        let g = Guard::TermEq(Term::Port(PortId(2)), Term::Const(Value::Int(2)))
-            .and(Guard::TermNe(Term::Port(PortId(3)), Term::Const(Value::Int(9))));
+        let g = Guard::TermEq(Term::Port(PortId(2)), Term::Const(Value::Int(2))).and(
+            Guard::TermNe(Term::Port(PortId(3)), Term::Const(Value::Int(9))),
+        );
         assert!(g.eval(&ports, &store));
         let bad = Guard::TermEq(Term::Port(PortId(2)), Term::Const(Value::Int(5)));
         assert!(!bad.eval(&ports, &store));
@@ -274,11 +273,7 @@ mod tests {
     fn state_only_classification() {
         assert!(Guard::True.is_state_only());
         assert!(Guard::MemLen(MemId(0), Cmp::Eq, 0).is_state_only());
-        assert!(
-            Guard::TermEq(Term::Mem(MemId(0)), Term::Const(Value::Unit)).is_state_only()
-        );
-        assert!(
-            !Guard::TermEq(Term::Port(PortId(0)), Term::Const(Value::Unit)).is_state_only()
-        );
+        assert!(Guard::TermEq(Term::Mem(MemId(0)), Term::Const(Value::Unit)).is_state_only());
+        assert!(!Guard::TermEq(Term::Port(PortId(0)), Term::Const(Value::Unit)).is_state_only());
     }
 }

@@ -111,14 +111,6 @@ impl PortSet {
         Self::default()
     }
 
-    /// Build from an iterator; sorts and deduplicates.
-    pub fn from_iter<I: IntoIterator<Item = PortId>>(iter: I) -> Self {
-        let mut items: Vec<PortId> = iter.into_iter().collect();
-        items.sort_unstable();
-        items.dedup();
-        Self { items }
-    }
-
     pub fn singleton(p: PortId) -> Self {
         Self { items: vec![p] }
     }
@@ -268,9 +260,7 @@ impl PortSet {
     /// two transitions agree on a shared-port window `w`.
     pub fn agrees_on(&self, other: &PortSet, window: &PortSet) -> bool {
         // Walk the window; each window port must be in both or neither.
-        window
-            .iter()
-            .all(|p| self.contains(p) == other.contains(p))
+        window.iter().all(|p| self.contains(p) == other.contains(p))
     }
 
     /// Retain only ports satisfying the predicate.
@@ -285,9 +275,13 @@ impl fmt::Debug for PortSet {
     }
 }
 
+/// Builds from any iterator; sorts and deduplicates.
 impl FromIterator<PortId> for PortSet {
     fn from_iter<I: IntoIterator<Item = PortId>>(iter: I) -> Self {
-        PortSet::from_iter(iter)
+        let mut items: Vec<PortId> = iter.into_iter().collect();
+        items.sort_unstable();
+        items.dedup();
+        Self { items }
     }
 }
 

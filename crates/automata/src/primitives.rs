@@ -431,7 +431,7 @@ mod tests {
         let t = &aut.transitions_from(aut.initial())[0];
         assert_eq!(t.sync.len(), 3);
         let mut store = Store::new(aut.mem_layout());
-        let firing = try_fire(t, &|q| (q == p(0)).then(|| Value::Int(4)), &mut store)
+        let firing = try_fire(t, &|q| (q == p(0)).then_some(Value::Int(4)), &mut store)
             .unwrap()
             .unwrap();
         assert_eq!(firing.deliveries.len(), 2);
@@ -456,7 +456,7 @@ mod tests {
         let pass = trans.iter().find(|t| t.sync.len() == 2).unwrap();
         let drop = trans.iter().find(|t| t.sync.len() == 1).unwrap();
         // Odd value: pass-guard false, drop-guard true.
-        let odd = |q: PortId| (q == p(0)).then(|| Value::Int(3));
+        let odd = |q: PortId| (q == p(0)).then_some(Value::Int(3));
         assert!(try_fire(pass, &odd, &mut store).unwrap().is_none());
         assert!(try_fire(drop, &odd, &mut store).unwrap().is_some());
     }
@@ -487,7 +487,7 @@ mod tests {
         let aut = fifo_unbounded(p(0), p(1), MemId(0));
         let mut store = Store::new(aut.mem_layout());
         let mut state = aut.initial();
-        let offer = |q: PortId| (q == p(0)).then(|| Value::Int(1));
+        let offer = |q: PortId| (q == p(0)).then_some(Value::Int(1));
         // Push three times.
         for _ in 0..3 {
             let t = aut

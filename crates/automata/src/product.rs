@@ -67,7 +67,11 @@ impl std::fmt::Display for Explosion {
 impl std::error::Error for Explosion {}
 
 /// Compose two automata with ×.
-pub fn product(a: &Automaton, b: &Automaton, opts: &ProductOptions) -> Result<Automaton, Explosion> {
+pub fn product(
+    a: &Automaton,
+    b: &Automaton,
+    opts: &ProductOptions,
+) -> Result<Automaton, Explosion> {
     let ports_a = a.ports();
     let ports_b = b.ports();
     let shared = ports_a.intersection(&ports_b);
@@ -149,9 +153,9 @@ pub fn product(a: &Automaton, b: &Automaton, opts: &ProductOptions) -> Result<Au
         }
 
         let intern = |pair: (StateId, StateId),
-                          index: &mut HashMap<(StateId, StateId), StateId>,
-                          queue: &mut Vec<(StateId, StateId)>,
-                          builder: &mut AutomatonBuilder|
+                      index: &mut HashMap<(StateId, StateId), StateId>,
+                      queue: &mut Vec<(StateId, StateId)>,
+                      builder: &mut AutomatonBuilder|
          -> StateId {
             *index.entry(pair).or_insert_with(|| {
                 queue.push(pair);
@@ -205,8 +209,7 @@ pub fn product(a: &Automaton, b: &Automaton, opts: &ProductOptions) -> Result<Au
                 if proj_a[sa.index()][i] != proj_b[sb.index()][j] {
                     continue;
                 }
-                let target =
-                    intern((t1.target, t2.target), &mut index, &mut queue, &mut builder);
+                let target = intern((t1.target, t2.target), &mut index, &mut queue, &mut builder);
                 let mut assigns = t1.assigns.clone();
                 assigns.extend(t2.assigns.iter().cloned());
                 let mut pops = t1.pops.clone();

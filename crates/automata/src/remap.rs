@@ -136,7 +136,7 @@ mod tests {
         assert_eq!(renamed.mem_ids(), &[MemId(3)]);
         let mut store = Store::new(renamed.mem_layout());
         let fill = &renamed.transitions_from(renamed.initial())[0];
-        try_fire(fill, &|q| (q == p(5)).then(|| Value::Int(2)), &mut store)
+        try_fire(fill, &|q| (q == p(5)).then_some(Value::Int(2)), &mut store)
             .unwrap()
             .unwrap();
         assert_eq!(store.peek(MemId(3)).unwrap().as_int(), Some(2));

@@ -68,9 +68,11 @@ pub fn simplify(aut: &Automaton, keep: &PortSet) -> Automaton {
     result.set_port_classes(inputs, outputs, internals);
     result.replace_mems(aut.mem_layout().clone(), aut.mem_ids().to_vec());
     // A simplified queue is still a queue, provided its ends survive.
-    result.set_queue_hint(aut.queue_hint().cloned().filter(|h| {
-        keep.contains(h.input) && keep.contains(h.output)
-    }));
+    result.set_queue_hint(
+        aut.queue_hint()
+            .cloned()
+            .filter(|h| keep.contains(h.input) && keep.contains(h.output)),
+    );
     result
 }
 
@@ -82,14 +84,14 @@ fn simplify_transition(t: &Transition, keep: &PortSet) -> Transition {
     // Repeatedly pick an assignment writing a hidden port, substitute its
     // source into every reader, and drop it. Each round removes one
     // assignment, so this terminates.
-    loop {
-        let Some(pos) = assigns.iter().position(|a| {
-            matches!(a.dst, Dst::Port(p) if !keep.contains(p))
-        }) else {
-            break;
-        };
+    while let Some(pos) = assigns
+        .iter()
+        .position(|a| matches!(a.dst, Dst::Port(p) if !keep.contains(p)))
+    {
         let a = assigns.remove(pos);
-        let Dst::Port(hidden) = a.dst else { unreachable!() };
+        let Dst::Port(hidden) = a.dst else {
+            unreachable!()
+        };
         for other in &mut assigns {
             other.src = other.src.substitute_port(hidden, &a.src);
         }
@@ -153,7 +155,7 @@ mod tests {
         assert_eq!(t.assigns.len(), 1);
         // End-to-end data still flows.
         let mut store = Store::new(simple.mem_layout());
-        let f = try_fire(t, &|q| (q == p(0)).then(|| Value::Int(8)), &mut store)
+        let f = try_fire(t, &|q| (q == p(0)).then_some(Value::Int(8)), &mut store)
             .unwrap()
             .unwrap();
         assert_eq!(f.deliveries.len(), 1);
@@ -177,7 +179,7 @@ mod tests {
         let fill = &simple.transitions_from(simple.initial())[0];
         assert_eq!(fill.sync.as_slice(), &[p(0)]);
         let mut store = Store::new(simple.mem_layout());
-        try_fire(fill, &|q| (q == p(0)).then(|| Value::Int(5)), &mut store)
+        try_fire(fill, &|q| (q == p(0)).then_some(Value::Int(5)), &mut store)
             .unwrap()
             .unwrap();
         assert_eq!(store.peek(MemId(0)).unwrap().as_int(), Some(5));

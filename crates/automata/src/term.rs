@@ -14,6 +14,9 @@ use crate::port::{MemId, PortId};
 use crate::store::Store;
 use crate::value::Value;
 
+/// The shared object behind a [`Func`]: any pure `&[Value] -> Value`.
+type DynFn = Arc<dyn Fn(&[Value]) -> Value + Send + Sync>;
+
 /// A pure function usable inside terms (transform channels, filters).
 ///
 /// Functions are compared by pointer identity: two terms are structurally
@@ -21,7 +24,7 @@ use crate::value::Value;
 #[derive(Clone)]
 pub struct Func {
     name: Arc<str>,
-    f: Arc<dyn Fn(&[Value]) -> Value + Send + Sync>,
+    f: DynFn,
 }
 
 impl Func {
@@ -160,9 +163,7 @@ mod tests {
     #[test]
     fn apply_calls_function() {
         let store = Store::new(&MemLayout::cells(0));
-        let inc = Func::new("inc", |args| {
-            Value::Int(args[0].as_int().unwrap() + 1)
-        });
+        let inc = Func::new("inc", |args| Value::Int(args[0].as_int().unwrap() + 1));
         let t = Term::Apply(inc, vec![Term::Const(Value::Int(1))]);
         assert_eq!(t.eval(&no_ports, &store).as_int(), Some(2));
     }

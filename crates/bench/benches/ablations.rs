@@ -17,18 +17,18 @@ use reo_runtime::{CachePolicy, Connector, Mode};
 /// Round-trip messages through `ordered` at N=8, monolithic compilation
 /// with and without label simplification.
 fn bench_simplify_ablation(c: &mut Criterion) {
-    let family = families().into_iter().find(|f| f.name == "ordered").unwrap();
+    let family = families()
+        .into_iter()
+        .find(|f| f.name == "ordered")
+        .unwrap();
     let program = family.program();
     let mut group = c.benchmark_group("ablation_simplify");
     for (label, simplify) in [("on", true), ("off", false)] {
         group.bench_function(label, |b| {
             b.iter_custom(|iters| {
-                let connector = Connector::compile(
-                    &program,
-                    family.def,
-                    Mode::ExistingMonolithic { simplify },
-                )
-                .unwrap();
+                let connector =
+                    Connector::compile(&program, family.def, Mode::ExistingMonolithic { simplify })
+                        .unwrap();
                 let mut connected = connector.connect(&[("tl", 8), ("hd", 8)]).unwrap();
                 let senders = connected.take_outports("tl");
                 let receivers = connected.take_inports("hd");
@@ -70,8 +70,7 @@ fn bench_cache_ablation(c: &mut Criterion) {
         group.bench_function(label, |b| {
             // The sequencer is single-thread drivable: clients complete
             // strictly in rotation.
-            let connector =
-                Connector::compile(&program, family.def, Mode::Jit { cache }).unwrap();
+            let connector = Connector::compile(&program, family.def, Mode::Jit { cache }).unwrap();
             let mut connected = connector.connect(&[("t", 6)]).unwrap();
             let clients = connected.take_outports("t");
             b.iter(|| {
@@ -106,9 +105,7 @@ fn bench_partition_ablation(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
                 b.iter_custom(|iters| {
                     let connector = Connector::compile(&program, family.def, mode).unwrap();
-                    let mut connected = connector
-                        .connect(&[("v", n), ("w", n)])
-                        .unwrap();
+                    let mut connected = connector.connect(&[("v", n), ("w", n)]).unwrap();
                     let master_out = connected.take_outports("m").pop().unwrap();
                     let results = connected.take_inports("res").pop().unwrap();
                     let work_in = connected.take_inports("w");

@@ -49,13 +49,9 @@ fn bench_ordered(c: &mut Criterion) {
             if label == "existing" && n > 4 {
                 continue;
             }
-            group.bench_with_input(
-                BenchmarkId::new(label, n),
-                &n,
-                |b, &n| {
-                    b.iter_custom(|iters| ordered_round(n, mode, iters));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
+                b.iter_custom(|iters| ordered_round(n, mode, iters));
+            });
         }
     }
     group.finish();

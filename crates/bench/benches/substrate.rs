@@ -71,7 +71,7 @@ fn bench_fire(c: &mut Criterion) {
         let prod = product_all(&sync_chain(k), &ProductOptions::default()).unwrap();
         let keep = PortSet::from_iter([PortId(0), PortId(k as u32)]);
         let simple = simplify(&prod, &keep);
-        let offer = move |p: PortId| (p == PortId(0)).then(|| Value::Int(1));
+        let offer = move |p: PortId| (p == PortId(0)).then_some(Value::Int(1));
 
         group.bench_with_input(BenchmarkId::new("raw_chain", k), &k, |b, _| {
             let t = &prod.transitions_from(prod.initial())[0];

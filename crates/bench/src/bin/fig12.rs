@@ -3,13 +3,19 @@
 //! ```text
 //! cargo run --release -p reo-bench --bin fig12 -- \
 //!     [--secs 0.3] [--ns 2,4,8,16,32,64] [--families merger,router,…] \
-//!     [--partitioned]
+//!     [--partitioned] [--json [BENCH_fig12.json]]
 //! ```
+//!
+//! With `--json` the per-cell results are also written as a JSON document
+//! (default path `BENCH_fig12.json`), the machine-readable datapoint the
+//! benchmark trajectory in ROADMAP.md builds on.
 
+use std::fmt::Write as _;
 use std::time::Duration;
 
-use reo_bench::fig12::{classify, run, summarize, Config};
+use reo_bench::fig12::{classify, run, summarize, Cell, Config};
 use reo_bench::Args;
+use reo_connectors::RunOutcome;
 
 fn main() {
     let args = Args::from_env();
@@ -34,8 +40,8 @@ fn main() {
         }
     );
     println!(
-        "{:<16}{:>4}  {:>14}  {:>14}  {:>9}  {}",
-        "connector", "N", "existing st/s", "new st/s", "ratio", "bin"
+        "{:<16}{:>4}  {:>14}  {:>14}  {:>9}  bin",
+        "connector", "N", "existing st/s", "new st/s", "ratio"
     );
 
     let window = config.window;
@@ -73,4 +79,83 @@ fn main() {
         "Paper's Fig. 12 pie for reference: NEW-ONLY 8%, NEW-WINS 42%, \
          EXIST<=10x 42%, EXIST<=100x 8%."
     );
+
+    if let Some(value) = args.get("json") {
+        // A bare `--json` is stored as the sentinel "true" by Args;
+        // anything else is an explicit output path.
+        let path = if value == "true" {
+            "BENCH_fig12.json"
+        } else {
+            value
+        };
+        std::fs::write(path, to_json(&cells, &config)).expect("write JSON report");
+        println!("wrote {path} ({} cells)", cells.len());
+    }
+}
+
+/// Escape a string for a JSON string literal (Debug formatting is close
+/// but emits Rust-only `\u{..}` escapes for control characters).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Serialize the run by hand — the offline workspace carries no serde.
+fn to_json(cells: &[Cell], config: &Config) -> String {
+    fn outcome(o: &RunOutcome) -> String {
+        let failure = match &o.failure {
+            Some(f) => json_str(f),
+            None => "null".to_string(),
+        };
+        format!(
+            r#"{{"steps":{},"connect_ms":{:.3},"failure":{}}}"#,
+            o.steps,
+            o.connect_time.as_secs_f64() * 1e3,
+            failure
+        )
+    }
+    let mut s = String::from("{\n");
+    let _ = writeln!(
+        s,
+        r#"  "benchmark": "fig12_connectors",
+  "window_secs": {},
+  "ns": {:?},
+  "cells": ["#,
+        config.window.as_secs_f64(),
+        config.ns
+    );
+    for (i, c) in cells.iter().enumerate() {
+        let partitioned = match &c.partitioned {
+            Some(o) => outcome(o),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            s,
+            r#"    {{"family":{},"n":{},"bin":{},"existing":{},"new":{},"partitioned":{}}}"#,
+            json_str(c.family),
+            c.n,
+            json_str(classify(c).label()),
+            outcome(&c.existing),
+            outcome(&c.new),
+            partitioned
+        );
+        s.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
 }

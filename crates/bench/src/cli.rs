@@ -37,13 +37,19 @@ impl Args {
 
     pub fn f64(&self, key: &str, default: f64) -> f64 {
         self.get(key)
-            .map(|s| s.parse().unwrap_or_else(|_| panic!("--{key} expects a number")))
+            .map(|s| {
+                s.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects a number"))
+            })
             .unwrap_or(default)
     }
 
     pub fn usize(&self, key: &str, default: usize) -> usize {
         self.get(key)
-            .map(|s| s.parse().unwrap_or_else(|_| panic!("--{key} expects an integer")))
+            .map(|s| {
+                s.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer"))
+            })
             .unwrap_or(default)
     }
 

@@ -3,7 +3,7 @@
 //! For every connector family and every N, the connector is built with the
 //! *existing* approach (full elaboration + one large automaton, computed
 //! inside `connect`) and with the *new* approach (parametrized compilation
-//! + just-in-time composition), then driven by no-compute tasks for a fixed
+//! plus just-in-time composition), then driven by no-compute tasks for a fixed
 //! wall-clock window. The metric is the number of global execution steps.
 //!
 //! The summary classifies every (family, N) cell the way the paper's pie /

@@ -94,9 +94,7 @@ pub fn drive_with_limits(
             }
             Role::Recv => {
                 for port in connected.take_inports(param) {
-                    threads.push(std::thread::spawn(move || {
-                        while port.recv().is_ok() {}
-                    }));
+                    threads.push(std::thread::spawn(move || while port.recv().is_ok() {}));
                 }
             }
         }

@@ -48,9 +48,8 @@ pub struct Family {
 impl Family {
     /// Parse this family's program.
     pub fn program(&self) -> Program {
-        parse_program(self.source).unwrap_or_else(|e| {
-            panic!("family `{}` source does not parse: {e}", self.name)
-        })
+        parse_program(self.source)
+            .unwrap_or_else(|e| panic!("family `{}` source does not parse: {e}", self.name))
     }
 }
 

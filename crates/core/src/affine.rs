@@ -264,21 +264,21 @@ mod tests {
     #[test]
     fn canonical_forms_identify_equal_indices() {
         // i + 1 == 1 + i
-        let a = canon(&IExpr::var("i").add(IExpr::Const(1))).unwrap();
-        let b = canon(&IExpr::Const(1).add(IExpr::var("i"))).unwrap();
+        let a = canon(&(IExpr::var("i") + IExpr::Const(1))).unwrap();
+        let b = canon(&(IExpr::Const(1) + IExpr::var("i"))).unwrap();
         assert_eq!(a, b);
         // i + 1 != i
         let c = canon(&IExpr::var("i")).unwrap();
         assert_ne!(a, c);
         // (#tl - 1) + 1 == #tl
-        let d = canon(&IExpr::len("tl").sub(IExpr::Const(1)).add(IExpr::Const(1))).unwrap();
+        let d = canon(&(IExpr::len("tl") - IExpr::Const(1) + IExpr::Const(1))).unwrap();
         assert_eq!(d, canon(&IExpr::len("tl")).unwrap());
     }
 
     #[test]
     fn cancellation_drops_zero_coefficients() {
         // i - i == 0
-        let z = canon(&IExpr::var("i").sub(IExpr::var("i"))).unwrap();
+        let z = canon(&(IExpr::var("i") - IExpr::var("i"))).unwrap();
         assert_eq!(z.is_constant(), Some(0));
     }
 
@@ -298,7 +298,7 @@ mod tests {
     #[test]
     fn eval_under_env() {
         let env = Env::new().with_var("i", 3).with_len("tl", 8);
-        let a = canon(&IExpr::len("tl").sub(IExpr::var("i"))).unwrap();
+        let a = canon(&(IExpr::len("tl") - IExpr::var("i"))).unwrap();
         assert_eq!(a.eval(&env).unwrap(), 5);
         let missing = canon(&IExpr::var("zzz")).unwrap();
         assert!(missing.eval(&env).is_err());
@@ -308,7 +308,7 @@ mod tests {
     fn substitution_rebinds_lengths() {
         // #tl with tl bound to a slice of width (b - a + 1).
         let f = canon(&IExpr::len("tl")).unwrap();
-        let width = canon(&IExpr::var("b").sub(IExpr::var("a")).add(IExpr::Const(1))).unwrap();
+        let width = canon(&(IExpr::var("b") - IExpr::var("a") + IExpr::Const(1))).unwrap();
         let g = f.substitute(&Sym::Len("tl".into()), &width);
         let env = Env::new().with_var("a", 2).with_var("b", 5);
         assert_eq!(g.eval(&env).unwrap(), 4);

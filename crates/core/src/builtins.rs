@@ -264,7 +264,15 @@ mod tests {
     #[test]
     fn fifo1full_token_from_iarg() {
         let mut fm = mems();
-        let aut = build("Fifo1Full", Builtin::Fifo1Full, &[7], &[p(0)], &[p(1)], &mut fm).unwrap();
+        let aut = build(
+            "Fifo1Full",
+            Builtin::Fifo1Full,
+            &[7],
+            &[p(0)],
+            &[p(1)],
+            &mut fm,
+        )
+        .unwrap();
         let init = aut.mem_layout().initial_contents(MemId(0));
         assert_eq!(init.len(), 1);
         assert_eq!(init[0].as_int(), Some(7));

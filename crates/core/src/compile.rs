@@ -315,11 +315,9 @@ impl<'p> Compiler<'p> {
                     FlatOperand::Many(_) => unreachable!("fixed shape checked"),
                 })
                 .collect();
-            let slot = groups.iter().position(|(_, seen)| {
-                !refs
-                    .iter()
-                    .any(|r| seen.iter().any(|g| may_alias(r, g)))
-            });
+            let slot = groups
+                .iter()
+                .position(|(_, seen)| !refs.iter().any(|r| seen.iter().any(|g| may_alias(r, g))));
             match slot {
                 Some(k) => {
                     groups[k].0.push(inst);
@@ -391,7 +389,9 @@ impl<'p> Compiler<'p> {
             .map(PortId)
             .filter(|p| {
                 !internals.contains(*p)
-                    || !self.usage.hidable(&sym_ports[p.index()], section, enclosing)
+                    || !self
+                        .usage
+                        .hidable(&sym_ports[p.index()], section, enclosing)
             })
             .collect();
         let medium = simp(&medium, &keep);
@@ -404,8 +404,7 @@ impl<'p> Compiler<'p> {
             compact_map[p.index()] = PortId(compact_syms.len() as u32);
             compact_syms.push(sym_ports[p.index()].clone());
         }
-        let medium =
-            reo_automata::remap::remap(&medium, &|p| compact_map[p.index()], &|m| m);
+        let medium = reo_automata::remap::remap(&medium, &|p| compact_map[p.index()], &|m| m);
         Ok(CompiledNode::Medium(MediumTemplate {
             automaton: medium,
             sym_ports: compact_syms,
@@ -426,9 +425,10 @@ fn may_alias(a: &FlatRef, b: &FlatRef) -> bool {
     }
     // They cannot alias iff some dimension differs by a provably nonzero
     // constant.
-    !a.indices.iter().zip(&b.indices).any(|(x, y)| {
-        matches!(x.sub(y).is_constant(), Some(c) if c != 0)
-    })
+    !a.indices
+        .iter()
+        .zip(&b.indices)
+        .any(|(x, y)| matches!(x.sub(y).is_constant(), Some(c) if c != 0))
 }
 
 /// Build a primitive — builtin or custom — for the given ports.

@@ -54,9 +54,15 @@ impl fmt::Display for CoreError {
                 name,
                 expected,
                 got,
-            } => write!(f, "arity mismatch instantiating `{name}`: expected {expected}, got {got}"),
+            } => write!(
+                f,
+                "arity mismatch instantiating `{name}`: expected {expected}, got {got}"
+            ),
             CoreError::RecursiveDefinition(n) => {
-                write!(f, "recursive connector definition `{n}` (cycle while flattening)")
+                write!(
+                    f,
+                    "recursive connector definition `{n}` (cycle while flattening)"
+                )
             }
             CoreError::NonAffineIndex(e) => write!(f, "non-affine index expression `{e}`"),
             CoreError::UnboundVar(v) => write!(f, "unbound variable `{v}`"),
@@ -72,7 +78,10 @@ impl fmt::Display for CoreError {
                 }
             }
             CoreError::IndexOutOfBounds { name, index, len } => {
-                write!(f, "index {index} out of bounds for `{name}` of length {len} (arrays are 1-based)")
+                write!(
+                    f,
+                    "index {index} out of bounds for `{name}` of length {len} (arrays are 1-based)"
+                )
             }
             CoreError::AliasedPorts { section, port } => {
                 write!(f, "section `{section}`: two symbolic ports alias concrete port {port}; rewrite the connector so aliasing ports are in separate constituents")
@@ -111,6 +120,8 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("tl"));
         assert!(msg.contains("1-based"));
-        assert!(CoreError::UnboundVar("i".into()).to_string().contains("`i`"));
+        assert!(CoreError::UnboundVar("i".into())
+            .to_string()
+            .contains("`i`"));
     }
 }

@@ -36,12 +36,28 @@ pub fn connector_ex11a() -> ConnectorDef {
         tails: vec![Param::scalar("tl1"), Param::scalar("tl2")],
         heads: vec![Param::scalar("hd1"), Param::scalar("hd2")],
         body: CExpr::Mult(vec![
-            CExpr::Inst(Inst::new("Repl2", vec![r("tl1")], vec![r("prev1"), r("v1")])),
-            CExpr::Inst(Inst::new("Repl2", vec![r("tl2")], vec![r("prev2"), r("v2")])),
+            CExpr::Inst(Inst::new(
+                "Repl2",
+                vec![r("tl1")],
+                vec![r("prev1"), r("v1")],
+            )),
+            CExpr::Inst(Inst::new(
+                "Repl2",
+                vec![r("tl2")],
+                vec![r("prev2"), r("v2")],
+            )),
             CExpr::Inst(Inst::new("Fifo1", vec![r("v1")], vec![r("w1")])),
             CExpr::Inst(Inst::new("Fifo1", vec![r("v2")], vec![r("w2")])),
-            CExpr::Inst(Inst::new("Repl2", vec![r("w1")], vec![r("next1"), r("hd1")])),
-            CExpr::Inst(Inst::new("Repl2", vec![r("w2")], vec![r("next2"), r("hd2")])),
+            CExpr::Inst(Inst::new(
+                "Repl2",
+                vec![r("w1")],
+                vec![r("next1"), r("hd1")],
+            )),
+            CExpr::Inst(Inst::new(
+                "Repl2",
+                vec![r("w2")],
+                vec![r("next2"), r("hd2")],
+            )),
             CExpr::Inst(Inst::new("Seq2", vec![r("next1"), r("prev2")], vec![])),
             CExpr::Inst(Inst::new("Seq2", vec![r("prev1"), r("next2")], vec![])),
         ]),
@@ -120,11 +136,11 @@ pub fn connector_ex11n() -> ConnectorDef {
                 CExpr::prod(
                     "i",
                     IExpr::Const(1),
-                    IExpr::len("tl").sub(IExpr::Const(1)),
+                    IExpr::len("tl") - IExpr::Const(1),
                     CExpr::Inst(Inst::new(
                         "Seq2",
                         vec![ix("next", i_var("i"))],
-                        vec![ix("prev", i_var("i").add(IExpr::Const(1)))],
+                        vec![ix("prev", i_var("i") + IExpr::Const(1))],
                     )),
                 ),
                 CExpr::Inst(Inst::new(

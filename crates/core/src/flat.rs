@@ -506,9 +506,11 @@ impl<'p> Flattener<'p> {
 
     fn canon_bexpr(&mut self, e: &BExpr, scope: &Scope) -> Result<FlatBool, CoreError> {
         Ok(match e {
-            BExpr::Cmp(op, a, b) => {
-                FlatBool::Cmp(*op, self.canon_iexpr(a, scope)?, self.canon_iexpr(b, scope)?)
-            }
+            BExpr::Cmp(op, a, b) => FlatBool::Cmp(
+                *op,
+                self.canon_iexpr(a, scope)?,
+                self.canon_iexpr(b, scope)?,
+            ),
             BExpr::And(a, b) => FlatBool::And(
                 Box::new(self.canon_bexpr(a, scope)?),
                 Box::new(self.canon_bexpr(b, scope)?),
@@ -630,7 +632,10 @@ mod tests {
         match &n.body {
             FlatExpr::If { cond, .. } => match cond {
                 FlatBool::Cmp(_, lhs, _) => {
-                    assert!(lhs.terms.iter().any(|(s, _)| matches!(s, Sym::Len(a) if a == "tl")));
+                    assert!(lhs
+                        .terms
+                        .iter()
+                        .any(|(s, _)| matches!(s, Sym::Len(a) if a == "tl")));
                 }
                 _ => panic!("expected comparison"),
             },

@@ -169,11 +169,9 @@ fn stamp(
     let mem_map: Vec<MemId> = (0..template.mem_count)
         .map(|_| resolver.alloc().fresh_mem())
         .collect();
-    Ok(remap(
-        &template.automaton,
-        &|p| port_map[p.index()],
-        &|m| mem_map[m.index()],
-    ))
+    Ok(remap(&template.automaton, &|p| port_map[p.index()], &|m| {
+        mem_map[m.index()]
+    }))
 }
 
 /// Build a deferred (variable-shape) constituent directly.
@@ -206,7 +204,7 @@ fn build_deferred(
             mems.push(m);
             m
         };
-        return build_prim(&cc.registry, &inst.prim, &iargs, &tails, &heads, &mut fresh);
+        build_prim(&cc.registry, &inst.prim, &iargs, &tails, &heads, &mut fresh)
     }
 }
 
@@ -216,10 +214,7 @@ mod tests {
     use crate::compile::compile;
     use crate::examples;
 
-    fn bind(
-        alloc: &mut PortAllocator,
-        spec: &[(&str, usize)],
-    ) -> Binding {
+    fn bind(alloc: &mut PortAllocator, spec: &[(&str, usize)]) -> Binding {
         spec.iter()
             .map(|(name, n)| (name.to_string(), alloc.fresh_ports(*n)))
             .collect()

@@ -36,12 +36,18 @@ impl IExpr {
     pub fn len(name: &str) -> Self {
         IExpr::Len(name.to_string())
     }
+}
 
-    pub fn add(self, other: IExpr) -> Self {
+impl std::ops::Add for IExpr {
+    type Output = IExpr;
+    fn add(self, other: IExpr) -> IExpr {
         IExpr::Add(Box::new(self), Box::new(other))
     }
+}
 
-    pub fn sub(self, other: IExpr) -> Self {
+impl std::ops::Sub for IExpr {
+    type Output = IExpr;
+    fn sub(self, other: IExpr) -> IExpr {
         IExpr::Sub(Box::new(self), Box::new(other))
     }
 }
@@ -344,9 +350,9 @@ mod tests {
 
     #[test]
     fn display_round_trip_shapes() {
-        let e = IExpr::len("tl").sub(IExpr::Const(1));
+        let e = IExpr::len("tl") - IExpr::Const(1);
         assert_eq!(e.to_string(), "(#tl - 1)");
-        let r = PortRef::indexed("prev", IExpr::var("i").add(IExpr::Const(1)));
+        let r = PortRef::indexed("prev", IExpr::var("i") + IExpr::Const(1));
         assert_eq!(r.to_string(), "prev[(i + 1)]");
         let s = PortRef::slice("out", IExpr::Const(1), IExpr::var("N"));
         assert_eq!(s.to_string(), "out[1..N]");

@@ -37,7 +37,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -403,7 +407,9 @@ impl Parser {
             Tok::Le => Cmp::Le,
             Tok::Gt => Cmp::Gt,
             Tok::Ge => Cmp::Ge,
-            other => return Err(self.error(&format!("expected comparison operator, found {other}"))),
+            other => {
+                return Err(self.error(&format!("expected comparison operator, found {other}")))
+            }
         };
         self.bump();
         let rhs = self.parse_iexpr()?;
@@ -560,10 +566,9 @@ mod tests {
 
     #[test]
     fn boolean_operators_and_parens() {
-        let def = parse_def(
-            "C(t[];h[]) = if ((#t == 1) || (#t > 2 && !(#h == 0))) { Sync(t[1];h[1]) }",
-        )
-        .unwrap();
+        let def =
+            parse_def("C(t[];h[]) = if ((#t == 1) || (#t > 2 && !(#h == 0))) { Sync(t[1];h[1]) }")
+                .unwrap();
         let CExpr::If { cond, .. } = &def.body else {
             panic!();
         };

@@ -4,9 +4,7 @@
 //! crate's proptests check. Output follows the layout of the paper's
 //! Figs. 8/9 (one constituent per `mult` line).
 
-use reo_core::ir::{
-    BExpr, CExpr, ConnectorDef, IExpr, Inst, MainDef, PortRef, Program, TaskInst,
-};
+use reo_core::ir::{BExpr, CExpr, ConnectorDef, IExpr, Inst, MainDef, PortRef, Program, TaskInst};
 
 /// Render a whole program.
 pub fn pretty_program(p: &Program) -> String {
@@ -89,12 +87,7 @@ fn pretty_cexpr(e: &CExpr, depth: usize) -> String {
 }
 
 fn pretty_inst(inst: &Inst) -> String {
-    let refs = |rs: &[PortRef]| {
-        rs.iter()
-            .map(pretty_ref)
-            .collect::<Vec<_>>()
-            .join(",")
-    };
+    let refs = |rs: &[PortRef]| rs.iter().map(pretty_ref).collect::<Vec<_>>().join(",");
     let iargs = if inst.iargs.is_empty() {
         String::new()
     } else {
@@ -181,12 +174,7 @@ fn pretty_main(main: &MainDef) -> String {
 }
 
 fn pretty_task(t: &TaskInst) -> String {
-    let args = t
-        .args
-        .iter()
-        .map(pretty_ref)
-        .collect::<Vec<_>>()
-        .join(",");
+    let args = t.args.iter().map(pretty_ref).collect::<Vec<_>>().join(",");
     match &t.forall {
         Some((v, lo, hi)) => format!(
             "forall ({v}:{}..{}) {}({args})",

@@ -84,11 +84,7 @@ fn conj_grad_dist(a: &Csr, comm: &dyn Comm, x: &[f64], z: &mut [f64]) -> f64 {
         }
     }
     distributed_mul(a, comm, z, &mut q);
-    let sum: f64 = x
-        .iter()
-        .zip(&q)
-        .map(|(xi, qi)| (xi - qi) * (xi - qi))
-        .sum();
+    let sum: f64 = x.iter().zip(&q).map(|(xi, qi)| (xi - qi) * (xi - qi)).sum();
     sum.sqrt()
 }
 

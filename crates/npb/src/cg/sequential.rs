@@ -1,8 +1,8 @@
 //! Sequential CG — the reference the parallel versions are checked against,
 //! and the ground truth for the official verification values.
 
-use crate::classes::CgClass;
 use crate::cg::{class_matrix, verify, Csr, CGITMAX};
+use crate::classes::CgClass;
 
 /// Result of one CG benchmark run.
 #[derive(Clone, Debug)]
@@ -41,11 +41,7 @@ pub fn conj_grad(a: &Csr, x: &[f64], z: &mut [f64]) -> f64 {
     }
     // rnorm = ‖x − A z‖
     a.mul(z, &mut q);
-    let sum: f64 = x
-        .iter()
-        .zip(&q)
-        .map(|(xi, qi)| (xi - qi) * (xi - qi))
-        .sum();
+    let sum: f64 = x.iter().zip(&q).map(|(xi, qi)| (xi - qi) * (xi - qi)).sum();
     sum.sqrt()
 }
 

@@ -216,8 +216,8 @@ pub struct ReoComm {
 impl ReoComm {
     /// Parse + compile + connect the protocol for `n` slaves.
     pub fn new(n: usize, mode: Mode) -> Result<Arc<Self>, RuntimeError> {
-        let program: Program = reo_dsl::parse_program(NPB_COMM_SOURCE)
-            .expect("NPB comm source parses");
+        let program: Program =
+            reo_dsl::parse_program(NPB_COMM_SOURCE).expect("NPB comm source parses");
         let connector = Connector::compile(&program, "NpbComm", mode)?;
         let mut connected = connector.connect(&[
             ("v", n),
@@ -345,9 +345,12 @@ mod tests {
     #[test]
     fn reo_partitioned_bcast_gather_round_trip() {
         exercise(
-            ReoComm::new(3, Mode::JitPartitioned {
-                cache: reo_runtime::CachePolicy::Unbounded,
-            })
+            ReoComm::new(
+                3,
+                Mode::JitPartitioned {
+                    cache: reo_runtime::CachePolicy::Unbounded,
+                },
+            )
             .unwrap(),
         );
     }

@@ -51,7 +51,7 @@ fn slave_loop(id: usize, class: LuClass, comm: Arc<dyn Comm>) {
     let blocks = blocks(class.ny, class.jblock);
     // Global centre cell, if this strip owns it.
     let (cx, cy) = (class.nx / 2, class.ny / 2);
-    let owns_center = cx >= lo + 1 && cx <= hi;
+    let owns_center = cx > lo && cx <= hi;
 
     loop {
         if is_stop(&comm.recv_bcast(id)) {

@@ -9,9 +9,9 @@
 //! (boundary ports no transition ever fires — a common wiring bug).
 
 use reo_automata::explore::{deadlock_states, space_stats};
+use reo_automata::PortAllocator;
 use reo_automata::{product_all, PortId, PortSet, ProductOptions};
 use reo_core::{instantiate, Binding};
-use reo_automata::PortAllocator;
 
 use crate::connector::Connector;
 use crate::error::RuntimeError;
@@ -129,8 +129,7 @@ mod tests {
 
     #[test]
     fn fanout_metric_flags_independent_constituents() {
-        let program =
-            parse_program("Chans(t[];h[]) = prod (i:1..#t) Sync(t[i];h[i])").unwrap();
+        let program = parse_program("Chans(t[];h[]) = prod (i:1..#t) Sync(t[i];h[i])").unwrap();
         let connector = Connector::compile(&program, "Chans", Mode::jit()).unwrap();
         let report = connector
             .analyze(&[("t", 10), ("h", 10)], &ProductOptions::default())
@@ -142,8 +141,7 @@ mod tests {
 
     #[test]
     fn analysis_respects_budgets() {
-        let program =
-            parse_program("Bufs(t[];h[]) = prod (i:1..#t) Fifo1(t[i];h[i])").unwrap();
+        let program = parse_program("Bufs(t[];h[]) = prod (i:1..#t) Fifo1(t[i];h[i])").unwrap();
         let connector = Connector::compile(&program, "Bufs", Mode::jit()).unwrap();
         let tight = ProductOptions {
             max_states: 64,

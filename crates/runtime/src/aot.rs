@@ -6,9 +6,7 @@
 //! — including, for exponential state spaces, failing outright, which this
 //! module reports as [`RuntimeError::Explosion`].
 
-use reo_automata::{
-    product_all, simplify, Automaton, PortSet, ProductOptions, StateId, Store,
-};
+use reo_automata::{product_all, simplify, Automaton, PortSet, ProductOptions, StateId, Store};
 use reo_core::ConnectorInstance;
 
 use crate::engine::{fire_one, op_enabled, EngineCore, Pending};
@@ -117,8 +115,7 @@ mod tests {
         ]
         .into();
         let inst = instantiate(&cc, &binding, &mut alloc).unwrap();
-        let core =
-            AotCore::compose(&inst, &ProductOptions::default(), simplify).unwrap();
+        let core = AotCore::compose(&inst, &ProductOptions::default(), simplify).unwrap();
         let mut layout = MemLayout::cells(alloc.mem_count());
         layout.merge(&inst.mem_layout);
         let engine = Engine::new(Box::new(core), alloc.port_count(), Store::new(&layout));

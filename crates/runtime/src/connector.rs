@@ -145,7 +145,9 @@ impl Connector {
             None => {
                 let flat = reo_core::flatten(&self.program, &self.name)?;
                 (
-                    flat.params().map(|p| (p.name.clone(), p.is_array)).collect(),
+                    flat.params()
+                        .map(|p| (p.name.clone(), p.is_array))
+                        .collect(),
                     flat.tails.iter().map(|p| p.name.clone()).collect(),
                 )
             }

@@ -12,9 +12,7 @@
 //! a tuple of medium automata with memoized expansion.
 
 use parking_lot::{Condvar, Mutex};
-use reo_automata::{
-    automaton::Transition, fire::try_fire, PortId, PortSet, Store, Value,
-};
+use reo_automata::{automaton::Transition, fire::try_fire, PortId, PortSet, Store, Value};
 
 use crate::error::RuntimeError;
 
@@ -38,8 +36,11 @@ pub enum Pending {
 pub trait EngineCore: Send {
     /// Try to fire one enabled transition given the pending operations and
     /// the store. `Ok(true)` iff something fired.
-    fn try_step(&mut self, pending: &mut [Pending], store: &mut Store)
-        -> Result<bool, RuntimeError>;
+    fn try_step(
+        &mut self,
+        pending: &mut [Pending],
+        store: &mut Store,
+    ) -> Result<bool, RuntimeError>;
 
     /// Ports where tasks send (connector inputs).
     fn boundary_inputs(&self) -> &PortSet;
@@ -206,9 +207,7 @@ impl Engine {
         let mut inner = self.inner.lock();
         loop {
             if matches!(inner.pending[p.index()], Pending::DoneRecv(_)) {
-                let Pending::DoneRecv(v) =
-                    std::mem::take(&mut inner.pending[p.index()])
-                else {
+                let Pending::DoneRecv(v) = std::mem::take(&mut inner.pending[p.index()]) else {
                     unreachable!("matched above");
                 };
                 return Ok(v);
@@ -422,10 +421,7 @@ mod tests {
             e2.register_recv(PortId(1)).unwrap();
             e2.wait_recv(PortId(1))
         });
-        while !matches!(
-            eng.inner.lock().pending[1],
-            Pending::Recv
-        ) {
+        while !matches!(eng.inner.lock().pending[1], Pending::Recv) {
             std::thread::yield_now();
         }
         eng.close();

@@ -15,9 +15,7 @@
 
 use std::sync::Arc;
 
-use reo_automata::{
-    automaton::Transition, Automaton, Guard, PortSet, StateId, Store,
-};
+use reo_automata::{automaton::Transition, Automaton, Guard, PortSet, StateId, Store};
 
 use crate::cache::{CacheStats, Expanded, GlobalTransition, StateCache};
 use crate::engine::{fire_one, op_enabled, EngineCore, Pending};
@@ -98,7 +96,14 @@ impl JitCore {
             .collect();
         let mut chosen: Vec<Option<&Transition>> = vec![None; n];
         let mut out: Vec<GlobalTransition> = Vec::new();
-        self.rec(0, &locals, &PortSet::new(), &PortSet::new(), &mut chosen, &mut out)?;
+        self.rec(
+            0,
+            &locals,
+            &PortSet::new(),
+            &PortSet::new(),
+            &mut chosen,
+            &mut out,
+        )?;
         Ok(Expanded { transitions: out })
     }
 

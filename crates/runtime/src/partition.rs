@@ -348,9 +348,7 @@ mod tests {
             primitives::sync(p(2), p(3)),
         ];
         let layout = MemLayout::cells(1);
-        let part = Arc::new(
-            partition(autos, 4, &layout, CachePolicy::Unbounded, 1 << 20).unwrap(),
-        );
+        let part = Arc::new(partition(autos, 4, &layout, CachePolicy::Unbounded, 1 << 20).unwrap());
         part.pump(); // initial arming
         let sender_engine = Arc::clone(part.engine_for(p(0)));
         let recv_engine = Arc::clone(part.engine_for(p(3)));
@@ -374,8 +372,7 @@ mod tests {
     }
 
     #[test]
-    fn initial_tokens_survive_the_cut()
-    {
+    fn initial_tokens_survive_the_cut() {
         // sync -> fifo1full(token) -> sync: the receiver must get the token
         // before any send happens.
         let autos = vec![
@@ -384,8 +381,7 @@ mod tests {
             primitives::sync(p(2), p(3)),
         ];
         let layout = MemLayout::cells(1);
-        let part =
-            partition(autos, 4, &layout, CachePolicy::Unbounded, 1 << 20).unwrap();
+        let part = partition(autos, 4, &layout, CachePolicy::Unbounded, 1 << 20).unwrap();
         part.pump();
         let e = part.engine_for(p(3));
         e.register_recv(p(3)).unwrap();

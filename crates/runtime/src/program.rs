@@ -88,7 +88,11 @@ pub fn run_main(
         .iter()
         .map(|p| (p, true))
         .chain(connector_def.heads.iter().map(|p| (p, false)));
-    let all_args = main.connector.tails.iter().chain(main.connector.heads.iter());
+    let all_args = main
+        .connector
+        .tails
+        .iter()
+        .chain(main.connector.heads.iter());
     for ((param, is_tail), arg) in all_params.zip(all_args) {
         let (array, lo, hi) = match arg {
             PortRef::Slice(a, lo, hi) => (a.clone(), env.eval(lo)?, env.eval(hi)?),
@@ -263,7 +267,7 @@ mod tests {
         });
         let report = run_main(&program, &[("N", 4)], &registry, Mode::jit()).unwrap();
         assert_eq!(report.tasks, 5); // 4 producers + 1 consumer
-        // Ex. 8's protocol: consumer receives in producer order.
+                                     // Ex. 8's protocol: consumer receives in producer order.
         assert_eq!(&*received.lock(), &[101, 102, 103, 104]);
         assert!(report.steps > 0);
     }

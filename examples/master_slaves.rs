@@ -53,7 +53,10 @@ fn main() {
                 while let Ok(v) = win.recv() {
                     let x = v.as_int().expect("work item");
                     let result = (1..=x).map(|k| k * k).sum::<i64>();
-                    if wout.send(Value::pair(Value::Int(x), Value::Int(result))).is_err() {
+                    if wout
+                        .send(Value::pair(Value::Int(x), Value::Int(result)))
+                        .is_err()
+                    {
                         break;
                     }
                     done += 1;
@@ -79,7 +82,9 @@ fn main() {
     producer.join().unwrap();
 
     // Σ_{x=1..40} Σ_{k=1..x} k² has a closed form; cross-check it.
-    let expected: i64 = (1..=items).map(|x| (1..=x).map(|k| k * k).sum::<i64>()).sum();
+    let expected: i64 = (1..=items)
+        .map(|x| (1..=x).map(|k| k * k).sum::<i64>())
+        .sum();
     assert_eq!(total, expected);
 
     println!(

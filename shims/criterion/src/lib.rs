@@ -1,0 +1,180 @@
+//! Offline shim for `criterion` 0.5: just enough harness to compile and
+//! run the workspace's `harness = false` bench targets.
+//!
+//! Each benchmark runs `sample_size` samples and reports the mean and
+//! minimum wall-clock time per iteration — no outlier analysis, no
+//! plotting, no statistics beyond that. Benchmark filters passed by
+//! `cargo bench <filter>` are honored; harness flags (`--bench`, etc.)
+//! are ignored.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub struct Criterion {
+    sample_size: usize,
+    #[allow(dead_code)]
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` forwards everything after the bench name; the only
+        // positional argument criterion accepts is a substring filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        Criterion {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            filter,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+}
+
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn bench_function(&mut self, id: impl Display, mut f: impl FnMut(&mut Bencher)) {
+        self.run(&id.to_string(), &mut f);
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(&id.id, &mut |b| f(b, input));
+    }
+
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut samples = Vec::with_capacity(self.criterion.sample_size);
+        let budget = self.criterion.measurement_time;
+        let started = Instant::now();
+        for _ in 0..self.criterion.sample_size {
+            let mut b = Bencher {
+                elapsed: Duration::ZERO,
+                iters: 1,
+            };
+            f(&mut b);
+            samples.push(b.elapsed / b.iters.max(1) as u32);
+            if started.elapsed() > budget {
+                break;
+            }
+        }
+        let mean: Duration = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+        let min = samples.iter().min().copied().unwrap_or_default();
+        println!(
+            "{full:<48} mean {mean:>12.3?}   min {min:>12.3?}   ({} samples)",
+            samples.len()
+        );
+    }
+}
+
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed = start.elapsed();
+        self.iters = 1;
+    }
+
+    pub fn iter_custom(&mut self, mut routine: impl FnMut(u64) -> Duration) {
+        // Criterion would scale `iters` to fill the measurement window;
+        // one modest fixed batch keeps offline runs quick.
+        let iters = 32;
+        self.elapsed = routine(iters);
+        self.iters = iters;
+    }
+}
+
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

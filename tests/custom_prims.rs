@@ -12,10 +12,8 @@ use reo::Value;
 
 #[test]
 fn filter_channel_drops_non_matching_messages() {
-    let mut program = reo::dsl::parse_program(
-        "Evens(a;b) = EvenFilter(a;m) mult Fifo1(m;b)",
-    )
-    .unwrap();
+    let mut program =
+        reo::dsl::parse_program("Evens(a;b) = EvenFilter(a;m) mult Fifo1(m;b)").unwrap();
     let even = Pred::new("even", |v| v.as_int().is_some_and(|i| i % 2 == 0));
     program.registry.register(
         "EvenFilter",
@@ -47,11 +45,8 @@ fn filter_channel_drops_non_matching_messages() {
 
 #[test]
 fn transformer_applies_function_in_flight() {
-    let mut program =
-        reo::dsl::parse_program("Doubler(a;b) = Twice(a;m) mult Fifo1(m;b)").unwrap();
-    let twice = Func::new("twice", |args| {
-        Value::Int(args[0].as_int().unwrap() * 2)
-    });
+    let mut program = reo::dsl::parse_program("Doubler(a;b) = Twice(a;m) mult Fifo1(m;b)").unwrap();
+    let twice = Func::new("twice", |args| Value::Int(args[0].as_int().unwrap() * 2));
     program.registry.register(
         "Twice",
         CustomPrim {
@@ -74,10 +69,8 @@ fn transformer_applies_function_in_flight() {
 fn custom_prims_compose_under_iteration() {
     // A custom filter replicated by `prod` — templates must stamp one
     // automaton per iteration, sharing nothing.
-    let mut program = reo::dsl::parse_program(
-        "Gate(a[];b[]) = prod (i:1..#a) Positive(a[i];b[i])",
-    )
-    .unwrap();
+    let mut program =
+        reo::dsl::parse_program("Gate(a[];b[]) = prod (i:1..#a) Positive(a[i];b[i])").unwrap();
     let positive = Pred::new("positive", |v| v.as_int().is_some_and(|i| i > 0));
     program.registry.register(
         "Positive",

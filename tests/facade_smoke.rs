@@ -1,0 +1,52 @@
+//! Build-surface smoke test: the exact workflow the README and the
+//! quickstart doctest advertise, driven through the `reo` facade only —
+//! parse a stdlib source, compile, `connect()`, move data. If a facade
+//! re-export drifts from what the layer crates actually export, this is
+//! the test that fails to *compile*.
+
+use reo::runtime::{Connector, Mode};
+use reo::Value;
+
+/// Every public facade path used below is the re-export surface the
+/// workspace manifests promise: `reo::dsl::{parse_program, stdlib}`,
+/// `reo::runtime::{Connector, Mode}`, `reo::Value`.
+#[test]
+fn stdlib_connector_connects_end_to_end() {
+    let program = reo::dsl::parse_program(reo::dsl::stdlib::FIG9_SOURCE).unwrap();
+    let connector = Connector::compile(&program, "ConnectorEx11N", Mode::jit()).unwrap();
+
+    // N chosen at run time — the paper's headline generalization.
+    for n in [1, 2, 4] {
+        let mut connected = connector.connect(&[("tl", n), ("hd", n)]).unwrap();
+        let producers = connected.take_outports("tl");
+        let consumers = connected.take_inports("hd");
+        assert_eq!(producers.len(), n);
+        assert_eq!(consumers.len(), n);
+
+        // Producer 1 is always allowed to go first in the ordered protocol.
+        producers[0].send(Value::Int(41 + n as i64)).unwrap();
+        assert_eq!(
+            consumers[0].recv().unwrap().as_int(),
+            Some(41 + n as i64),
+            "N={n}: first message must arrive at the consumer"
+        );
+    }
+}
+
+/// The AOT path must work through the same facade surface as the JIT path.
+#[test]
+fn facade_exposes_aot_mode_too() {
+    let program = reo::dsl::parse_program(reo::dsl::stdlib::FIG9_SOURCE).unwrap();
+    let connector = Connector::compile(
+        &program,
+        "ConnectorEx11N",
+        Mode::AotCompose { simplify: true },
+    )
+    .unwrap();
+    let mut connected = connector.connect(&[("tl", 2), ("hd", 2)]).unwrap();
+    let producers = connected.take_outports("tl");
+    let consumers = connected.take_inports("hd");
+    producers[0].send(Value::Int(7)).unwrap();
+    assert_eq!(consumers[0].recv().unwrap().as_int(), Some(7));
+    assert!(connected.handle().steps() > 0);
+}

@@ -4,9 +4,7 @@
 use proptest::prelude::*;
 
 use reo::automata::explore::bounded_label_traces;
-use reo::automata::{
-    primitives, product, product_all, MemId, PortId, PortSet, ProductOptions,
-};
+use reo::automata::{primitives, product, product_all, MemId, PortId, PortSet, ProductOptions};
 
 fn port_vec() -> impl Strategy<Value = Vec<u32>> {
     proptest::collection::vec(0u32..24, 0..12)

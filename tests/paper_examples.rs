@@ -140,10 +140,8 @@ fn fig5_diagram_runs_like_fig8() {
 /// arrives.
 #[test]
 fn footnote1_buffering_controls_send_blocking() {
-    let program = reo::dsl::parse_program(
-        "Buffered(a;b) = Fifo1(a;b)\nUnbuffered(a;b) = Sync(a;b)",
-    )
-    .unwrap();
+    let program =
+        reo::dsl::parse_program("Buffered(a;b) = Fifo1(a;b)\nUnbuffered(a;b) = Sync(a;b)").unwrap();
     // Buffered: send completes without any receiver.
     let connector = Connector::compile(&program, "Buffered", Mode::jit()).unwrap();
     let mut connected = connector.connect(&[]).unwrap();
