@@ -80,7 +80,7 @@ impl Transition {
 
 /// Marks an automaton as behaving like a plain queue between one input and
 /// one output port — the asynchrony witness that the partitioned-execution
-/// optimization (reference [32] of the paper) may cut a connector at.
+/// optimization (reference \[32\] of the paper) may cut a connector at.
 #[derive(Clone, Debug)]
 pub struct QueueHint {
     pub input: PortId,

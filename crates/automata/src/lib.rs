@@ -15,9 +15,9 @@
 //!   cells ([`store`]) so that automata are directly *executable*;
 //! * builders for the full primitive set ([`primitives`]);
 //! * the product × with reachable-only construction and explosion budgets
-//!   ([`product`]);
-//! * the transition-label simplification optimization of reference [30]
-//!   ([`simplify`]);
+//!   ([`product()`]);
+//! * the transition-label simplification optimization of reference \[30\]
+//!   ([`simplify()`]);
 //! * exploration/analysis helpers ([`explore`]).
 //!
 //! Higher layers (`reo-core`, `reo-runtime`) build parametrized compilation
@@ -47,4 +47,4 @@ pub use product::{product, product_all, Explosion, ProductOptions};
 pub use simplify::simplify;
 pub use store::{MemLayout, Store};
 pub use term::{Func, Term};
-pub use value::Value;
+pub use value::{FromValue, IntoValue, Value};

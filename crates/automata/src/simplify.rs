@@ -1,6 +1,6 @@
 //! Transition-label simplification — the compile-time optimization of
 //! Jongmans & Arbab, *Take Command of Your Constraints!* (COORDINATION '15),
-//! reference [30] of the paper.
+//! reference \[30\] of the paper.
 //!
 //! After composition, a transition's label mentions every vertex data flowed
 //! through, and its assignments route data hop by hop across internal

@@ -137,6 +137,214 @@ impl From<()> for Value {
     }
 }
 
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<Arc<str>> for Value {
+    fn from(s: Arc<str>) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<Vec<f64>> for Value {
+    fn from(v: Vec<f64>) -> Self {
+        Value::floats(v)
+    }
+}
+
+impl From<Vec<i64>> for Value {
+    fn from(v: Vec<i64>) -> Self {
+        Value::ints(v)
+    }
+}
+
+impl From<Arc<Vec<f64>>> for Value {
+    fn from(v: Arc<Vec<f64>>) -> Self {
+        Value::FloatVec(v)
+    }
+}
+
+impl From<Arc<Vec<i64>>> for Value {
+    fn from(v: Arc<Vec<i64>>) -> Self {
+        Value::IntVec(v)
+    }
+}
+
+impl<A: Into<Value>, B: Into<Value>> From<(A, B)> for Value {
+    fn from((a, b): (A, B)) -> Self {
+        Value::pair(a.into(), b.into())
+    }
+}
+
+/// Conversion *into* a message, used by typed outports: a task sends a
+/// plain `i64`/`f64`/`String`/tuple and the port wraps it.
+///
+/// Blanket-implemented over `Into<Value>`, so a `From<T> for Value` impl
+/// is all a payload type needs.
+pub trait IntoValue {
+    fn into_value(self) -> Value;
+}
+
+impl<T: Into<Value>> IntoValue for T {
+    fn into_value(self) -> Value {
+        self.into()
+    }
+}
+
+/// Conversion *out of* a message, used by typed inports: `recv()` on an
+/// `Inport<T>` unwraps the delivered [`Value`] into `T`.
+///
+/// On a variant mismatch the original value is handed back unchanged
+/// (`Err`), so the runtime can report *what* arrived, and nothing is lost.
+pub trait FromValue: Sized {
+    /// Human-readable name of the expected variant, for error messages.
+    fn expected() -> &'static str;
+
+    /// Unwrap `v`, or return it untouched if it has the wrong shape.
+    fn from_value(v: Value) -> Result<Self, Value>;
+}
+
+impl FromValue for Value {
+    fn expected() -> &'static str {
+        "any value"
+    }
+
+    fn from_value(v: Value) -> Result<Self, Value> {
+        Ok(v)
+    }
+}
+
+impl FromValue for () {
+    fn expected() -> &'static str {
+        "unit token"
+    }
+
+    fn from_value(v: Value) -> Result<Self, Value> {
+        match v {
+            Value::Unit => Ok(()),
+            other => Err(other),
+        }
+    }
+}
+
+impl FromValue for bool {
+    fn expected() -> &'static str {
+        "bool"
+    }
+
+    fn from_value(v: Value) -> Result<Self, Value> {
+        match v {
+            Value::Bool(b) => Ok(b),
+            other => Err(other),
+        }
+    }
+}
+
+impl FromValue for i64 {
+    fn expected() -> &'static str {
+        "int"
+    }
+
+    fn from_value(v: Value) -> Result<Self, Value> {
+        match v {
+            Value::Int(i) => Ok(i),
+            other => Err(other),
+        }
+    }
+}
+
+impl FromValue for f64 {
+    fn expected() -> &'static str {
+        "float"
+    }
+
+    fn from_value(v: Value) -> Result<Self, Value> {
+        match v {
+            Value::Float(x) => Ok(x),
+            other => Err(other),
+        }
+    }
+}
+
+impl FromValue for Arc<str> {
+    fn expected() -> &'static str {
+        "string"
+    }
+
+    fn from_value(v: Value) -> Result<Self, Value> {
+        match v {
+            Value::Str(s) => Ok(s),
+            other => Err(other),
+        }
+    }
+}
+
+impl FromValue for String {
+    fn expected() -> &'static str {
+        "string"
+    }
+
+    fn from_value(v: Value) -> Result<Self, Value> {
+        match v {
+            Value::Str(s) => Ok(s.to_string()),
+            other => Err(other),
+        }
+    }
+}
+
+impl FromValue for Arc<Vec<f64>> {
+    fn expected() -> &'static str {
+        "float vector"
+    }
+
+    fn from_value(v: Value) -> Result<Self, Value> {
+        match v {
+            Value::FloatVec(xs) => Ok(xs),
+            other => Err(other),
+        }
+    }
+}
+
+impl FromValue for Arc<Vec<i64>> {
+    fn expected() -> &'static str {
+        "int vector"
+    }
+
+    fn from_value(v: Value) -> Result<Self, Value> {
+        match v {
+            Value::IntVec(xs) => Ok(xs),
+            other => Err(other),
+        }
+    }
+}
+
+impl<A: FromValue, B: FromValue> FromValue for (A, B) {
+    fn expected() -> &'static str {
+        "pair"
+    }
+
+    fn from_value(v: Value) -> Result<Self, Value> {
+        match v {
+            // Convert clones (cheap — payloads are `Arc`-shared) so that a
+            // half-failure can hand back the original pair untouched.
+            Value::Pair(p) => match (A::from_value(p.0.clone()), B::from_value(p.1.clone())) {
+                (Ok(a), Ok(b)) => Ok((a, b)),
+                _ => Err(Value::Pair(p)),
+            },
+            other => Err(other),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -176,5 +384,42 @@ mod tests {
     fn display_is_compact() {
         assert_eq!(Value::Unit.to_string(), "()");
         assert_eq!(Value::floats(vec![0.0; 3]).to_string(), "floats[3]");
+    }
+
+    #[test]
+    fn into_value_covers_plain_payloads() {
+        assert!(matches!(7i64.into_value(), Value::Int(7)));
+        assert!(matches!(1.5f64.into_value(), Value::Float(_)));
+        assert!(matches!("hi".into_value(), Value::Str(_)));
+        assert!(matches!(String::from("hi").into_value(), Value::Str(_)));
+        assert!(matches!(vec![1.0f64].into_value(), Value::FloatVec(_)));
+        assert!(matches!((1i64, 2.0f64).into_value(), Value::Pair(_)));
+        let v = Value::Int(3);
+        assert!(matches!(v.into_value(), Value::Int(3)));
+    }
+
+    #[test]
+    fn from_value_round_trips() {
+        assert_eq!(i64::from_value(7i64.into_value()).ok(), Some(7));
+        assert_eq!(f64::from_value(2.5f64.into_value()).ok(), Some(2.5));
+        assert_eq!(String::from_value("s".into_value()).ok(), Some("s".into()));
+        assert_eq!(
+            <(i64, String)>::from_value((4i64, "x").into_value()).ok(),
+            Some((4, "x".to_string()))
+        );
+        assert!(<()>::from_value(Value::Unit).is_ok());
+    }
+
+    #[test]
+    fn from_value_mismatch_returns_the_original() {
+        let got = i64::from_value(Value::str("nope")).unwrap_err();
+        assert!(matches!(&got, Value::Str(s) if &**s == "nope"));
+        // A half-failing pair conversion must not lose the other half.
+        let pair = (1i64, 2i64).into_value();
+        let back = <(i64, String)>::from_value(pair).unwrap_err();
+        let (a, b) = back.as_pair().unwrap();
+        assert_eq!(a.as_int(), Some(1));
+        assert_eq!(b.as_int(), Some(2));
+        assert_eq!(i64::expected(), "int");
     }
 }

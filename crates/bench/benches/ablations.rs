@@ -29,9 +29,9 @@ fn bench_simplify_ablation(c: &mut Criterion) {
                 let connector =
                     Connector::compile(&program, family.def, Mode::ExistingMonolithic { simplify })
                         .unwrap();
-                let mut connected = connector.connect(&[("tl", 8), ("hd", 8)]).unwrap();
-                let senders = connected.take_outports("tl");
-                let receivers = connected.take_inports("hd");
+                let mut session = connector.connect(&[("tl", 8), ("hd", 8)]).unwrap();
+                let senders = session.outports("tl").unwrap();
+                let receivers = session.inports("hd").unwrap();
                 let start = Instant::now();
                 let producer = std::thread::spawn(move || {
                     for _ in 0..iters {
@@ -71,8 +71,8 @@ fn bench_cache_ablation(c: &mut Criterion) {
             // The sequencer is single-thread drivable: clients complete
             // strictly in rotation.
             let connector = Connector::compile(&program, family.def, Mode::Jit { cache }).unwrap();
-            let mut connected = connector.connect(&[("t", 6)]).unwrap();
-            let clients = connected.take_outports("t");
+            let mut session = connector.connect(&[("t", 6)]).unwrap();
+            let clients = session.outports("t").unwrap();
             b.iter(|| {
                 for client in &clients {
                     client.send(Value::Unit).unwrap();
@@ -105,11 +105,11 @@ fn bench_partition_ablation(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
                 b.iter_custom(|iters| {
                     let connector = Connector::compile(&program, family.def, mode).unwrap();
-                    let mut connected = connector.connect(&[("v", n), ("w", n)]).unwrap();
-                    let master_out = connected.take_outports("m").pop().unwrap();
-                    let results = connected.take_inports("res").pop().unwrap();
-                    let work_in = connected.take_inports("w");
-                    let work_out = connected.take_outports("v");
+                    let mut session = connector.connect(&[("v", n), ("w", n)]).unwrap();
+                    let master_out = session.outports("m").unwrap().pop().unwrap();
+                    let results = session.inports("res").unwrap().pop().unwrap();
+                    let work_in = session.inports("w").unwrap();
+                    let work_out = session.outports("v").unwrap();
                     // Workers: each echoes its items back.
                     let workers: Vec<_> = work_in
                         .into_iter()
@@ -130,7 +130,7 @@ fn bench_partition_ablation(c: &mut Criterion) {
                         results.recv().unwrap();
                     }
                     let elapsed = start.elapsed();
-                    connected.handle().close();
+                    session.handle().close();
                     for w in workers {
                         w.join().unwrap();
                     }

@@ -18,9 +18,9 @@ fn ordered_round(n: usize, mode: Mode, rounds: u64) -> Duration {
         .expect("ordered family");
     let program = family.program();
     let connector = Connector::compile(&program, family.def, mode).unwrap();
-    let mut connected = connector.connect(&[("tl", n), ("hd", n)]).unwrap();
-    let senders = connected.take_outports("tl");
-    let receivers = connected.take_inports("hd");
+    let mut session = connector.connect(&[("tl", n), ("hd", n)]).unwrap();
+    let senders = session.outports("tl").unwrap();
+    let receivers = session.inports("hd").unwrap();
 
     let start = Instant::now();
     let producer = std::thread::spawn(move || {
@@ -65,9 +65,9 @@ fn merger_round(n: usize, mode: Mode, rounds: u64) -> Duration {
         .expect("merger family");
     let program = family.program();
     let connector = Connector::compile(&program, family.def, mode).unwrap();
-    let mut connected = connector.connect(&[("tl", n)]).unwrap();
-    let senders = connected.take_outports("tl");
-    let receiver = connected.take_inports("hd").pop().unwrap();
+    let mut session = connector.connect(&[("tl", n)]).unwrap();
+    let senders = session.outports("tl").unwrap();
+    let receiver = session.inports("hd").unwrap().pop().unwrap();
 
     let start = Instant::now();
     let producer = std::thread::spawn(move || {

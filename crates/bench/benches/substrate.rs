@@ -97,9 +97,9 @@ fn bench_port_roundtrip(c: &mut Criterion) {
     ] {
         group.bench_function(label, |b| {
             let connector = Connector::compile(&program, "Buf", mode).unwrap();
-            let mut connected = connector.connect(&[]).unwrap();
-            let tx = connected.take_outports("a").pop().unwrap();
-            let rx = connected.take_inports("b").pop().unwrap();
+            let mut session = connector.connect(&[]).unwrap();
+            let tx = session.outports("a").unwrap().pop().unwrap();
+            let rx = session.inports("b").unwrap().pop().unwrap();
             b.iter(|| {
                 tx.send(Value::Int(1)).unwrap();
                 rx.recv().unwrap()

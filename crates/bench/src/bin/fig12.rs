@@ -14,6 +14,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use reo_bench::fig12::{classify, run, summarize, Cell, Config};
+use reo_bench::json::{json_path, json_str};
 use reo_bench::Args;
 use reo_connectors::RunOutcome;
 
@@ -81,38 +82,10 @@ fn main() {
     );
 
     if let Some(value) = args.get("json") {
-        // A bare `--json` is stored as the sentinel "true" by Args;
-        // anything else is an explicit output path.
-        let path = if value == "true" {
-            "BENCH_fig12.json"
-        } else {
-            value
-        };
+        let path = json_path(value, "BENCH_fig12.json");
         std::fs::write(path, to_json(&cells, &config)).expect("write JSON report");
         println!("wrote {path} ({} cells)", cells.len());
     }
-}
-
-/// Escape a string for a JSON string literal (Debug formatting is close
-/// but emits Rust-only `\u{..}` escapes for control characters).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
 }
 
 /// Serialize the run by hand — the offline workspace carries no serde.

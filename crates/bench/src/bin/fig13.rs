@@ -3,24 +3,40 @@
 //! ```text
 //! cargo run --release -p reo-bench --bin fig13 -- \
 //!     [--prog cg|lu|both] [--classes S,C-scaled] [--ns 2,4,8] \
-//!     [--timeout 120] [--large-n]
+//!     [--timeout 120] [--large-n] [--json [BENCH_fig13.json]]
 //! ```
 //!
 //! `--large-n` switches to the finding-3 reproduction: N ∈ {16,32,64},
 //! Reo-JIT (expected DNF) vs Reo-partitioned (expected to finish).
+//!
+//! With `--json` the per-cell measurements are also written as a JSON
+//! document (default path `BENCH_fig13.json`), the NPB twin of the
+//! `fig12 --json` datapoint the benchmark trajectory in ROADMAP.md
+//! builds on.
 
+use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
 
 use reo_bench::fig13::{
-    large_n_backends, measure_cg, measure_lu, render, standard_backends, BackendKind,
+    large_n_backends, measure_cg, measure_lu, render, standard_backends, BackendKind, Measurement,
 };
+use reo_bench::json::{json_opt_str, json_path, json_str};
 use reo_bench::Args;
 use reo_npb::{cg, CgClass, LuClass};
 
+/// One measured cell, tagged with its coordinates for the JSON report.
+struct Row {
+    prog: &'static str,
+    class: String,
+    n: usize,
+    backend: String,
+    m: Measurement,
+}
+
 fn main() {
     let args = Args::from_env();
-    let progs = match args.get("prog").unwrap_or("both") {
+    let progs: Vec<&'static str> = match args.get("prog").unwrap_or("both") {
         "cg" => vec!["cg"],
         "lu" => vec!["lu"],
         _ => vec!["cg", "lu"],
@@ -48,6 +64,7 @@ fn main() {
         }
     );
 
+    let mut rows: Vec<Row> = Vec::new();
     for prog in &progs {
         for class_name in &classes {
             match *prog {
@@ -67,6 +84,13 @@ fn main() {
                         for backend in &backends {
                             let m = measure_cg(&a, &class, n, *backend, timeout);
                             print!("{:>24}  ", render(&m));
+                            rows.push(Row {
+                                prog,
+                                class: class_name.clone(),
+                                n,
+                                backend: backend.label(),
+                                m,
+                            });
                         }
                         println!();
                     }
@@ -86,6 +110,13 @@ fn main() {
                         for backend in &backends {
                             let m = measure_lu(&class, n, *backend, timeout);
                             print!("{:>24}  ", render(&m));
+                            rows.push(Row {
+                                prog,
+                                class: class_name.clone(),
+                                n,
+                                backend: backend.label(),
+                                m,
+                            });
                         }
                         println!();
                     }
@@ -100,6 +131,12 @@ fn main() {
          class C — comparable run times for N in {{2,4,8}}; N >= 16 without\n\
          partitioning — DNF (exponentially many transitions in one state)."
     );
+
+    if let Some(value) = args.get("json") {
+        let path = json_path(value, "BENCH_fig13.json");
+        std::fs::write(path, to_json(&rows, timeout, large_n)).expect("write JSON report");
+        println!("wrote {path} ({} cells)", rows.len());
+    }
 }
 
 fn header(backends: &[BackendKind]) {
@@ -108,4 +145,43 @@ fn header(backends: &[BackendKind]) {
         print!("{:>24}  ", b.label());
     }
     println!();
+}
+
+/// Serialize the run by hand — the offline workspace carries no serde.
+fn to_json(rows: &[Row], timeout: Duration, large_n: bool) -> String {
+    let mut s = String::from("{\n");
+    let _ = writeln!(
+        s,
+        r#"  "benchmark": "fig13_npb",
+  "timeout_secs": {},
+  "large_n": {},
+  "cells": ["#,
+        timeout.as_secs_f64(),
+        large_n
+    );
+    for (i, r) in rows.iter().enumerate() {
+        let secs = match r.m.secs {
+            Some(x) => format!("{x:.6}"),
+            None => "null".to_string(),
+        };
+        let verified = match r.m.verified {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        };
+        let _ = write!(
+            s,
+            r#"    {{"prog":{},"class":{},"n":{},"backend":{},"secs":{},"dnf":{},"steps":{},"verified":{}}}"#,
+            json_str(r.prog),
+            json_str(&r.class),
+            r.n,
+            json_str(&r.backend),
+            secs,
+            json_opt_str(&r.m.dnf),
+            r.m.steps,
+            verified
+        );
+        s.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
 }

@@ -1,0 +1,62 @@
+//! Hand-rolled JSON emission shared by the harness binaries — the offline
+//! workspace carries no serde.
+
+use std::fmt::Write as _;
+
+/// Escape a string for a JSON string literal (Debug formatting is close
+/// but emits Rust-only `\u{..}` escapes for control characters).
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `Some(x)` → JSON string, `None` → `null`.
+pub fn json_opt_str(s: &Option<String>) -> String {
+    match s {
+        Some(s) => json_str(s),
+        None => "null".to_string(),
+    }
+}
+
+/// Resolve the value of a bare-or-valued `--json` flag: the parser stores
+/// the sentinel `"true"` for a bare flag; anything else is an explicit
+/// output path.
+pub fn json_path<'a>(value: &'a str, default: &'a str) -> &'a str {
+    if value == "true" {
+        default
+    } else {
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_controls_quotes_and_backslashes() {
+        assert_eq!(json_str("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_str("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn bare_flag_resolves_to_default_path() {
+        assert_eq!(json_path("true", "OUT.json"), "OUT.json");
+        assert_eq!(json_path("custom.json", "OUT.json"), "custom.json");
+    }
+}

@@ -14,5 +14,6 @@
 pub mod cli;
 pub mod fig12;
 pub mod fig13;
+pub mod json;
 
 pub use cli::Args;

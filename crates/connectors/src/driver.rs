@@ -11,7 +11,6 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use reo_automata::Value;
 use reo_core::ir::Program;
 use reo_runtime::{Connector, ConnectorHandle, Limits, Mode, RuntimeError};
 
@@ -66,52 +65,68 @@ pub fn drive_with_limits(
     window: Duration,
     limits: Limits,
 ) -> RunOutcome {
-    let connector = match Connector::compile_with_limits(program, family.def, mode, limits) {
+    let connector = match Connector::builder(program, family.def)
+        .mode(mode)
+        .limits(limits)
+        .build()
+    {
         Ok(c) => c,
         Err(e) => return RunOutcome::failed(e.to_string(), Duration::ZERO),
     };
     let sizes = (family.sizes)(n);
     let start = Instant::now();
-    let mut connected = match connector.connect(&sizes) {
+    let mut session = match connector.connect(&sizes) {
         Ok(c) => c,
         Err(e) => return RunOutcome::failed(e.to_string(), start.elapsed()),
     };
     let connect_time = start.elapsed();
-    let handle = connected.handle();
+    let handle = session.handle();
 
+    // Port acquisition is fallible now; a family spec naming a missing
+    // parameter becomes a tabulated failure, not a crash.
     let mut threads = Vec::new();
-    for (param, role) in family.drivers {
-        match role {
-            Role::Send => {
-                for port in connected.take_outports(param) {
-                    threads.push(std::thread::spawn(move || {
-                        let mut k: i64 = 0;
-                        while port.send(Value::Int(k)).is_ok() {
-                            k += 1;
-                        }
-                    }));
+    let spawn_result = (|| -> Result<(), reo_runtime::RuntimeError> {
+        for (param, role) in family.drivers {
+            match role {
+                Role::Send => {
+                    for port in session.typed_outports::<i64>(param)? {
+                        threads.push(std::thread::spawn(move || {
+                            let mut k: i64 = 0;
+                            while port.send(k).is_ok() {
+                                k += 1;
+                            }
+                        }));
+                    }
                 }
-            }
-            Role::Recv => {
-                for port in connected.take_inports(param) {
-                    threads.push(std::thread::spawn(move || while port.recv().is_ok() {}));
+                Role::Recv => {
+                    for port in session.inports(param)? {
+                        threads.push(std::thread::spawn(move || for _ in &port {}));
+                    }
                 }
             }
         }
-    }
-    for (acq, rel) in family.paired_sends {
-        let acquires = connected.take_outports(acq);
-        let releases = connected.take_outports(rel);
-        for (a, r) in acquires.into_iter().zip(releases) {
-            threads.push(std::thread::spawn(move || loop {
-                if a.send(Value::Unit).is_err() {
-                    return;
-                }
-                if r.send(Value::Unit).is_err() {
-                    return;
-                }
-            }));
+        for (acq, rel) in family.paired_sends {
+            let acquires = session.typed_outports::<()>(acq)?;
+            let releases = session.typed_outports::<()>(rel)?;
+            for (a, r) in acquires.into_iter().zip(releases) {
+                threads.push(std::thread::spawn(move || loop {
+                    if a.send(()).is_err() {
+                        return;
+                    }
+                    if r.send(()).is_err() {
+                        return;
+                    }
+                }));
+            }
         }
+        Ok(())
+    })();
+    if let Err(e) = spawn_result {
+        handle.close();
+        for t in threads {
+            let _ = t.join();
+        }
+        return RunOutcome::failed(e.to_string(), connect_time);
     }
 
     std::thread::sleep(window);
@@ -171,11 +186,13 @@ pub fn connect_only(
     family: &Family,
     n: usize,
     mode: Mode,
-) -> Result<(reo_runtime::Connected, Arc<Program>), RuntimeError> {
+) -> Result<(reo_runtime::Session, Arc<Program>), RuntimeError> {
     let program = Arc::new(family.program());
-    let connector = Connector::compile(&program, family.def, mode)?;
-    let connected = connector.connect(&(family.sizes)(n))?;
-    Ok((connected, program))
+    let connector = Connector::builder(&program, family.def)
+        .mode(mode)
+        .build()?;
+    let session = connector.connect(&(family.sizes)(n))?;
+    Ok((session, program))
 }
 
 #[cfg(test)]
@@ -200,10 +217,10 @@ mod tests {
         // 0), the sequence 0,1,0,1 completes from a single thread — which
         // is only possible if each send is enabled exactly in turn.
         let (mut connected, _prog) = connect_only(&family("sequencer"), 2, Mode::jit()).unwrap();
-        let clients = connected.take_outports("t");
+        let clients = connected.typed_outports::<()>("t").unwrap();
         for _ in 0..2 {
-            clients[0].send(Value::Unit).unwrap();
-            clients[1].send(Value::Unit).unwrap();
+            clients[0].send(()).unwrap();
+            clients[1].send(()).unwrap();
         }
         assert!(connected.handle().steps() >= 4);
     }
@@ -212,13 +229,13 @@ mod tests {
     fn sequencer_blocks_out_of_turn_client() {
         use std::sync::atomic::{AtomicBool, Ordering};
         let (mut connected, _prog) = connect_only(&family("sequencer"), 2, Mode::jit()).unwrap();
-        let mut clients = connected.take_outports("t");
+        let mut clients = connected.typed_outports::<()>("t").unwrap();
         let c1 = clients.pop().unwrap();
         let c0 = clients.pop().unwrap();
         let done = Arc::new(AtomicBool::new(false));
         let flag = Arc::clone(&done);
         let t = std::thread::spawn(move || {
-            let _ = c1.send(Value::Unit); // out of turn: must block
+            let _ = c1.send(()); // out of turn: must block
             flag.store(true, Ordering::SeqCst);
         });
         std::thread::sleep(Duration::from_millis(60));
@@ -226,7 +243,7 @@ mod tests {
             !done.load(Ordering::SeqCst),
             "client 2 completed before client 1 took its turn"
         );
-        c0.send(Value::Unit).unwrap();
+        c0.send(()).unwrap();
         t.join().unwrap();
         assert!(done.load(Ordering::SeqCst));
     }

@@ -7,7 +7,7 @@
 //! label-simplified over ports provably private to the section. What depends
 //! on the number of connectees — iteration bounds, conditional branches,
 //! the identity of the concrete vertices — is retained as a residual tree
-//! ([`CompiledNode`]) that [`crate::instantiate`] walks at run time.
+//! ([`CompiledNode`]) that [`crate::instantiate()`] walks at run time.
 
 use std::collections::HashMap;
 

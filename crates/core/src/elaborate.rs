@@ -107,7 +107,7 @@ pub struct MonolithicOptions {
     /// Product construction budget; exceeding it is the "existing compiler
     /// cannot handle this connector" failure of Fig. 12.
     pub product: ProductOptions,
-    /// Apply the transition-label simplification of [30] on the large
+    /// Apply the transition-label simplification of \[30\] on the large
     /// automaton (the existing compiler always does; kept switchable for
     /// the ablation benchmark).
     pub simplify: bool,

@@ -11,16 +11,16 @@
 //!    `reo-dsl` parser.
 //! 2. **Flattening** ([`flat`]): composites expanded and in-lined, locals
 //!    renamed apart (Example 9).
-//! 3. **Normalization** ([`normalize`]): constituents ∥ iterations ∥
+//! 3. **Normalization** ([`mod@normalize`]): constituents ∥ iterations ∥
 //!    conditionals (Example 10).
-//! 4. **Compilation** ([`compile`]): each constituents section composed into
+//! 4. **Compilation** ([`mod@compile`]): each constituents section composed into
 //!    a *medium automaton* over symbolic ports; the rest kept as a residual
 //!    tree — the compile-time share.
-//! 5. **Instantiation** ([`instantiate`]): at `connect` time, with array
+//! 5. **Instantiation** ([`mod@instantiate`]): at `connect` time, with array
 //!    lengths known, the residual tree is walked and templates are stamped
 //!    out — the run-time share.
 //!
-//! [`elaborate`] implements the *existing* approach (full elaboration for a
+//! [`mod@elaborate`] implements the *existing* approach (full elaboration for a
 //! fixed N and composition into one large automaton) as the baseline that
 //! Fig. 12 compares against.
 

@@ -218,8 +218,8 @@ impl ReoComm {
     pub fn new(n: usize, mode: Mode) -> Result<Arc<Self>, RuntimeError> {
         let program: Program =
             reo_dsl::parse_program(NPB_COMM_SOURCE).expect("NPB comm source parses");
-        let connector = Connector::compile(&program, "NpbComm", mode)?;
-        let mut connected = connector.connect(&[
+        let connector = Connector::builder(&program, "NpbComm").mode(mode).build()?;
+        let mut session = connector.connect(&[
             ("v", n),
             ("w", n),
             ("fwd", n),
@@ -227,18 +227,18 @@ impl ReoComm {
             ("fin", n),
             ("bin", n),
         ])?;
-        let handle = connected.handle();
+        let handle = session.handle();
         Ok(Arc::new(ReoComm {
             n,
             handle,
-            m: connected.take_outports("m").pop().expect("scalar m"),
-            res: connected.take_inports("res").pop().expect("scalar res"),
-            w: connected.take_inports("w"),
-            v: connected.take_outports("v"),
-            fwd: connected.take_outports("fwd"),
-            fin: connected.take_inports("fin"),
-            bwd: connected.take_outports("bwd"),
-            bin: connected.take_inports("bin"),
+            m: session.outport("m")?,
+            res: session.inport("res")?,
+            w: session.inports("w")?,
+            v: session.outports("v")?,
+            fwd: session.outports("fwd")?,
+            fin: session.inports("fin")?,
+            bwd: session.outports("bwd")?,
+            bin: session.inports("bin")?,
         }))
     }
 

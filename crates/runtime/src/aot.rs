@@ -129,18 +129,18 @@ mod tests {
         let (eng, tl, hd) = build_ex11(2, true);
         // Producer 1 sends: completes (buffered).
         eng.register_send(tl[0], Value::Int(1)).unwrap();
-        eng.wait_send(tl[0]).unwrap();
+        eng.wait_send(tl[0], None).unwrap();
         // Producer 2 registers a send; it must stay pending.
         eng.register_send(tl[1], Value::Int(2)).unwrap();
         assert_eq!(eng.steps(), 1);
         // Consumer receives from hd[1]: value 1 arrives, and only then can
         // producer 2's send complete.
         eng.register_recv(hd[0]).unwrap();
-        let v1 = eng.wait_recv(hd[0]).unwrap();
+        let v1 = eng.wait_recv(hd[0], None).unwrap();
         assert_eq!(v1.as_int(), Some(1));
-        eng.wait_send(tl[1]).unwrap();
+        eng.wait_send(tl[1], None).unwrap();
         eng.register_recv(hd[1]).unwrap();
-        assert_eq!(eng.wait_recv(hd[1]).unwrap().as_int(), Some(2));
+        assert_eq!(eng.wait_recv(hd[1], None).unwrap().as_int(), Some(2));
     }
 
     #[test]
@@ -151,17 +151,17 @@ mod tests {
                 eng.register_send(t, Value::Int(i as i64)).unwrap();
             }
             // Only producer 1's send can complete before any receive.
-            eng.wait_send(tl[0]).unwrap();
+            eng.wait_send(tl[0], None).unwrap();
             for (i, &h) in hd.iter().enumerate() {
                 eng.register_recv(h).unwrap();
                 assert_eq!(
-                    eng.wait_recv(h).unwrap().as_int(),
+                    eng.wait_recv(h, None).unwrap().as_int(),
                     Some(i as i64),
                     "simplify={simplify}"
                 );
             }
-            eng.wait_send(tl[1]).unwrap();
-            eng.wait_send(tl[2]).unwrap();
+            eng.wait_send(tl[1], None).unwrap();
+            eng.wait_send(tl[2], None).unwrap();
         }
     }
 

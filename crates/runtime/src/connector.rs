@@ -12,12 +12,12 @@
 //!   composition of the medium automata at `connect` time.
 //! * [`Mode::Jit`] — the new approach with just-in-time composition.
 //! * [`Mode::JitPartitioned`] — JIT plus the partitioning optimization of
-//!   reference [32].
+//!   reference \[32\].
 
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use reo_automata::{MemLayout, PortAllocator, ProductOptions, Store};
+use reo_automata::{FromValue, IntoValue, MemLayout, PortAllocator, ProductOptions, Store};
 use reo_core::{
     compile, compile_monolithic, instantiate, Binding, CompiledConnector, ConnectorInstance,
     MonolithicOptions, Program,
@@ -86,14 +86,72 @@ pub struct Connector {
     compiled: Option<CompiledConnector>,
 }
 
+/// Fluent entry point: `Connector::builder(&program, "Buf").mode(..)
+/// .limits(..).build()`. [`Connector::compile`] is a thin wrapper over it.
+///
+/// Defaults: [`Mode::jit`] and [`Limits::default`].
+pub struct ConnectorBuilder<'p> {
+    program: &'p Program,
+    name: String,
+    mode: Mode,
+    limits: Limits,
+}
+
+impl ConnectorBuilder<'_> {
+    /// Choose the execution mode (default: [`Mode::jit`]).
+    pub fn mode(mut self, mode: Mode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Set all tuning knobs at once (default: [`Limits::default`]).
+    pub fn limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
+    /// Shorthand for bounding JIT expansion of a single state.
+    pub fn expansion_budget(mut self, budget: usize) -> Self {
+        self.limits.expansion_budget = budget;
+        self
+    }
+
+    /// Compile. For parametrized modes this performs the compile-time
+    /// share now; for the existing approach compilation must wait for N
+    /// and happens in [`Connector::connect`].
+    pub fn build(self) -> Result<Connector, RuntimeError> {
+        let compiled = if self.mode.is_parametrized() {
+            Some(compile(self.program, &self.name)?)
+        } else {
+            // Validate the definition exists even though elaboration waits.
+            reo_core::flatten(self.program, &self.name)?;
+            None
+        };
+        Ok(Connector {
+            program: self.program.clone(),
+            name: self.name,
+            mode: self.mode,
+            limits: self.limits,
+            compiled,
+        })
+    }
+}
+
 impl Connector {
-    /// Compile `name` from `program` for the given mode. For parametrized
-    /// modes this performs the compile-time share now; for the existing
-    /// approach compilation must wait for N and happens in [`connect`].
-    ///
-    /// [`connect`]: Connector::connect
+    /// Start building a connector compilation of `name` from `program`.
+    pub fn builder<'p>(program: &'p Program, name: &str) -> ConnectorBuilder<'p> {
+        ConnectorBuilder {
+            program,
+            name: name.to_string(),
+            mode: Mode::jit(),
+            limits: Limits::default(),
+        }
+    }
+
+    /// Compile `name` from `program` for the given mode — shorthand for
+    /// [`Connector::builder`] with defaults.
     pub fn compile(program: &Program, name: &str, mode: Mode) -> Result<Self, RuntimeError> {
-        Self::compile_with_limits(program, name, mode, Limits::default())
+        Self::builder(program, name).mode(mode).build()
     }
 
     pub fn compile_with_limits(
@@ -102,20 +160,10 @@ impl Connector {
         mode: Mode,
         limits: Limits,
     ) -> Result<Self, RuntimeError> {
-        let compiled = if mode.is_parametrized() {
-            Some(compile(program, name)?)
-        } else {
-            // Validate the definition exists even though elaboration waits.
-            reo_core::flatten(program, name)?;
-            None
-        };
-        Ok(Connector {
-            program: program.clone(),
-            name: name.to_string(),
-            mode,
-            limits,
-            compiled,
-        })
+        Self::builder(program, name)
+            .mode(mode)
+            .limits(limits)
+            .build()
     }
 
     pub fn name(&self) -> &str {
@@ -135,7 +183,7 @@ impl Connector {
     ///
     /// `sizes` gives the length per array parameter; scalar parameters
     /// default to 1 and may be omitted.
-    pub fn connect(&self, sizes: &[(&str, usize)]) -> Result<Connected, RuntimeError> {
+    pub fn connect(&self, sizes: &[(&str, usize)]) -> Result<Session, RuntimeError> {
         let mut alloc = PortAllocator::new();
         let (params, tail_names): (Vec<(String, bool)>, Vec<String>) = match &self.compiled {
             Some(cc) => (
@@ -234,29 +282,27 @@ impl Connector {
             if is_tail {
                 outports.insert(
                     name.clone(),
-                    ports
-                        .iter()
-                        .map(|&p| Outport {
-                            backend: backend.clone(),
-                            port: p,
-                        })
-                        .collect(),
+                    Some(
+                        ports
+                            .iter()
+                            .map(|&p| Outport::new(backend.clone(), p))
+                            .collect(),
+                    ),
                 );
             } else {
                 inports.insert(
                     name.clone(),
-                    ports
-                        .iter()
-                        .map(|&p| Inport {
-                            backend: backend.clone(),
-                            port: p,
-                        })
-                        .collect(),
+                    Some(
+                        ports
+                            .iter()
+                            .map(|&p| Inport::new(backend.clone(), p))
+                            .collect(),
+                    ),
                 );
             }
         }
 
-        Ok(Connected {
+        Ok(Session {
             outports,
             inports,
             handle: ConnectorHandle {
@@ -268,25 +314,101 @@ impl Connector {
 }
 
 /// A connected connector: live port handles plus a control handle.
-pub struct Connected {
-    outports: HashMap<String, Vec<Outport>>,
-    inports: HashMap<String, Vec<Inport>>,
+///
+/// Port acquisition is *fallible* and *single-owner*: each parameter's
+/// handles can be taken exactly once, and a wrong name is a
+/// [`RuntimeError::UnknownParam`], not a panic. An inner `None` marks a
+/// parameter whose ports were already moved out ([`RuntimeError::AlreadyTaken`]).
+pub struct Session {
+    outports: HashMap<String, Option<Vec<Outport>>>,
+    inports: HashMap<String, Option<Vec<Inport>>>,
     handle: ConnectorHandle,
 }
 
-impl Connected {
-    /// Take the outports of tail parameter `name` (panics if absent or
-    /// already taken — ports are single-owner).
-    pub fn take_outports(&mut self, name: &str) -> Vec<Outport> {
-        self.outports
-            .remove(name)
-            .unwrap_or_else(|| panic!("no untaken outports `{name}`"))
+fn take_ports<P>(
+    slots: &mut HashMap<String, Option<Vec<P>>>,
+    name: &str,
+) -> Result<Vec<P>, RuntimeError> {
+    match slots.get_mut(name) {
+        None => Err(RuntimeError::UnknownParam {
+            name: name.to_string(),
+        }),
+        Some(slot) => slot.take().ok_or_else(|| RuntimeError::AlreadyTaken {
+            name: name.to_string(),
+        }),
+    }
+}
+
+/// Scalar check that runs *before* the slot is consumed: a `NotScalar`
+/// refusal must leave the ports takeable via the array accessor.
+fn check_scalar<P>(
+    slots: &HashMap<String, Option<Vec<P>>>,
+    name: &str,
+) -> Result<(), RuntimeError> {
+    match slots.get(name) {
+        Some(Some(ports)) if ports.len() != 1 => Err(RuntimeError::NotScalar {
+            name: name.to_string(),
+            len: ports.len(),
+        }),
+        // Missing or already-taken parameters fall through to `take_ports`,
+        // which reports UnknownParam/AlreadyTaken.
+        _ => Ok(()),
+    }
+}
+
+impl Session {
+    /// Take the outports of tail parameter `name`.
+    pub fn outports(&mut self, name: &str) -> Result<Vec<Outport>, RuntimeError> {
+        take_ports(&mut self.outports, name)
     }
 
-    pub fn take_inports(&mut self, name: &str) -> Vec<Inport> {
-        self.inports
-            .remove(name)
-            .unwrap_or_else(|| panic!("no untaken inports `{name}`"))
+    /// Take the inports of head parameter `name`.
+    pub fn inports(&mut self, name: &str) -> Result<Vec<Inport>, RuntimeError> {
+        take_ports(&mut self.inports, name)
+    }
+
+    /// Take the single outport of scalar parameter `name`. A `NotScalar`
+    /// refusal leaves the ports in place for the array accessor.
+    pub fn outport(&mut self, name: &str) -> Result<Outport, RuntimeError> {
+        check_scalar(&self.outports, name)?;
+        Ok(self.outports(name)?.pop().expect("scalar checked"))
+    }
+
+    /// Take the single inport of scalar parameter `name`. A `NotScalar`
+    /// refusal leaves the ports in place for the array accessor.
+    pub fn inport(&mut self, name: &str) -> Result<Inport, RuntimeError> {
+        check_scalar(&self.inports, name)?;
+        Ok(self.inports(name)?.pop().expect("scalar checked"))
+    }
+
+    /// Take the outports of `name` as typed handles sending `T`.
+    pub fn typed_outports<T: IntoValue>(
+        &mut self,
+        name: &str,
+    ) -> Result<Vec<Outport<T>>, RuntimeError> {
+        Ok(self
+            .outports(name)?
+            .into_iter()
+            .map(Outport::typed)
+            .collect())
+    }
+
+    /// Take the inports of `name` as typed handles receiving `T`.
+    pub fn typed_inports<T: FromValue>(
+        &mut self,
+        name: &str,
+    ) -> Result<Vec<Inport<T>>, RuntimeError> {
+        Ok(self.inports(name)?.into_iter().map(Inport::typed).collect())
+    }
+
+    /// Take the single outport of scalar parameter `name`, typed.
+    pub fn typed_outport<T: IntoValue>(&mut self, name: &str) -> Result<Outport<T>, RuntimeError> {
+        Ok(self.outport(name)?.typed())
+    }
+
+    /// Take the single inport of scalar parameter `name`, typed.
+    pub fn typed_inport<T: FromValue>(&mut self, name: &str) -> Result<Inport<T>, RuntimeError> {
+        Ok(self.inport(name)?.typed())
     }
 
     pub fn handle(&self) -> ConnectorHandle {

@@ -3,13 +3,15 @@
 //! This is the run-time system of Sect. III-B/IV-D: a generated state
 //! machine "monitors the outports/inports linked to its vertices. Whenever a
 //! task performs a send/receive …, the state machine reacts by checking
-//! whether this operation enables a transition. If so, [it] makes the
+//! whether this operation enables a transition. If so, \[it\] makes the
 //! transition, distributes messages …, and completes all operations
-//! involved. If not, [it] does nothing and awaits the next send or receive."
+//! involved. If not, \[it\] does nothing and awaits the next send or receive."
 //!
 //! The machine itself is pluggable ([`EngineCore`]): ahead-of-time
 //! composition drives one large automaton, just-in-time composition drives
 //! a tuple of medium automata with memoized expansion.
+
+use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex};
 use reo_automata::{automaton::Transition, fire::try_fire, PortId, PortSet, Store, Value};
@@ -150,6 +152,9 @@ impl Engine {
         }
     }
 
+    /// Poisoned/closed classification, shared by registration and by every
+    /// retraction path (`expire_*`, `finish_or_retract_*`) so timeout and
+    /// try-op semantics cannot drift apart between send and recv.
     fn check_open(inner: &EngineInner) -> Result<(), RuntimeError> {
         if let Some(msg) = &inner.poisoned {
             return Err(RuntimeError::Poisoned(msg.clone()));
@@ -172,8 +177,22 @@ impl Engine {
         Ok(())
     }
 
-    /// Phase 2 of `send`: block until the operation completes.
-    pub(crate) fn wait_send(&self, p: PortId) -> Result<(), RuntimeError> {
+    /// Phase 2 of `send`: block until the operation completes, or — with a
+    /// deadline — until it expires.
+    ///
+    /// On expiry the registered `Pending::Send` is *retracted atomically
+    /// under the engine lock*: transitions only fire inside [`fire_loop`]
+    /// with this same lock held, so a retracted send can never be
+    /// half-consumed by a concurrent step. A `DoneSend` observed at
+    /// retraction time means a step already took the value — that send
+    /// completes successfully, deadline notwithstanding.
+    ///
+    /// [`fire_loop`]: Engine::fire_loop
+    pub(crate) fn wait_send(
+        &self,
+        p: PortId,
+        deadline: Option<Instant>,
+    ) -> Result<(), RuntimeError> {
         let mut inner = self.inner.lock();
         loop {
             if matches!(inner.pending[p.index()], Pending::DoneSend) {
@@ -186,7 +205,27 @@ impl Engine {
             if inner.closed {
                 return Err(RuntimeError::Closed);
             }
-            self.cv.wait(&mut inner);
+            match deadline {
+                None => self.cv.wait(&mut inner),
+                Some(d) => {
+                    if self.cv.wait_until(&mut inner, d).timed_out() {
+                        return Self::expire_send(&mut inner, p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Deadline expired while the lock was re-acquired: complete if a step
+    /// got there first, otherwise retract. Called with the lock held.
+    fn expire_send(inner: &mut EngineInner, p: PortId) -> Result<(), RuntimeError> {
+        match std::mem::take(&mut inner.pending[p.index()]) {
+            Pending::DoneSend => Ok(()),
+            Pending::Send(_) => {
+                Self::check_open(inner)?;
+                Err(RuntimeError::Timeout)
+            }
+            other => unreachable!("send slot held {other:?} at expiry"),
         }
     }
 
@@ -202,8 +241,14 @@ impl Engine {
         Ok(())
     }
 
-    /// Phase 2 of `recv`.
-    pub(crate) fn wait_recv(&self, p: PortId) -> Result<Value, RuntimeError> {
+    /// Phase 2 of `recv`; deadline semantics mirror [`wait_send`].
+    ///
+    /// [`wait_send`]: Engine::wait_send
+    pub(crate) fn wait_recv(
+        &self,
+        p: PortId,
+        deadline: Option<Instant>,
+    ) -> Result<Value, RuntimeError> {
         let mut inner = self.inner.lock();
         loop {
             if matches!(inner.pending[p.index()], Pending::DoneRecv(_)) {
@@ -218,7 +263,56 @@ impl Engine {
             if inner.closed {
                 return Err(RuntimeError::Closed);
             }
-            self.cv.wait(&mut inner);
+            match deadline {
+                None => self.cv.wait(&mut inner),
+                Some(d) => {
+                    if self.cv.wait_until(&mut inner, d).timed_out() {
+                        return Self::expire_recv(&mut inner, p);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recv twin of [`Engine::expire_send`]: a delivery that raced the
+    /// deadline is still handed out; an unserved registration is retracted.
+    fn expire_recv(inner: &mut EngineInner, p: PortId) -> Result<Value, RuntimeError> {
+        match std::mem::take(&mut inner.pending[p.index()]) {
+            Pending::DoneRecv(v) => Ok(v),
+            Pending::Recv => {
+                Self::check_open(inner)?;
+                Err(RuntimeError::Timeout)
+            }
+            other => unreachable!("recv slot held {other:?} at expiry"),
+        }
+    }
+
+    /// Non-blocking completion probe for `try_send`: if the registered send
+    /// was consumed, acknowledge it (`Ok(true)`); otherwise retract it
+    /// (`Ok(false)`). Atomic with respect to firing — same lock.
+    pub(crate) fn finish_or_retract_send(&self, p: PortId) -> Result<bool, RuntimeError> {
+        let mut inner = self.inner.lock();
+        match std::mem::take(&mut inner.pending[p.index()]) {
+            Pending::DoneSend => Ok(true),
+            Pending::Send(_) => {
+                Self::check_open(&inner)?;
+                Ok(false)
+            }
+            other => unreachable!("send slot held {other:?} at try probe"),
+        }
+    }
+
+    /// Non-blocking completion probe for `try_recv`: a delivery is taken
+    /// (`Ok(Some(v))`); an unserved registration is retracted (`Ok(None)`).
+    pub(crate) fn finish_or_retract_recv(&self, p: PortId) -> Result<Option<Value>, RuntimeError> {
+        let mut inner = self.inner.lock();
+        match std::mem::take(&mut inner.pending[p.index()]) {
+            Pending::DoneRecv(v) => Ok(Some(v)),
+            Pending::Recv => {
+                Self::check_open(&inner)?;
+                Ok(None)
+            }
+            other => unreachable!("recv slot held {other:?} at try probe"),
         }
     }
 
@@ -387,9 +481,9 @@ mod tests {
             2,
         );
         eng.register_send(PortId(0), Value::Int(7)).unwrap();
-        eng.wait_send(PortId(0)).unwrap();
+        eng.wait_send(PortId(0), None).unwrap();
         eng.register_recv(PortId(1)).unwrap();
-        let v = eng.wait_recv(PortId(1)).unwrap();
+        let v = eng.wait_recv(PortId(1), None).unwrap();
         assert_eq!(v.as_int(), Some(7));
         assert_eq!(eng.steps(), 2);
     }
@@ -401,12 +495,12 @@ mod tests {
         let e2 = Arc::clone(&eng);
         let receiver = std::thread::spawn(move || {
             e2.register_recv(PortId(1)).unwrap();
-            e2.wait_recv(PortId(1)).unwrap()
+            e2.wait_recv(PortId(1), None).unwrap()
         });
         // Give the receiver a chance to block first (not strictly needed).
         std::thread::yield_now();
         eng.register_send(PortId(0), Value::Int(3)).unwrap();
-        eng.wait_send(PortId(0)).unwrap();
+        eng.wait_send(PortId(0), None).unwrap();
         let got = receiver.join().unwrap();
         assert_eq!(got.as_int(), Some(3));
         assert_eq!(eng.steps(), 1);
@@ -419,7 +513,7 @@ mod tests {
         let e2 = Arc::clone(&eng);
         let waiter = std::thread::spawn(move || {
             e2.register_recv(PortId(1)).unwrap();
-            e2.wait_recv(PortId(1))
+            e2.wait_recv(PortId(1), None)
         });
         while !matches!(eng.inner.lock().pending[1], Pending::Recv) {
             std::thread::yield_now();
@@ -437,7 +531,7 @@ mod tests {
         // Fill the buffer, then a second send is *pending* (buffer full);
         // a third register on the same port must be refused.
         eng.register_send(PortId(0), Value::Int(1)).unwrap();
-        eng.wait_send(PortId(0)).unwrap();
+        eng.wait_send(PortId(0), None).unwrap();
         eng.register_send(PortId(0), Value::Int(2)).unwrap();
         assert!(matches!(
             eng.register_send(PortId(0), Value::Int(3)),
@@ -449,7 +543,90 @@ mod tests {
     fn lossy_completes_send_even_without_receiver() {
         let eng = engine_for(primitives::lossy(PortId(0), PortId(1)), 2);
         eng.register_send(PortId(0), Value::Int(9)).unwrap();
-        eng.wait_send(PortId(0)).unwrap();
+        eng.wait_send(PortId(0), None).unwrap();
         assert_eq!(eng.steps(), 1);
+    }
+
+    #[test]
+    fn timed_out_send_is_retracted_and_port_reusable() {
+        use std::time::Duration;
+        let eng = engine_for(primitives::sync(PortId(0), PortId(1)), 2);
+        eng.register_send(PortId(0), Value::Int(1)).unwrap();
+        let deadline = Some(Instant::now() + Duration::from_millis(20));
+        assert!(matches!(
+            eng.wait_send(PortId(0), deadline),
+            Err(RuntimeError::Timeout)
+        ));
+        // The slot is free again: a fresh registration must not be PortBusy.
+        eng.register_send(PortId(0), Value::Int(2)).unwrap();
+        // And the retracted value must not have leaked into the connector:
+        // the receiver gets the *new* value.
+        eng.register_recv(PortId(1)).unwrap();
+        assert_eq!(eng.wait_recv(PortId(1), None).unwrap().as_int(), Some(2));
+        eng.wait_send(PortId(0), None).unwrap();
+        assert_eq!(eng.steps(), 1, "exactly one firing: no loss, no duplicate");
+    }
+
+    #[test]
+    fn timed_out_recv_is_retracted_and_port_reusable() {
+        use std::time::Duration;
+        let eng = engine_for(
+            primitives::fifo1(PortId(0), PortId(1), reo_automata::MemId(0)),
+            2,
+        );
+        eng.register_recv(PortId(1)).unwrap();
+        let deadline = Some(Instant::now() + Duration::from_millis(20));
+        assert!(matches!(
+            eng.wait_recv(PortId(1), deadline),
+            Err(RuntimeError::Timeout)
+        ));
+        // Buffer a value, then receive it through the same (freed) port.
+        eng.register_send(PortId(0), Value::Int(5)).unwrap();
+        eng.wait_send(PortId(0), None).unwrap();
+        eng.register_recv(PortId(1)).unwrap();
+        assert_eq!(eng.wait_recv(PortId(1), None).unwrap().as_int(), Some(5));
+    }
+
+    #[test]
+    fn done_at_expiry_still_completes() {
+        // A completion that lands exactly as (or before) the deadline
+        // expires must win over the retraction.
+        let eng = engine_for(
+            primitives::fifo1(PortId(0), PortId(1), reo_automata::MemId(0)),
+            2,
+        );
+        eng.register_send(PortId(0), Value::Int(7)).unwrap();
+        // The fifo accepted immediately: the slot already holds DoneSend.
+        // An already-expired deadline must still report success.
+        let past = Some(Instant::now() - std::time::Duration::from_millis(1));
+        eng.wait_send(PortId(0), past).unwrap();
+        eng.register_recv(PortId(1)).unwrap();
+        assert_eq!(eng.wait_recv(PortId(1), None).unwrap().as_int(), Some(7));
+    }
+
+    #[test]
+    fn try_probes_complete_or_retract() {
+        let eng = engine_for(
+            primitives::fifo1(PortId(0), PortId(1), reo_automata::MemId(0)),
+            2,
+        );
+        // Empty buffer: a recv probe retracts.
+        eng.register_recv(PortId(1)).unwrap();
+        assert!(eng.finish_or_retract_recv(PortId(1)).unwrap().is_none());
+        // Send fills the buffer in one step: the probe acknowledges.
+        eng.register_send(PortId(0), Value::Int(3)).unwrap();
+        assert!(eng.finish_or_retract_send(PortId(0)).unwrap());
+        // Full buffer: a second send probe retracts, value re-sendable.
+        eng.register_send(PortId(0), Value::Int(4)).unwrap();
+        assert!(!eng.finish_or_retract_send(PortId(0)).unwrap());
+        // The buffered value is intact.
+        eng.register_recv(PortId(1)).unwrap();
+        assert_eq!(
+            eng.finish_or_retract_recv(PortId(1))
+                .unwrap()
+                .unwrap()
+                .as_int(),
+            Some(3)
+        );
     }
 }

@@ -25,6 +25,24 @@ pub enum RuntimeError {
     Unresolved(reo_automata::fire::UnresolvedPort),
     /// A previous firing failed; the engine refuses further operations.
     Poisoned(String),
+    /// A session accessor named a parameter the connector does not have
+    /// (or asked for the wrong direction, e.g. outports of an inport).
+    UnknownParam { name: String },
+    /// The named parameter's ports were already taken from this session —
+    /// ports are single-owner.
+    AlreadyTaken { name: String },
+    /// A scalar accessor (`Session::outport`/`inport`) named an array
+    /// parameter with more than one port.
+    NotScalar { name: String, len: usize },
+    /// A `send_timeout`/`recv_timeout` deadline expired; the operation was
+    /// retracted and the port is free again.
+    Timeout,
+    /// A typed `recv` got a value of the wrong shape. The value is returned
+    /// so nothing is lost; the port is reusable.
+    TypeMismatch {
+        expected: &'static str,
+        found: reo_automata::Value,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -47,6 +65,22 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::Unresolved(e) => write!(f, "{e}"),
             RuntimeError::Poisoned(msg) => write!(f, "engine poisoned: {msg}"),
+            RuntimeError::UnknownParam { name } => {
+                write!(f, "connector has no parameter `{name}` in this direction")
+            }
+            RuntimeError::AlreadyTaken { name } => {
+                write!(f, "ports of parameter `{name}` were already taken")
+            }
+            RuntimeError::NotScalar { name, len } => {
+                write!(
+                    f,
+                    "parameter `{name}` has {len} ports; use the array accessor"
+                )
+            }
+            RuntimeError::Timeout => write!(f, "operation timed out (cleanly retracted)"),
+            RuntimeError::TypeMismatch { expected, found } => {
+                write!(f, "typed receive expected {expected}, got {found}")
+            }
         }
     }
 }

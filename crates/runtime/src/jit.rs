@@ -274,10 +274,10 @@ mod tests {
         let e2 = std::sync::Arc::clone(&eng);
         let rx = std::thread::spawn(move || {
             e2.register_recv(p(2)).unwrap();
-            e2.wait_recv(p(2)).unwrap()
+            e2.wait_recv(p(2), None).unwrap()
         });
         eng.register_send(p(0), Value::Int(11)).unwrap();
-        eng.wait_send(p(0)).unwrap();
+        eng.wait_send(p(0), None).unwrap();
         assert_eq!(rx.join().unwrap().as_int(), Some(11));
         assert_eq!(eng.steps(), 1); // one global step, not two
     }
@@ -336,13 +336,16 @@ mod tests {
         for (i, &t) in tl.iter().enumerate() {
             eng.register_send(t, Value::Int(10 + i as i64)).unwrap();
         }
-        eng.wait_send(tl[0]).unwrap();
+        eng.wait_send(tl[0], None).unwrap();
         for (i, &h) in hd.iter().enumerate() {
             eng.register_recv(h).unwrap();
-            assert_eq!(eng.wait_recv(h).unwrap().as_int(), Some(10 + i as i64));
+            assert_eq!(
+                eng.wait_recv(h, None).unwrap().as_int(),
+                Some(10 + i as i64)
+            );
         }
-        eng.wait_send(tl[1]).unwrap();
-        eng.wait_send(tl[2]).unwrap();
+        eng.wait_send(tl[1], None).unwrap();
+        eng.wait_send(tl[2], None).unwrap();
         // States visited: a handful; the cache must have them resident.
         let stats = eng.cache_stats().unwrap();
         assert!(stats.resident >= 2);
@@ -365,10 +368,10 @@ mod tests {
             let mut log = Vec::new();
             for round in 0..3 {
                 eng.register_recv(p(1)).unwrap();
-                let v = eng.wait_recv(p(1)).unwrap();
+                let v = eng.wait_recv(p(1), None).unwrap();
                 log.push(format!("{round}:{v}"));
                 eng.register_send(p(0), Value::Int(round)).unwrap();
-                eng.wait_send(p(0)).unwrap();
+                eng.wait_send(p(0), None).unwrap();
             }
             (log, eng.cache_stats().unwrap())
         };

@@ -10,7 +10,10 @@
 //! * **just-in-time composition** with an unbounded or bounded-LRU state
 //!   cache, and
 //! * **partitioned just-in-time composition** (the optimization of the
-//!   paper's reference [32], which fixes Fig. 13's finding 3).
+//!   paper's reference \[32\], which fixes Fig. 13's finding 3).
+//!
+//! Compile with the builder, connect into a [`Session`], and take *typed*
+//! port handles — `recv()` returns `i64` here, not a raw `Value`:
 //!
 //! ```
 //! use reo_runtime::{Connector, Mode};
@@ -18,12 +21,35 @@
 //! let program = reo_dsl::parse_program(
 //!     "Buf(a[];b[]) = prod (i:1..#a) Fifo1(a[i];b[i])",
 //! ).unwrap();
-//! let connector = Connector::compile(&program, "Buf", Mode::jit()).unwrap();
-//! let mut connected = connector.connect(&[("a", 2), ("b", 2)]).unwrap();
-//! let senders = connected.take_outports("a");
-//! let receivers = connected.take_inports("b");
-//! senders[0].send(7i64).unwrap();
-//! assert_eq!(receivers[0].recv().unwrap().as_int(), Some(7));
+//! let connector = Connector::builder(&program, "Buf").mode(Mode::jit()).build().unwrap();
+//! let mut session = connector.connect(&[("a", 2), ("b", 2)]).unwrap();
+//! let senders = session.typed_outports::<i64>("a").unwrap();
+//! let receivers = session.typed_inports::<i64>("b").unwrap();
+//! senders[0].send(7).unwrap();
+//! assert_eq!(receivers[0].recv().unwrap(), 7);
+//! ```
+//!
+//! Port acquisition is fallible (no panics on a wrong name), and every
+//! port offers non-blocking and deadline-bounded operations:
+//!
+//! ```
+//! use std::time::Duration;
+//! use reo_runtime::{Connector, Mode, RuntimeError};
+//!
+//! let program = reo_dsl::parse_program("Buf(a;b) = Fifo1(a;b)").unwrap();
+//! let connector = Connector::builder(&program, "Buf").build().unwrap();
+//! let mut session = connector.connect(&[]).unwrap();
+//! assert!(matches!(
+//!     session.outports("nope"),
+//!     Err(RuntimeError::UnknownParam { .. })
+//! ));
+//! let tx = session.typed_outport::<i64>("a").unwrap();
+//! let rx = session.typed_inport::<i64>("b").unwrap();
+//!
+//! assert_eq!(rx.try_recv().unwrap(), None); // buffer empty: no block
+//! assert!(tx.try_send(1).unwrap()); // buffer free: accepted
+//! assert!(!tx.try_send(2).unwrap()); // buffer full: retracted, not lost
+//! assert_eq!(rx.recv_timeout(Duration::from_secs(1)).unwrap(), 1);
 //! ```
 
 pub mod analyze;
@@ -38,7 +64,8 @@ pub mod port;
 pub mod program;
 
 pub use cache::{CachePolicy, CacheStats};
-pub use connector::{Connected, Connector, ConnectorHandle, Limits, Mode};
+pub use connector::{Connector, ConnectorBuilder, ConnectorHandle, Limits, Mode, Session};
 pub use error::RuntimeError;
-pub use port::{Inport, Outport};
+pub use port::{Inport, Messages, Outport};
 pub use program::{run_main, RunReport, TaskCtx, TaskRegistry};
+pub use reo_automata::{FromValue, IntoValue};

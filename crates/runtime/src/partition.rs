@@ -1,5 +1,5 @@
 //! Partitioned execution — the optimization of Jongmans/Santini/Arbab 2015
-//! (reference [32]; Fig. 13 finding 3 names it as the fix for the
+//! (reference \[32\]; Fig. 13 finding 3 names it as the fix for the
 //! exponential transition fan-out at N ≥ 16).
 //!
 //! "This technique involves static analysis of the 'small automata' …;
@@ -359,14 +359,14 @@ mod tests {
             let e = part2.engine_for(p(3));
             e.register_recv(p(3)).unwrap();
             part2.pump();
-            let v = e.wait_recv(p(3)).unwrap();
+            let v = e.wait_recv(p(3), None).unwrap();
             part2.pump();
             v
         });
         let e = part.engine_for(p(0));
         e.register_send(p(0), Value::Int(21)).unwrap();
         part.pump();
-        e.wait_send(p(0)).unwrap();
+        e.wait_send(p(0), None).unwrap();
         part.pump();
         assert_eq!(rx.join().unwrap().as_int(), Some(21));
     }
@@ -386,6 +386,6 @@ mod tests {
         let e = part.engine_for(p(3));
         e.register_recv(p(3)).unwrap();
         part.pump();
-        assert_eq!(e.wait_recv(p(3)).unwrap().as_int(), Some(99));
+        assert_eq!(e.wait_recv(p(3), None).unwrap().as_int(), Some(99));
     }
 }

@@ -1,14 +1,33 @@
-//! The task-side API: outports and inports (Figs. 1/3 of the paper).
+//! The task-side API: outports and inports (Figs. 1/3 of the paper),
+//! optionally typed.
 //!
 //! In the generalized Foster–Chandy model both operations block: a `send`
 //! completes only when the connector accepts the message (a connector with
 //! buffer space accepts immediately, making the send effectively
 //! nonblocking — Footnote 1), and a `recv` completes only when the
 //! connector delivers one.
+//!
+//! On top of the blocking pair this module layers:
+//!
+//! * **typed handles** — [`Outport<T>`]/[`Inport<T>`] over the
+//!   [`IntoValue`]/[`FromValue`] conversion traits, so tasks send `i64`s
+//!   or `(i64, f64)` tuples directly and `recv()` returns `T`, not a raw
+//!   [`Value`]. The default `T = Value` keeps the untyped surface intact.
+//! * **non-blocking operations** — [`Outport::try_send`] and
+//!   [`Inport::try_recv`], which register the operation, give the engine
+//!   one chance to fire, and retract cleanly if nothing did.
+//! * **deadline-bounded operations** — [`Outport::send_timeout`] and
+//!   [`Inport::recv_timeout`], which block up to a [`Duration`] and then
+//!   retract atomically (see [`crate::engine`] for why retraction can
+//!   never lose or duplicate a message).
+//! * **iteration** — `for v in &inport { … }` drains deliveries until the
+//!   connector closes.
 
+use std::marker::PhantomData;
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use reo_automata::{PortId, Value};
+use reo_automata::{FromValue, IntoValue, PortId, Value};
 
 use crate::engine::Engine;
 use crate::error::RuntimeError;
@@ -22,34 +41,68 @@ pub(crate) enum Backend {
 }
 
 impl Backend {
-    fn send(&self, p: PortId, v: Value) -> Result<(), RuntimeError> {
+    fn send(&self, p: PortId, v: Value, deadline: Option<Instant>) -> Result<(), RuntimeError> {
         match self {
             Backend::Single(e) => {
                 e.register_send(p, v)?;
-                e.wait_send(p)
+                e.wait_send(p, deadline)
             }
             Backend::Multi(m) => {
                 let e = Arc::clone(m.engine_for(p));
                 e.register_send(p, v)?;
                 m.pump();
-                let r = e.wait_send(p);
+                let r = e.wait_send(p, deadline);
                 m.pump();
                 r
             }
         }
     }
 
-    fn recv(&self, p: PortId) -> Result<Value, RuntimeError> {
+    fn recv(&self, p: PortId, deadline: Option<Instant>) -> Result<Value, RuntimeError> {
         match self {
             Backend::Single(e) => {
                 e.register_recv(p)?;
-                e.wait_recv(p)
+                e.wait_recv(p, deadline)
             }
             Backend::Multi(m) => {
                 let e = Arc::clone(m.engine_for(p));
                 e.register_recv(p)?;
                 m.pump();
-                let r = e.wait_recv(p);
+                let r = e.wait_recv(p, deadline);
+                m.pump();
+                r
+            }
+        }
+    }
+
+    fn try_send(&self, p: PortId, v: Value) -> Result<bool, RuntimeError> {
+        match self {
+            Backend::Single(e) => {
+                e.register_send(p, v)?;
+                e.finish_or_retract_send(p)
+            }
+            Backend::Multi(m) => {
+                let e = Arc::clone(m.engine_for(p));
+                e.register_send(p, v)?;
+                m.pump();
+                let r = e.finish_or_retract_send(p);
+                m.pump();
+                r
+            }
+        }
+    }
+
+    fn try_recv(&self, p: PortId) -> Result<Option<Value>, RuntimeError> {
+        match self {
+            Backend::Single(e) => {
+                e.register_recv(p)?;
+                e.finish_or_retract_recv(p)
+            }
+            Backend::Multi(m) => {
+                let e = Arc::clone(m.engine_for(p));
+                e.register_recv(p)?;
+                m.pump();
+                let r = e.finish_or_retract_recv(p);
                 m.pump();
                 r
             }
@@ -89,16 +142,63 @@ impl Backend {
     }
 }
 
-/// Where a task sends messages into the connector (`void send(Object o)`).
-pub struct Outport {
-    pub(crate) backend: Backend,
-    pub(crate) port: PortId,
+fn deadline_in(timeout: Duration) -> Option<Instant> {
+    Some(Instant::now() + timeout)
 }
 
-impl Outport {
+/// Where a task sends messages into the connector (`void send(Object o)`).
+///
+/// `T` is the payload type; the default `Value` is the untyped handle with
+/// the paper's original semantics. Obtain typed handles from
+/// [`crate::Session::typed_outports`] or via [`Outport::typed`].
+pub struct Outport<T = Value> {
+    pub(crate) backend: Backend,
+    pub(crate) port: PortId,
+    pub(crate) _payload: PhantomData<fn(T) -> T>,
+}
+
+impl<T: IntoValue> Outport<T> {
+    pub(crate) fn new(backend: Backend, port: PortId) -> Self {
+        Outport {
+            backend,
+            port,
+            _payload: PhantomData,
+        }
+    }
+
     /// Blocking send: returns once the connector has accepted the message.
-    pub fn send(&self, v: impl Into<Value>) -> Result<(), RuntimeError> {
-        self.backend.send(self.port, v.into())
+    pub fn send(&self, v: impl Into<T>) -> Result<(), RuntimeError> {
+        self.backend.send(self.port, v.into().into_value(), None)
+    }
+
+    /// Non-blocking send: `Ok(true)` if the connector accepted the message
+    /// in one engine step, `Ok(false)` if it would have blocked (the
+    /// registration is retracted; nothing entered the connector, so
+    /// sending the message again cannot duplicate it). The payload itself
+    /// is consumed either way — retry with a clone or a fresh value
+    /// ([`Value`] clones are cheap, bulk data is `Arc`-shared).
+    pub fn try_send(&self, v: impl Into<T>) -> Result<bool, RuntimeError> {
+        self.backend.try_send(self.port, v.into().into_value())
+    }
+
+    /// Deadline-bounded send: blocks up to `timeout`, then retracts and
+    /// returns [`RuntimeError::Timeout`]. A retracted send was never
+    /// accepted, so retrying cannot duplicate a message; as with
+    /// [`Outport::try_send`], retry with a clone or a fresh value.
+    pub fn send_timeout(&self, v: impl Into<T>, timeout: Duration) -> Result<(), RuntimeError> {
+        self.backend
+            .send(self.port, v.into().into_value(), deadline_in(timeout))
+    }
+
+    /// Re-type the handle; the connector itself is data-agnostic, so this
+    /// only changes what the `send` signature accepts.
+    pub fn typed<U: IntoValue>(self) -> Outport<U> {
+        Outport::new(self.backend, self.port)
+    }
+
+    /// Back to the untyped handle.
+    pub fn untyped(self) -> Outport<Value> {
+        self.typed()
     }
 
     /// The underlying vertex (diagnostics).
@@ -108,15 +208,72 @@ impl Outport {
 }
 
 /// Where a task receives messages from the connector (`Object recv()`).
-pub struct Inport {
+///
+/// `T` is the payload type; the default `Value` is the untyped handle.
+/// Typed receives unwrap the delivered [`Value`] via [`FromValue`] and
+/// report a [`RuntimeError::TypeMismatch`] (carrying the value) on the
+/// wrong shape.
+pub struct Inport<T = Value> {
     pub(crate) backend: Backend,
     pub(crate) port: PortId,
+    pub(crate) _payload: PhantomData<fn(T) -> T>,
 }
 
-impl Inport {
+fn convert<T: FromValue>(v: Value) -> Result<T, RuntimeError> {
+    T::from_value(v).map_err(|found| RuntimeError::TypeMismatch {
+        expected: T::expected(),
+        found,
+    })
+}
+
+impl<T: FromValue> Inport<T> {
+    pub(crate) fn new(backend: Backend, port: PortId) -> Self {
+        Inport {
+            backend,
+            port,
+            _payload: PhantomData,
+        }
+    }
+
     /// Blocking receive: returns the delivered message.
-    pub fn recv(&self) -> Result<Value, RuntimeError> {
-        self.backend.recv(self.port)
+    pub fn recv(&self) -> Result<T, RuntimeError> {
+        convert(self.backend.recv(self.port, None)?)
+    }
+
+    /// Non-blocking receive: `Ok(Some(v))` if a delivery was ready within
+    /// one engine step, `Ok(None)` if the operation would have blocked
+    /// (it is retracted; the port is immediately reusable).
+    pub fn try_recv(&self) -> Result<Option<T>, RuntimeError> {
+        self.backend.try_recv(self.port)?.map(convert).transpose()
+    }
+
+    /// Deadline-bounded receive: blocks up to `timeout`, then retracts and
+    /// returns [`RuntimeError::Timeout`]. A delivery that races the
+    /// deadline is still handed out — never dropped.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RuntimeError> {
+        convert(self.backend.recv(self.port, deadline_in(timeout))?)
+    }
+
+    /// Iterate over deliveries until the connector closes (or a typed
+    /// conversion fails). Equivalent to looping on [`Inport::recv`]; a
+    /// non-`Closed` terminating error — with the consumed value, for a
+    /// [`RuntimeError::TypeMismatch`] — stays recoverable via
+    /// [`Messages::take_error`].
+    pub fn iter(&self) -> Messages<'_, T> {
+        Messages {
+            port: self,
+            terminal: None,
+        }
+    }
+
+    /// Re-type the handle: subsequent receives unwrap into `U`.
+    pub fn typed<U: FromValue>(self) -> Inport<U> {
+        Inport::new(self.backend, self.port)
+    }
+
+    /// Back to the untyped handle.
+    pub fn untyped(self) -> Inport<Value> {
+        self.typed()
     }
 
     pub fn id(&self) -> PortId {
@@ -124,13 +281,71 @@ impl Inport {
     }
 }
 
-impl std::fmt::Debug for Outport {
+impl Inport<Value> {
+    /// One-shot typed receive on an untyped handle: unwrap the next
+    /// delivery into `U` without re-typing the port. Handy where handles
+    /// arrive untyped (e.g. [`crate::TaskCtx`]) but payloads are known.
+    pub fn recv_as<U: FromValue>(&self) -> Result<U, RuntimeError> {
+        convert(self.backend.recv(self.port, None)?)
+    }
+}
+
+/// Iterator over an inport's deliveries. Ends cleanly on `Closed`; any
+/// other receive error also ends iteration but is retained — so a
+/// [`RuntimeError::TypeMismatch`]'s value is not lost — and can be taken
+/// with [`Messages::take_error`].
+pub struct Messages<'a, T> {
+    port: &'a Inport<T>,
+    terminal: Option<RuntimeError>,
+}
+
+impl<T> Messages<'_, T> {
+    /// The non-`Closed` error that ended iteration, if any. A
+    /// `TypeMismatch` here still carries the delivered value.
+    pub fn take_error(&mut self) -> Option<RuntimeError> {
+        self.terminal.take()
+    }
+}
+
+impl<T: FromValue> Iterator for Messages<'_, T> {
+    type Item = T;
+
+    fn next(&mut self) -> Option<T> {
+        if self.terminal.is_some() {
+            return None;
+        }
+        match self.port.recv() {
+            Ok(v) => Some(v),
+            Err(RuntimeError::Closed) => None,
+            Err(e) => {
+                self.terminal = Some(e);
+                None
+            }
+        }
+    }
+}
+
+/// The `for v in &inport { … }` sugar. The temporary iterator is
+/// inaccessible after the loop, so a terminating [`RuntimeError`] (and a
+/// `TypeMismatch`'s value) cannot be inspected — use this form only when
+/// the stream is homogeneous in `T`; otherwise bind `let mut it =
+/// inport.iter()` and check [`Messages::take_error`] after the loop.
+impl<'a, T: FromValue> IntoIterator for &'a Inport<T> {
+    type Item = T;
+    type IntoIter = Messages<'a, T>;
+
+    fn into_iter(self) -> Messages<'a, T> {
+        self.iter()
+    }
+}
+
+impl<T> std::fmt::Debug for Outport<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Outport({})", self.port)
     }
 }
 
-impl std::fmt::Debug for Inport {
+impl<T> std::fmt::Debug for Inport<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Inport({})", self.port)
     }

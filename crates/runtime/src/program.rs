@@ -13,7 +13,7 @@ use reo_automata::Value;
 use reo_core::ir::{PortRef, Program};
 use reo_core::CoreError;
 
-use crate::connector::{Connected, Connector, ConnectorHandle, Mode};
+use crate::connector::{Connector, ConnectorHandle, Mode, Session};
 use crate::error::RuntimeError;
 use crate::port::{Inport, Outport};
 
@@ -114,8 +114,8 @@ pub fn run_main(
         .iter()
         .map(|(param, _, lo, hi, _)| (param.as_str(), (hi - lo + 1).max(1) as usize))
         .collect();
-    let mut connected: Connected = connector.connect(&sizes)?;
-    let handle = connected.handle();
+    let mut session: Session = connector.connect(&sizes)?;
+    let handle = session.handle();
 
     // Build the main-level arrays as optional endpoints to move out.
     enum Slot {
@@ -128,12 +128,12 @@ pub fn run_main(
         .collect();
     for (param, array, lo, _hi, is_tail) in &spans {
         if *is_tail {
-            for (k, port) in connected.take_outports(param).into_iter().enumerate() {
+            for (k, port) in session.outports(param)?.into_iter().enumerate() {
                 arrays.get_mut(array).expect("array exists")[(lo - 1) as usize + k] =
                     Some(Slot::Out(port));
             }
         } else {
-            for (k, port) in connected.take_inports(param).into_iter().enumerate() {
+            for (k, port) in session.inports(param)?.into_iter().enumerate() {
                 arrays.get_mut(array).expect("array exists")[(lo - 1) as usize + k] =
                     Some(Slot::In(port));
             }

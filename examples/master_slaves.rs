@@ -7,13 +7,16 @@
 //! execution cuts it at the fifos into per-worker synchronous regions (the
 //! optimization of the paper's reference [32]).
 //!
+//! The ports are typed end to end: work items travel as `i64`, results as
+//! `(i64, i64)` pairs — no `Value` in sight. The master gathers with a
+//! `try_recv` polling loop, overlapping scatter and gather.
+//!
 //! Run: `cargo run --example master_slaves -- 5 jit`
 
 use std::thread;
 
 use reo::connectors::families;
 use reo::runtime::{CachePolicy, Connector, Mode};
-use reo::Value;
 
 fn main() {
     let n: usize = std::env::args()
@@ -33,16 +36,20 @@ fn main() {
         .find(|f| f.name == "scatter_gather")
         .expect("family exists");
     let program = family.program();
-    let connector = Connector::compile(&program, family.def, mode).unwrap();
-    let mut connected = connector.connect(&[("v", n), ("w", n)]).unwrap();
+    let connector = Connector::builder(&program, family.def)
+        .mode(mode)
+        .build()
+        .unwrap();
+    let mut session = connector.connect(&[("v", n), ("w", n)]).unwrap();
 
-    let master_out = connected.take_outports("m").pop().unwrap();
-    let results_in = connected.take_inports("res").pop().unwrap();
-    let work_in = connected.take_inports("w");
-    let work_out = connected.take_outports("v");
-    let handle = connected.handle();
+    let master_out = session.typed_outport::<i64>("m").unwrap();
+    let results_in = session.typed_inport::<(i64, i64)>("res").unwrap();
+    let work_in = session.typed_inports::<i64>("w").unwrap();
+    let work_out = session.typed_outports::<(i64, i64)>("v").unwrap();
+    let handle = session.handle();
 
-    // Workers: receive an item, compute, send the result back.
+    // Workers: receive an item, compute, send the tagged result back. The
+    // iterator form drains work items until the connector closes.
     let workers: Vec<_> = work_in
         .into_iter()
         .zip(work_out)
@@ -50,13 +57,9 @@ fn main() {
         .map(|(id, (win, wout))| {
             thread::spawn(move || {
                 let mut done = 0u32;
-                while let Ok(v) = win.recv() {
-                    let x = v.as_int().expect("work item");
+                for x in &win {
                     let result = (1..=x).map(|k| k * k).sum::<i64>();
-                    if wout
-                        .send(Value::pair(Value::Int(x), Value::Int(result)))
-                        .is_err()
-                    {
+                    if wout.send((x, result)).is_err() {
                         break;
                     }
                     done += 1;
@@ -66,20 +69,29 @@ fn main() {
         })
         .collect();
 
-    // Master: scatter 40 items, gather 40 results.
+    // Master: scatter 40 items and gather 40 results from one thread,
+    // interleaved via non-blocking receives.
     let items = 40i64;
-    let producer = thread::spawn(move || {
-        for x in 1..=items {
-            master_out.send(Value::Int(x)).unwrap();
-        }
-    });
+    let mut sent = 0i64;
+    let mut got = 0i64;
     let mut total = 0i64;
-    for _ in 0..items {
-        let v = results_in.recv().unwrap();
-        let (_x, result) = v.as_pair().expect("tagged result");
-        total += result.as_int().unwrap();
+    while got < items {
+        if sent < items {
+            master_out.send(sent + 1).unwrap();
+            sent += 1;
+        }
+        // Drain whatever results are ready; never blocks the scatter.
+        while let Some((_x, result)) = results_in.try_recv().unwrap() {
+            total += result;
+            got += 1;
+        }
+        if sent == items && got < items {
+            // Everything scattered: the rest is a plain blocking gather.
+            let (_x, result) = results_in.recv().unwrap();
+            total += result;
+            got += 1;
+        }
     }
-    producer.join().unwrap();
 
     // Σ_{x=1..40} Σ_{k=1..x} k² has a closed form; cross-check it.
     let expected: i64 = (1..=items)

@@ -8,7 +8,6 @@
 use std::sync::{Arc, Mutex};
 
 use reo::runtime::{run_main, Mode, TaskCtx, TaskRegistry};
-use reo::Value;
 
 fn main() {
     let n: i64 = std::env::args()
@@ -22,20 +21,20 @@ fn main() {
     let received: Arc<Mutex<Vec<i64>>> = Arc::new(Mutex::new(Vec::new()));
     let mut tasks = TaskRegistry::new();
 
-    // `forall (i:1..N) Tasks.pro(out[i])`
+    // `forall (i:1..N) Tasks.pro(out[i])` — sends a plain i64.
     tasks.register("Tasks.pro", |ctx: TaskCtx| {
         let i = ctx.index.expect("replicated task");
-        ctx.outports[0].send(Value::Int(1000 + i)).unwrap();
+        ctx.outports[0].send(1000 + i).unwrap();
         println!("producer {i}: sent");
     });
 
-    // `Tasks.con(in[1..N])`
+    // `Tasks.con(in[1..N])` — receives plain i64s, in producer order.
     let sink = Arc::clone(&received);
     tasks.register("Tasks.con", move |ctx: TaskCtx| {
         for (k, port) in ctx.inports.iter().enumerate() {
-            let v = port.recv().unwrap();
+            let v: i64 = port.recv_as().unwrap();
             println!("consumer: received #{got} = {v}", got = k + 1);
-            sink.lock().unwrap().push(v.as_int().unwrap());
+            sink.lock().unwrap().push(v);
         }
     });
 

@@ -5,42 +5,46 @@
 //! tasks A and B just send, C just receives twice (compare Fig. 4 of the
 //! paper against the auxiliary-communication version of Fig. 2).
 //!
+//! The ports are *typed*: A and B send plain `String`s, C receives plain
+//! `String`s — no `Value` wrapping or unwrapping anywhere.
+//!
 //! Run: `cargo run --example quickstart`
 
 use std::thread;
 
-use reo::runtime::{Connector, Mode};
-use reo::Value;
+use reo::runtime::Connector;
 
 fn main() {
     // Fig. 8's ConnectorEx11a, verbatim in the textual syntax.
     let program = reo::dsl::parse_program(reo::dsl::stdlib::FIG8_SOURCE).unwrap();
-    let connector = Connector::compile(&program, "ConnectorEx11a", Mode::jit()).unwrap();
-    let mut connected = connector.connect(&[]).unwrap();
+    let connector = Connector::builder(&program, "ConnectorEx11a")
+        .build()
+        .unwrap();
+    let mut session = connector.connect(&[]).unwrap();
 
-    let a_out = connected.take_outports("tl1").pop().unwrap();
-    let b_out = connected.take_outports("tl2").pop().unwrap();
-    let c_in1 = connected.take_inports("hd1").pop().unwrap();
-    let c_in2 = connected.take_inports("hd2").pop().unwrap();
+    let a_out = session.typed_outport::<String>("tl1").unwrap();
+    let b_out = session.typed_outport::<String>("tl2").unwrap();
+    let c_in1 = session.typed_inport::<String>("hd1").unwrap();
+    let c_in2 = session.typed_inport::<String>("hd2").unwrap();
 
     // Task A (Fig. 4: just sends).
     let a = thread::spawn(move || {
-        a_out.send(Value::str("message from A")).unwrap();
+        a_out.send("message from A").unwrap();
         println!("A: sent");
     });
     // Task B (just sends — no auxiliary receive needed!).
     let b = thread::spawn(move || {
-        b_out.send(Value::str("message from B")).unwrap();
+        b_out.send("message from B").unwrap();
         println!("B: sent (the connector held this back until C had A's message)");
     });
     // Task C (receives twice; the connector guarantees A's message first).
     let c = thread::spawn(move || {
-        let first = c_in1.recv().unwrap();
-        println!("C: first received  {first}");
-        let second = c_in2.recv().unwrap();
-        println!("C: second received {second}");
-        assert!(matches!(&first, Value::Str(s) if s.contains("from A")));
-        assert!(matches!(&second, Value::Str(s) if s.contains("from B")));
+        let first: String = c_in1.recv().unwrap();
+        println!("C: first received  {first:?}");
+        let second: String = c_in2.recv().unwrap();
+        println!("C: second received {second:?}");
+        assert!(first.contains("from A"));
+        assert!(second.contains("from B"));
     });
 
     a.join().unwrap();
@@ -49,7 +53,7 @@ fn main() {
 
     println!(
         "connector made {} global execution steps",
-        connected.handle().steps()
+        session.handle().steps()
     );
     println!("ok: A-before-B ordering enforced by the protocol module alone");
 }

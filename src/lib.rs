@@ -19,23 +19,33 @@
 //! ## Quickstart
 //!
 //! ```
-//! use reo::runtime::{Connector, Mode};
+//! use reo::{Connector, Mode};
 //!
 //! // The paper's Example 8: N producers, one consumer, strictly ordered.
 //! let program = reo::dsl::parse_program(reo::dsl::stdlib::FIG9_SOURCE).unwrap();
-//! let connector = Connector::compile(&program, "ConnectorEx11N", Mode::jit()).unwrap();
+//! let connector = Connector::builder(&program, "ConnectorEx11N")
+//!     .mode(Mode::jit())
+//!     .build()
+//!     .unwrap();
 //!
 //! // Choose N at *run time* — the generalization the paper contributes.
 //! let n = 3;
-//! let mut connected = connector.connect(&[("tl", n), ("hd", n)]).unwrap();
-//! let producers = connected.take_outports("tl");
-//! let consumer = connected.take_inports("hd");
+//! let mut session = connector.connect(&[("tl", n), ("hd", n)]).unwrap();
+//!
+//! // Typed handles: these ports carry plain i64s, no Value wrapping.
+//! let producers = session.typed_outports::<i64>("tl").unwrap();
+//! let consumer = session.typed_inports::<i64>("hd").unwrap();
 //!
 //! // Producer 1 may send immediately; the others are held back until the
 //! // consumer catches up, enforcing producer order end to end.
-//! producers[0].send(10i64).unwrap();
-//! assert_eq!(consumer[0].recv().unwrap().as_int(), Some(10));
+//! producers[0].send(10).unwrap();
+//! assert_eq!(consumer[0].recv().unwrap(), 10);
 //! ```
+//!
+//! Port acquisition is fallible — a wrong name is a typed error, not a
+//! panic — and every port also offers non-blocking (`try_send`/`try_recv`)
+//! and deadline-bounded (`send_timeout`/`recv_timeout`) operations; see
+//! [`runtime`] for the polling-loop example.
 
 pub use reo_automata as automata;
 pub use reo_connectors as connectors;
@@ -44,5 +54,5 @@ pub use reo_dsl as dsl;
 pub use reo_npb as npb;
 pub use reo_runtime as runtime;
 
-pub use reo_automata::Value;
-pub use reo_runtime::{Connector, Inport, Mode, Outport, RuntimeError};
+pub use reo_automata::{FromValue, IntoValue, Value};
+pub use reo_runtime::{Connector, Inport, Mode, Outport, RuntimeError, Session};

@@ -29,8 +29,8 @@ fn filter_channel_drops_non_matching_messages() {
     for mode in [Mode::jit(), Mode::existing()] {
         let connector = Connector::compile(&program, "Evens", mode).unwrap();
         let mut connected = connector.connect(&[]).unwrap();
-        let tx = connected.take_outports("a").pop().unwrap();
-        let rx = connected.take_inports("b").pop().unwrap();
+        let tx = connected.outports("a").unwrap().pop().unwrap();
+        let rx = connected.inports("b").unwrap().pop().unwrap();
         let producer = thread::spawn(move || {
             for i in 0..10i64 {
                 tx.send(Value::Int(i)).unwrap();
@@ -59,8 +59,8 @@ fn transformer_applies_function_in_flight() {
     );
     let connector = Connector::compile(&program, "Doubler", Mode::jit()).unwrap();
     let mut connected = connector.connect(&[]).unwrap();
-    let tx = connected.take_outports("a").pop().unwrap();
-    let rx = connected.take_inports("b").pop().unwrap();
+    let tx = connected.outports("a").unwrap().pop().unwrap();
+    let rx = connected.inports("b").unwrap().pop().unwrap();
     tx.send(Value::Int(21)).unwrap();
     assert_eq!(rx.recv().unwrap().as_int(), Some(42));
 }
@@ -84,8 +84,8 @@ fn custom_prims_compose_under_iteration() {
     );
     let connector = Connector::compile(&program, "Gate", Mode::jit()).unwrap();
     let mut connected = connector.connect(&[("a", 3), ("b", 3)]).unwrap();
-    let txs = connected.take_outports("a");
-    let rxs = connected.take_inports("b");
+    let txs = connected.outports("a").unwrap();
+    let rxs = connected.inports("b").unwrap();
     // Negative values are swallowed (filter's lossy branch), positives pass.
     let senders: Vec<_> = txs
         .into_iter()

@@ -137,7 +137,7 @@ fn cache_policies_observationally_equal_on_sequencer() {
     let run = |cache: CachePolicy| -> u64 {
         let connector = Connector::compile(&program, family.def, Mode::Jit { cache }).unwrap();
         let mut connected = connector.connect(&[("t", 4)]).unwrap();
-        let clients = connected.take_outports("t");
+        let clients = connected.outports("t").unwrap();
         for _round in 0..3 {
             for c in &clients {
                 c.send(reo::Value::Unit).unwrap();

@@ -80,8 +80,8 @@ fn run_pipeline(src: &str, k: usize, mode: Mode) -> Vec<i64> {
     let program = reo::dsl::parse_program(src).unwrap();
     let connector = Connector::compile(&program, "P", mode).unwrap();
     let mut connected = connector.connect(&[]).unwrap();
-    let tx = connected.take_outports("a").pop().unwrap();
-    let rx = connected.take_inports("b").pop().unwrap();
+    let tx = connected.outports("a").unwrap().pop().unwrap();
+    let rx = connected.inports("b").unwrap().pop().unwrap();
     let producer = std::thread::spawn(move || {
         for i in 0..k {
             tx.send(Value::Int(i as i64)).unwrap();
@@ -137,8 +137,8 @@ proptest! {
             let program = reo::dsl::parse_program(&src).unwrap();
             let connector = Connector::compile(&program, "F", mode).unwrap();
             let mut connected = connector.connect(&[]).unwrap();
-            let tx = connected.take_outports("a").pop().unwrap();
-            let rx = connected.take_inports("b").pop().unwrap();
+            let tx = connected.outports("a").unwrap().pop().unwrap();
+            let rx = connected.inports("b").unwrap().pop().unwrap();
             let kk = k;
             let producer = std::thread::spawn(move || {
                 for i in 0..kk {

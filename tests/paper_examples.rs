@@ -31,10 +31,10 @@ fn example1_order_enforced_in_every_mode() {
         for def in ["ConnectorEx11a", "ConnectorEx11b"] {
             let connector = Connector::compile(&program, def, mode).unwrap();
             let mut connected = connector.connect(&[]).unwrap();
-            let a_out = connected.take_outports("tl1").pop().unwrap();
-            let b_out = connected.take_outports("tl2").pop().unwrap();
-            let c1 = connected.take_inports("hd1").pop().unwrap();
-            let c2 = connected.take_inports("hd2").pop().unwrap();
+            let a_out = connected.outports("tl1").unwrap().pop().unwrap();
+            let b_out = connected.outports("tl2").unwrap().pop().unwrap();
+            let c1 = connected.inports("hd1").unwrap().pop().unwrap();
+            let c2 = connected.inports("hd2").unwrap().pop().unwrap();
 
             // A sends; its operation completes immediately (buffered).
             a_out.send(Value::Int(1)).unwrap();
@@ -90,8 +90,8 @@ fn example8_parametrized_order_all_modes() {
         let connector = Connector::compile(&program, "ConnectorEx11N", mode).unwrap();
         for n in [1usize, 2, 5] {
             let mut connected = connector.connect(&[("tl", n), ("hd", n)]).unwrap();
-            let producers = connected.take_outports("tl");
-            let consumers = connected.take_inports("hd");
+            let producers = connected.outports("tl").unwrap();
+            let consumers = connected.inports("hd").unwrap();
             let senders: Vec<_> = producers
                 .into_iter()
                 .enumerate()
@@ -123,10 +123,10 @@ fn fig5_diagram_runs_like_fig8() {
     let program = reo::core::Program::new(vec![def]);
     let connector = Connector::compile(&program, "ConnectorEx11", Mode::jit()).unwrap();
     let mut connected = connector.connect(&[]).unwrap();
-    let a_out = connected.take_outports("tl1").pop().unwrap();
-    let b_out = connected.take_outports("tl2").pop().unwrap();
-    let c1 = connected.take_inports("hd1").pop().unwrap();
-    let c2 = connected.take_inports("hd2").pop().unwrap();
+    let a_out = connected.outports("tl1").unwrap().pop().unwrap();
+    let b_out = connected.outports("tl2").unwrap().pop().unwrap();
+    let c1 = connected.inports("hd1").unwrap().pop().unwrap();
+    let c2 = connected.inports("hd2").unwrap().pop().unwrap();
 
     let b = thread::spawn(move || b_out.send(Value::Int(2)).unwrap());
     a_out.send(Value::Int(1)).unwrap();
@@ -145,14 +145,14 @@ fn footnote1_buffering_controls_send_blocking() {
     // Buffered: send completes without any receiver.
     let connector = Connector::compile(&program, "Buffered", Mode::jit()).unwrap();
     let mut connected = connector.connect(&[]).unwrap();
-    let tx = connected.take_outports("a").pop().unwrap();
+    let tx = connected.outports("a").unwrap().pop().unwrap();
     tx.send(Value::Int(1)).unwrap(); // returns immediately
 
     // Unbuffered: send blocks until the receiver shows up.
     let connector = Connector::compile(&program, "Unbuffered", Mode::jit()).unwrap();
     let mut connected = connector.connect(&[]).unwrap();
-    let tx = connected.take_outports("a").pop().unwrap();
-    let rx = connected.take_inports("b").pop().unwrap();
+    let tx = connected.outports("a").unwrap().pop().unwrap();
+    let rx = connected.inports("b").unwrap().pop().unwrap();
     let done = Arc::new(std::sync::atomic::AtomicBool::new(false));
     let flag = Arc::clone(&done);
     let sender = thread::spawn(move || {

@@ -1,0 +1,293 @@
+//! Semantics of the typed, non-blocking session API: fallible port
+//! acquisition, try/timeout operations, atomic retraction (no loss, no
+//! duplication), closed- and poisoned-engine behaviour.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use reo::runtime::{CachePolicy, Connector, Mode};
+use reo::{RuntimeError, Value};
+
+fn fifo_session() -> reo::Session {
+    let program = reo::dsl::parse_program("Buf(a;b) = Fifo1(a;b)").unwrap();
+    let connector = Connector::builder(&program, "Buf").build().unwrap();
+    connector.connect(&[]).unwrap()
+}
+
+#[test]
+fn unknown_and_taken_params_are_typed_errors_not_panics() {
+    let mut session = fifo_session();
+    // Wrong name.
+    assert!(matches!(
+        session.outports("nope"),
+        Err(RuntimeError::UnknownParam { name }) if name == "nope"
+    ));
+    // Right name, wrong direction.
+    assert!(matches!(
+        session.inports("a"),
+        Err(RuntimeError::UnknownParam { .. })
+    ));
+    // First take succeeds, second reports AlreadyTaken.
+    assert!(session.outports("a").is_ok());
+    assert!(matches!(
+        session.outports("a"),
+        Err(RuntimeError::AlreadyTaken { name }) if name == "a"
+    ));
+    // Scalar accessor on an array parameter reports NotScalar.
+    let program =
+        reo::dsl::parse_program("Arr(a[];b[]) = prod (i:1..#a) Fifo1(a[i];b[i])").unwrap();
+    let connector = Connector::builder(&program, "Arr").build().unwrap();
+    let mut session = connector.connect(&[("a", 2), ("b", 2)]).unwrap();
+    assert!(matches!(
+        session.outport("a"),
+        Err(RuntimeError::NotScalar { len: 2, .. })
+    ));
+    // The NotScalar refusal must not consume the handles: the array
+    // accessor still works afterwards.
+    assert_eq!(session.outports("a").unwrap().len(), 2);
+}
+
+#[test]
+fn recv_timeout_expires_within_twice_the_deadline_under_contention() {
+    let program =
+        reo::dsl::parse_program("Buf(a[];b[]) = prod (i:1..#a) Fifo1(a[i];b[i])").unwrap();
+    let connector = Connector::builder(&program, "Buf").build().unwrap();
+    let mut session = connector.connect(&[("a", 2), ("b", 2)]).unwrap();
+    let mut txs = session.typed_outports::<i64>("a").unwrap();
+    let mut rxs = session.typed_inports::<i64>("b").unwrap();
+    // `pop()` takes the *last* element: the timed receive sits on the
+    // a[2]→b[2] fifo (whose outport `_tx_idle` never sends), while the
+    // a[1]→b[1] fifo is the hammered noise channel.
+    let (_tx_idle, tx_noise) = (txs.pop().unwrap(), txs.pop().unwrap());
+    let (rx_timed, rx_noise) = (rxs.pop().unwrap(), rxs.pop().unwrap());
+
+    // Contention: two threads hammer the *other* fifo pair, churning the
+    // shared engine lock while the timed receive waits.
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut noise = Vec::new();
+    {
+        let stop = Arc::clone(&stop);
+        noise.push(thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if tx_noise.try_send(1).is_err() {
+                    break;
+                }
+            }
+        }));
+    }
+    {
+        let stop = Arc::clone(&stop);
+        noise.push(thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                if rx_noise.try_recv().is_err() {
+                    break;
+                }
+            }
+        }));
+    }
+
+    // Generous deadline: the ISSUE's bound is *2× the deadline*, so a
+    // larger deadline means more absolute slack for scheduler noise on
+    // oversubscribed CI runners without weakening the 2× guarantee.
+    let deadline = Duration::from_millis(400);
+    let start = Instant::now();
+    let result = rx_timed.recv_timeout(deadline);
+    let elapsed = start.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    for t in noise {
+        t.join().unwrap();
+    }
+    assert!(matches!(result, Err(RuntimeError::Timeout)), "{result:?}");
+    assert!(
+        elapsed >= deadline - Duration::from_millis(5) && elapsed < deadline * 2,
+        "recv_timeout took {elapsed:?} against a {deadline:?} deadline"
+    );
+}
+
+/// The ISSUE's core retraction guarantee: a timed-out send was never
+/// accepted, so re-sending the same value can neither lose nor duplicate a
+/// message — demonstrated across ≥ 1000 contended iterations, in both the
+/// single-engine and the partitioned backend.
+#[test]
+fn timed_out_sends_retract_cleanly_with_no_loss_or_duplication() {
+    for mode in [
+        Mode::jit(),
+        Mode::JitPartitioned {
+            cache: CachePolicy::Unbounded,
+        },
+    ] {
+        let program = reo::dsl::parse_program("Buf(a;b) = Fifo1(a;b)").unwrap();
+        let connector = Connector::builder(&program, "Buf")
+            .mode(mode)
+            .build()
+            .unwrap();
+        let mut session = connector.connect(&[]).unwrap();
+        let tx = session.typed_outport::<i64>("a").unwrap();
+        let rx = session.typed_inport::<i64>("b").unwrap();
+
+        // Deterministic retraction first: fill the fifo1, then a second
+        // send must time out (no receiver), and the port must stay usable.
+        tx.send(-2).unwrap();
+        assert!(matches!(
+            tx.send_timeout(-1, Duration::from_millis(5)),
+            Err(RuntimeError::Timeout)
+        ));
+        assert_eq!(rx.recv().unwrap(), -2, "retracted send must not leak");
+
+        const N: i64 = 1000;
+        let timeouts = Arc::new(AtomicU64::new(0));
+        let sender_timeouts = Arc::clone(&timeouts);
+        let sender = thread::spawn(move || {
+            for k in 0..N {
+                // Retry the same value until the connector accepts it; a
+                // Timeout means the send was retracted and k is re-sendable.
+                loop {
+                    match tx.send_timeout(k, Duration::from_micros(300)) {
+                        Ok(()) => break,
+                        Err(RuntimeError::Timeout) => {
+                            sender_timeouts.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(e) => panic!("send {k}: {e}"),
+                    }
+                }
+            }
+        });
+        let receiver = thread::spawn(move || {
+            let mut got = Vec::with_capacity(N as usize);
+            while got.len() < N as usize {
+                // The receiving side retracts under contention too.
+                match rx.recv_timeout(Duration::from_micros(300)) {
+                    Ok(v) => got.push(v),
+                    Err(RuntimeError::Timeout) => continue,
+                    Err(e) => panic!("recv: {e}"),
+                }
+                // Periodically stall so the buffer fills and sends expire.
+                if got.len() % 100 == 0 {
+                    thread::sleep(Duration::from_millis(1));
+                }
+            }
+            got
+        });
+        sender.join().unwrap();
+        let got = receiver.join().unwrap();
+        let expected: Vec<i64> = (0..N).collect();
+        assert_eq!(got, expected, "{mode:?}: lost or duplicated messages");
+        // The deterministic pre-check above already proved a retraction;
+        // the counter just shows the loop was genuinely contended.
+        eprintln!(
+            "{mode:?}: {} sender timeouts across {N} deliveries",
+            timeouts.load(Ordering::Relaxed)
+        );
+    }
+}
+
+#[test]
+fn try_recv_on_closed_connector_returns_closed_not_a_hang() {
+    let mut session = fifo_session();
+    let tx = session.typed_outport::<i64>("a").unwrap();
+    let rx = session.typed_inport::<i64>("b").unwrap();
+    session.handle().close();
+    assert!(matches!(rx.try_recv(), Err(RuntimeError::Closed)));
+    assert!(matches!(tx.try_send(1), Err(RuntimeError::Closed)));
+    assert!(matches!(
+        rx.recv_timeout(Duration::from_millis(10)),
+        Err(RuntimeError::Closed)
+    ));
+}
+
+#[test]
+fn poisoned_engine_surfaces_through_typed_ops() {
+    // An expansion budget of zero poisons the JIT engine on the very first
+    // firing attempt; every subsequent typed operation must report it.
+    let program = reo::dsl::parse_program("Buf(a;b) = Fifo1(a;b)").unwrap();
+    let connector = Connector::builder(&program, "Buf")
+        .mode(Mode::jit())
+        .expansion_budget(0)
+        .build()
+        .unwrap();
+    let mut session = connector.connect(&[]).unwrap();
+    let tx = session.typed_outport::<i64>("a").unwrap();
+    let rx = session.typed_inport::<i64>("b").unwrap();
+    assert!(matches!(tx.send(1), Err(RuntimeError::Poisoned(_))));
+    assert!(matches!(rx.try_recv(), Err(RuntimeError::Poisoned(_))));
+    assert!(matches!(
+        rx.recv_timeout(Duration::from_millis(5)),
+        Err(RuntimeError::Poisoned(_))
+    ));
+}
+
+#[test]
+fn typed_mismatch_reports_the_value_and_keeps_the_port_usable() {
+    let mut session = fifo_session();
+    let tx = session.outport("a").unwrap(); // untyped sender
+    let rx = session.typed_inport::<i64>("b").unwrap();
+    tx.send(Value::str("oops")).unwrap();
+    match rx.recv() {
+        Err(RuntimeError::TypeMismatch { expected, found }) => {
+            assert_eq!(expected, "int");
+            assert!(matches!(&found, Value::Str(s) if &**s == "oops"));
+        }
+        other => panic!("expected TypeMismatch, got {other:?}"),
+    }
+    // The port (and connector) survive the mismatch.
+    tx.send(Value::Int(9)).unwrap();
+    assert_eq!(rx.recv().unwrap(), 9);
+}
+
+#[test]
+fn inport_iteration_drains_until_close() {
+    let mut session = fifo_session();
+    let tx = session.typed_outport::<i64>("a").unwrap();
+    let rx = session.typed_inport::<i64>("b").unwrap();
+    let handle = session.handle();
+    let producer = thread::spawn(move || {
+        for k in 0..5 {
+            tx.send(k).unwrap();
+        }
+    });
+    let consumer = thread::spawn(move || rx.iter().take(5).collect::<Vec<i64>>());
+    producer.join().unwrap();
+    let got = consumer.join().unwrap();
+    assert_eq!(got, vec![0, 1, 2, 3, 4]);
+    handle.close();
+}
+
+#[test]
+fn iteration_ending_on_type_mismatch_keeps_the_value_recoverable() {
+    let mut session = fifo_session();
+    let tx = session.outport("a").unwrap(); // untyped sender
+    let rx = session.typed_inport::<i64>("b").unwrap();
+    tx.send(Value::Int(1)).unwrap();
+    let mut iter = rx.iter();
+    assert_eq!(iter.next(), Some(1));
+    tx.send(Value::str("poison pill")).unwrap();
+    // Iteration ends on the mismatch, but — unlike a clean close — the
+    // terminating error (and the consumed value inside it) is retained.
+    assert_eq!(iter.next(), None);
+    match iter.take_error() {
+        Some(RuntimeError::TypeMismatch { found, .. }) => {
+            assert!(matches!(&found, Value::Str(s) if &**s == "poison pill"));
+        }
+        other => panic!("expected retained TypeMismatch, got {other:?}"),
+    }
+    session.handle().close();
+}
+
+#[test]
+fn try_send_accepts_into_buffer_and_retracts_when_full() {
+    let mut session = fifo_session();
+    let tx = session.typed_outport::<i64>("a").unwrap();
+    let rx = session.typed_inport::<i64>("b").unwrap();
+    assert!(tx.try_send(1).unwrap(), "empty fifo1 accepts immediately");
+    assert!(
+        !tx.try_send(2).unwrap(),
+        "full fifo1 would block: retracted"
+    );
+    assert_eq!(rx.try_recv().unwrap(), Some(1));
+    assert_eq!(rx.try_recv().unwrap(), None, "drained: nothing to take");
+    // The retracted 2 was never accepted; the buffer now takes it fresh.
+    assert!(tx.try_send(2).unwrap());
+    assert_eq!(rx.recv().unwrap(), 2);
+}
