@@ -93,15 +93,7 @@ fn bench_partition_ablation(c: &mut Criterion) {
     let program = family.program();
     let mut group = c.benchmark_group("ablation_partition");
     for n in [2usize, 4, 8] {
-        for (label, mode) in [
-            ("jit", Mode::jit()),
-            (
-                "partitioned",
-                Mode::JitPartitioned {
-                    cache: CachePolicy::Unbounded,
-                },
-            ),
-        ] {
+        for (label, mode) in [("jit", Mode::jit()), ("partitioned", Mode::partitioned())] {
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
                 b.iter_custom(|iters| {
                     let connector = Connector::compile(&program, family.def, mode).unwrap();

@@ -31,13 +31,7 @@ fn bench_cg(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("reo_partitioned", n), &n, |b, &n| {
             b.iter(|| {
-                let comm = ReoComm::new(
-                    n,
-                    Mode::JitPartitioned {
-                        cache: reo_runtime::CachePolicy::Unbounded,
-                    },
-                )
-                .unwrap();
+                let comm = ReoComm::new(n, Mode::partitioned()).unwrap();
                 cg::run_parallel(Arc::clone(&a), &class, comm)
             });
         });

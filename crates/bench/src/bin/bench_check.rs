@@ -1,0 +1,78 @@
+//! CI gate for the `BENCH_*.json` reports: schema validation plus
+//! fail-regression comparison against a checked-in baseline.
+//!
+//! ```text
+//! cargo run --release -p reo-bench --bin bench_check -- \
+//!     --kind fig12 --new ci_fig12.json [--baseline BENCH_fig12.json]
+//! ```
+//!
+//! Exit status 0 iff `--new` is schema-valid and no cell that has
+//! `failure: null` (fig12/scale) or `dnf: null` (fig13) in the baseline
+//! turned into a failure in the new report. Without `--baseline` only the
+//! schema is checked.
+
+use reo_bench::check::{failure_regressions, validate, Json, Kind};
+use reo_bench::Args;
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_check: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_check: {path}: {e}");
+        std::process::exit(1);
+    })
+}
+
+fn main() {
+    let args = Args::from_env();
+    let kind_name = args.get("kind").unwrap_or_else(|| {
+        eprintln!("bench_check: --kind fig12|fig13|scale is required");
+        std::process::exit(2);
+    });
+    let kind = Kind::by_name(kind_name).unwrap_or_else(|| {
+        eprintln!("bench_check: unknown kind `{kind_name}`");
+        std::process::exit(2);
+    });
+    let new_path = args.get("new").unwrap_or_else(|| {
+        eprintln!("bench_check: --new <report.json> is required");
+        std::process::exit(2);
+    });
+
+    let new = load(new_path);
+    match validate(&new, kind) {
+        Ok(cells) => println!("bench_check: {new_path}: schema OK ({cells} cells)"),
+        Err(e) => {
+            eprintln!("bench_check: {new_path}: schema error: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    if let Some(baseline_path) = args.get("baseline") {
+        let baseline = load(baseline_path);
+        if let Err(e) = validate(&baseline, kind) {
+            eprintln!("bench_check: {baseline_path}: schema error: {e}");
+            std::process::exit(1);
+        }
+        match failure_regressions(&new, &baseline, kind) {
+            Ok(regressions) if regressions.is_empty() => {
+                println!("bench_check: no failure regressions against {baseline_path}");
+            }
+            Ok(regressions) => {
+                eprintln!(
+                    "bench_check: {} cell(s) regressed from ok to failing:",
+                    regressions.len()
+                );
+                for r in &regressions {
+                    eprintln!("  {r}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("bench_check: comparison error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

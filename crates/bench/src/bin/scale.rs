@@ -1,0 +1,143 @@
+//! The scalability sweep: engine throughput under task contention.
+//!
+//! ```text
+//! cargo run --release -p reo-bench --bin scale -- \
+//!     [--secs 0.2] [--ns 1,2,4,8,16] [--families channels,ordered,…] \
+//!     [--workers 2] [--json [BENCH_scale.json]]
+//! ```
+//!
+//! For every family × task count, the connector is driven by no-compute
+//! tasks for a fixed window under the three parametrized runtimes (`jit`,
+//! `partitioned`, `partitioned+workers`); the report records steps/second
+//! plus the engine contention counters (targeted wakeups vs the broadcast
+//! baseline, spurious wakeups, lock acquisitions). With `--json` the grid
+//! is written as `BENCH_scale.json` (schema in `reo_bench::json`).
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+use reo_bench::json::{json_path, json_str};
+use reo_bench::scale::{run, verdict, Cell, Config};
+use reo_bench::Args;
+
+fn main() {
+    let args = Args::from_env();
+    let mut config = Config {
+        window: Duration::from_secs_f64(args.f64("secs", 0.2)),
+        ns: args.usize_list("ns", &[1, 2, 4, 8, 16]),
+        workers: args.usize("workers", 2),
+        ..Config::default()
+    };
+    if args.get("families").is_some() {
+        config.family_filter = Some(args.list("families", &[]));
+    }
+
+    println!(
+        "Scale sweep: {:.2}s window per cell, tasks N in {:?}, jit vs partitioned vs \
+         partitioned+{} workers",
+        config.window.as_secs_f64(),
+        config.ns,
+        config.workers
+    );
+    println!(
+        "{:<16}{:>4}  {:<20}{:>8}  {:>12}  {:>10}  {:>10}  {:>9}",
+        "connector", "N", "mode", "threads", "steps/s", "wakeups", "bcast-est", "spurious"
+    );
+
+    let window = config.window;
+    let cells = run(&config, |cell| {
+        let (steps, wakeups, spurious) = match &cell.outcome.failure {
+            Some(f) => {
+                println!(
+                    "{:<16}{:>4}  {:<20}{:>8}  FAIL: {}",
+                    cell.family,
+                    cell.n,
+                    cell.mode,
+                    cell.threads,
+                    f.lines().next().unwrap_or("?")
+                );
+                return;
+            }
+            None => {
+                let s = cell.outcome.stats.expect("successful runs carry stats");
+                (cell.steps_per_sec(window), s.wakeups, s.spurious_wakeups)
+            }
+        };
+        println!(
+            "{:<16}{:>4}  {:<20}{:>8}  {:>12.0}  {:>10}  {:>10}  {:>9}",
+            cell.family,
+            cell.n,
+            cell.mode,
+            cell.threads,
+            steps,
+            wakeups,
+            cell.broadcast_baseline_wakeups,
+            spurious
+        );
+    });
+
+    let v = verdict(&cells);
+    println!(
+        "\nverdict: targeted wakeups below broadcast baseline (channels, threads>2): {}",
+        v.wakeups_below_broadcast
+    );
+    println!(
+        "verdict: partitioned+workers >= jit on a multi-region family at N>=8: {}",
+        v.workers_reach_jit
+    );
+
+    if let Some(value) = args.get("json") {
+        let path = json_path(value, "BENCH_scale.json");
+        std::fs::write(path, to_json(&cells, &config)).expect("write JSON report");
+        println!("wrote {path} ({} cells)", cells.len());
+    }
+}
+
+/// Serialize the run by hand — the offline workspace carries no serde.
+/// Schema documented in [`reo_bench::json`].
+fn to_json(cells: &[Cell], config: &Config) -> String {
+    let mut s = String::from("{\n");
+    let v = verdict(cells);
+    let _ = writeln!(
+        s,
+        r#"  "benchmark": "scale",
+  "window_secs": {},
+  "ns": {:?},
+  "workers": {},
+  "wakeups_below_broadcast": {},
+  "workers_reach_jit": {},
+  "cells": ["#,
+        config.window.as_secs_f64(),
+        config.ns,
+        config.workers,
+        v.wakeups_below_broadcast,
+        v.workers_reach_jit
+    );
+    for (i, c) in cells.iter().enumerate() {
+        let failure = match &c.outcome.failure {
+            Some(f) => json_str(f),
+            None => "null".to_string(),
+        };
+        let stats = c.outcome.stats.unwrap_or_default();
+        let _ = write!(
+            s,
+            r#"    {{"family":{},"n":{},"mode":{},"threads":{},"steps":{},"steps_per_sec":{:.1},"wakeups":{},"spurious_wakeups":{},"completions":{},"lock_acquisitions":{},"broadcast_baseline_wakeups":{},"connect_ms":{:.3},"failure":{}}}"#,
+            json_str(c.family),
+            c.n,
+            json_str(c.mode),
+            c.threads,
+            c.outcome.steps,
+            c.steps_per_sec(config.window),
+            stats.wakeups,
+            stats.spurious_wakeups,
+            stats.completions,
+            stats.lock_acquisitions,
+            c.broadcast_baseline_wakeups,
+            c.outcome.connect_time.as_secs_f64() * 1e3,
+            failure
+        );
+        s.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ]\n}\n");
+    s
+}

@@ -24,7 +24,7 @@ use std::time::Duration;
 use reo_automata::ProductOptions;
 use reo_connectors::driver::drive_with_limits;
 use reo_connectors::{families, Family, RunOutcome};
-use reo_runtime::{CachePolicy, Limits, Mode};
+use reo_runtime::{Limits, Mode};
 
 /// One measured cell.
 #[derive(Clone, Debug)]
@@ -153,9 +153,7 @@ pub fn run(config: &Config, mut progress: impl FnMut(&Cell)) -> Vec<Cell> {
                     &program,
                     &family,
                     n,
-                    Mode::JitPartitioned {
-                        cache: CachePolicy::Unbounded,
-                    },
+                    Mode::partitioned(),
                     config.window,
                     config.limits,
                 )
@@ -226,6 +224,8 @@ mod tests {
             steps,
             connect_time: Duration::ZERO,
             failure: fail.then(|| "boom".to_string()),
+            stats: None,
+            threads: 0,
         }
     }
 

@@ -16,7 +16,7 @@ use reo_npb::cg::{self, Csr};
 use reo_npb::comm::Comm;
 use reo_npb::lu;
 use reo_npb::{CgClass, HandWritten, LuClass, ReoComm};
-use reo_runtime::{CachePolicy, Mode, RuntimeError};
+use reo_runtime::{Mode, RuntimeError};
 
 /// Which communication backend a run uses.
 #[derive(Clone, Copy, Debug)]
@@ -167,9 +167,7 @@ pub fn standard_backends() -> Vec<BackendKind> {
 pub fn large_n_backends() -> Vec<BackendKind> {
     vec![
         BackendKind::Reo(Mode::jit()),
-        BackendKind::Reo(Mode::JitPartitioned {
-            cache: CachePolicy::Unbounded,
-        }),
+        BackendKind::Reo(Mode::partitioned()),
     ]
 }
 

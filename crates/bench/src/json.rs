@@ -1,5 +1,66 @@
 //! Hand-rolled JSON emission shared by the harness binaries — the offline
 //! workspace carries no serde.
+//!
+//! # The `BENCH_*.json` report schemas
+//!
+//! Each harness binary (`fig12`, `fig13`, `scale`) writes one JSON
+//! document per run; the repo-root `BENCH_fig12.json`, `BENCH_fig13.json`
+//! and `BENCH_scale.json` are checked-in baselines of exactly these
+//! shapes, and [`crate::check`] validates them (the CI `bench-smoke` job
+//! gates on it). Common conventions: every document has a `"benchmark"`
+//! tag and a `"cells"` array; failure-ish fields are `null` on success
+//! and a human-readable message string otherwise; durations are numbers
+//! (`*_secs` in seconds, `*_ms` in milliseconds).
+//!
+//! ## `BENCH_fig12.json` (`"benchmark": "fig12_connectors"`)
+//!
+//! ```json
+//! { "benchmark": "fig12_connectors", "window_secs": 0.1, "ns": [2, 4, 8],
+//!   "cells": [
+//!     { "family": "merger", "n": 2, "bin": "NEW-WINS",
+//!       "existing":    {"steps": 100, "connect_ms": 0.1, "failure": null},
+//!       "new":         {"steps": 200, "connect_ms": 0.1, "failure": null},
+//!       "partitioned": null } ] }
+//! ```
+//!
+//! `bin` is the Fig. 12 legend class (`NEW-ONLY`, `NEW-WINS`,
+//! `EXIST<=10x`, `EXIST<=100x`, `BOTH-FAIL`); `partitioned` is `null`
+//! unless the run passed `--partitioned`, otherwise an outcome object
+//! like `existing`/`new`.
+//!
+//! ## `BENCH_fig13.json` (`"benchmark": "fig13_npb"`)
+//!
+//! ```json
+//! { "benchmark": "fig13_npb", "timeout_secs": 120, "large_n": false,
+//!   "cells": [
+//!     { "prog": "cg", "class": "S", "n": 2, "backend": "reo-jit",
+//!       "secs": 0.044, "dnf": null, "steps": 2848, "verified": true } ] }
+//! ```
+//!
+//! `secs` is `null` iff `dnf` is non-null (timeout / blow-up message);
+//! `verified` is the CG zeta check (`null` where no official value
+//! exists); `steps` is 0 for the hand-written backend.
+//!
+//! ## `BENCH_scale.json` (`"benchmark": "scale"`)
+//!
+//! ```json
+//! { "benchmark": "scale", "window_secs": 0.2, "ns": [1, 2, 4, 8, 16],
+//!   "workers": 2,
+//!   "wakeups_below_broadcast": true, "workers_reach_jit": true,
+//!   "cells": [
+//!     { "family": "channels", "n": 8, "mode": "partitioned+workers",
+//!       "threads": 16, "steps": 10917, "steps_per_sec": 54585.0,
+//!       "wakeups": 11071, "spurious_wakeups": 0, "completions": 21834,
+//!       "lock_acquisitions": 76893, "broadcast_baseline_wakeups": 152838,
+//!       "connect_ms": 0.2, "failure": null } ] }
+//! ```
+//!
+//! `mode` is one of `jit`, `partitioned`, `partitioned+workers`; the
+//! counter fields mirror [`reo_runtime::EngineStats`];
+//! `broadcast_baseline_wakeups` is the `steps × (threads − 2)` estimate
+//! of what a per-engine broadcast condvar would have woken (see
+//! [`crate::scale`]); the two top-level booleans are the
+//! [`crate::scale::verdict`] acceptance checks.
 
 use std::fmt::Write as _;
 

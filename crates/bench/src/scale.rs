@@ -1,0 +1,254 @@
+//! The `scale` harness: engine throughput *under contention*.
+//!
+//! Fig. 12 measures one connector family per cell with a handful of
+//! no-compute tasks; this harness instead sweeps the **task count** and
+//! compares the three parametrized runtimes side by side —
+//!
+//! * `jit` — one engine, one lock, all tasks contending on it;
+//! * `partitioned` — one engine per synchronous region, tasks pump links
+//!   on their own threads (caller-thread scheduler);
+//! * `partitioned+workers` — same regions, plus a fire-worker pool so
+//!   cross-region propagation runs off the task threads.
+//!
+//! Besides steps/second it records the engine contention counters
+//! ([`reo_runtime::EngineStats`]): targeted wakeups, spurious wakeups,
+//! completions, and lock acquisitions. For every cell it also computes the
+//! *broadcast baseline* — the wakeups a per-engine broadcast condvar
+//! (the pre-rework design: `notify_all` on every step) would have issued,
+//! estimated as `steps × (task threads − 2)` since each step completes at
+//! most two task operations and the remaining threads are typically
+//! blocked. Targeted wakeups must come in strictly below that baseline on
+//! the disjoint-port workload (`channels`).
+
+use std::time::Duration;
+
+use reo_automata::ProductOptions;
+use reo_connectors::driver::drive_with_limits;
+use reo_connectors::{families, Family, RunOutcome};
+use reo_runtime::{Limits, Mode};
+
+/// The family names swept by default: the disjoint-port rendezvous
+/// workload (`channels`), three multi-region shapes (`token_ring`,
+/// `ordered` — the one with real cross-region links — and
+/// `scatter_gather`), a fifo `pipeline`, and one single-region control
+/// (`merger`, where partitioning cannot help).
+pub const DEFAULT_FAMILIES: &[&str] = &[
+    "channels",
+    "token_ring",
+    "ordered",
+    "scatter_gather",
+    "pipeline",
+    "merger",
+];
+
+/// The three runtimes compared per cell, with their report labels.
+pub fn mode_grid(workers: usize) -> Vec<(&'static str, Mode)> {
+    vec![
+        ("jit", Mode::jit()),
+        ("partitioned", Mode::partitioned()),
+        (
+            "partitioned+workers",
+            Mode::partitioned_with_workers(workers),
+        ),
+    ]
+}
+
+/// Harness configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    pub window: Duration,
+    /// Task-count sweep (the `N` of each family).
+    pub ns: Vec<usize>,
+    pub family_filter: Option<Vec<String>>,
+    /// Fire-worker pool size of the `partitioned+workers` series.
+    pub workers: usize,
+    pub limits: Limits,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            window: Duration::from_millis(200),
+            ns: vec![1, 2, 4, 8, 16],
+            family_filter: None,
+            workers: 2,
+            limits: Limits {
+                product: ProductOptions {
+                    max_states: 1 << 16,
+                    max_transitions: 1 << 18,
+                },
+                expansion_budget: 1 << 18,
+            },
+        }
+    }
+}
+
+/// One measured cell: one (family, task count, runtime) triple.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    pub family: &'static str,
+    pub n: usize,
+    /// Report label of the runtime (`jit`, `partitioned`,
+    /// `partitioned+workers`).
+    pub mode: &'static str,
+    /// No-compute task threads the driver spawned for this cell.
+    pub threads: usize,
+    pub outcome: RunOutcome,
+    /// Estimated wakeups of the pre-rework broadcast engine for the same
+    /// step count: `steps × (threads − 2)` (see module docs).
+    pub broadcast_baseline_wakeups: u64,
+}
+
+impl Cell {
+    pub fn steps_per_sec(&self, window: Duration) -> f64 {
+        self.outcome.steps_per_sec(window)
+    }
+}
+
+/// Families selected by the configuration.
+pub fn selected_families(config: &Config) -> Vec<Family> {
+    let wanted: Vec<String> = match &config.family_filter {
+        Some(list) => list.clone(),
+        None => DEFAULT_FAMILIES.iter().map(|s| s.to_string()).collect(),
+    };
+    families()
+        .into_iter()
+        .filter(|f| wanted.iter().any(|n| n == f.name))
+        .collect()
+}
+
+/// Run the whole grid: families × task counts × the three runtimes.
+pub fn run(config: &Config, mut progress: impl FnMut(&Cell)) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for family in selected_families(config) {
+        let program = family.program();
+        for &n in &config.ns {
+            // Ring/exchange shapes need at least two peers.
+            if n < 2 && matches!(family.name, "exchanger" | "token_ring") {
+                continue;
+            }
+            for (label, mode) in mode_grid(config.workers) {
+                let outcome =
+                    drive_with_limits(&program, &family, n, mode, config.window, config.limits);
+                let threads = outcome.threads;
+                let cell = Cell {
+                    family: family.name,
+                    n,
+                    mode: label,
+                    threads,
+                    broadcast_baseline_wakeups: outcome.steps * (threads.saturating_sub(2)) as u64,
+                    outcome,
+                };
+                progress(&cell);
+                cells.push(cell);
+            }
+        }
+    }
+    cells
+}
+
+/// The acceptance checks the scale sweep exists to witness, evaluated on a
+/// finished grid (also asserted by `tests/mode_equivalence.rs` at a
+/// smaller scale):
+///
+/// 1. on the disjoint-port workload, targeted wakeups stay strictly below
+///    the broadcast baseline wherever that baseline is non-trivial;
+/// 2. at high task counts, `partitioned+workers` reaches at least `jit`
+///    throughput on some multi-region family.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Verdict {
+    /// Check 1, over every `channels` cell with `threads > 2` and
+    /// `steps > 0`.
+    pub wakeups_below_broadcast: bool,
+    /// Check 2, over every multi-region family at `n ≥ 8`.
+    pub workers_reach_jit: bool,
+}
+
+pub fn verdict(cells: &[Cell]) -> Verdict {
+    let disjoint: Vec<&Cell> = cells
+        .iter()
+        .filter(|c| c.family == "channels" && c.threads > 2 && c.outcome.steps > 0)
+        .collect();
+    let wakeups_below_broadcast = !disjoint.is_empty()
+        && disjoint.iter().all(|c| {
+            c.outcome
+                .stats
+                .map(|s| s.wakeups < c.broadcast_baseline_wakeups)
+                .unwrap_or(false)
+        });
+
+    // The jit reference must itself be a healthy, progressing run — a
+    // failed or zero-step jit cell would let the check pass trivially.
+    let jit_steps = |family: &str, n: usize| {
+        cells
+            .iter()
+            .find(|c| {
+                c.family == family
+                    && c.n == n
+                    && c.mode == "jit"
+                    && c.outcome.failure.is_none()
+                    && c.outcome.steps > 0
+            })
+            .map(|c| c.outcome.steps)
+    };
+    let workers_reach_jit = cells.iter().any(|c| {
+        c.mode == "partitioned+workers"
+            && c.n >= 8
+            && c.family != "merger" // single-region control
+            && c.outcome.failure.is_none()
+            && jit_steps(c.family, c.n).is_some_and(|jit| c.outcome.steps >= jit)
+    });
+
+    Verdict {
+        wakeups_below_broadcast,
+        workers_reach_jit,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_grid_produces_all_three_modes_and_stats() {
+        let config = Config {
+            window: Duration::from_millis(50),
+            ns: vec![2],
+            family_filter: Some(vec!["channels".into()]),
+            workers: 1,
+            ..Config::default()
+        };
+        let cells = run(&config, |_| {});
+        assert_eq!(cells.len(), 3);
+        for c in &cells {
+            assert!(c.outcome.failure.is_none(), "{}: {:?}", c.mode, c.outcome);
+            assert!(c.outcome.steps > 0, "{} made no progress", c.mode);
+            let stats = c.outcome.stats.expect("driver records stats");
+            assert!(stats.lock_acquisitions > 0);
+            assert_eq!(c.threads, 4);
+        }
+    }
+
+    #[test]
+    fn disjoint_workload_beats_broadcast_baseline_in_miniature() {
+        // Even a small contended sweep must show targeted wakeups below
+        // what broadcast would have issued.
+        let config = Config {
+            window: Duration::from_millis(120),
+            ns: vec![4],
+            family_filter: Some(vec!["channels".into()]),
+            workers: 1,
+            ..Config::default()
+        };
+        let cells = run(&config, |_| {});
+        let v = verdict(&cells);
+        assert!(
+            v.wakeups_below_broadcast,
+            "targeted wakeups not below broadcast baseline: {:?}",
+            cells
+                .iter()
+                .map(|c| (c.mode, c.outcome.stats, c.broadcast_baseline_wakeups))
+                .collect::<Vec<_>>()
+        );
+    }
+}

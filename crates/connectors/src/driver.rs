@@ -25,6 +25,13 @@ pub struct RunOutcome {
     pub connect_time: Duration,
     /// Whether construction failed (the "existing approach fails" cells).
     pub failure: Option<String>,
+    /// Engine contention counters at the end of the window (wakeups,
+    /// spurious wakeups, lock acquisitions, completions) — `None` for
+    /// failed runs. The `scale` harness builds on these.
+    pub stats: Option<reo_runtime::EngineStats>,
+    /// No-compute task threads this driver actually spawned (0 when
+    /// construction failed before any spawn).
+    pub threads: usize,
 }
 
 impl RunOutcome {
@@ -33,6 +40,8 @@ impl RunOutcome {
             steps: 0,
             connect_time,
             failure: Some(msg),
+            stats: None,
+            threads: 0,
         }
     }
 
@@ -130,31 +139,29 @@ pub fn drive_with_limits(
     }
 
     std::thread::sleep(window);
-    let steps = handle.steps();
+    // One snapshot for the whole cell (tasks are still firing): steps is
+    // read out of the same stats so the counters stay consistent with each
+    // other. Taken before close() adds its final wake-everyone burst.
+    let stats = handle.stats();
+    let steps = stats.steps;
     handle.close();
+    let spawned = threads.len();
     for t in threads {
         t.join().expect("driver thread panicked");
     }
     // Poisoned engines (e.g. expansion overflow mid-run) count as failures.
-    if let Some(msg) = probe_poisoned(&handle) {
-        return RunOutcome {
-            steps,
-            connect_time,
-            failure: Some(msg),
-        };
-    }
+    let failure = probe_poisoned(&handle);
     RunOutcome {
         steps,
         connect_time,
-        failure: None,
+        failure,
+        stats: Some(stats),
+        threads: spawned,
     }
 }
 
-fn probe_poisoned(_handle: &ConnectorHandle) -> Option<String> {
-    // The handle exposes poisoning only through failed operations; driver
-    // threads swallow the error by exiting. A zero-step run after a healthy
-    // connect is the observable symptom the harness reports on.
-    None
+fn probe_poisoned(handle: &ConnectorHandle) -> Option<String> {
+    handle.poison_message()
 }
 
 /// Spawn-and-drive with a shared, pre-parsed program (used by criterion).
@@ -259,9 +266,7 @@ mod tests {
             Mode::jit(),
             Mode::existing(),
             Mode::AotCompose { simplify: true },
-            Mode::JitPartitioned {
-                cache: reo_runtime::CachePolicy::Unbounded,
-            },
+            Mode::partitioned(),
         ] {
             assert_progress(&family("ordered"), 3, mode, 6);
         }

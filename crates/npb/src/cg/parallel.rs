@@ -190,12 +190,7 @@ mod tests {
         };
         let a = Arc::new(class_matrix(&class));
         let seq = crate::cg::sequential::run_on_matrix(&a, &class);
-        for mode in [
-            Mode::jit(),
-            Mode::JitPartitioned {
-                cache: reo_runtime::CachePolicy::Unbounded,
-            },
-        ] {
+        for mode in [Mode::jit(), Mode::partitioned()] {
             let comm = ReoComm::new(2, mode).unwrap();
             let par = run_parallel(Arc::clone(&a), &class, comm);
             assert_eq!(seq.zeta.to_bits(), par.zeta.to_bits());

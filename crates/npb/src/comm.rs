@@ -344,15 +344,14 @@ mod tests {
 
     #[test]
     fn reo_partitioned_bcast_gather_round_trip() {
-        exercise(
-            ReoComm::new(
-                3,
-                Mode::JitPartitioned {
-                    cache: reo_runtime::CachePolicy::Unbounded,
-                },
-            )
-            .unwrap(),
-        );
+        exercise(ReoComm::new(3, Mode::partitioned()).unwrap());
+    }
+
+    #[test]
+    fn reo_partitioned_with_workers_bcast_gather_round_trip() {
+        // Fire workers pump the cross-region links; `close()` inside
+        // `exercise` must join the pool cleanly.
+        exercise(ReoComm::new(3, Mode::partitioned_with_workers(2)).unwrap());
     }
 
     #[test]

@@ -238,12 +238,7 @@ mod tests {
             name: "tiny",
         };
         let seq = run_sequential(&class);
-        for mode in [
-            Mode::jit(),
-            Mode::JitPartitioned {
-                cache: reo_runtime::CachePolicy::Unbounded,
-            },
-        ] {
+        for mode in [Mode::jit(), Mode::partitioned()] {
             let comm = ReoComm::new(2, mode).unwrap();
             let par = run_parallel(&class, comm);
             assert_eq!(seq.center.to_bits(), par.center.to_bits());

@@ -6,7 +6,9 @@
 //! — including, for exponential state spaces, failing outright, which this
 //! module reports as [`RuntimeError::Explosion`].
 
-use reo_automata::{product_all, simplify, Automaton, PortSet, ProductOptions, StateId, Store};
+use reo_automata::{
+    product_all, simplify, Automaton, PortId, PortSet, ProductOptions, StateId, Store,
+};
 use reo_core::ConnectorInstance;
 
 use crate::engine::{fire_one, op_enabled, EngineCore, Pending};
@@ -70,6 +72,7 @@ impl EngineCore for AotCore {
         &mut self,
         pending: &mut [Pending],
         store: &mut Store,
+        completed: &mut Vec<PortId>,
     ) -> Result<bool, RuntimeError> {
         let transitions = self.automaton.transitions_from(self.state);
         let n = transitions.len();
@@ -78,7 +81,7 @@ impl EngineCore for AotCore {
             if !op_enabled(t, &self.inputs, &self.outputs, pending) {
                 continue;
             }
-            if fire_one(t, &self.inputs, &self.outputs, pending, store)? {
+            if fire_one(t, &self.inputs, &self.outputs, pending, store, completed)? {
                 self.state = t.target;
                 self.rotation = self.rotation.wrapping_add(1);
                 return Ok(true);

@@ -25,7 +25,7 @@ use reo_core::{
 
 use crate::aot::AotCore;
 use crate::cache::{CachePolicy, CacheStats};
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineStats};
 use crate::error::RuntimeError;
 use crate::jit::JitCore;
 use crate::partition::{partition, Partitioned};
@@ -34,10 +34,24 @@ use crate::port::{Backend, Inport, Outport};
 /// Execution mode (see module docs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Mode {
-    ExistingMonolithic { simplify: bool },
-    AotCompose { simplify: bool },
-    Jit { cache: CachePolicy },
-    JitPartitioned { cache: CachePolicy },
+    ExistingMonolithic {
+        simplify: bool,
+    },
+    AotCompose {
+        simplify: bool,
+    },
+    Jit {
+        cache: CachePolicy,
+    },
+    /// Partitioned JIT. `workers = 0` uses the caller-thread scheduler
+    /// (every task pumps links after its own operations); `workers > 0`
+    /// spawns that many fire workers so cross-region propagation and
+    /// large-state expansion run off the task threads (see
+    /// [`crate::partition`]).
+    JitPartitioned {
+        cache: CachePolicy,
+        workers: usize,
+    },
 }
 
 impl Mode {
@@ -45,6 +59,22 @@ impl Mode {
     pub fn jit() -> Self {
         Mode::Jit {
             cache: CachePolicy::Unbounded,
+        }
+    }
+
+    /// Partitioned JIT with the caller-thread scheduler.
+    pub fn partitioned() -> Self {
+        Mode::JitPartitioned {
+            cache: CachePolicy::Unbounded,
+            workers: 0,
+        }
+    }
+
+    /// Partitioned JIT with a pool of `workers` fire workers.
+    pub fn partitioned_with_workers(workers: usize) -> Self {
+        Mode::JitPartitioned {
+            cache: CachePolicy::Unbounded,
+            workers,
         }
     }
 
@@ -261,7 +291,7 @@ impl Connector {
                     Store::new(&layout),
                 )))
             }
-            Mode::JitPartitioned { cache } => {
+            Mode::JitPartitioned { cache, workers } => {
                 let parts: Arc<Partitioned> = Arc::new(partition(
                     instance.automata,
                     alloc.port_count(),
@@ -269,7 +299,10 @@ impl Connector {
                     cache,
                     self.limits.expansion_budget,
                 )?);
+                // Deterministic initial arming (tokens reach link heads)
+                // before any worker can race it.
                 parts.pump();
+                parts.spawn_workers(workers);
                 Backend::Multi(parts)
             }
         };
@@ -429,9 +462,23 @@ impl ConnectorHandle {
         self.backend.steps()
     }
 
+    /// Engine contention counters: steps, completions, targeted wakeups,
+    /// spurious wakeups, lock acquisitions — summed over all region
+    /// engines in partitioned mode. See [`EngineStats`].
+    pub fn stats(&self) -> EngineStats {
+        self.backend.stats()
+    }
+
     /// Shut the connector down; all blocked tasks get `Closed` errors.
     pub fn close(&self) {
         self.backend.close();
+    }
+
+    /// The message of the firing failure that poisoned the engine(s), if
+    /// any — e.g. an expansion overflow mid-run. Harnesses use this to
+    /// classify a run that kept its tasks alive but stopped progressing.
+    pub fn poison_message(&self) -> Option<String> {
+        self.backend.poison_message()
     }
 
     pub fn cache_stats(&self) -> Option<CacheStats> {

@@ -10,10 +10,24 @@
 //! The machine itself is pluggable ([`EngineCore`]): ahead-of-time
 //! composition drives one large automaton, just-in-time composition drives
 //! a tuple of medium automata with memoized expansion.
+//!
+//! # Locking model
+//!
+//! One mutex guards the whole engine state (pending table + store + core);
+//! transitions only ever fire inside the engine's fire loop with that lock
+//! held, which is what makes timeout retraction and try-probes atomic.
+//! Blocking is *per port*: each port has its own condition variable, and a
+//! completed transition wakes only the tasks whose ports actually fired —
+//! not every blocked task, as a single broadcast condvar would. Under
+//! contention (many tasks, disjoint ports) this removes the thundering
+//! herd: wakeups scale with completed operations, not with
+//! `steps × blocked tasks`. The [`EngineStats`] counters make that
+//! observable.
 
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
-use parking_lot::{Condvar, Mutex};
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use reo_automata::{automaton::Transition, fire::try_fire, PortId, PortSet, Store, Value};
 
 use crate::error::RuntimeError;
@@ -34,14 +48,55 @@ pub enum Pending {
     DoneRecv(Value),
 }
 
+/// Contention counters of one engine (or the sum over a partition's
+/// engines), surfaced through `ConnectorHandle::stats()`.
+///
+/// `wakeups` counts *threads woken* by targeted notifications: whenever a
+/// step completes an operation on a port with `w` registered waiters, the
+/// counter grows by `w` (closing the engine wakes every waiter once more).
+/// Under the per-port wakeup scheme, `wakeups` stays in the order of
+/// `completions`; a broadcast condvar would instead wake every blocked
+/// task on every step (`≈ steps × blocked tasks`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Global execution steps fired (the Fig. 12 metric).
+    pub steps: u64,
+    /// Port operations completed by fired transitions (DoneSend/DoneRecv
+    /// handed to tasks or link pumps).
+    pub completions: u64,
+    /// Threads woken by targeted notifications (see type docs).
+    pub wakeups: u64,
+    /// Wakeups after which the woken task found its operation still
+    /// incomplete and had to block again.
+    pub spurious_wakeups: u64,
+    /// Acquisitions of the engine mutex (every register/wait/probe/stat
+    /// call takes it exactly once; fire loops run under the caller's
+    /// acquisition).
+    pub lock_acquisitions: u64,
+}
+
+impl EngineStats {
+    /// Field-wise sum, for aggregating over a partition's engines.
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.steps += other.steps;
+        self.completions += other.completions;
+        self.wakeups += other.wakeups;
+        self.spurious_wakeups += other.spurious_wakeups;
+        self.lock_acquisitions += other.lock_acquisitions;
+    }
+}
+
 /// A pluggable state machine: fires at most one global step per call.
 pub trait EngineCore: Send {
     /// Try to fire one enabled transition given the pending operations and
-    /// the store. `Ok(true)` iff something fired.
+    /// the store. `Ok(true)` iff something fired; the boundary ports whose
+    /// operations completed in that step are appended to `completed` (the
+    /// engine wakes exactly those ports' waiters).
     fn try_step(
         &mut self,
         pending: &mut [Pending],
         store: &mut Store,
+        completed: &mut Vec<PortId>,
     ) -> Result<bool, RuntimeError>;
 
     /// Ports where tasks send (connector inputs).
@@ -60,7 +115,15 @@ pub(crate) struct EngineInner {
     pub core: Box<dyn EngineCore>,
     pub pending: Vec<Pending>,
     pub store: Store,
+    /// Waiters currently blocked per port (guards targeted notifications:
+    /// a port with zero waiters gets no notify call and no wakeup count).
+    waiters: Vec<u32>,
+    /// Scratch buffer for the ports completed by one step (reused).
+    completed: Vec<PortId>,
     pub steps: u64,
+    completions: u64,
+    wakeups: u64,
+    spurious_wakeups: u64,
     pub closed: bool,
     /// Set when a fire failed irrecoverably; all operations then error.
     pub poisoned: Option<String>,
@@ -69,11 +132,15 @@ pub(crate) struct EngineInner {
 /// One sequential protocol engine, shared by all ports it serves.
 pub struct Engine {
     inner: Mutex<EngineInner>,
-    cv: Condvar,
+    /// One condition variable per port: completing a transition notifies
+    /// only the ports that fired. All share the one engine mutex.
+    port_cvs: Box<[Condvar]>,
+    /// Engine-mutex acquisitions (outside the lock, hence atomic).
+    lock_acquisitions: AtomicU64,
     /// Mirrors `inner.closed`, but settable without the engine lock so that
     /// `close()` can interrupt a long fire loop instead of queueing behind
     /// it (a fire loop may expand large states under the lock).
-    closing: std::sync::atomic::AtomicBool,
+    closing: AtomicBool,
 }
 
 impl Engine {
@@ -83,22 +150,47 @@ impl Engine {
                 core,
                 pending: vec![Pending::None; port_count],
                 store,
+                waiters: vec![0; port_count],
+                completed: Vec::new(),
                 steps: 0,
+                completions: 0,
+                wakeups: 0,
+                spurious_wakeups: 0,
                 closed: false,
                 poisoned: None,
             }),
-            cv: Condvar::new(),
-            closing: std::sync::atomic::AtomicBool::new(false),
+            port_cvs: (0..port_count).map(|_| Condvar::new()).collect(),
+            lock_acquisitions: AtomicU64::new(0),
+            closing: AtomicBool::new(false),
         }
+    }
+
+    /// Take the engine lock, counting the acquisition.
+    fn lock(&self) -> MutexGuard<'_, EngineInner> {
+        self.lock_acquisitions.fetch_add(1, Ordering::Relaxed);
+        self.inner.lock()
     }
 
     /// Number of global execution steps fired so far — the Fig. 12 metric.
     pub fn steps(&self) -> u64 {
-        self.inner.lock().steps
+        self.lock().steps
+    }
+
+    /// Contention counters (see [`EngineStats`]). Reading the stats itself
+    /// takes the engine lock once and is counted.
+    pub fn stats(&self) -> EngineStats {
+        let inner = self.lock();
+        EngineStats {
+            steps: inner.steps,
+            completions: inner.completions,
+            wakeups: inner.wakeups,
+            spurious_wakeups: inner.spurious_wakeups,
+            lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
+        }
     }
 
     pub fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
-        self.inner.lock().core.cache_stats()
+        self.lock().core.cache_stats()
     }
 
     /// Shut down: every pending and future operation returns `Closed`.
@@ -107,45 +199,77 @@ impl Engine {
     /// progress stops at its next step boundary instead of draining every
     /// enabled transition first.
     pub fn close(&self) {
-        self.closing
-            .store(true, std::sync::atomic::Ordering::SeqCst);
-        self.cv.notify_all();
-        let mut inner = self.inner.lock();
-        inner.closed = true;
-        self.cv.notify_all();
+        self.closing.store(true, Ordering::SeqCst);
+        let mut inner = self.lock();
+        // An in-flight fire loop (or an earlier close) may have observed
+        // the flag and already closed + woken everyone; waking again here
+        // would double-count the still-registered waiters.
+        if !inner.closed {
+            inner.closed = true;
+            self.wake_all(&mut inner);
+        }
     }
 
     pub fn is_closed(&self) -> bool {
-        self.inner.lock().closed
+        self.lock().closed
     }
 
-    /// Fire transitions until quiescent. Called with the lock held.
+    /// The message of the firing failure that poisoned this engine, if any
+    /// (e.g. an expansion overflow mid-run).
+    pub fn poison_message(&self) -> Option<String> {
+        self.lock().poisoned.clone()
+    }
+
+    /// Notify every port with a registered waiter (close/poison paths).
+    /// Called with the lock held.
+    fn wake_all(&self, inner: &mut EngineInner) {
+        for (i, &w) in inner.waiters.iter().enumerate() {
+            if w > 0 {
+                inner.wakeups += w as u64;
+                self.port_cvs[i].notify_all();
+            }
+        }
+    }
+
+    /// Fire transitions until quiescent, waking exactly the ports each step
+    /// completed. Called with the lock held.
     fn fire_loop(&self, inner: &mut EngineInner) {
         if inner.poisoned.is_some() || inner.closed {
             return;
         }
         loop {
-            if self.closing.load(std::sync::atomic::Ordering::Relaxed) {
+            if self.closing.load(Ordering::Relaxed) {
                 inner.closed = true;
-                self.cv.notify_all();
+                self.wake_all(inner);
                 break;
             }
             let EngineInner {
                 core,
                 pending,
                 store,
+                completed,
                 ..
             } = inner;
-            match core.try_step(pending, store) {
+            completed.clear();
+            match core.try_step(pending, store, completed) {
                 Ok(true) => {
                     inner.steps += 1;
-                    self.cv.notify_all();
+                    inner.completions += inner.completed.len() as u64;
+                    let completed = std::mem::take(&mut inner.completed);
+                    for &p in &completed {
+                        let w = inner.waiters[p.index()];
+                        if w > 0 {
+                            inner.wakeups += w as u64;
+                            self.port_cvs[p.index()].notify_all();
+                        }
+                    }
+                    inner.completed = completed;
                 }
                 Ok(false) => break,
                 Err(e) => {
                     inner.poisoned = Some(e.to_string());
                     inner.closed = true;
-                    self.cv.notify_all();
+                    self.wake_all(inner);
                     break;
                 }
             }
@@ -167,7 +291,7 @@ impl Engine {
 
     /// Phase 1 of `send`: register the operation and fire what it enables.
     pub(crate) fn register_send(&self, p: PortId, v: Value) -> Result<(), RuntimeError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         Self::check_open(&inner)?;
         match inner.pending[p.index()] {
             Pending::None => inner.pending[p.index()] = Pending::Send(v),
@@ -178,7 +302,9 @@ impl Engine {
     }
 
     /// Phase 2 of `send`: block until the operation completes, or — with a
-    /// deadline — until it expires.
+    /// deadline — until it expires. Blocks on the *port's own* condition
+    /// variable; only a step that completes this port (or close/poison)
+    /// wakes it.
     ///
     /// On expiry the registered `Pending::Send` is *retracted atomically
     /// under the engine lock*: transitions only fire inside [`fire_loop`]
@@ -193,7 +319,8 @@ impl Engine {
         p: PortId,
         deadline: Option<Instant>,
     ) -> Result<(), RuntimeError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
+        let mut woken = false;
         loop {
             if matches!(inner.pending[p.index()], Pending::DoneSend) {
                 inner.pending[p.index()] = Pending::None;
@@ -205,15 +332,36 @@ impl Engine {
             if inner.closed {
                 return Err(RuntimeError::Closed);
             }
-            match deadline {
-                None => self.cv.wait(&mut inner),
-                Some(d) => {
-                    if self.cv.wait_until(&mut inner, d).timed_out() {
-                        return Self::expire_send(&mut inner, p);
-                    }
-                }
+            if woken {
+                inner.spurious_wakeups += 1;
+            }
+            let timed_out = self.block_on_port(&mut inner, p, deadline);
+            woken = true;
+            if timed_out {
+                return Self::expire_send(&mut inner, p);
             }
         }
+    }
+
+    /// Register as a waiter of `p` and block on its condvar (optionally
+    /// until `deadline`). Returns whether the wait timed out. Called with
+    /// the lock held; the lock is released for the duration of the wait.
+    fn block_on_port(
+        &self,
+        inner: &mut MutexGuard<'_, EngineInner>,
+        p: PortId,
+        deadline: Option<Instant>,
+    ) -> bool {
+        inner.waiters[p.index()] += 1;
+        let timed_out = match deadline {
+            None => {
+                self.port_cvs[p.index()].wait(inner);
+                false
+            }
+            Some(d) => self.port_cvs[p.index()].wait_until(inner, d).timed_out(),
+        };
+        inner.waiters[p.index()] -= 1;
+        timed_out
     }
 
     /// Deadline expired while the lock was re-acquired: complete if a step
@@ -231,7 +379,7 @@ impl Engine {
 
     /// Phase 1 of `recv`.
     pub(crate) fn register_recv(&self, p: PortId) -> Result<(), RuntimeError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         Self::check_open(&inner)?;
         match inner.pending[p.index()] {
             Pending::None => inner.pending[p.index()] = Pending::Recv,
@@ -241,7 +389,8 @@ impl Engine {
         Ok(())
     }
 
-    /// Phase 2 of `recv`; deadline semantics mirror [`wait_send`].
+    /// Phase 2 of `recv`; deadline and wakeup semantics mirror
+    /// [`wait_send`].
     ///
     /// [`wait_send`]: Engine::wait_send
     pub(crate) fn wait_recv(
@@ -249,7 +398,8 @@ impl Engine {
         p: PortId,
         deadline: Option<Instant>,
     ) -> Result<Value, RuntimeError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
+        let mut woken = false;
         loop {
             if matches!(inner.pending[p.index()], Pending::DoneRecv(_)) {
                 let Pending::DoneRecv(v) = std::mem::take(&mut inner.pending[p.index()]) else {
@@ -263,13 +413,13 @@ impl Engine {
             if inner.closed {
                 return Err(RuntimeError::Closed);
             }
-            match deadline {
-                None => self.cv.wait(&mut inner),
-                Some(d) => {
-                    if self.cv.wait_until(&mut inner, d).timed_out() {
-                        return Self::expire_recv(&mut inner, p);
-                    }
-                }
+            if woken {
+                inner.spurious_wakeups += 1;
+            }
+            let timed_out = self.block_on_port(&mut inner, p, deadline);
+            woken = true;
+            if timed_out {
+                return Self::expire_recv(&mut inner, p);
             }
         }
     }
@@ -291,7 +441,7 @@ impl Engine {
     /// was consumed, acknowledge it (`Ok(true)`); otherwise retract it
     /// (`Ok(false)`). Atomic with respect to firing — same lock.
     pub(crate) fn finish_or_retract_send(&self, p: PortId) -> Result<bool, RuntimeError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         match std::mem::take(&mut inner.pending[p.index()]) {
             Pending::DoneSend => Ok(true),
             Pending::Send(_) => {
@@ -305,7 +455,7 @@ impl Engine {
     /// Non-blocking completion probe for `try_recv`: a delivery is taken
     /// (`Ok(Some(v))`); an unserved registration is retracted (`Ok(None)`).
     pub(crate) fn finish_or_retract_recv(&self, p: PortId) -> Result<Option<Value>, RuntimeError> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         match std::mem::take(&mut inner.pending[p.index()]) {
             Pending::DoneRecv(v) => Ok(Some(v)),
             Pending::Recv => {
@@ -318,7 +468,7 @@ impl Engine {
 
     /// Non-blocking probe used by link pumping: take a delivery at `p`.
     pub(crate) fn link_take_delivery(&self, p: PortId) -> Option<Value> {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         if matches!(inner.pending[p.index()], Pending::DoneRecv(_)) {
             let Pending::DoneRecv(v) = std::mem::take(&mut inner.pending[p.index()]) else {
                 unreachable!();
@@ -332,7 +482,7 @@ impl Engine {
     /// Link pumping: arm a receive on `p` if the slot is free; fires.
     /// Returns true if newly armed.
     pub(crate) fn link_arm_recv(&self, p: PortId) -> bool {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         if inner.closed || inner.poisoned.is_some() {
             return false;
         }
@@ -347,7 +497,7 @@ impl Engine {
 
     /// Link pumping: acknowledge a consumed send at `p`.
     pub(crate) fn link_take_send_done(&self, p: PortId) -> bool {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         if matches!(inner.pending[p.index()], Pending::DoneSend) {
             inner.pending[p.index()] = Pending::None;
             true
@@ -358,7 +508,7 @@ impl Engine {
 
     /// Link pumping: offer a value on `p` if the slot is free; fires.
     pub(crate) fn link_arm_send(&self, p: PortId, v: &Value) -> bool {
-        let mut inner = self.inner.lock();
+        let mut inner = self.lock();
         if inner.closed || inner.poisoned.is_some() {
             return false;
         }
@@ -392,13 +542,15 @@ pub(crate) fn op_enabled(
 }
 
 /// Fire `t` against the pending table: on success, complete the operations
-/// it involves. `Ok(true)` iff the guard held and the step committed.
+/// it involves and append the completed boundary ports to `completed`.
+/// `Ok(true)` iff the guard held and the step committed.
 pub(crate) fn fire_one(
     t: &Transition,
     inputs: &PortSet,
     outputs: &PortSet,
     pending: &mut [Pending],
     store: &mut Store,
+    completed: &mut Vec<PortId>,
 ) -> Result<bool, RuntimeError> {
     let input_value = |p: PortId| -> Option<Value> {
         match &pending[p.index()] {
@@ -415,12 +567,14 @@ pub(crate) fn fire_one(
         if inputs.contains(p) {
             debug_assert!(matches!(pending[p.index()], Pending::Send(_)));
             pending[p.index()] = Pending::DoneSend;
+            completed.push(p);
         }
     }
     for (p, v) in firing.deliveries {
         if outputs.contains(p) {
             debug_assert!(matches!(pending[p.index()], Pending::Recv));
             pending[p.index()] = Pending::DoneRecv(v);
+            completed.push(p);
         }
         // Internal deliveries evaporate: they only existed to carry data
         // across the shared vertex within this instant.
@@ -444,11 +598,19 @@ mod tests {
             &mut self,
             pending: &mut [Pending],
             store: &mut Store,
+            completed: &mut Vec<PortId>,
         ) -> Result<bool, RuntimeError> {
             let transitions = self.aut.transitions_from(self.state).to_vec();
             for t in &transitions {
                 if op_enabled(t, self.aut.inputs(), self.aut.outputs(), pending)
-                    && fire_one(t, self.aut.inputs(), self.aut.outputs(), pending, store)?
+                    && fire_one(
+                        t,
+                        self.aut.inputs(),
+                        self.aut.outputs(),
+                        pending,
+                        store,
+                        completed,
+                    )?
                 {
                     self.state = t.target;
                     return Ok(true);
@@ -628,5 +790,100 @@ mod tests {
                 .as_int(),
             Some(3)
         );
+    }
+
+    #[test]
+    fn targeted_wakeup_wakes_only_the_completed_port() {
+        // Two independent fifos in one engine: a send on fifo A must not
+        // wake the task blocked on fifo B's output.
+        use std::sync::Arc;
+        let autos_core = TwoFifos::new();
+        let layout = MemLayout::cells(2);
+        let eng = Arc::new(Engine::new(Box::new(autos_core), 4, Store::new(&layout)));
+
+        let e2 = Arc::clone(&eng);
+        let blocked = std::thread::spawn(move || {
+            // Blocks: fifo B (ports 2 -> 3) is empty and stays empty.
+            e2.register_recv(PortId(3)).unwrap();
+            e2.wait_recv(PortId(3), None)
+        });
+        // Wait until the B-receiver is actually blocked.
+        while eng.lock().waiters[3] == 0 {
+            std::thread::yield_now();
+        }
+        let before = eng.stats();
+        // Traffic on fifo A (ports 0 -> 1): completes without waking B.
+        for k in 0..50 {
+            eng.register_send(PortId(0), Value::Int(k)).unwrap();
+            eng.wait_send(PortId(0), None).unwrap();
+            eng.register_recv(PortId(1)).unwrap();
+            eng.wait_recv(PortId(1), None).unwrap();
+        }
+        let after = eng.stats();
+        assert_eq!(
+            after.wakeups, before.wakeups,
+            "A-traffic must not wake the B-waiter"
+        );
+        assert!(after.completions >= before.completions + 100);
+        eng.close();
+        assert!(matches!(blocked.join().unwrap(), Err(RuntimeError::Closed)));
+        // Close wakes the one blocked task, exactly once.
+        assert_eq!(eng.stats().wakeups, after.wakeups + 1);
+    }
+
+    /// Two independent fifo1s in one core (disjoint ports 0->1 and 2->3).
+    struct TwoFifos {
+        auts: Vec<Automaton>,
+        states: Vec<StateId>,
+        inputs: PortSet,
+        outputs: PortSet,
+    }
+
+    impl TwoFifos {
+        fn new() -> Self {
+            let auts = vec![
+                primitives::fifo1(PortId(0), PortId(1), reo_automata::MemId(0)),
+                primitives::fifo1(PortId(2), PortId(3), reo_automata::MemId(1)),
+            ];
+            let states = auts.iter().map(|a| a.initial()).collect();
+            let inputs = [PortId(0), PortId(2)].into_iter().collect();
+            let outputs = [PortId(1), PortId(3)].into_iter().collect();
+            TwoFifos {
+                auts,
+                states,
+                inputs,
+                outputs,
+            }
+        }
+    }
+
+    impl EngineCore for TwoFifos {
+        fn try_step(
+            &mut self,
+            pending: &mut [Pending],
+            store: &mut Store,
+            completed: &mut Vec<PortId>,
+        ) -> Result<bool, RuntimeError> {
+            for (i, aut) in self.auts.iter().enumerate() {
+                let transitions = aut.transitions_from(self.states[i]).to_vec();
+                for t in &transitions {
+                    if op_enabled(t, &self.inputs, &self.outputs, pending)
+                        && fire_one(t, &self.inputs, &self.outputs, pending, store, completed)?
+                    {
+                        self.states[i] = t.target;
+                        return Ok(true);
+                    }
+                }
+            }
+            Ok(false)
+        }
+
+        fn boundary_inputs(&self) -> &PortSet {
+            &self.inputs
+        }
+
+        fn boundary_outputs(&self) -> &PortSet {
+            &self.outputs
+        }
     }
 }

@@ -15,7 +15,7 @@
 
 use std::sync::Arc;
 
-use reo_automata::{automaton::Transition, Automaton, Guard, PortSet, StateId, Store};
+use reo_automata::{automaton::Transition, Automaton, Guard, PortId, PortSet, StateId, Store};
 
 use crate::cache::{CacheStats, Expanded, GlobalTransition, StateCache};
 use crate::engine::{fire_one, op_enabled, EngineCore, Pending};
@@ -205,6 +205,7 @@ impl EngineCore for JitCore {
         &mut self,
         pending: &mut [Pending],
         store: &mut Store,
+        completed: &mut Vec<PortId>,
     ) -> Result<bool, RuntimeError> {
         let expanded = match self.cache.get(&self.states) {
             Some(e) => e,
@@ -221,7 +222,14 @@ impl EngineCore for JitCore {
             if !op_enabled(&gt.trans, &self.inputs, &self.outputs, pending) {
                 continue;
             }
-            if fire_one(&gt.trans, &self.inputs, &self.outputs, pending, store)? {
+            if fire_one(
+                &gt.trans,
+                &self.inputs,
+                &self.outputs,
+                pending,
+                store,
+                completed,
+            )? {
                 self.states = gt.targets.clone();
                 self.rotation = self.rotation.wrapping_add(1);
                 return Ok(true);

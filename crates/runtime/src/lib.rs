@@ -10,7 +10,16 @@
 //! * **just-in-time composition** with an unbounded or bounded-LRU state
 //!   cache, and
 //! * **partitioned just-in-time composition** (the optimization of the
-//!   paper's reference \[32\], which fixes Fig. 13's finding 3).
+//!   paper's reference \[32\], which fixes Fig. 13's finding 3) — with
+//!   either the caller-thread scheduler ([`Mode::partitioned`]) or a
+//!   fire-worker pool ([`Mode::partitioned_with_workers`]) pumping the
+//!   cross-region links.
+//!
+//! Engines block tasks on *per-port* wait queues (a completed transition
+//! wakes only the ports that fired — no thundering herd) and expose
+//! contention counters through [`ConnectorHandle::stats`]
+//! ([`EngineStats`]: steps, completions, targeted wakeups, spurious
+//! wakeups, lock acquisitions).
 //!
 //! Compile with the builder, connect into a [`Session`], and take *typed*
 //! port handles — `recv()` returns `i64` here, not a raw `Value`:
@@ -65,6 +74,7 @@ pub mod program;
 
 pub use cache::{CachePolicy, CacheStats};
 pub use connector::{Connector, ConnectorBuilder, ConnectorHandle, Limits, Mode, Session};
+pub use engine::EngineStats;
 pub use error::RuntimeError;
 pub use port::{Inport, Messages, Outport};
 pub use program::{run_main, RunReport, TaskCtx, TaskRegistry};

@@ -11,17 +11,51 @@
 //! [`Link`] — an actual queue moving values from one engine's boundary to
 //! another's. Expansion work then scales with the largest *region*, not
 //! with the whole connector.
+//!
+//! # Scheduling
+//!
+//! Moving values across links ("pumping") is work that someone has to do.
+//! Two schedulers are available:
+//!
+//! * **caller-thread** (workers = 0): every task pumps after each of its
+//!   own port operations, exactly the cost model of the paper's sequential
+//!   runtime. Cross-region propagation and the state expansion it triggers
+//!   run on whichever task thread happened to kick them off.
+//! * **fire-worker pool** (workers > 0): task threads only *kick* the pool
+//!   ([`Partitioned::kick`]); dedicated fire workers drain the links until
+//!   quiescent. Cross-region propagation and large-state expansion then
+//!   happen off the caller thread, overlapping with task compute. Workers
+//!   hold only a [`Weak`] reference, and shutdown is wired through
+//!   [`Partitioned::close`] (and a `Drop` safety net), so a forgotten
+//!   session cannot leak spinning threads.
+//!
+//! Each link's queue and its armed flag live behind **one** mutex
+//! (`LinkState`) and every pump step holds it across the whole
+//! take/arm/acknowledge sequence, so concurrent pumpers (several tasks, or
+//! several fire workers) can never tear an arm/consume pair apart or
+//! reorder two values of the same link.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use reo_automata::{Automaton, MemLayout, PortId, Store, Value};
 
 use crate::cache::CachePolicy;
-use crate::engine::Engine;
+use crate::engine::{Engine, EngineStats};
 use crate::error::RuntimeError;
 use crate::jit::JitCore;
+
+/// The queue of a cut fifo plus its arming flag — one lock for both, held
+/// across every pump step, because they are read and written as a pair
+/// (the front value stays queued while it is armed as a pending send).
+struct LinkState {
+    queue: std::collections::VecDeque<Value>,
+    /// True while the queue front is armed as a pending send on
+    /// [`Link::out_port`] (it leaves the queue only when the engine
+    /// acknowledges consumption).
+    armed: bool,
+}
 
 /// A cut fifo: an engine-to-engine queue.
 pub struct Link {
@@ -32,16 +66,28 @@ pub struct Link {
     pub from: usize,
     pub to: usize,
     capacity: Option<usize>,
-    queue: Mutex<std::collections::VecDeque<Value>>,
-    /// True while a value is armed as a pending send on `out_port` (it
-    /// stays at the queue front until the engine consumes it).
-    armed: Mutex<bool>,
+    state: Mutex<LinkState>,
 }
 
 impl Link {
     pub fn depth(&self) -> usize {
-        self.queue.lock().len()
+        self.state.lock().queue.len()
     }
+}
+
+/// Wakeup channel between task threads ([`Partitioned::kick`]) and the
+/// fire workers: a generation counter under a mutex plus a condvar.
+struct WorkSignal {
+    state: Mutex<WorkState>,
+    cv: Condvar,
+}
+
+struct WorkState {
+    /// Bumped on every kick; a worker that has seen generation `g` sleeps
+    /// only while the generation is still `g`, so kicks issued while a
+    /// worker is mid-pump are never lost.
+    generation: u64,
+    shutdown: bool,
 }
 
 /// The result of partitioning a set of medium automata.
@@ -52,6 +98,11 @@ pub struct Partitioned {
     /// Port → engine index (boundary and internal ports of each region).
     pub router: HashMap<PortId, usize>,
     pub region_sizes: Vec<usize>,
+    signal: Arc<WorkSignal>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+    /// Cached `!workers.is_empty()`, readable without the workers lock on
+    /// the hot kick path.
+    has_workers: std::sync::atomic::AtomicBool,
 }
 
 /// Split `automata` into synchronous regions connected by queue links.
@@ -163,8 +214,10 @@ pub fn partition(
             from: owner_region(hint.input),
             to: owner_region(hint.output),
             capacity: hint.capacity,
-            queue: Mutex::new(hint.initial.iter().cloned().collect()),
-            armed: Mutex::new(false),
+            state: Mutex::new(LinkState {
+                queue: hint.initial.iter().cloned().collect(),
+                armed: false,
+            }),
         });
     }
 
@@ -198,43 +251,61 @@ pub fn partition(
         links,
         router,
         region_sizes,
+        signal: Arc::new(WorkSignal {
+            state: Mutex::new(WorkState {
+                generation: 0,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        }),
+        workers: Mutex::new(Vec::new()),
+        has_workers: std::sync::atomic::AtomicBool::new(false),
     })
 }
 
 impl Partitioned {
-    /// Move values across links until quiescent. Run by every task thread
-    /// after it registers or completes an operation; never holds two engine
-    /// locks at once.
+    /// One pump step of one link, with the link's state locked across the
+    /// whole sequence (lock order is always link → engine; engines never
+    /// take link locks, so there is no cycle).
+    fn pump_link(&self, link: &Link) -> bool {
+        let mut st = link.state.lock();
+        let mut progressed = false;
+        // Accept side: collect a delivered value, re-arm if room.
+        if let Some(v) = self.engines[link.from].link_take_delivery(link.in_port) {
+            st.queue.push_back(v);
+            progressed = true;
+        }
+        let room = link.capacity.is_none_or(|cap| st.queue.len() < cap);
+        if room && self.engines[link.from].link_arm_recv(link.in_port) {
+            progressed = true;
+        }
+        // Emit side: acknowledge consumption, then offer the front.
+        if self.engines[link.to].link_take_send_done(link.out_port) {
+            debug_assert!(st.armed, "consumed a send that was never armed");
+            st.queue.pop_front();
+            st.armed = false;
+            progressed = true;
+        }
+        if !st.armed {
+            if let Some(v) = st.queue.front() {
+                if self.engines[link.to].link_arm_send(link.out_port, v) {
+                    st.armed = true;
+                    progressed = true;
+                }
+            }
+        }
+        progressed
+    }
+
+    /// Move values across links until quiescent. With the caller-thread
+    /// scheduler this is run by every task thread after it registers or
+    /// completes an operation; with a worker pool the fire workers run it.
+    /// Safe to run concurrently from any number of threads.
     pub fn pump(&self) {
         loop {
             let mut progressed = false;
             for link in &self.links {
-                // Accept side: collect a delivered value, re-arm if room.
-                if let Some(v) = self.engines[link.from].link_take_delivery(link.in_port) {
-                    link.queue.lock().push_back(v);
-                    progressed = true;
-                }
-                let room = match link.capacity {
-                    Some(cap) => link.queue.lock().len() < cap,
-                    None => true,
-                };
-                if room && self.engines[link.from].link_arm_recv(link.in_port) {
-                    progressed = true;
-                }
-                // Emit side: acknowledge consumption, then offer the front.
-                if self.engines[link.to].link_take_send_done(link.out_port) {
-                    link.queue.lock().pop_front();
-                    *link.armed.lock() = false;
-                    progressed = true;
-                }
-                let front = link.queue.lock().front().cloned();
-                if let Some(v) = front {
-                    let mut armed = link.armed.lock();
-                    if !*armed && self.engines[link.to].link_arm_send(link.out_port, &v) {
-                        *armed = true;
-                        progressed = true;
-                    }
-                }
+                progressed |= self.pump_link(link);
             }
             if !progressed {
                 return;
@@ -242,14 +313,96 @@ impl Partitioned {
         }
     }
 
+    /// Request pumping: inline when there is no worker pool, otherwise
+    /// hand the work to the fire workers and return immediately.
+    pub fn kick(&self) {
+        if !self.has_workers.load(std::sync::atomic::Ordering::Relaxed) {
+            self.pump();
+            return;
+        }
+        let mut st = self.signal.state.lock();
+        st.generation += 1;
+        self.signal.cv.notify_one();
+    }
+
+    /// Spawn `n` fire workers that pump links on demand. Workers hold only
+    /// a [`Weak`] reference to the partition, so they can never keep a
+    /// dropped connector alive; they exit on [`Partitioned::close`] (or
+    /// drop).
+    pub fn spawn_workers(self: &Arc<Self>, n: usize) {
+        if n == 0 {
+            return;
+        }
+        let mut handles = self.workers.lock();
+        for i in 0..n {
+            let weak = Arc::downgrade(self);
+            let signal = Arc::clone(&self.signal);
+            let handle = std::thread::Builder::new()
+                .name(format!("reo-fire-{i}"))
+                .spawn(move || worker_loop(weak, signal))
+                .expect("spawn fire worker");
+            handles.push(handle);
+        }
+        self.has_workers
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Number of live fire workers.
+    pub fn worker_count(&self) -> usize {
+        self.workers.lock().len()
+    }
+
     /// Sum of global steps over all regions.
     pub fn steps(&self) -> u64 {
         self.engines.iter().map(|e| e.steps()).sum()
     }
 
+    /// Aggregated contention counters over all region engines.
+    pub fn stats(&self) -> EngineStats {
+        let mut acc = EngineStats::default();
+        for e in &self.engines {
+            acc.merge(&e.stats());
+        }
+        acc
+    }
+
+    /// First poison message among the region engines, if any.
+    pub fn poison_message(&self) -> Option<String> {
+        self.engines.iter().find_map(|e| e.poison_message())
+    }
+
     pub fn close(&self) {
         for e in &self.engines {
             e.close();
+        }
+        self.shutdown_workers();
+    }
+
+    /// Signal shutdown and join the fire workers (idempotent).
+    ///
+    /// A worker that is mid-pump holds a temporary `Arc` to the partition;
+    /// if the application drops its last handle right then, `Drop` (and
+    /// thus this function) runs *on that worker's own thread*. Joining
+    /// one's own thread deadlocks, so the current thread's handle is
+    /// detached (dropped) instead of joined — that worker exits on its
+    /// own via the shutdown flag it just set.
+    fn shutdown_workers(&self) {
+        let handles: Vec<_> = std::mem::take(&mut *self.workers.lock());
+        self.has_workers
+            .store(false, std::sync::atomic::Ordering::SeqCst);
+        if handles.is_empty() {
+            return;
+        }
+        {
+            let mut st = self.signal.state.lock();
+            st.shutdown = true;
+            self.signal.cv.notify_all();
+        }
+        let me = std::thread::current().id();
+        for h in handles {
+            if h.thread().id() != me {
+                let _ = h.join();
+            }
         }
     }
 
@@ -257,6 +410,34 @@ impl Partitioned {
     /// the engine that owns the surviving side).
     pub fn engine_for(&self, p: PortId) -> &Arc<Engine> {
         &self.engines[self.router[&p]]
+    }
+}
+
+impl Drop for Partitioned {
+    /// Safety net for sessions dropped without `close()`: workers hold
+    /// only `Weak` references, so this `Drop` can run — wake them up and
+    /// join, or they would sleep on the signal forever.
+    fn drop(&mut self) {
+        self.shutdown_workers();
+    }
+}
+
+/// A fire worker: sleep until kicked, pump until quiescent, repeat.
+fn worker_loop(part: Weak<Partitioned>, signal: Arc<WorkSignal>) {
+    let mut seen = 0u64;
+    loop {
+        {
+            let mut st = signal.state.lock();
+            while !st.shutdown && st.generation == seen {
+                signal.cv.wait(&mut st);
+            }
+            if st.shutdown {
+                return;
+            }
+            seen = st.generation;
+        }
+        let Some(part) = part.upgrade() else { return };
+        part.pump();
     }
 }
 
@@ -340,15 +521,19 @@ mod tests {
         assert!(part.links.is_empty());
     }
 
-    #[test]
-    fn values_flow_across_a_link_end_to_end() {
+    fn two_region_pipeline() -> Partitioned {
         let autos = vec![
             primitives::sync(p(0), p(1)),
             primitives::fifo1(p(1), p(2), MemId(0)),
             primitives::sync(p(2), p(3)),
         ];
         let layout = MemLayout::cells(1);
-        let part = Arc::new(partition(autos, 4, &layout, CachePolicy::Unbounded, 1 << 20).unwrap());
+        partition(autos, 4, &layout, CachePolicy::Unbounded, 1 << 20).unwrap()
+    }
+
+    #[test]
+    fn values_flow_across_a_link_end_to_end() {
+        let part = Arc::new(two_region_pipeline());
         part.pump(); // initial arming
         let sender_engine = Arc::clone(part.engine_for(p(0)));
         let recv_engine = Arc::clone(part.engine_for(p(3)));
@@ -387,5 +572,101 @@ mod tests {
         e.register_recv(p(3)).unwrap();
         part.pump();
         assert_eq!(e.wait_recv(p(3), None).unwrap().as_int(), Some(99));
+    }
+
+    /// Regression for the old split `queue`/`armed` mutex pair: concurrent
+    /// pumpers racing the arm/consume sequence could reorder values or pop
+    /// a front that was never armed. With one `LinkState` lock held across
+    /// every pump step, any number of concurrent pumpers must preserve
+    /// per-link FIFO order exactly.
+    #[test]
+    fn concurrent_pumpers_cannot_tear_arm_consume_pairs() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let part = Arc::new(two_region_pipeline());
+        part.pump();
+
+        // Two rogue pumpers hammering the link while values flow.
+        let stop = Arc::new(AtomicBool::new(false));
+        let pumpers: Vec<_> = (0..2)
+            .map(|_| {
+                let part = Arc::clone(&part);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        part.pump();
+                    }
+                })
+            })
+            .collect();
+
+        const K: i64 = 500;
+        let part_tx = Arc::clone(&part);
+        let tx = std::thread::spawn(move || {
+            let e = Arc::clone(part_tx.engine_for(p(0)));
+            for k in 0..K {
+                e.register_send(p(0), Value::Int(k)).unwrap();
+                part_tx.pump();
+                e.wait_send(p(0), None).unwrap();
+                part_tx.pump();
+            }
+        });
+        let e = Arc::clone(part.engine_for(p(3)));
+        for k in 0..K {
+            e.register_recv(p(3)).unwrap();
+            part.pump();
+            let v = e.wait_recv(p(3), None).unwrap();
+            part.pump();
+            assert_eq!(v.as_int(), Some(k), "link reordered or lost a value");
+        }
+        tx.join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        for t in pumpers {
+            t.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn fire_workers_pump_links_off_the_caller_thread() {
+        let part = Arc::new(two_region_pipeline());
+        part.pump();
+        part.spawn_workers(2);
+        assert_eq!(part.worker_count(), 2);
+
+        const K: i64 = 200;
+        let part_tx = Arc::clone(&part);
+        let tx = std::thread::spawn(move || {
+            let e = Arc::clone(part_tx.engine_for(p(0)));
+            for k in 0..K {
+                e.register_send(p(0), Value::Int(k)).unwrap();
+                part_tx.kick();
+                e.wait_send(p(0), None).unwrap();
+                part_tx.kick();
+            }
+        });
+        let e = Arc::clone(part.engine_for(p(3)));
+        for k in 0..K {
+            e.register_recv(p(3)).unwrap();
+            part.kick();
+            let v = e.wait_recv(p(3), None).unwrap();
+            part.kick();
+            assert_eq!(v.as_int(), Some(k));
+        }
+        tx.join().unwrap();
+        part.close();
+        assert_eq!(part.worker_count(), 0, "close joins the pool");
+    }
+
+    #[test]
+    fn close_joins_workers_and_drop_is_safe_without_close() {
+        let part = Arc::new(two_region_pipeline());
+        part.spawn_workers(3);
+        assert_eq!(part.worker_count(), 3);
+        part.close();
+        assert_eq!(part.worker_count(), 0);
+
+        // And a pool that is never closed is reaped by Drop.
+        let part = Arc::new(two_region_pipeline());
+        part.spawn_workers(2);
+        drop(part); // must not hang or leak
     }
 }

@@ -33,7 +33,10 @@ use crate::engine::Engine;
 use crate::error::RuntimeError;
 use crate::partition::Partitioned;
 
-/// How a port reaches its engine(s).
+/// How a port reaches its engine(s). In the `Multi` (partitioned) case
+/// every operation *kicks* the partition after registering/completing:
+/// with the caller-thread scheduler that pumps links inline; with a fire
+/// worker pool it just wakes a worker (see [`Partitioned::kick`]).
 #[derive(Clone)]
 pub(crate) enum Backend {
     Single(Arc<Engine>),
@@ -50,9 +53,9 @@ impl Backend {
             Backend::Multi(m) => {
                 let e = Arc::clone(m.engine_for(p));
                 e.register_send(p, v)?;
-                m.pump();
+                m.kick();
                 let r = e.wait_send(p, deadline);
-                m.pump();
+                m.kick();
                 r
             }
         }
@@ -67,9 +70,9 @@ impl Backend {
             Backend::Multi(m) => {
                 let e = Arc::clone(m.engine_for(p));
                 e.register_recv(p)?;
-                m.pump();
+                m.kick();
                 let r = e.wait_recv(p, deadline);
-                m.pump();
+                m.kick();
                 r
             }
         }
@@ -84,9 +87,13 @@ impl Backend {
             Backend::Multi(m) => {
                 let e = Arc::clone(m.engine_for(p));
                 e.register_send(p, v)?;
+                // One-shot probe: pump inline even with a worker pool — an
+                // asynchronous kick might not be serviced before the probe,
+                // which would spuriously retract an operation that
+                // caller-thread partitioned mode completes.
                 m.pump();
                 let r = e.finish_or_retract_send(p);
-                m.pump();
+                m.kick();
                 r
             }
         }
@@ -101,9 +108,10 @@ impl Backend {
             Backend::Multi(m) => {
                 let e = Arc::clone(m.engine_for(p));
                 e.register_recv(p)?;
+                // See try_send: the probe must not race the worker pool.
                 m.pump();
                 let r = e.finish_or_retract_recv(p);
-                m.pump();
+                m.kick();
                 r
             }
         }
@@ -113,6 +121,20 @@ impl Backend {
         match self {
             Backend::Single(e) => e.steps(),
             Backend::Multi(m) => m.steps(),
+        }
+    }
+
+    pub(crate) fn stats(&self) -> crate::engine::EngineStats {
+        match self {
+            Backend::Single(e) => e.stats(),
+            Backend::Multi(m) => m.stats(),
+        }
+    }
+
+    pub(crate) fn poison_message(&self) -> Option<String> {
+        match self {
+            Backend::Single(e) => e.poison_message(),
+            Backend::Multi(m) => m.poison_message(),
         }
     }
 

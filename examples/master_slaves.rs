@@ -12,11 +12,12 @@
 //! `try_recv` polling loop, overlapping scatter and gather.
 //!
 //! Run: `cargo run --example master_slaves -- 5 jit`
+//! (modes: `jit`, `existing`, `partitioned`, `workers`)
 
 use std::thread;
 
 use reo::connectors::families;
-use reo::runtime::{CachePolicy, Connector, Mode};
+use reo::runtime::{Connector, Mode};
 
 fn main() {
     let n: usize = std::env::args()
@@ -25,9 +26,10 @@ fn main() {
         .unwrap_or(4);
     let mode = match std::env::args().nth(2).as_deref() {
         Some("existing") => Mode::existing(),
-        Some("partitioned") => Mode::JitPartitioned {
-            cache: CachePolicy::Unbounded,
-        },
+        Some("partitioned") => Mode::partitioned(),
+        // Partitioned plus a fire-worker pool: cross-region propagation
+        // runs off the task threads (see `reo::runtime::partition`).
+        Some("workers") => Mode::partitioned_with_workers(2),
         _ => Mode::jit(),
     };
 
@@ -99,10 +101,16 @@ fn main() {
         .sum();
     assert_eq!(total, expected);
 
+    let stats = handle.stats();
     println!(
         "ok: {items} items over {n} workers (mode {mode:?}), total {total}, \
          {} connector steps",
-        handle.steps()
+        stats.steps
+    );
+    println!(
+        "engine stats: {} completions, {} targeted wakeups ({} spurious), \
+         {} lock acquisitions",
+        stats.completions, stats.wakeups, stats.spurious_wakeups, stats.lock_acquisitions
     );
     handle.close();
     for w in workers {

@@ -16,9 +16,7 @@ fn all_modes() -> Vec<Mode> {
         Mode::Jit {
             cache: CachePolicy::BoundedLru { capacity: 2 },
         },
-        Mode::JitPartitioned {
-            cache: CachePolicy::Unbounded,
-        },
+        Mode::partitioned(),
     ]
 }
 

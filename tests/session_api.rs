@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
-use reo::runtime::{CachePolicy, Connector, Mode};
+use reo::runtime::{Connector, Mode};
 use reo::{RuntimeError, Value};
 
 fn fifo_session() -> reo::Session {
@@ -114,9 +114,8 @@ fn recv_timeout_expires_within_twice_the_deadline_under_contention() {
 fn timed_out_sends_retract_cleanly_with_no_loss_or_duplication() {
     for mode in [
         Mode::jit(),
-        Mode::JitPartitioned {
-            cache: CachePolicy::Unbounded,
-        },
+        Mode::partitioned(),
+        Mode::partitioned_with_workers(2),
     ] {
         let program = reo::dsl::parse_program("Buf(a;b) = Fifo1(a;b)").unwrap();
         let connector = Connector::builder(&program, "Buf")
@@ -290,4 +289,33 @@ fn try_send_accepts_into_buffer_and_retracts_when_full() {
     // The retracted 2 was never accepted; the buffer now takes it fresh.
     assert!(tx.try_send(2).unwrap());
     assert_eq!(rx.recv().unwrap(), 2);
+}
+
+/// A one-shot `try_recv` must observe a value already queued in a
+/// cross-region link — in *both* partitioned schedulers. With a fire-worker
+/// pool the probe cannot rely on an asynchronous kick being serviced in
+/// time, so the try paths pump the links inline (regression for the
+/// kick-vs-probe race).
+#[test]
+fn one_shot_try_recv_sees_cross_region_value_in_both_schedulers() {
+    for mode in [Mode::partitioned(), Mode::partitioned_with_workers(2)] {
+        let program =
+            reo::dsl::parse_program("P(a;b) = Sync(a;m) mult Fifo1(m;n) mult Sync(n;b)").unwrap();
+        let connector = Connector::builder(&program, "P")
+            .mode(mode)
+            .build()
+            .unwrap();
+        let mut session = connector.connect(&[]).unwrap();
+        let tx = session.typed_outport::<i64>("a").unwrap();
+        let rx = session.typed_inport::<i64>("b").unwrap();
+        // The send crosses into the link queue (the link's recv side is
+        // armed at connect time); no receiver exists yet.
+        tx.send(42).unwrap();
+        // A single probe must deliver it end to end across the link.
+        assert_eq!(
+            rx.try_recv().unwrap(),
+            Some(42),
+            "{mode:?}: one-shot probe missed a queued cross-region value"
+        );
+    }
 }
