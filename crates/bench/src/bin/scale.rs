@@ -2,16 +2,20 @@
 //!
 //! ```text
 //! cargo run --release -p reo-bench --bin scale -- \
-//!     [--secs 0.2] [--ns 1,2,4,8,16] [--families channels,ordered,…] \
+//!     [--secs 0.2] [--ns 1,2,4,8,16] [--families channels,relay,…] \
 //!     [--workers 2] [--json [BENCH_scale.json]]
 //! ```
 //!
 //! For every family × task count, the connector is driven by no-compute
-//! tasks for a fixed window under the three parametrized runtimes (`jit`,
-//! `partitioned`, `partitioned+workers`); the report records steps/second
-//! plus the engine contention counters (targeted wakeups vs the broadcast
-//! baseline, spurious wakeups, lock acquisitions). With `--json` the grid
-//! is written as `BENCH_scale.json` (schema in `reo_bench::json`).
+//! tasks for a fixed window under the four parametrized runtimes (`jit`,
+//! `partitioned`, `partitioned+workers`, `partitioned+auto`); the report
+//! records steps/second, the engine contention counters (targeted wakeups
+//! vs the broadcast baseline, spurious wakeups, lock acquisitions), the
+//! scheduler counters (kicks, kick-queue wakeups vs the global-generation
+//! baseline, steals) and per-op latency percentiles. With `--json` the
+//! grid is written as `BENCH_scale.json` (schema in `reo_bench::json`);
+//! the report header records `available_parallelism` so readers can tell
+//! algorithmic wins from parallel ones.
 
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -19,6 +23,12 @@ use std::time::Duration;
 use reo_bench::json::{json_path, json_str};
 use reo_bench::scale::{run, verdict, Cell, Config};
 use reo_bench::Args;
+
+fn available_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
 
 fn main() {
     let args = Args::from_env();
@@ -34,19 +44,30 @@ fn main() {
 
     println!(
         "Scale sweep: {:.2}s window per cell, tasks N in {:?}, jit vs partitioned vs \
-         partitioned+{} workers",
+         partitioned+{} workers vs partitioned+auto ({} core(s) available)",
         config.window.as_secs_f64(),
         config.ns,
-        config.workers
+        config.workers,
+        available_parallelism()
     );
     println!(
-        "{:<16}{:>4}  {:<20}{:>8}  {:>12}  {:>10}  {:>10}  {:>9}",
-        "connector", "N", "mode", "threads", "steps/s", "wakeups", "bcast-est", "spurious"
+        "{:<16}{:>4}  {:<20}{:>8}  {:>12}  {:>10}  {:>10}  {:>8}  {:>8}  {:>7}  {:>9}",
+        "connector",
+        "N",
+        "mode",
+        "threads",
+        "steps/s",
+        "wakeups",
+        "bcast-est",
+        "kicks",
+        "k-wakes",
+        "steals",
+        "p99-us"
     );
 
     let window = config.window;
     let cells = run(&config, |cell| {
-        let (steps, wakeups, spurious) = match &cell.outcome.failure {
+        let stats = match &cell.outcome.failure {
             Some(f) => {
                 println!(
                     "{:<16}{:>4}  {:<20}{:>8}  FAIL: {}",
@@ -58,21 +79,26 @@ fn main() {
                 );
                 return;
             }
-            None => {
-                let s = cell.outcome.stats.expect("successful runs carry stats");
-                (cell.steps_per_sec(window), s.wakeups, s.spurious_wakeups)
-            }
+            None => cell.outcome.stats.expect("successful runs carry stats"),
         };
+        let p99 = cell
+            .outcome
+            .latency
+            .map(|l| format!("{:.1}", l.p99_us))
+            .unwrap_or_else(|| "-".into());
         println!(
-            "{:<16}{:>4}  {:<20}{:>8}  {:>12.0}  {:>10}  {:>10}  {:>9}",
+            "{:<16}{:>4}  {:<20}{:>8}  {:>12.0}  {:>10}  {:>10}  {:>8}  {:>8}  {:>7}  {:>9}",
             cell.family,
             cell.n,
             cell.mode,
             cell.threads,
-            steps,
-            wakeups,
+            cell.steps_per_sec(window),
+            stats.wakeups,
             cell.broadcast_baseline_wakeups,
-            spurious
+            stats.kicks,
+            stats.kick_wakeups,
+            stats.steals,
+            p99
         );
     });
 
@@ -82,8 +108,12 @@ fn main() {
         v.wakeups_below_broadcast
     );
     println!(
-        "verdict: partitioned+workers >= jit on a multi-region family at N>=8: {}",
+        "verdict: worker-pool runtimes >= jit on a multi-region family at N>=8: {}",
         v.workers_reach_jit
+    );
+    println!(
+        "verdict: kick-queue wakeups below the global-generation baseline (kicks): {}",
+        v.kick_wakeups_below_kicks
     );
 
     if let Some(value) = args.get("json") {
@@ -104,14 +134,18 @@ fn to_json(cells: &[Cell], config: &Config) -> String {
   "window_secs": {},
   "ns": {:?},
   "workers": {},
+  "available_parallelism": {},
   "wakeups_below_broadcast": {},
   "workers_reach_jit": {},
+  "kick_wakeups_below_kicks": {},
   "cells": ["#,
         config.window.as_secs_f64(),
         config.ns,
         config.workers,
+        available_parallelism(),
         v.wakeups_below_broadcast,
-        v.workers_reach_jit
+        v.workers_reach_jit,
+        v.kick_wakeups_below_kicks
     );
     for (i, c) in cells.iter().enumerate() {
         let failure = match &c.outcome.failure {
@@ -119,9 +153,17 @@ fn to_json(cells: &[Cell], config: &Config) -> String {
             None => "null".to_string(),
         };
         let stats = c.outcome.stats.unwrap_or_default();
+        let (p50, p95, p99) = match c.outcome.latency {
+            Some(l) => (
+                format!("{:.3}", l.p50_us),
+                format!("{:.3}", l.p95_us),
+                format!("{:.3}", l.p99_us),
+            ),
+            None => ("null".into(), "null".into(), "null".into()),
+        };
         let _ = write!(
             s,
-            r#"    {{"family":{},"n":{},"mode":{},"threads":{},"steps":{},"steps_per_sec":{:.1},"wakeups":{},"spurious_wakeups":{},"completions":{},"lock_acquisitions":{},"broadcast_baseline_wakeups":{},"connect_ms":{:.3},"failure":{}}}"#,
+            r#"    {{"family":{},"n":{},"mode":{},"threads":{},"steps":{},"steps_per_sec":{:.1},"wakeups":{},"spurious_wakeups":{},"completions":{},"lock_acquisitions":{},"broadcast_baseline_wakeups":{},"kicks":{},"kick_wakeups":{},"steals":{},"p50_us":{},"p95_us":{},"p99_us":{},"connect_ms":{:.3},"failure":{}}}"#,
             json_str(c.family),
             c.n,
             json_str(c.mode),
@@ -133,6 +175,12 @@ fn to_json(cells: &[Cell], config: &Config) -> String {
             stats.completions,
             stats.lock_acquisitions,
             c.broadcast_baseline_wakeups,
+            stats.kicks,
+            stats.kick_wakeups,
+            stats.steals,
+            p50,
+            p95,
+            p99,
             c.outcome.connect_time.as_secs_f64() * 1e3,
             failure
         );

@@ -6,7 +6,7 @@
 //! minimal JSON reader ([`Json::parse`]): just enough of RFC 8259 for the
 //! documents the harness binaries emit (and strict about those).
 //!
-//! Two checks are offered:
+//! Three checks are offered:
 //!
 //! * [`validate`] — structural schema validation per benchmark kind
 //!   (`fig12_connectors`, `fig13_npb`, `scale`): required top-level
@@ -15,7 +15,17 @@
 //!   `null` failure in the checked-in *baseline*, the freshly produced
 //!   report must not show a non-null failure. Compared on the
 //!   intersection of cell keys, so a short CI sweep over fewer `ns` never
-//!   trips on missing cells.
+//!   trips on missing cells. The **relaxed** variant
+//!   ([`failure_regressions_gated`]) additionally exempts the
+//!   timing-sensitive cells ([`is_timing_sensitive`]: the fig13 class-S
+//!   cells, whose DNF verdicts flap on noisy CI runners) — those still
+//!   get schema validation, but their regressions only surface through
+//!   the tracking artifact.
+//! * [`metric_deltas`] — the tracking artifact: per-cell primary-metric
+//!   deltas (fig12/scale: steps or steps/sec, fig13: seconds) between a
+//!   fresh report and the baseline, as human-readable lines. CI uploads
+//!   this instead of gating on it, so throughput noise never blocks a
+//!   merge but stays reviewable.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -352,6 +362,11 @@ pub fn validate(doc: &Json, kind: Kind) -> Result<usize, String> {
             kind.benchmark_tag()
         ));
     }
+    if kind == Kind::Scale {
+        // Single-core sweeps only show algorithmic wins; readers need the
+        // core budget in-band to interpret the numbers.
+        require_num(doc, "available_parallelism", "document")?;
+    }
     let cells = require(doc, "cells", "document")?
         .as_arr()
         .ok_or("document: `cells` is not an array")?;
@@ -396,6 +411,15 @@ pub fn validate(doc: &Json, kind: Kind) -> Result<usize, String> {
                 require_num(cell, "completions", &ctx)?;
                 require_num(cell, "lock_acquisitions", &ctx)?;
                 require_num(cell, "broadcast_baseline_wakeups", &ctx)?;
+                require_num(cell, "kicks", &ctx)?;
+                require_num(cell, "kick_wakeups", &ctx)?;
+                require_num(cell, "steals", &ctx)?;
+                for key in ["p50_us", "p95_us", "p99_us"] {
+                    let v = require(cell, key, &ctx)?;
+                    if !v.is_null() && v.as_num().is_none() {
+                        return Err(format!("{ctx}: `{key}` is neither null nor a number"));
+                    }
+                }
                 check_failure(cell, "failure", &ctx)?;
             }
         }
@@ -455,6 +479,26 @@ fn failure_map(doc: &Json, kind: Kind) -> Result<HashMap<String, bool>, String> 
 /// one of the two documents are ignored, so a short smoke sweep can gate
 /// against a full checked-in baseline.
 pub fn failure_regressions(new: &Json, baseline: &Json, kind: Kind) -> Result<Vec<String>, String> {
+    failure_regressions_gated(new, baseline, kind, false)
+}
+
+/// Whether a cell key names a timing-sensitive cell: the fig13 class-S
+/// runs finish in milliseconds, so their timeout/DNF verdicts flap on
+/// noisy CI runners. The relaxed gate exempts exactly these.
+pub fn is_timing_sensitive(kind: Kind, key: &str) -> bool {
+    kind == Kind::Fig13 && key.split('/').nth(1) == Some("S")
+}
+
+/// [`failure_regressions`] with an optional relaxed policy: when
+/// `relaxed`, timing-sensitive cells ([`is_timing_sensitive`]) are
+/// exempted from gating — their deltas belong in the tracking artifact
+/// ([`metric_deltas`]), not in a merge-blocking check.
+pub fn failure_regressions_gated(
+    new: &Json,
+    baseline: &Json,
+    kind: Kind,
+    relaxed: bool,
+) -> Result<Vec<String>, String> {
     let new_map = failure_map(new, kind)?;
     let base_map = failure_map(baseline, kind)?;
     let mut regressions: Vec<String> = base_map
@@ -462,10 +506,88 @@ pub fn failure_regressions(new: &Json, baseline: &Json, kind: Kind) -> Result<Ve
         .filter(|(key, &base_failed)| {
             !base_failed && new_map.get(key.as_str()).copied() == Some(true)
         })
+        .filter(|(key, _)| !(relaxed && is_timing_sensitive(kind, key)))
         .map(|(key, _)| key.clone())
         .collect();
     regressions.sort();
     Ok(regressions)
+}
+
+/// Map every cell of a report to its primary metric: fig12 `steps` per
+/// series, fig13 `secs` (skipping DNF cells), scale `steps_per_sec`.
+fn metric_map(doc: &Json, kind: Kind) -> Result<HashMap<String, f64>, String> {
+    let mut out = HashMap::new();
+    let cells = require(doc, "cells", "document")?
+        .as_arr()
+        .ok_or("document: `cells` is not an array")?;
+    for (i, cell) in cells.iter().enumerate() {
+        let ctx = format!("cell {i}");
+        match kind {
+            Kind::Fig12 => {
+                let family = require_str(cell, "family", &ctx)?;
+                let n = require_num(cell, "n", &ctx)?;
+                for series in ["existing", "new", "partitioned"] {
+                    let o = require(cell, series, &ctx)?;
+                    if o.is_null() {
+                        continue;
+                    }
+                    out.insert(
+                        format!("{family}/n={n}/{series}"),
+                        require_num(o, "steps", &ctx)?,
+                    );
+                }
+            }
+            Kind::Fig13 => {
+                let key = format!(
+                    "{}/{}/n={}/{}",
+                    require_str(cell, "prog", &ctx)?,
+                    require_str(cell, "class", &ctx)?,
+                    require_num(cell, "n", &ctx)?,
+                    require_str(cell, "backend", &ctx)?
+                );
+                if let Some(secs) = require(cell, "secs", &ctx)?.as_num() {
+                    out.insert(key, secs);
+                }
+            }
+            Kind::Scale => {
+                let key = format!(
+                    "{}/n={}/{}",
+                    require_str(cell, "family", &ctx)?,
+                    require_num(cell, "n", &ctx)?,
+                    require_str(cell, "mode", &ctx)?
+                );
+                out.insert(key, require_num(cell, "steps_per_sec", &ctx)?);
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// The tracking artifact: one human-readable line per cell key present in
+/// both reports, `key: baseline -> new (+x.x%)`, sorted by key. Timing
+/// deltas go here instead of into the gate, so runner noise never blocks
+/// a merge but stays reviewable in the uploaded artifact.
+pub fn metric_deltas(new: &Json, baseline: &Json, kind: Kind) -> Result<Vec<String>, String> {
+    let new_map = metric_map(new, kind)?;
+    let base_map = metric_map(baseline, kind)?;
+    let mut keys: Vec<&String> = base_map
+        .keys()
+        .filter(|k| new_map.contains_key(*k))
+        .collect();
+    keys.sort();
+    Ok(keys
+        .into_iter()
+        .map(|k| {
+            let base = base_map[k];
+            let fresh = new_map[k];
+            let pct = if base.abs() > f64::EPSILON {
+                (fresh - base) / base * 100.0
+            } else {
+                0.0
+            };
+            format!("{k}: {base:.3} -> {fresh:.3} ({pct:+.1}%)")
+        })
+        .collect())
 }
 
 #[cfg(test)]
@@ -534,6 +656,55 @@ mod tests {
             failure_regressions(&bad, &base_fail, Kind::Fig12).unwrap(),
             Vec::<String>::new()
         );
+    }
+
+    fn fig13_doc(class: &str, dnf: &str, secs: &str) -> String {
+        format!(
+            r#"{{"benchmark":"fig13_npb","timeout_secs":60,"large_n":false,"cells":[
+              {{"prog":"cg","class":"{class}","n":2,"backend":"reo-jit",
+                "secs":{secs},"dnf":{dnf},"steps":100,"verified":true}}]}}"#
+        )
+    }
+
+    #[test]
+    fn relaxed_gate_exempts_only_fig13_class_s() {
+        let base = Json::parse(&fig13_doc("S", "null", "0.05")).unwrap();
+        let bad = Json::parse(&fig13_doc("S", r#""timeout""#, "null")).unwrap();
+        // Strict: the class-S ok→fail transition is a regression.
+        assert_eq!(
+            failure_regressions_gated(&bad, &base, Kind::Fig13, false).unwrap(),
+            vec!["cg/S/n=2/reo-jit".to_string()]
+        );
+        // Relaxed: the timing-sensitive cell is exempt.
+        assert_eq!(
+            failure_regressions_gated(&bad, &base, Kind::Fig13, true).unwrap(),
+            Vec::<String>::new()
+        );
+        // A non-S class stays gated even relaxed.
+        let base_a = Json::parse(&fig13_doc("A", "null", "1.5")).unwrap();
+        let bad_a = Json::parse(&fig13_doc("A", r#""timeout""#, "null")).unwrap();
+        assert_eq!(
+            failure_regressions_gated(&bad_a, &base_a, Kind::Fig13, true).unwrap(),
+            vec!["cg/A/n=2/reo-jit".to_string()]
+        );
+        assert!(is_timing_sensitive(Kind::Fig13, "cg/S/n=2/reo-jit"));
+        assert!(!is_timing_sensitive(Kind::Fig13, "cg/A/n=2/reo-jit"));
+        assert!(!is_timing_sensitive(Kind::Scale, "relay/n=2/jit"));
+    }
+
+    #[test]
+    fn metric_deltas_report_both_directions_on_the_key_intersection() {
+        let base = Json::parse(&fig13_doc("S", "null", "0.050")).unwrap();
+        let fresh = Json::parse(&fig13_doc("S", "null", "0.075")).unwrap();
+        let lines = metric_deltas(&fresh, &base, Kind::Fig13).unwrap();
+        assert_eq!(lines.len(), 1);
+        assert!(
+            lines[0].starts_with("cg/S/n=2/reo-jit: 0.050 -> 0.075 (+50.0%)"),
+            "{lines:?}"
+        );
+        // A DNF cell drops out of the metric map → empty intersection.
+        let dnf = Json::parse(&fig13_doc("S", r#""timeout""#, "null")).unwrap();
+        assert!(metric_deltas(&dnf, &base, Kind::Fig13).unwrap().is_empty());
     }
 
     #[test]

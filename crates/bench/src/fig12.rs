@@ -226,6 +226,7 @@ mod tests {
             failure: fail.then(|| "boom".to_string()),
             stats: None,
             threads: 0,
+            latency: None,
         }
     }
 

@@ -45,22 +45,37 @@
 //!
 //! ```json
 //! { "benchmark": "scale", "window_secs": 0.2, "ns": [1, 2, 4, 8, 16],
-//!   "workers": 2,
+//!   "workers": 2, "available_parallelism": 8,
 //!   "wakeups_below_broadcast": true, "workers_reach_jit": true,
+//!   "kick_wakeups_below_kicks": true,
 //!   "cells": [
-//!     { "family": "channels", "n": 8, "mode": "partitioned+workers",
+//!     { "family": "relay", "n": 8, "mode": "partitioned+auto",
 //!       "threads": 16, "steps": 10917, "steps_per_sec": 54585.0,
 //!       "wakeups": 11071, "spurious_wakeups": 0, "completions": 21834,
 //!       "lock_acquisitions": 76893, "broadcast_baseline_wakeups": 152838,
+//!       "kicks": 21834, "kick_wakeups": 1207, "steals": 31,
+//!       "p50_us": 8.192, "p95_us": 65.536, "p99_us": 131.072,
 //!       "connect_ms": 0.2, "failure": null } ] }
 //! ```
 //!
-//! `mode` is one of `jit`, `partitioned`, `partitioned+workers`; the
-//! counter fields mirror [`reo_runtime::EngineStats`];
+//! `mode` is one of `jit`, `partitioned`, `partitioned+workers`,
+//! `partitioned+auto`; the counter fields mirror
+//! [`reo_runtime::EngineStats`]. Two baselines are embedded:
 //! `broadcast_baseline_wakeups` is the `steps × (threads − 2)` estimate
-//! of what a per-engine broadcast condvar would have woken (see
-//! [`crate::scale`]); the two top-level booleans are the
-//! [`crate::scale::verdict`] acceptance checks.
+//! of what a per-engine broadcast condvar would have woken, and `kicks`
+//! doubles as the *global-generation baseline* for `kick_wakeups` (the
+//! PR 3 scheduler signalled the worker pool once per kick; the per-link
+//! kick queues must wake strictly less often — see [`crate::scale`]).
+//! `steals` counts links pumped by a non-owner worker. The latency
+//! percentiles `p50_us`/`p95_us`/`p99_us` come from the driver's
+//! log₂-bucketed per-operation histogram
+//! ([`reo_connectors::LatencyHistogram`]): values are the *upper bound*
+//! of the hit bucket in microseconds (exact to within 2×), and `null`
+//! when the cell failed or completed no operation. The header's
+//! `available_parallelism` records the sweeping machine's core budget so
+//! readers can tell algorithmic wins from parallel speedup; the three
+//! top-level booleans are the [`crate::scale::verdict`] acceptance
+//! checks.
 
 use std::fmt::Write as _;
 

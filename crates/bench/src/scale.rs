@@ -2,38 +2,53 @@
 //!
 //! Fig. 12 measures one connector family per cell with a handful of
 //! no-compute tasks; this harness instead sweeps the **task count** and
-//! compares the three parametrized runtimes side by side —
+//! compares the four parametrized runtimes side by side —
 //!
 //! * `jit` — one engine, one lock, all tasks contending on it;
-//! * `partitioned` — one engine per synchronous region, tasks pump links
-//!   on their own threads (caller-thread scheduler);
-//! * `partitioned+workers` — same regions, plus a fire-worker pool so
-//!   cross-region propagation runs off the task threads.
+//! * `partitioned` — one engine per synchronous region, tasks pump the
+//!   links bordering their own region after each operation
+//!   (caller-thread scheduler);
+//! * `partitioned+workers` — same regions, plus a static fire-worker
+//!   pool: kicks go onto per-link kick queues owned by workers, with
+//!   idle-time stealing;
+//! * `partitioned+auto` — the adaptive pool
+//!   (`Mode::partitioned_auto()`): sized as the minimum of
+//!   `available_parallelism()`, the region count and the link count,
+//!   shrinking to one worker when quiescent.
 //!
 //! Besides steps/second it records the engine contention counters
 //! ([`reo_runtime::EngineStats`]): targeted wakeups, spurious wakeups,
-//! completions, and lock acquisitions. For every cell it also computes the
-//! *broadcast baseline* — the wakeups a per-engine broadcast condvar
-//! (the pre-rework design: `notify_all` on every step) would have issued,
-//! estimated as `steps × (task threads − 2)` since each step completes at
-//! most two task operations and the remaining threads are typically
-//! blocked. Targeted wakeups must come in strictly below that baseline on
-//! the disjoint-port workload (`channels`).
+//! completions, lock acquisitions, and the scheduler counters (kicks,
+//! kick-queue wakeups, steals), plus per-operation latency percentiles
+//! from the driver ([`reo_connectors::LatencySummary`]). Two baselines
+//! are computed per cell:
+//!
+//! * `broadcast_baseline_wakeups` — the wakeups a per-engine broadcast
+//!   condvar (the pre-PR 3 design: `notify_all` on every step) would have
+//!   issued, estimated as `steps × (task threads − 2)`. Targeted wakeups
+//!   must come in strictly below it on the disjoint-port workload
+//!   (`channels`).
+//! * the **global-generation baseline** for worker wakeups is simply
+//!   `kicks`: the PR 3 scheduler bumped one shared generation counter and
+//!   signalled the pool on *every* kick, so per-link routing must wake
+//!   workers strictly less often than `kicks` on the disjoint-region
+//!   workload (`relay`) — that is [`Verdict::kick_wakeups_below_kicks`].
 
 use std::time::Duration;
 
 use reo_automata::ProductOptions;
 use reo_connectors::driver::drive_with_limits;
-use reo_connectors::{families, Family, RunOutcome};
+use reo_connectors::{families, relay_family, Family, RunOutcome};
 use reo_runtime::{Limits, Mode};
 
 /// The family names swept by default: the disjoint-port rendezvous
-/// workload (`channels`), three multi-region shapes (`token_ring`,
-/// `ordered` — the one with real cross-region links — and
-/// `scatter_gather`), a fifo `pipeline`, and one single-region control
-/// (`merger`, where partitioning cannot help).
+/// workload (`channels`), the disjoint-region link workload (`relay`),
+/// three multi-region shapes (`token_ring`, `ordered` — with chained
+/// cross-region links — and `scatter_gather`), a fifo `pipeline`, and one
+/// single-region control (`merger`, where partitioning cannot help).
 pub const DEFAULT_FAMILIES: &[&str] = &[
     "channels",
+    "relay",
     "token_ring",
     "ordered",
     "scatter_gather",
@@ -41,7 +56,7 @@ pub const DEFAULT_FAMILIES: &[&str] = &[
     "merger",
 ];
 
-/// The three runtimes compared per cell, with their report labels.
+/// The four runtimes compared per cell, with their report labels.
 pub fn mode_grid(workers: usize) -> Vec<(&'static str, Mode)> {
     vec![
         ("jit", Mode::jit()),
@@ -50,8 +65,12 @@ pub fn mode_grid(workers: usize) -> Vec<(&'static str, Mode)> {
             "partitioned+workers",
             Mode::partitioned_with_workers(workers),
         ),
+        ("partitioned+auto", Mode::partitioned_auto()),
     ]
 }
+
+/// Report labels of the modes that run a fire-worker pool.
+pub const WORKER_MODES: &[&str] = &["partitioned+workers", "partitioned+auto"];
 
 /// Harness configuration.
 #[derive(Clone, Debug)]
@@ -89,7 +108,7 @@ pub struct Cell {
     pub family: &'static str,
     pub n: usize,
     /// Report label of the runtime (`jit`, `partitioned`,
-    /// `partitioned+workers`).
+    /// `partitioned+workers`, `partitioned+auto`).
     pub mode: &'static str,
     /// No-compute task threads the driver spawned for this cell.
     pub threads: usize,
@@ -105,19 +124,21 @@ impl Cell {
     }
 }
 
-/// Families selected by the configuration.
+/// Families selected by the configuration (the eighteen of Fig. 12 plus
+/// the `relay` scale workload).
 pub fn selected_families(config: &Config) -> Vec<Family> {
     let wanted: Vec<String> = match &config.family_filter {
         Some(list) => list.clone(),
         None => DEFAULT_FAMILIES.iter().map(|s| s.to_string()).collect(),
     };
-    families()
-        .into_iter()
+    let mut all = families();
+    all.push(relay_family());
+    all.into_iter()
         .filter(|f| wanted.iter().any(|n| n == f.name))
         .collect()
 }
 
-/// Run the whole grid: families × task counts × the three runtimes.
+/// Run the whole grid: families × task counts × the four runtimes.
 pub fn run(config: &Config, mut progress: impl FnMut(&Cell)) -> Vec<Cell> {
     let mut cells = Vec::new();
     for family in selected_families(config) {
@@ -153,8 +174,11 @@ pub fn run(config: &Config, mut progress: impl FnMut(&Cell)) -> Vec<Cell> {
 ///
 /// 1. on the disjoint-port workload, targeted wakeups stay strictly below
 ///    the broadcast baseline wherever that baseline is non-trivial;
-/// 2. at high task counts, `partitioned+workers` reaches at least `jit`
-///    throughput on some multi-region family.
+/// 2. at high task counts, the worker-pool runtimes reach at least `jit`
+///    throughput on some multi-region family;
+/// 3. on every worker-pool cell with non-trivial kick traffic, kick-queue
+///    wakeups stay strictly below the kick count — the wakeups the PR 3
+///    global-generation scheduler would have signalled.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Verdict {
     /// Check 1, over every `channels` cell with `threads > 2` and
@@ -162,6 +186,8 @@ pub struct Verdict {
     pub wakeups_below_broadcast: bool,
     /// Check 2, over every multi-region family at `n ≥ 8`.
     pub workers_reach_jit: bool,
+    /// Check 3, over every worker-mode cell with `kicks > 100`.
+    pub kick_wakeups_below_kicks: bool,
 }
 
 pub fn verdict(cells: &[Cell]) -> Verdict {
@@ -192,16 +218,33 @@ pub fn verdict(cells: &[Cell]) -> Verdict {
             .map(|c| c.outcome.steps)
     };
     let workers_reach_jit = cells.iter().any(|c| {
-        c.mode == "partitioned+workers"
+        WORKER_MODES.contains(&c.mode)
             && c.n >= 8
             && c.family != "merger" // single-region control
             && c.outcome.failure.is_none()
             && jit_steps(c.family, c.n).is_some_and(|jit| c.outcome.steps >= jit)
     });
 
+    // Check 3: every worker-pool cell with real kick traffic must wake
+    // strictly less often than it kicked (the global-generation baseline).
+    let kicked: Vec<&Cell> = cells
+        .iter()
+        .filter(|c| {
+            WORKER_MODES.contains(&c.mode)
+                && c.outcome.failure.is_none()
+                && c.outcome.stats.is_some_and(|s| s.kicks > 100)
+        })
+        .collect();
+    let kick_wakeups_below_kicks = !kicked.is_empty()
+        && kicked.iter().all(|c| {
+            let s = c.outcome.stats.expect("filtered on stats above");
+            s.kick_wakeups < s.kicks
+        });
+
     Verdict {
         wakeups_below_broadcast,
         workers_reach_jit,
+        kick_wakeups_below_kicks,
     }
 }
 
@@ -210,7 +253,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn tiny_grid_produces_all_three_modes_and_stats() {
+    fn tiny_grid_produces_all_four_modes_and_stats() {
         let config = Config {
             window: Duration::from_millis(50),
             ns: vec![2],
@@ -219,13 +262,15 @@ mod tests {
             ..Config::default()
         };
         let cells = run(&config, |_| {});
-        assert_eq!(cells.len(), 3);
+        assert_eq!(cells.len(), 4);
         for c in &cells {
             assert!(c.outcome.failure.is_none(), "{}: {:?}", c.mode, c.outcome);
             assert!(c.outcome.steps > 0, "{} made no progress", c.mode);
             let stats = c.outcome.stats.expect("driver records stats");
             assert!(stats.lock_acquisitions > 0);
             assert_eq!(c.threads, 4);
+            let lat = c.outcome.latency.expect("driver records latency");
+            assert!(lat.ops > 0 && lat.p50_us <= lat.p99_us);
         }
     }
 
@@ -248,6 +293,30 @@ mod tests {
             cells
                 .iter()
                 .map(|c| (c.mode, c.outcome.stats, c.broadcast_baseline_wakeups))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn relay_workload_beats_global_generation_baseline_in_miniature() {
+        // The disjoint-region workload: worker-pool kick-queue wakeups
+        // must come in strictly below the kick count (what the PR 3
+        // global-generation scheduler would have signalled).
+        let config = Config {
+            window: Duration::from_millis(150),
+            ns: vec![4],
+            family_filter: Some(vec!["relay".into()]),
+            workers: 2,
+            ..Config::default()
+        };
+        let cells = run(&config, |_| {});
+        let v = verdict(&cells);
+        assert!(
+            v.kick_wakeups_below_kicks,
+            "kick-queue wakeups not below the kick baseline: {:?}",
+            cells
+                .iter()
+                .map(|c| (c.mode, c.outcome.stats))
                 .collect::<Vec<_>>()
         );
     }

@@ -7,6 +7,12 @@
 //! operation until the connector is closed; the run lasts a fixed wall-clock
 //! window, and the metric is the number of global execution steps the
 //! connector made.
+//!
+//! Besides step counts, every driver thread records the wall-clock latency
+//! of each successful port operation into a log-bucketed
+//! [`LatencyHistogram`]; the merged per-cell histogram is summarized as
+//! p50/p95/p99 in [`RunOutcome::latency`], so scheduler improvements show
+//! up as *tail-latency* wins, not only as throughput.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -15,6 +21,85 @@ use reo_core::ir::Program;
 use reo_runtime::{Connector, ConnectorHandle, Limits, Mode, RuntimeError};
 
 use crate::families::{Family, Role};
+
+/// A log₂-bucketed latency histogram (nanosecond buckets `[2^(k-1), 2^k)`),
+/// cheap enough to update on every port operation of a spinning driver.
+/// Quantiles are resolved to the upper bound of the containing bucket, so
+/// they are exact to within a factor of 2 — plenty for telling a 1 µs
+/// wakeup path from a 100 µs one.
+#[derive(Clone, Debug)]
+pub struct LatencyHistogram {
+    buckets: [u64; 64],
+    total: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: [0; 64],
+            total: 0,
+        }
+    }
+}
+
+impl LatencyHistogram {
+    pub fn record(&mut self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        let bucket = (u64::BITS - ns.leading_zeros()).min(63) as usize;
+        self.buckets[bucket] += 1;
+        self.total += 1;
+    }
+
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// Recorded operations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in microseconds — the upper bound
+    /// of the bucket containing that rank. `None` if nothing was recorded.
+    pub fn quantile_us(&self, q: f64) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (k, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some((1u64 << k) as f64 / 1e3);
+            }
+        }
+        None
+    }
+}
+
+/// Per-cell latency digest (see [`LatencyHistogram`] for precision).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LatencySummary {
+    /// Successful port operations measured.
+    pub ops: u64,
+    pub p50_us: f64,
+    pub p95_us: f64,
+    pub p99_us: f64,
+}
+
+impl LatencySummary {
+    fn from_histogram(h: &LatencyHistogram) -> Option<Self> {
+        Some(LatencySummary {
+            ops: h.count(),
+            p50_us: h.quantile_us(0.50)?,
+            p95_us: h.quantile_us(0.95)?,
+            p99_us: h.quantile_us(0.99)?,
+        })
+    }
+}
 
 /// Result of one measured cell.
 #[derive(Clone, Debug)]
@@ -26,12 +111,16 @@ pub struct RunOutcome {
     /// Whether construction failed (the "existing approach fails" cells).
     pub failure: Option<String>,
     /// Engine contention counters at the end of the window (wakeups,
-    /// spurious wakeups, lock acquisitions, completions) — `None` for
-    /// failed runs. The `scale` harness builds on these.
+    /// spurious wakeups, lock acquisitions, completions, scheduler
+    /// kicks/steals) — `None` for failed runs. The `scale` harness builds
+    /// on these.
     pub stats: Option<reo_runtime::EngineStats>,
     /// No-compute task threads this driver actually spawned (0 when
     /// construction failed before any spawn).
     pub threads: usize,
+    /// Per-operation latency percentiles merged over all driver threads —
+    /// `None` for failed runs or when no operation completed.
+    pub latency: Option<LatencySummary>,
 }
 
 impl RunOutcome {
@@ -42,6 +131,7 @@ impl RunOutcome {
             failure: Some(msg),
             stats: None,
             threads: 0,
+            latency: None,
         }
     }
 
@@ -92,16 +182,23 @@ pub fn drive_with_limits(
     let handle = session.handle();
 
     // Port acquisition is fallible now; a family spec naming a missing
-    // parameter becomes a tabulated failure, not a crash.
-    let mut threads = Vec::new();
+    // parameter becomes a tabulated failure, not a crash. Every thread
+    // returns its local latency histogram when the connector closes.
+    let mut threads: Vec<std::thread::JoinHandle<LatencyHistogram>> = Vec::new();
     let spawn_result = (|| -> Result<(), reo_runtime::RuntimeError> {
         for (param, role) in family.drivers {
             match role {
                 Role::Send => {
                     for port in session.typed_outports::<i64>(param)? {
                         threads.push(std::thread::spawn(move || {
+                            let mut hist = LatencyHistogram::default();
                             let mut k: i64 = 0;
-                            while port.send(k).is_ok() {
+                            loop {
+                                let t0 = Instant::now();
+                                if port.send(k).is_err() {
+                                    return hist;
+                                }
+                                hist.record(t0.elapsed());
                                 k += 1;
                             }
                         }));
@@ -109,7 +206,16 @@ pub fn drive_with_limits(
                 }
                 Role::Recv => {
                     for port in session.inports(param)? {
-                        threads.push(std::thread::spawn(move || for _ in &port {}));
+                        threads.push(std::thread::spawn(move || {
+                            let mut hist = LatencyHistogram::default();
+                            loop {
+                                let t0 = Instant::now();
+                                if port.recv().is_err() {
+                                    return hist;
+                                }
+                                hist.record(t0.elapsed());
+                            }
+                        }));
                     }
                 }
             }
@@ -118,12 +224,19 @@ pub fn drive_with_limits(
             let acquires = session.typed_outports::<()>(acq)?;
             let releases = session.typed_outports::<()>(rel)?;
             for (a, r) in acquires.into_iter().zip(releases) {
-                threads.push(std::thread::spawn(move || loop {
-                    if a.send(()).is_err() {
-                        return;
-                    }
-                    if r.send(()).is_err() {
-                        return;
+                threads.push(std::thread::spawn(move || {
+                    let mut hist = LatencyHistogram::default();
+                    loop {
+                        let t0 = Instant::now();
+                        if a.send(()).is_err() {
+                            return hist;
+                        }
+                        hist.record(t0.elapsed());
+                        let t0 = Instant::now();
+                        if r.send(()).is_err() {
+                            return hist;
+                        }
+                        hist.record(t0.elapsed());
                     }
                 }));
             }
@@ -146,8 +259,9 @@ pub fn drive_with_limits(
     let steps = stats.steps;
     handle.close();
     let spawned = threads.len();
+    let mut hist = LatencyHistogram::default();
     for t in threads {
-        t.join().expect("driver thread panicked");
+        hist.merge(&t.join().expect("driver thread panicked"));
     }
     // Poisoned engines (e.g. expansion overflow mid-run) count as failures.
     let failure = probe_poisoned(&handle);
@@ -157,6 +271,7 @@ pub fn drive_with_limits(
         failure,
         stats: Some(stats),
         threads: spawned,
+        latency: LatencySummary::from_histogram(&hist),
     }
 }
 
@@ -216,6 +331,37 @@ mod tests {
         for mode in [Mode::jit(), Mode::existing()] {
             assert_progress(&family("merger"), 3, mode, 10);
         }
+    }
+
+    #[test]
+    fn latency_histogram_buckets_and_quantiles() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.quantile_us(0.5), None);
+        for _ in 0..90 {
+            h.record(Duration::from_nanos(900)); // bucket [512, 1024) → 1.024 µs
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(100)); // ≈ 131 µs upper bound
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile_us(0.50).unwrap();
+        let p99 = h.quantile_us(0.99).unwrap();
+        assert!(p50 <= 1.1, "p50 {p50} µs should sit in the sub-µs bucket");
+        assert!(p99 >= 100.0, "p99 {p99} µs must see the slow tail");
+        // Merging two histograms adds counts bucket-wise.
+        let mut h2 = LatencyHistogram::default();
+        h2.record(Duration::from_nanos(900));
+        h2.merge(&h);
+        assert_eq!(h2.count(), 101);
+    }
+
+    #[test]
+    fn driven_cells_report_latency_percentiles() {
+        let outcome = drive_family(&family("merger"), 2, Mode::jit(), Duration::from_millis(80));
+        assert!(outcome.failure.is_none());
+        let lat = outcome.latency.expect("successful run records latency");
+        assert!(lat.ops > 0);
+        assert!(lat.p50_us <= lat.p95_us && lat.p95_us <= lat.p99_us);
     }
 
     #[test]

@@ -359,6 +359,31 @@ fn n_only_t() -> fn(usize) -> Vec<(&'static str, usize)> {
     |n| vec![("t", n)]
 }
 
+/// The **disjoint-region** scale workload, kept outside the paper's
+/// eighteen: per channel a `Sync – Fifo1 – Sync` relay, so every channel
+/// is two synchronous regions joined by one cut link and channels share
+/// nothing. The fifo sits in its own iteration section — constituents of
+/// one section compose into one medium automaton, so this placement is
+/// what turns it into a link instead of region-internal state. This is
+/// the showcase for per-link kicks and work stealing: kicks from channel
+/// `i` can only ever name channel `i`'s link.
+pub fn relay_family() -> Family {
+    Family {
+        name: "relay",
+        def: "RelayN",
+        source: "
+RelayN(t[];hd[]) =
+  prod (i:1..#t) Sync(t[i];m[i])
+  mult prod (i:1..#t) Fifo1(m[i];n[i])
+  mult prod (i:1..#t) Sync(n[i];hd[i])
+",
+        sizes: |n| vec![("t", n), ("hd", n)],
+        drivers: &[("t", Role::Send), ("hd", Role::Recv)],
+        paired_sends: &[],
+        exponential_fanout: true,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -408,6 +433,17 @@ mod tests {
             conn.connect(&sizes)
                 .unwrap_or_else(|e| panic!("{}: {e}", f.name));
         }
+    }
+
+    #[test]
+    fn relay_family_partitions_into_disjoint_linked_regions() {
+        let f = relay_family();
+        let prog = f.program();
+        let conn = Connector::compile(&prog, f.def, Mode::partitioned()).unwrap();
+        let session = conn.connect(&(f.sizes)(3)).unwrap();
+        let handle = session.handle();
+        assert_eq!(handle.region_count(), 6, "2 regions per channel");
+        assert_eq!(handle.link_count(), 3, "1 cut fifo per channel");
     }
 
     #[test]

@@ -11,7 +11,7 @@ use reo_automata::{
 };
 use reo_core::ConnectorInstance;
 
-use crate::engine::{fire_one, op_enabled, EngineCore, Pending};
+use crate::engine::{fire_one, op_enabled, EngineCore, PendingTable};
 use crate::error::RuntimeError;
 
 /// Sequential state machine over one fully composed automaton. Also the
@@ -70,7 +70,7 @@ impl AotCore {
 impl EngineCore for AotCore {
     fn try_step(
         &mut self,
-        pending: &mut [Pending],
+        pending: &mut PendingTable,
         store: &mut Store,
         completed: &mut Vec<PortId>,
     ) -> Result<bool, RuntimeError> {
@@ -121,7 +121,11 @@ mod tests {
         let core = AotCore::compose(&inst, &ProductOptions::default(), simplify).unwrap();
         let mut layout = MemLayout::cells(alloc.mem_count());
         layout.merge(&inst.mem_layout);
-        let engine = Engine::new(Box::new(core), alloc.port_count(), Store::new(&layout));
+        let engine = Engine::new(
+            Box::new(core),
+            crate::engine::PortMap::dense(alloc.port_count()),
+            Store::new(&layout),
+        );
         (engine, tl, hd)
     }
 

@@ -12,7 +12,9 @@
 //!   composition of the medium automata at `connect` time.
 //! * [`Mode::Jit`] — the new approach with just-in-time composition.
 //! * [`Mode::JitPartitioned`] — JIT plus the partitioning optimization of
-//!   reference \[32\].
+//!   reference \[32\], scheduled by [`Workers`]: caller-thread pumping,
+//!   a static fire-worker pool, or an adaptive one
+//!   ([`Mode::partitioned_auto`]).
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -25,11 +27,28 @@ use reo_core::{
 
 use crate::aot::AotCore;
 use crate::cache::{CachePolicy, CacheStats};
-use crate::engine::{Engine, EngineStats};
+use crate::engine::{Engine, EngineStats, PortMap};
 use crate::error::RuntimeError;
 use crate::jit::JitCore;
 use crate::partition::{partition, Partitioned};
 use crate::port::{Backend, Inport, Outport};
+
+/// Fire-worker scheduling of a partitioned connector (see
+/// [`crate::partition`] for the protocol).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Workers {
+    /// Caller-thread scheduler: every task pumps the links bordering its
+    /// own region after each of its operations.
+    Caller,
+    /// Static pool of exactly `n` fire workers (`Fixed(0)` ≡ `Caller`).
+    /// The explicit override for when the adaptive sizing is wrong.
+    Fixed(usize),
+    /// Size the pool from `available_parallelism()`, the region count and
+    /// the link count, and let idle workers retire down to one
+    /// (quiescence-based shrink). A connector with no cross-region links
+    /// spawns no workers at all.
+    Auto,
+}
 
 /// Execution mode (see module docs).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -43,14 +62,12 @@ pub enum Mode {
     Jit {
         cache: CachePolicy,
     },
-    /// Partitioned JIT. `workers = 0` uses the caller-thread scheduler
-    /// (every task pumps links after its own operations); `workers > 0`
-    /// spawns that many fire workers so cross-region propagation and
-    /// large-state expansion run off the task threads (see
-    /// [`crate::partition`]).
+    /// Partitioned JIT: one engine per synchronous region, cut fifos as
+    /// links, and the region-owned kick/steal scheduler of
+    /// [`crate::partition`] — with the scheduler selected by [`Workers`].
     JitPartitioned {
         cache: CachePolicy,
-        workers: usize,
+        workers: Workers,
     },
 }
 
@@ -66,15 +83,24 @@ impl Mode {
     pub fn partitioned() -> Self {
         Mode::JitPartitioned {
             cache: CachePolicy::Unbounded,
-            workers: 0,
+            workers: Workers::Caller,
         }
     }
 
-    /// Partitioned JIT with a pool of `workers` fire workers.
+    /// Partitioned JIT with a static pool of `workers` fire workers.
     pub fn partitioned_with_workers(workers: usize) -> Self {
         Mode::JitPartitioned {
             cache: CachePolicy::Unbounded,
-            workers,
+            workers: Workers::Fixed(workers),
+        }
+    }
+
+    /// Partitioned JIT with an adaptively sized, quiescence-shrinking
+    /// fire-worker pool (see [`Workers::Auto`]).
+    pub fn partitioned_auto() -> Self {
+        Mode::JitPartitioned {
+            cache: CachePolicy::Unbounded,
+            workers: Workers::Auto,
         }
     }
 
@@ -267,7 +293,7 @@ impl Connector {
                 let core = AotCore::from_automaton(large);
                 Backend::Single(Arc::new(Engine::new(
                     Box::new(core),
-                    alloc.port_count(),
+                    PortMap::dense(alloc.port_count()),
                     Store::new(&layout),
                 )))
             }
@@ -275,7 +301,7 @@ impl Connector {
                 let core = AotCore::compose(&instance, &self.limits.product, simplify)?;
                 Backend::Single(Arc::new(Engine::new(
                     Box::new(core),
-                    alloc.port_count(),
+                    PortMap::dense(alloc.port_count()),
                     Store::new(&layout),
                 )))
             }
@@ -287,7 +313,7 @@ impl Connector {
                 );
                 Backend::Single(Arc::new(Engine::new(
                     Box::new(core),
-                    alloc.port_count(),
+                    PortMap::dense(alloc.port_count()),
                     Store::new(&layout),
                 )))
             }
@@ -302,7 +328,14 @@ impl Connector {
                 // Deterministic initial arming (tokens reach link heads)
                 // before any worker can race it.
                 parts.pump();
-                parts.spawn_workers(workers);
+                match workers {
+                    Workers::Caller | Workers::Fixed(0) => {}
+                    Workers::Fixed(n) => parts.spawn_workers(n),
+                    Workers::Auto => {
+                        let n = parts.auto_worker_count();
+                        parts.spawn_workers_adaptive(n);
+                    }
+                }
                 Backend::Multi(parts)
             }
         };
@@ -488,5 +521,31 @@ impl ConnectorHandle {
     /// Number of medium automata the instance consists of.
     pub fn medium_count(&self) -> usize {
         self.medium_count
+    }
+
+    /// Number of synchronous regions (1 in the single-engine modes).
+    pub fn region_count(&self) -> usize {
+        match &self.backend {
+            Backend::Single(_) => 1,
+            Backend::Multi(m) => m.engines.len(),
+        }
+    }
+
+    /// Number of cross-region links (0 in the single-engine modes).
+    pub fn link_count(&self) -> usize {
+        match &self.backend {
+            Backend::Single(_) => 0,
+            Backend::Multi(m) => m.links.len(),
+        }
+    }
+
+    /// Live fire workers pumping this connector's links right now (0 for
+    /// the single-engine modes and the caller-thread scheduler; an
+    /// adaptive pool shrinks this while quiescent).
+    pub fn worker_count(&self) -> usize {
+        match &self.backend {
+            Backend::Single(_) => 0,
+            Backend::Multi(m) => m.worker_count(),
+        }
     }
 }

@@ -23,8 +23,39 @@
 //! herd: wakeups scale with completed operations, not with
 //! `steps × blocked tasks`. The [`EngineStats`] counters make that
 //! observable.
+//!
+//! # Port sharding
+//!
+//! An engine only allocates state for the ports it actually serves. The
+//! single-engine modes pass a [`PortMap::Dense`] covering every vertex; the
+//! partitioned runtime gives each region engine a [`PortMap::Sparse`] over
+//! just that region's ports, so the pending/waiter/condvar tables scale
+//! with the *region*, not with the whole connector. All public and
+//! [`EngineCore`] interfaces keep speaking global [`PortId`]s; the
+//! [`PendingTable`] translates at the edge.
+//!
+//! # Example: reading the contention counters
+//!
+//! ```
+//! use reo_runtime::{Connector, Mode};
+//!
+//! let program = reo_dsl::parse_program("Buf(a;b) = Fifo1(a;b)").unwrap();
+//! let connector = Connector::builder(&program, "Buf").mode(Mode::jit()).build().unwrap();
+//! let mut session = connector.connect(&[]).unwrap();
+//! let tx = session.typed_outport::<i64>("a").unwrap();
+//! let rx = session.typed_inport::<i64>("b").unwrap();
+//! tx.send(1).unwrap();
+//! assert_eq!(rx.recv().unwrap(), 1);
+//!
+//! let stats = session.handle().stats();
+//! assert_eq!(stats.steps, 2); // fifo fill + drain
+//! assert_eq!(stats.completions, 2); // one send, one recv completed
+//! assert!(stats.lock_acquisitions >= stats.steps);
+//! assert_eq!(stats.kicks, 0); // single-engine mode: no links, no kicks
+//! ```
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
@@ -48,15 +79,128 @@ pub enum Pending {
     DoneRecv(Value),
 }
 
+/// Which global ports one engine serves, and their dense local slots.
+///
+/// Lookups are identity for [`PortMap::Dense`] and a binary search over
+/// the sorted id list for [`PortMap::Sparse`]; regions are small, so the
+/// search stays cheap while the per-engine tables shrink from
+/// `port_count` to the region size.
+#[derive(Clone, Debug)]
+pub enum PortMap {
+    /// The identity map over ports `0..n` (single-engine modes).
+    Dense(usize),
+    /// A sorted, deduplicated set of global port ids (one region).
+    Sparse(Box<[PortId]>),
+}
+
+impl PortMap {
+    /// Identity map over `0..n`.
+    pub fn dense(n: usize) -> Self {
+        PortMap::Dense(n)
+    }
+
+    /// Map over exactly the given ports (sorted and deduplicated here).
+    pub fn sparse(ports: impl IntoIterator<Item = PortId>) -> Self {
+        let mut ids: Vec<PortId> = ports.into_iter().collect();
+        ids.sort_unstable_by_key(|p| p.index());
+        ids.dedup();
+        PortMap::Sparse(ids.into_boxed_slice())
+    }
+
+    /// Number of ports served.
+    pub fn len(&self) -> usize {
+        match self {
+            PortMap::Dense(n) => *n,
+            PortMap::Sparse(ids) => ids.len(),
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Local slot of a served port. Panics on a port this engine does not
+    /// serve — that is a routing bug, never a user error.
+    pub fn slot(&self, p: PortId) -> usize {
+        match self {
+            PortMap::Dense(n) => {
+                debug_assert!(p.index() < *n, "port {p} outside dense map of {n}");
+                p.index()
+            }
+            PortMap::Sparse(ids) => ids
+                .binary_search_by_key(&p.index(), |q| q.index())
+                .unwrap_or_else(|_| panic!("port {p} not served by this engine")),
+        }
+    }
+}
+
+/// The pending-operation table of one engine, indexed by *global*
+/// [`PortId`] but stored in per-engine local slots (see [`PortMap`]).
+/// [`EngineCore`] implementations read and write operations through this
+/// interface only, so they stay oblivious to the sharding.
+pub struct PendingTable {
+    ports: Arc<PortMap>,
+    slots: Box<[Pending]>,
+}
+
+impl PendingTable {
+    pub fn new(ports: Arc<PortMap>) -> Self {
+        let slots = vec![Pending::None; ports.len()].into_boxed_slice();
+        PendingTable { ports, slots }
+    }
+
+    pub fn get(&self, p: PortId) -> &Pending {
+        &self.slots[self.ports.slot(p)]
+    }
+
+    pub fn set(&mut self, p: PortId, v: Pending) {
+        let i = self.ports.slot(p);
+        self.slots[i] = v;
+    }
+
+    /// Replace the slot with `Pending::None`, returning the old value.
+    pub fn take(&mut self, p: PortId) -> Pending {
+        let i = self.ports.slot(p);
+        std::mem::take(&mut self.slots[i])
+    }
+}
+
 /// Contention counters of one engine (or the sum over a partition's
 /// engines), surfaced through `ConnectorHandle::stats()`.
 ///
-/// `wakeups` counts *threads woken* by targeted notifications: whenever a
-/// step completes an operation on a port with `w` registered waiters, the
-/// counter grows by `w` (closing the engine wakes every waiter once more).
-/// Under the per-port wakeup scheme, `wakeups` stays in the order of
-/// `completions`; a broadcast condvar would instead wake every blocked
-/// task on every step (`≈ steps × blocked tasks`).
+/// Exact meanings:
+///
+/// * `steps` — global execution steps fired (the Fig. 12 metric): one per
+///   committed transition of the protocol state machine.
+/// * `completions` — port operations completed by fired transitions, i.e.
+///   `DoneSend`/`DoneRecv` handed to tasks or link pumps. A step that
+///   synchronizes a send with a receive counts two completions.
+/// * `wakeups` — *threads woken* by targeted notifications: whenever a
+///   step completes an operation on a port with `w` registered waiters,
+///   the counter grows by `w` (closing the engine wakes every waiter once
+///   more). Under the per-port wakeup scheme `wakeups` stays in the order
+///   of `completions`; a broadcast condvar would instead wake every
+///   blocked task on every step (`≈ steps × blocked tasks`).
+/// * `spurious_wakeups` — wakeups after which the woken task found its
+///   operation still incomplete and had to block again.
+/// * `lock_acquisitions` — acquisitions of the engine mutex (every
+///   register/wait/probe/stat call takes it exactly once; fire loops run
+///   under the caller's acquisition).
+///
+/// The last three counters belong to the **partitioned scheduler** (see
+/// `crate::partition`), not to any single engine; they are zero in the
+/// single-engine modes and filled in by the partition when aggregating:
+///
+/// * `kicks` — kick requests that named at least one cross-region link
+///   (one per port operation whose region borders a link). Under the PR 3
+///   global-generation scheduler every one of these bumped one shared
+///   counter and could wake a worker, so `kicks` doubles as the
+///   *global-generation baseline* for `kick_wakeups`.
+/// * `kick_wakeups` — times a fire worker actually woke from its
+///   per-worker kick-queue condvar to find work. Per-link deduplication
+///   and batch draining keep this far below `kicks` under load.
+/// * `steals` — links pumped by a worker that does not own them (taken
+///   from another worker's kick queue at idle time).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct EngineStats {
     /// Global execution steps fired (the Fig. 12 metric).
@@ -73,6 +217,16 @@ pub struct EngineStats {
     /// call takes it exactly once; fire loops run under the caller's
     /// acquisition).
     pub lock_acquisitions: u64,
+    /// Scheduler: kick requests naming ≥ 1 link — also the PR 3
+    /// global-generation wakeup baseline (see type docs). 0 outside
+    /// partitioned mode.
+    pub kicks: u64,
+    /// Scheduler: fire-worker wakeups out of kick-queue waits. 0 without
+    /// a worker pool.
+    pub kick_wakeups: u64,
+    /// Scheduler: links pumped by a non-owner worker. 0 without a worker
+    /// pool.
+    pub steals: u64,
 }
 
 impl EngineStats {
@@ -83,6 +237,9 @@ impl EngineStats {
         self.wakeups += other.wakeups;
         self.spurious_wakeups += other.spurious_wakeups;
         self.lock_acquisitions += other.lock_acquisitions;
+        self.kicks += other.kicks;
+        self.kick_wakeups += other.kick_wakeups;
+        self.steals += other.steals;
     }
 }
 
@@ -94,7 +251,7 @@ pub trait EngineCore: Send {
     /// engine wakes exactly those ports' waiters).
     fn try_step(
         &mut self,
-        pending: &mut [Pending],
+        pending: &mut PendingTable,
         store: &mut Store,
         completed: &mut Vec<PortId>,
     ) -> Result<bool, RuntimeError>;
@@ -113,10 +270,11 @@ pub trait EngineCore: Send {
 
 pub(crate) struct EngineInner {
     pub core: Box<dyn EngineCore>,
-    pub pending: Vec<Pending>,
+    pub pending: PendingTable,
     pub store: Store,
-    /// Waiters currently blocked per port (guards targeted notifications:
-    /// a port with zero waiters gets no notify call and no wakeup count).
+    /// Waiters currently blocked per local port slot (guards targeted
+    /// notifications: a port with zero waiters gets no notify call and no
+    /// wakeup count).
     waiters: Vec<u32>,
     /// Scratch buffer for the ports completed by one step (reused).
     completed: Vec<PortId>,
@@ -132,8 +290,10 @@ pub(crate) struct EngineInner {
 /// One sequential protocol engine, shared by all ports it serves.
 pub struct Engine {
     inner: Mutex<EngineInner>,
-    /// One condition variable per port: completing a transition notifies
-    /// only the ports that fired. All share the one engine mutex.
+    /// Global → local port translation, shared with the pending table.
+    ports: Arc<PortMap>,
+    /// One condition variable per *served* port: completing a transition
+    /// notifies only the ports that fired. All share the one engine mutex.
     port_cvs: Box<[Condvar]>,
     /// Engine-mutex acquisitions (outside the lock, hence atomic).
     lock_acquisitions: AtomicU64,
@@ -144,13 +304,15 @@ pub struct Engine {
 }
 
 impl Engine {
-    pub fn new(core: Box<dyn EngineCore>, port_count: usize, store: Store) -> Self {
+    pub fn new(core: Box<dyn EngineCore>, ports: PortMap, store: Store) -> Self {
+        let ports = Arc::new(ports);
+        let n = ports.len();
         Engine {
             inner: Mutex::new(EngineInner {
                 core,
-                pending: vec![Pending::None; port_count],
+                pending: PendingTable::new(Arc::clone(&ports)),
                 store,
-                waiters: vec![0; port_count],
+                waiters: vec![0; n],
                 completed: Vec::new(),
                 steps: 0,
                 completions: 0,
@@ -159,7 +321,8 @@ impl Engine {
                 closed: false,
                 poisoned: None,
             }),
-            port_cvs: (0..port_count).map(|_| Condvar::new()).collect(),
+            ports,
+            port_cvs: (0..n).map(|_| Condvar::new()).collect(),
             lock_acquisitions: AtomicU64::new(0),
             closing: AtomicBool::new(false),
         }
@@ -186,6 +349,9 @@ impl Engine {
             wakeups: inner.wakeups,
             spurious_wakeups: inner.spurious_wakeups,
             lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
+            kicks: 0,
+            kick_wakeups: 0,
+            steals: 0,
         }
     }
 
@@ -257,10 +423,11 @@ impl Engine {
                     inner.completions += inner.completed.len() as u64;
                     let completed = std::mem::take(&mut inner.completed);
                     for &p in &completed {
-                        let w = inner.waiters[p.index()];
+                        let slot = self.ports.slot(p);
+                        let w = inner.waiters[slot];
                         if w > 0 {
                             inner.wakeups += w as u64;
-                            self.port_cvs[p.index()].notify_all();
+                            self.port_cvs[slot].notify_all();
                         }
                     }
                     inner.completed = completed;
@@ -293,8 +460,8 @@ impl Engine {
     pub(crate) fn register_send(&self, p: PortId, v: Value) -> Result<(), RuntimeError> {
         let mut inner = self.lock();
         Self::check_open(&inner)?;
-        match inner.pending[p.index()] {
-            Pending::None => inner.pending[p.index()] = Pending::Send(v),
+        match inner.pending.get(p) {
+            Pending::None => inner.pending.set(p, Pending::Send(v)),
             _ => return Err(RuntimeError::PortBusy(p)),
         }
         self.fire_loop(&mut inner);
@@ -322,8 +489,8 @@ impl Engine {
         let mut inner = self.lock();
         let mut woken = false;
         loop {
-            if matches!(inner.pending[p.index()], Pending::DoneSend) {
-                inner.pending[p.index()] = Pending::None;
+            if matches!(inner.pending.get(p), Pending::DoneSend) {
+                inner.pending.set(p, Pending::None);
                 return Ok(());
             }
             if let Some(msg) = &inner.poisoned {
@@ -352,22 +519,23 @@ impl Engine {
         p: PortId,
         deadline: Option<Instant>,
     ) -> bool {
-        inner.waiters[p.index()] += 1;
+        let slot = self.ports.slot(p);
+        inner.waiters[slot] += 1;
         let timed_out = match deadline {
             None => {
-                self.port_cvs[p.index()].wait(inner);
+                self.port_cvs[slot].wait(inner);
                 false
             }
-            Some(d) => self.port_cvs[p.index()].wait_until(inner, d).timed_out(),
+            Some(d) => self.port_cvs[slot].wait_until(inner, d).timed_out(),
         };
-        inner.waiters[p.index()] -= 1;
+        inner.waiters[slot] -= 1;
         timed_out
     }
 
     /// Deadline expired while the lock was re-acquired: complete if a step
     /// got there first, otherwise retract. Called with the lock held.
     fn expire_send(inner: &mut EngineInner, p: PortId) -> Result<(), RuntimeError> {
-        match std::mem::take(&mut inner.pending[p.index()]) {
+        match inner.pending.take(p) {
             Pending::DoneSend => Ok(()),
             Pending::Send(_) => {
                 Self::check_open(inner)?;
@@ -381,8 +549,8 @@ impl Engine {
     pub(crate) fn register_recv(&self, p: PortId) -> Result<(), RuntimeError> {
         let mut inner = self.lock();
         Self::check_open(&inner)?;
-        match inner.pending[p.index()] {
-            Pending::None => inner.pending[p.index()] = Pending::Recv,
+        match inner.pending.get(p) {
+            Pending::None => inner.pending.set(p, Pending::Recv),
             _ => return Err(RuntimeError::PortBusy(p)),
         }
         self.fire_loop(&mut inner);
@@ -401,8 +569,8 @@ impl Engine {
         let mut inner = self.lock();
         let mut woken = false;
         loop {
-            if matches!(inner.pending[p.index()], Pending::DoneRecv(_)) {
-                let Pending::DoneRecv(v) = std::mem::take(&mut inner.pending[p.index()]) else {
+            if matches!(inner.pending.get(p), Pending::DoneRecv(_)) {
+                let Pending::DoneRecv(v) = inner.pending.take(p) else {
                     unreachable!("matched above");
                 };
                 return Ok(v);
@@ -427,7 +595,7 @@ impl Engine {
     /// Recv twin of [`Engine::expire_send`]: a delivery that raced the
     /// deadline is still handed out; an unserved registration is retracted.
     fn expire_recv(inner: &mut EngineInner, p: PortId) -> Result<Value, RuntimeError> {
-        match std::mem::take(&mut inner.pending[p.index()]) {
+        match inner.pending.take(p) {
             Pending::DoneRecv(v) => Ok(v),
             Pending::Recv => {
                 Self::check_open(inner)?;
@@ -442,7 +610,7 @@ impl Engine {
     /// (`Ok(false)`). Atomic with respect to firing — same lock.
     pub(crate) fn finish_or_retract_send(&self, p: PortId) -> Result<bool, RuntimeError> {
         let mut inner = self.lock();
-        match std::mem::take(&mut inner.pending[p.index()]) {
+        match inner.pending.take(p) {
             Pending::DoneSend => Ok(true),
             Pending::Send(_) => {
                 Self::check_open(&inner)?;
@@ -456,7 +624,7 @@ impl Engine {
     /// (`Ok(Some(v))`); an unserved registration is retracted (`Ok(None)`).
     pub(crate) fn finish_or_retract_recv(&self, p: PortId) -> Result<Option<Value>, RuntimeError> {
         let mut inner = self.lock();
-        match std::mem::take(&mut inner.pending[p.index()]) {
+        match inner.pending.take(p) {
             Pending::DoneRecv(v) => Ok(Some(v)),
             Pending::Recv => {
                 Self::check_open(&inner)?;
@@ -469,8 +637,8 @@ impl Engine {
     /// Non-blocking probe used by link pumping: take a delivery at `p`.
     pub(crate) fn link_take_delivery(&self, p: PortId) -> Option<Value> {
         let mut inner = self.lock();
-        if matches!(inner.pending[p.index()], Pending::DoneRecv(_)) {
-            let Pending::DoneRecv(v) = std::mem::take(&mut inner.pending[p.index()]) else {
+        if matches!(inner.pending.get(p), Pending::DoneRecv(_)) {
+            let Pending::DoneRecv(v) = inner.pending.take(p) else {
                 unreachable!();
             };
             Some(v)
@@ -486,8 +654,8 @@ impl Engine {
         if inner.closed || inner.poisoned.is_some() {
             return false;
         }
-        if matches!(inner.pending[p.index()], Pending::None) {
-            inner.pending[p.index()] = Pending::Recv;
+        if matches!(inner.pending.get(p), Pending::None) {
+            inner.pending.set(p, Pending::Recv);
             self.fire_loop(&mut inner);
             true
         } else {
@@ -498,8 +666,8 @@ impl Engine {
     /// Link pumping: acknowledge a consumed send at `p`.
     pub(crate) fn link_take_send_done(&self, p: PortId) -> bool {
         let mut inner = self.lock();
-        if matches!(inner.pending[p.index()], Pending::DoneSend) {
-            inner.pending[p.index()] = Pending::None;
+        if matches!(inner.pending.get(p), Pending::DoneSend) {
+            inner.pending.set(p, Pending::None);
             true
         } else {
             false
@@ -512,8 +680,8 @@ impl Engine {
         if inner.closed || inner.poisoned.is_some() {
             return false;
         }
-        if matches!(inner.pending[p.index()], Pending::None) {
-            inner.pending[p.index()] = Pending::Send(v.clone());
+        if matches!(inner.pending.get(p), Pending::None) {
+            inner.pending.set(p, Pending::Send(v.clone()));
             self.fire_loop(&mut inner);
             true
         } else {
@@ -528,13 +696,13 @@ pub(crate) fn op_enabled(
     t: &Transition,
     inputs: &PortSet,
     outputs: &PortSet,
-    pending: &[Pending],
+    pending: &PendingTable,
 ) -> bool {
     t.sync.iter().all(|p| {
         if inputs.contains(p) {
-            matches!(pending[p.index()], Pending::Send(_))
+            matches!(pending.get(p), Pending::Send(_))
         } else if outputs.contains(p) {
-            matches!(pending[p.index()], Pending::Recv)
+            matches!(pending.get(p), Pending::Recv)
         } else {
             true
         }
@@ -548,12 +716,12 @@ pub(crate) fn fire_one(
     t: &Transition,
     inputs: &PortSet,
     outputs: &PortSet,
-    pending: &mut [Pending],
+    pending: &mut PendingTable,
     store: &mut Store,
     completed: &mut Vec<PortId>,
 ) -> Result<bool, RuntimeError> {
     let input_value = |p: PortId| -> Option<Value> {
-        match &pending[p.index()] {
+        match pending.get(p) {
             Pending::Send(v) => Some(v.clone()),
             _ => None,
         }
@@ -565,15 +733,15 @@ pub(crate) fn fire_one(
     };
     for p in t.sync.iter() {
         if inputs.contains(p) {
-            debug_assert!(matches!(pending[p.index()], Pending::Send(_)));
-            pending[p.index()] = Pending::DoneSend;
+            debug_assert!(matches!(pending.get(p), Pending::Send(_)));
+            pending.set(p, Pending::DoneSend);
             completed.push(p);
         }
     }
     for (p, v) in firing.deliveries {
         if outputs.contains(p) {
-            debug_assert!(matches!(pending[p.index()], Pending::Recv));
-            pending[p.index()] = Pending::DoneRecv(v);
+            debug_assert!(matches!(pending.get(p), Pending::Recv));
+            pending.set(p, Pending::DoneRecv(v));
             completed.push(p);
         }
         // Internal deliveries evaporate: they only existed to carry data
@@ -596,7 +764,7 @@ mod tests {
     impl EngineCore for OneAutomaton {
         fn try_step(
             &mut self,
-            pending: &mut [Pending],
+            pending: &mut PendingTable,
             store: &mut Store,
             completed: &mut Vec<PortId>,
         ) -> Result<bool, RuntimeError> {
@@ -633,7 +801,11 @@ mod tests {
         layout.merge(aut.mem_layout());
         let store = Store::new(&layout);
         let state = aut.initial();
-        Engine::new(Box::new(OneAutomaton { aut, state }), ports, store)
+        Engine::new(
+            Box::new(OneAutomaton { aut, state }),
+            PortMap::dense(ports),
+            store,
+        )
     }
 
     #[test]
@@ -648,6 +820,26 @@ mod tests {
         let v = eng.wait_recv(PortId(1), None).unwrap();
         assert_eq!(v.as_int(), Some(7));
         assert_eq!(eng.steps(), 2);
+    }
+
+    #[test]
+    fn sparse_port_map_serves_non_contiguous_ids() {
+        // The same fifo behaviour, but through a sparse map over global
+        // ids {3, 17} — the allocation is 2 slots, not 18.
+        let aut = primitives::fifo1(PortId(3), PortId(17), reo_automata::MemId(0));
+        let mut layout = MemLayout::cells(0);
+        layout.merge(aut.mem_layout());
+        let store = Store::new(&layout);
+        let state = aut.initial();
+        let map = PortMap::sparse([PortId(17), PortId(3)]);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map.slot(PortId(3)), 0);
+        assert_eq!(map.slot(PortId(17)), 1);
+        let eng = Engine::new(Box::new(OneAutomaton { aut, state }), map, store);
+        eng.register_send(PortId(3), Value::Int(9)).unwrap();
+        eng.wait_send(PortId(3), None).unwrap();
+        eng.register_recv(PortId(17)).unwrap();
+        assert_eq!(eng.wait_recv(PortId(17), None).unwrap().as_int(), Some(9));
     }
 
     #[test]
@@ -677,7 +869,7 @@ mod tests {
             e2.register_recv(PortId(1)).unwrap();
             e2.wait_recv(PortId(1), None)
         });
-        while !matches!(eng.inner.lock().pending[1], Pending::Recv) {
+        while !matches!(eng.inner.lock().pending.get(PortId(1)), Pending::Recv) {
             std::thread::yield_now();
         }
         eng.close();
@@ -799,7 +991,11 @@ mod tests {
         use std::sync::Arc;
         let autos_core = TwoFifos::new();
         let layout = MemLayout::cells(2);
-        let eng = Arc::new(Engine::new(Box::new(autos_core), 4, Store::new(&layout)));
+        let eng = Arc::new(Engine::new(
+            Box::new(autos_core),
+            PortMap::dense(4),
+            Store::new(&layout),
+        ));
 
         let e2 = Arc::clone(&eng);
         let blocked = std::thread::spawn(move || {
@@ -860,7 +1056,7 @@ mod tests {
     impl EngineCore for TwoFifos {
         fn try_step(
             &mut self,
-            pending: &mut [Pending],
+            pending: &mut PendingTable,
             store: &mut Store,
             completed: &mut Vec<PortId>,
         ) -> Result<bool, RuntimeError> {

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use reo_automata::{automaton::Transition, Automaton, Guard, PortId, PortSet, StateId, Store};
 
 use crate::cache::{CacheStats, Expanded, GlobalTransition, StateCache};
-use crate::engine::{fire_one, op_enabled, EngineCore, Pending};
+use crate::engine::{fire_one, op_enabled, EngineCore, PendingTable};
 use crate::error::RuntimeError;
 
 /// Tuple-of-medium-automata state machine with memoized lazy expansion.
@@ -203,7 +203,7 @@ impl JitCore {
 impl EngineCore for JitCore {
     fn try_step(
         &mut self,
-        pending: &mut [Pending],
+        pending: &mut PendingTable,
         store: &mut Store,
         completed: &mut Vec<PortId>,
     ) -> Result<bool, RuntimeError> {
@@ -266,7 +266,11 @@ mod tests {
         let mut full = MemLayout::cells(ports); // ports >= mems in tests
         full.merge(&layout);
         let core = JitCore::new(automata, policy.build(), 1 << 20);
-        Engine::new(Box::new(core), ports, Store::new(&full))
+        Engine::new(
+            Box::new(core),
+            crate::engine::PortMap::dense(ports),
+            Store::new(&full),
+        )
     }
 
     fn p(i: u32) -> PortId {
@@ -338,7 +342,11 @@ mod tests {
         let mut layout = MemLayout::cells(alloc.mem_count());
         layout.merge(&inst.mem_layout);
         let core = JitCore::new(inst.automata, CachePolicy::Unbounded.build(), 1 << 20);
-        let eng = Engine::new(Box::new(core), alloc.port_count(), Store::new(&layout));
+        let eng = Engine::new(
+            Box::new(core),
+            crate::engine::PortMap::dense(alloc.port_count()),
+            Store::new(&layout),
+        );
 
         // All three producers offer; only the first can complete.
         for (i, &t) in tl.iter().enumerate() {

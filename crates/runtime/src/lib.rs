@@ -11,9 +11,11 @@
 //!   cache, and
 //! * **partitioned just-in-time composition** (the optimization of the
 //!   paper's reference \[32\], which fixes Fig. 13's finding 3) — with
-//!   either the caller-thread scheduler ([`Mode::partitioned`]) or a
-//!   fire-worker pool ([`Mode::partitioned_with_workers`]) pumping the
-//!   cross-region links.
+//!   the caller-thread scheduler ([`Mode::partitioned`]), a static
+//!   fire-worker pool ([`Mode::partitioned_with_workers`]), or an
+//!   adaptively sized, quiescence-shrinking pool
+//!   ([`Mode::partitioned_auto`]) pumping the cross-region links through
+//!   per-link kick queues with work stealing (see [`partition`]).
 //!
 //! Engines block tasks on *per-port* wait queues (a completed transition
 //! wakes only the ports that fired — no thundering herd) and expose
@@ -73,7 +75,7 @@ pub mod port;
 pub mod program;
 
 pub use cache::{CachePolicy, CacheStats};
-pub use connector::{Connector, ConnectorBuilder, ConnectorHandle, Limits, Mode, Session};
+pub use connector::{Connector, ConnectorBuilder, ConnectorHandle, Limits, Mode, Session, Workers};
 pub use engine::EngineStats;
 pub use error::RuntimeError;
 pub use port::{Inport, Messages, Outport};

@@ -10,41 +10,119 @@
 //! synchronous region gets its own engine, and each cut fifo becomes a
 //! [`Link`] — an actual queue moving values from one engine's boundary to
 //! another's. Expansion work then scales with the largest *region*, not
-//! with the whole connector.
+//! with the whole connector. Each region engine allocates its
+//! pending/waiter/condvar tables only for its own ports
+//! ([`crate::engine::PortMap::Sparse`]), so memory also scales with the
+//! region, not with the whole connector.
 //!
-//! # Scheduling
+//! # Region-owned scheduling
 //!
-//! Moving values across links ("pumping") is work that someone has to do.
-//! Two schedulers are available:
+//! Moving values across links ("pumping") is work that someone has to do,
+//! and — since PR 4 — it is *routed*, not broadcast. The partition keeps a
+//! static adjacency (`region → bordering links`); a task operation on a
+//! port of region `r` can only ever enable the links bordering `r`, so a
+//! kick names exactly those links. Pumping then *cascades*: when a pump
+//! step of link `l` makes progress, it may have enabled the links
+//! bordering `l`'s two regions, and only those are revisited — a worklist
+//! traversal of the link graph that reaches quiescence without ever
+//! touching unaffected links.
 //!
-//! * **caller-thread** (workers = 0): every task pumps after each of its
-//!   own port operations, exactly the cost model of the paper's sequential
-//!   runtime. Cross-region propagation and the state expansion it triggers
-//!   run on whichever task thread happened to kick them off.
-//! * **fire-worker pool** (workers > 0): task threads only *kick* the pool
-//!   ([`Partitioned::kick`]); dedicated fire workers drain the links until
-//!   quiescent. Cross-region propagation and large-state expansion then
-//!   happen off the caller thread, overlapping with task compute. Workers
-//!   hold only a [`Weak`] reference, and shutdown is wired through
-//!   [`Partitioned::close`] (and a `Drop` safety net), so a forgotten
-//!   session cannot leak spinning threads.
+//! Two schedulers execute those kicks:
+//!
+//! * **caller-thread** (no workers): the kicking task runs the cascade
+//!   inline, exactly the cost model of the paper's sequential runtime —
+//!   but now bounded by the affected links, not the full link list.
+//! * **fire-worker pool** (workers > 0): each worker *owns* the regions
+//!   `r` with `r ≡ slot (mod workers)` and with them every link heading
+//!   into an owned region. A kick enqueues the link on its owner's
+//!   private kick queue (deduplicated by a per-link flag: a link sits in
+//!   at most one queue at a time) and wakes only that owner — there is no
+//!   global generation counter and no shared wakeup channel.
+//!
+//! **Work stealing.** A worker that drains its own queue pops from the
+//!   *back* of its neighbours' queues before sleeping; a kick that finds
+//!   the owner busy also pokes one idle neighbour so backlog migrates
+//!   without scanning. Steals are counted in
+//!   [`EngineStats::steals`](crate::EngineStats).
+//!
+//! **Adaptive sizing.** [`Mode::partitioned_auto`](crate::Mode) sizes the
+//!   pool from `available_parallelism()`, the region count, and the link
+//!   count, and lets idle workers retire: a worker whose timed wait
+//!   expires with an empty queue exits (never below one worker), and
+//!   kicks to a retired slot fall over to the next live one — a fully
+//!   quiescent pool still services a late kick.
+//!
+//! Workers hold only a [`Weak`] reference, and shutdown is wired through
+//! [`Partitioned::close`] (and a `Drop` safety net), so a forgotten
+//! session cannot leak spinning threads.
 //!
 //! Each link's queue and its armed flag live behind **one** mutex
 //! (`LinkState`) and every pump step holds it across the whole
 //! take/arm/acknowledge sequence, so concurrent pumpers (several tasks, or
 //! several fire workers) can never tear an arm/consume pair apart or
 //! reorder two values of the same link.
+//!
+//! # Example
+//!
+//! Note the section structure: constituents of one (iteration) section
+//! compose into one medium automaton, so a fifo becomes a *link* exactly
+//! when it sits in its own section between two solid ones.
+//!
+//! ```
+//! use reo_runtime::{Connector, Mode};
+//!
+//! // Per channel: Sync – Fifo1 – Sync = two synchronous regions joined
+//! // by one link.
+//! let program = reo_dsl::parse_program(
+//!     "P(a[];b[]) = prod (i:1..#a) Sync(a[i];m[i])
+//!        mult prod (i:1..#a) Fifo1(m[i];n[i])
+//!        mult prod (i:1..#a) Sync(n[i];b[i])",
+//! ).unwrap();
+//! let connector = Connector::builder(&program, "P")
+//!     .mode(Mode::partitioned_auto())
+//!     .build()
+//!     .unwrap();
+//! let mut session = connector.connect(&[("a", 2), ("b", 2)]).unwrap();
+//! let handle = session.handle();
+//! assert_eq!(handle.region_count(), 4); // 2 channels × 2 regions
+//! assert_eq!(handle.link_count(), 2); // one cut fifo per channel
+//!
+//! let txs = session.typed_outports::<i64>("a").unwrap();
+//! let rxs = session.typed_inports::<i64>("b").unwrap();
+//! txs[0].send(5).unwrap();
+//! assert_eq!(rxs[0].recv().unwrap(), 5);
+//!
+//! let stats = handle.stats();
+//! assert!(stats.kicks > 0, "cross-region ops must kick their links");
+//! handle.close(); // joins the pool
+//! assert_eq!(handle.worker_count(), 0);
+//! ```
 
 use std::collections::HashMap;
-use std::sync::{Arc, Weak};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock, Weak};
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 use reo_automata::{Automaton, MemLayout, PortId, Store, Value};
 
 use crate::cache::CachePolicy;
-use crate::engine::{Engine, EngineStats};
+use crate::engine::{Engine, EngineStats, PortMap};
 use crate::error::RuntimeError;
 use crate::jit::JitCore;
+
+/// How long an adaptive fire worker stays parked with an empty queue
+/// before retiring (see module docs).
+const IDLE_SHRINK_TIMEOUT: Duration = Duration::from_millis(10);
+
+thread_local! {
+    /// Reusable in-worklist marks for the inline cascades (caller-thread
+    /// kicks and try-probes). [`Partitioned::pump_cascade`] leaves every
+    /// mark false on exit, so the buffer only ever grows — no per-kick
+    /// allocation, no O(links) re-zeroing on the operation hot path.
+    static CASCADE_SCRATCH: std::cell::RefCell<Vec<bool>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
 
 /// The queue of a cut fifo plus its arming flag — one lock for both, held
 /// across every pump step, because they are read and written as a pair
@@ -67,6 +145,11 @@ pub struct Link {
     pub to: usize,
     capacity: Option<usize>,
     state: Mutex<LinkState>,
+    /// True while this link sits in some worker's kick queue — the
+    /// deduplication flag of the kick protocol: set by the first enqueue,
+    /// cleared by the dequeuing worker *before* it pumps, so a kick that
+    /// races the pump re-enqueues and is never lost.
+    queued: AtomicBool,
 }
 
 impl Link {
@@ -75,34 +158,78 @@ impl Link {
     }
 }
 
-/// Wakeup channel between task threads ([`Partitioned::kick`]) and the
-/// fire workers: a generation counter under a mutex plus a condvar.
-struct WorkSignal {
-    state: Mutex<WorkState>,
+/// One fire worker's kick queue (the worker and any kicker lock it).
+struct Slot {
+    state: Mutex<SlotState>,
     cv: Condvar,
 }
 
-struct WorkState {
-    /// Bumped on every kick; a worker that has seen generation `g` sleeps
-    /// only while the generation is still `g`, so kicks issued while a
-    /// worker is mid-pump are never lost.
-    generation: u64,
+struct SlotState {
+    /// Pending link indices, owner pops front / stealers pop back.
+    queue: std::collections::VecDeque<usize>,
+    /// Worker parked on `cv` right now (a kick then notifies it).
+    waiting: bool,
+    /// Worker attached; false once the worker retired (adaptive shrink).
+    active: bool,
     shutdown: bool,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            state: Mutex::new(SlotState {
+                queue: std::collections::VecDeque::new(),
+                waiting: false,
+                active: true,
+                shutdown: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+}
+
+/// The region-owned scheduler state shared by kickers and fire workers.
+struct Pool {
+    slots: Box<[Slot]>,
+    /// Link index → owning slot (the owner of the link's `to` region).
+    owners: Box<[usize]>,
+    /// Idle workers may retire down to one (quiescence-based shrink).
+    adaptive: bool,
+    idle_timeout: Duration,
+    /// Live (non-retired) workers.
+    live: AtomicUsize,
+    /// Workers currently parked on their condvar. Gates the busy-owner
+    /// steal-hint scan: when nobody is parked (the saturated regime), a
+    /// kick skips the O(workers) slot-lock probe entirely.
+    idle: AtomicUsize,
+    /// Worker wakeups out of kick-queue waits ([`EngineStats::kick_wakeups`]).
+    kick_wakeups: AtomicU64,
+    /// Links pumped by a non-owner worker ([`EngineStats::steals`]).
+    steals: AtomicU64,
 }
 
 /// The result of partitioning a set of medium automata.
 pub struct Partitioned {
-    /// One engine per synchronous region.
+    /// One engine per synchronous region, each sharded to its own ports.
     pub engines: Vec<Arc<Engine>>,
     pub links: Vec<Link>,
     /// Port → engine index (boundary and internal ports of each region).
     pub router: HashMap<PortId, usize>,
     pub region_sizes: Vec<usize>,
-    signal: Arc<WorkSignal>,
+    /// Region → indices of the links bordering it (either side). The
+    /// static routing table of the kick protocol.
+    region_links: Vec<Vec<usize>>,
+    /// Link → links bordering either of its regions (incl. itself): the
+    /// cascade frontier after a pump step of that link made progress.
+    link_neighbors: Vec<Vec<usize>>,
+    /// Kick requests naming ≥ 1 link ([`EngineStats::kicks`]; also counted
+    /// with the caller-thread scheduler).
+    kicks: AtomicU64,
+    /// Present once a worker pool was spawned.
+    pool: OnceLock<Arc<Pool>>,
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
-    /// Cached `!workers.is_empty()`, readable without the workers lock on
-    /// the hot kick path.
-    has_workers: std::sync::atomic::AtomicBool,
+    /// Cached "pool is up", readable without locks on the hot kick path.
+    has_workers: AtomicBool,
 }
 
 /// Split `automata` into synchronous regions connected by queue links.
@@ -119,6 +246,7 @@ pub fn partition(
     cache: CachePolicy,
     expansion_budget: usize,
 ) -> Result<Partitioned, RuntimeError> {
+    let _ = port_count; // regions shard to their own ports (kept for API stability)
     let n = automata.len();
     let is_queue: Vec<bool> = automata.iter().map(|a| a.queue_hint().is_some()).collect();
 
@@ -218,22 +346,23 @@ pub fn partition(
                 queue: hint.initial.iter().cloned().collect(),
                 armed: false,
             }),
+            queued: AtomicBool::new(false),
         });
     }
 
-    // One engine per region, each with the full-size pending table and the
-    // full store (regions touch disjoint cells, so sharing the layout is
-    // safe and keeps ids global).
+    // One engine per region, sharded to the region's own ports. The store
+    // still shares the global layout (regions touch disjoint cells, so
+    // sharing it is safe and keeps ids global).
     let region_sizes: Vec<usize> = regions.iter().map(Vec::len).collect();
     let engines: Vec<Arc<Engine>> = regions
         .into_iter()
         .map(|autos| {
+            let ports = PortMap::sparse(autos.iter().flat_map(|a| {
+                let ps = a.ports();
+                ps.iter().collect::<Vec<_>>()
+            }));
             let core = JitCore::new(autos, cache.build(), expansion_budget);
-            Arc::new(Engine::new(
-                Box::new(core),
-                port_count,
-                Store::new(mem_layout),
-            ))
+            Arc::new(Engine::new(Box::new(core), ports, Store::new(mem_layout)))
         })
         .collect();
 
@@ -246,20 +375,39 @@ pub fn partition(
         }
     }
 
+    // Static kick routing: region → bordering links, link → cascade set.
+    let mut region_links: Vec<Vec<usize>> = vec![Vec::new(); engines.len()];
+    for (l, link) in links.iter().enumerate() {
+        region_links[link.from].push(l);
+        if link.to != link.from {
+            region_links[link.to].push(l);
+        }
+    }
+    let link_neighbors: Vec<Vec<usize>> = links
+        .iter()
+        .map(|link| {
+            let mut ns: Vec<usize> = region_links[link.from]
+                .iter()
+                .chain(&region_links[link.to])
+                .copied()
+                .collect();
+            ns.sort_unstable();
+            ns.dedup();
+            ns
+        })
+        .collect();
+
     Ok(Partitioned {
         engines,
         links,
         router,
         region_sizes,
-        signal: Arc::new(WorkSignal {
-            state: Mutex::new(WorkState {
-                generation: 0,
-                shutdown: false,
-            }),
-            cv: Condvar::new(),
-        }),
+        region_links,
+        link_neighbors,
+        kicks: AtomicU64::new(0),
+        pool: OnceLock::new(),
         workers: Mutex::new(Vec::new()),
-        has_workers: std::sync::atomic::AtomicBool::new(false),
+        has_workers: AtomicBool::new(false),
     })
 }
 
@@ -297,59 +445,208 @@ impl Partitioned {
         progressed
     }
 
-    /// Move values across links until quiescent. With the caller-thread
-    /// scheduler this is run by every task thread after it registers or
-    /// completes an operation; with a worker pool the fire workers run it.
-    /// Safe to run concurrently from any number of threads.
-    pub fn pump(&self) {
-        loop {
-            let mut progressed = false;
-            for link in &self.links {
-                progressed |= self.pump_link(link);
+    /// Worklist pump: start from the given links, and whenever a link's
+    /// pump step makes progress, revisit the links bordering its regions
+    /// (only those can have been enabled — a pump step touches exactly two
+    /// engines). `scratch` marks in-worklist links; reaching an empty
+    /// worklist is quiescence over everything the starting set could
+    /// influence. Safe to run concurrently from any number of threads.
+    ///
+    /// `scratch` must be all-false on entry and is all-false again on
+    /// exit (every mark set by a push is cleared by its pop), so callers
+    /// reuse one buffer forever without re-zeroing; it only grows.
+    fn pump_cascade(&self, start: impl IntoIterator<Item = usize>, scratch: &mut Vec<bool>) {
+        if scratch.len() < self.links.len() {
+            scratch.resize(self.links.len(), false);
+        }
+        debug_assert!(scratch.iter().all(|&m| !m), "scratch not self-cleaned");
+        let mut work: Vec<usize> = Vec::new();
+        for l in start {
+            if !scratch[l] {
+                scratch[l] = true;
+                work.push(l);
             }
-            if !progressed {
+        }
+        while let Some(i) = work.pop() {
+            scratch[i] = false;
+            if self.pump_link(&self.links[i]) {
+                for &j in &self.link_neighbors[i] {
+                    if !scratch[j] {
+                        scratch[j] = true;
+                        work.push(j);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Move values across every link until quiescent. Used for
+    /// connect-time initial arming and by the synchronous try-probe paths
+    /// (a probe cannot wait for an asynchronous worker, and a value
+    /// parked behind an unserviced kick on an upstream link would be
+    /// unreachable from a targeted cascade — only the full sweep
+    /// guarantees the probe observes everything already in flight). Safe
+    /// to run concurrently from any thread.
+    pub fn pump(&self) {
+        CASCADE_SCRATCH.with(|s| {
+            self.pump_cascade(0..self.links.len(), &mut s.borrow_mut());
+        });
+    }
+
+    /// Request pumping after an operation on port `p`: only the links
+    /// bordering `p`'s region can have been enabled, so only those are
+    /// kicked — inline (cascading) without a worker pool, otherwise onto
+    /// the owning workers' kick queues.
+    pub fn kick(&self, p: PortId) {
+        let Some(&region) = self.router.get(&p) else {
+            return;
+        };
+        let adjacent = &self.region_links[region];
+        if adjacent.is_empty() {
+            return; // region borders no link: the engine already did it all
+        }
+        self.kicks.fetch_add(1, Ordering::Relaxed);
+        if self.has_workers.load(Ordering::Relaxed) {
+            if let Some(pool) = self.pool.get() {
+                for &l in adjacent {
+                    self.enqueue_kick(pool, l);
+                }
                 return;
             }
         }
+        CASCADE_SCRATCH.with(|s| {
+            self.pump_cascade(adjacent.iter().copied(), &mut s.borrow_mut());
+        });
     }
 
-    /// Request pumping: inline when there is no worker pool, otherwise
-    /// hand the work to the fire workers and return immediately.
-    pub fn kick(&self) {
-        if !self.has_workers.load(std::sync::atomic::Ordering::Relaxed) {
-            self.pump();
+    /// Put link `l` on its owner's kick queue (deduplicated by the link's
+    /// `queued` flag) and wake the owner — or, if the owner slot retired,
+    /// the next live slot. A kick that finds the owner busy pokes one idle
+    /// neighbour so it can come steal the backlog.
+    fn enqueue_kick(&self, pool: &Pool, l: usize) {
+        if self.links[l].queued.swap(true, Ordering::SeqCst) {
+            return; // already queued: the pending pump covers this kick
+        }
+        let n = pool.slots.len();
+        let owner = pool.owners[l];
+        for off in 0..n {
+            let idx = (owner + off) % n;
+            let slot = &pool.slots[idx];
+            let mut st = slot.state.lock();
+            if st.shutdown {
+                // Closing: engines are already shut, nothing left to pump.
+                self.links[l].queued.store(false, Ordering::SeqCst);
+                return;
+            }
+            if !st.active {
+                continue; // retired slot: fall over to the next live one
+            }
+            st.queue.push_back(l);
+            let owner_waiting = st.waiting;
+            if owner_waiting {
+                slot.cv.notify_one();
+            }
+            drop(st);
+            if !owner_waiting && pool.idle.load(Ordering::SeqCst) > 0 {
+                // Owner is busy pumping and someone is parked: hint one
+                // parked neighbour so the backlog can be stolen instead of
+                // waiting for the owner. (With nobody parked — the
+                // saturated regime — the probe is skipped entirely.)
+                for hop in 1..n {
+                    let v = (idx + hop) % n;
+                    let vs = pool.slots[v].state.lock();
+                    if vs.active && vs.waiting {
+                        pool.slots[v].cv.notify_one();
+                        break;
+                    }
+                }
+            }
             return;
         }
-        let mut st = self.signal.state.lock();
-        st.generation += 1;
-        self.signal.cv.notify_one();
+        // No live slot (fully shrunk pool racing a respawn-less close):
+        // service the kick inline so it cannot be lost.
+        self.links[l].queued.store(false, Ordering::SeqCst);
+        CASCADE_SCRATCH.with(|s| {
+            self.pump_cascade(std::iter::once(l), &mut s.borrow_mut());
+        });
     }
 
-    /// Spawn `n` fire workers that pump links on demand. Workers hold only
-    /// a [`Weak`] reference to the partition, so they can never keep a
-    /// dropped connector alive; they exit on [`Partitioned::close`] (or
-    /// drop).
+    /// Dequeue-side half of the kick protocol: clear the dedup flag first
+    /// (a kick racing this pump re-enqueues), then cascade from the link.
+    fn process_link(&self, l: usize, scratch: &mut Vec<bool>) {
+        self.links[l].queued.store(false, Ordering::SeqCst);
+        self.pump_cascade(std::iter::once(l), scratch);
+    }
+
+    /// Spawn a static pool of `n` fire workers that pump kicked links.
+    /// Workers hold only a [`Weak`] reference to the partition, so they
+    /// can never keep a dropped connector alive; they exit on
+    /// [`Partitioned::close`] (or drop).
     pub fn spawn_workers(self: &Arc<Self>, n: usize) {
+        self.spawn_pool(n, false);
+    }
+
+    /// Spawn an *adaptive* pool: workers idle past the shrink timeout
+    /// retire (never below one), and a retired slot's kicks fall over to
+    /// the live workers — see the module docs.
+    pub fn spawn_workers_adaptive(self: &Arc<Self>, n: usize) {
+        self.spawn_pool(n, true);
+    }
+
+    /// Pool size for `Mode::partitioned_auto`: bounded by the machine's
+    /// `available_parallelism`, the region count, and the link count
+    /// (workers beyond either have nothing of their own to do); 0 when
+    /// there are no links at all — nothing to pump, so no pool.
+    pub fn auto_worker_count(&self) -> usize {
+        if self.links.is_empty() {
+            return 0;
+        }
+        let avail = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
+        avail.min(self.engines.len()).min(self.links.len()).max(1)
+    }
+
+    fn spawn_pool(self: &Arc<Self>, n: usize, adaptive: bool) {
         if n == 0 {
             return;
         }
+        let pool = Arc::new(Pool {
+            slots: (0..n).map(|_| Slot::new()).collect(),
+            owners: self.links.iter().map(|l| l.to % n).collect(),
+            adaptive,
+            idle_timeout: IDLE_SHRINK_TIMEOUT,
+            live: AtomicUsize::new(n),
+            idle: AtomicUsize::new(0),
+            kick_wakeups: AtomicU64::new(0),
+            steals: AtomicU64::new(0),
+        });
+        assert!(
+            self.pool.set(Arc::clone(&pool)).is_ok(),
+            "worker pool spawned twice"
+        );
         let mut handles = self.workers.lock();
         for i in 0..n {
             let weak = Arc::downgrade(self);
-            let signal = Arc::clone(&self.signal);
+            let pool = Arc::clone(&pool);
             let handle = std::thread::Builder::new()
                 .name(format!("reo-fire-{i}"))
-                .spawn(move || worker_loop(weak, signal))
+                .spawn(move || worker_loop(weak, pool, i))
                 .expect("spawn fire worker");
             handles.push(handle);
         }
-        self.has_workers
-            .store(true, std::sync::atomic::Ordering::SeqCst);
+        drop(handles);
+        self.has_workers.store(true, Ordering::SeqCst);
     }
 
-    /// Number of live fire workers.
+    /// Number of live (non-retired) fire workers.
     pub fn worker_count(&self) -> usize {
-        self.workers.lock().len()
+        match self.pool.get() {
+            Some(pool) if self.has_workers.load(Ordering::SeqCst) => {
+                pool.live.load(Ordering::SeqCst)
+            }
+            _ => 0,
+        }
     }
 
     /// Sum of global steps over all regions.
@@ -357,11 +654,17 @@ impl Partitioned {
         self.engines.iter().map(|e| e.steps()).sum()
     }
 
-    /// Aggregated contention counters over all region engines.
+    /// Aggregated contention counters over all region engines, plus the
+    /// scheduler counters (kicks / kick-queue wakeups / steals).
     pub fn stats(&self) -> EngineStats {
         let mut acc = EngineStats::default();
         for e in &self.engines {
             acc.merge(&e.stats());
+        }
+        acc.kicks = self.kicks.load(Ordering::Relaxed);
+        if let Some(pool) = self.pool.get() {
+            acc.kick_wakeups = pool.kick_wakeups.load(Ordering::Relaxed);
+            acc.steals = pool.steals.load(Ordering::Relaxed);
         }
         acc
     }
@@ -388,15 +691,17 @@ impl Partitioned {
     /// own via the shutdown flag it just set.
     fn shutdown_workers(&self) {
         let handles: Vec<_> = std::mem::take(&mut *self.workers.lock());
-        self.has_workers
-            .store(false, std::sync::atomic::Ordering::SeqCst);
+        self.has_workers.store(false, Ordering::SeqCst);
         if handles.is_empty() {
             return;
         }
-        {
-            let mut st = self.signal.state.lock();
-            st.shutdown = true;
-            self.signal.cv.notify_all();
+        if let Some(pool) = self.pool.get() {
+            for slot in pool.slots.iter() {
+                let mut st = slot.state.lock();
+                st.shutdown = true;
+                slot.cv.notify_all();
+            }
+            pool.live.store(0, Ordering::SeqCst);
         }
         let me = std::thread::current().id();
         for h in handles {
@@ -416,28 +721,91 @@ impl Partitioned {
 impl Drop for Partitioned {
     /// Safety net for sessions dropped without `close()`: workers hold
     /// only `Weak` references, so this `Drop` can run — wake them up and
-    /// join, or they would sleep on the signal forever.
+    /// join, or they would sleep on their kick queues forever.
     fn drop(&mut self) {
         self.shutdown_workers();
     }
 }
 
-/// A fire worker: sleep until kicked, pump until quiescent, repeat.
-fn worker_loop(part: Weak<Partitioned>, signal: Arc<WorkSignal>) {
-    let mut seen = 0u64;
-    loop {
-        {
-            let mut st = signal.state.lock();
-            while !st.shutdown && st.generation == seen {
-                signal.cv.wait(&mut st);
+/// A fire worker bound to kick-queue slot `idx`: drain the own queue,
+/// steal from neighbours when idle, park on the slot's condvar otherwise.
+/// In an adaptive pool a timed-out park with an empty queue retires the
+/// worker (never below one live worker).
+fn worker_loop(part: Weak<Partitioned>, pool: Arc<Pool>, idx: usize) {
+    let n = pool.slots.len();
+    let mut scratch: Vec<bool> = Vec::new();
+    'outer: loop {
+        // Drain the own queue (front; stealers take the back).
+        loop {
+            let next = {
+                let mut st = pool.slots[idx].state.lock();
+                if st.shutdown {
+                    return;
+                }
+                st.queue.pop_front()
+            };
+            let Some(l) = next else { break };
+            let Some(part) = part.upgrade() else { return };
+            part.process_link(l, &mut scratch);
+        }
+        // Idle: steal one backlog link from a neighbour.
+        for off in 1..n {
+            let victim = (idx + off) % n;
+            let stolen = {
+                let mut st = pool.slots[victim].state.lock();
+                if st.shutdown {
+                    return;
+                }
+                st.queue.pop_back()
+            };
+            if let Some(l) = stolen {
+                pool.steals.fetch_add(1, Ordering::Relaxed);
+                let Some(part) = part.upgrade() else { return };
+                part.process_link(l, &mut scratch);
+                continue 'outer;
             }
-            if st.shutdown {
+        }
+        // Nothing anywhere: park on the own slot.
+        let mut st = pool.slots[idx].state.lock();
+        if st.shutdown {
+            return;
+        }
+        if !st.queue.is_empty() {
+            continue; // a kick slipped in between the drain and the lock
+        }
+        st.waiting = true;
+        pool.idle.fetch_add(1, Ordering::SeqCst);
+        let timed_out = if pool.adaptive && pool.live.load(Ordering::SeqCst) > 1 {
+            pool.slots[idx]
+                .cv
+                .wait_for(&mut st, pool.idle_timeout)
+                .timed_out()
+        } else {
+            pool.slots[idx].cv.wait(&mut st);
+            false
+        };
+        pool.idle.fetch_sub(1, Ordering::SeqCst);
+        st.waiting = false;
+        if st.shutdown {
+            return;
+        }
+        if timed_out {
+            // Quiescence-based shrink: retire unless this is the last
+            // live worker (the `fetch_update` loses the race benignly).
+            if st.queue.is_empty()
+                && pool
+                    .live
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| {
+                        (v > 1).then(|| v - 1)
+                    })
+                    .is_ok()
+            {
+                st.active = false;
                 return;
             }
-            seen = st.generation;
+        } else {
+            pool.kick_wakeups.fetch_add(1, Ordering::Relaxed);
         }
-        let Some(part) = part.upgrade() else { return };
-        part.pump();
     }
 }
 
@@ -492,6 +860,10 @@ mod tests {
         assert_eq!(part.links.len(), 1);
         assert_eq!(part.region_sizes, vec![1, 1]);
         assert_ne!(part.links[0].from, part.links[0].to);
+        // The kick routing table covers both regions' borders.
+        assert_eq!(part.region_links[part.links[0].from], vec![0]);
+        assert_eq!(part.region_links[part.links[0].to], vec![0]);
+        assert_eq!(part.link_neighbors[0], vec![0]);
     }
 
     #[test]
@@ -543,17 +915,18 @@ mod tests {
         let rx = std::thread::spawn(move || {
             let e = part2.engine_for(p(3));
             e.register_recv(p(3)).unwrap();
-            part2.pump();
+            part2.kick(p(3));
             let v = e.wait_recv(p(3), None).unwrap();
-            part2.pump();
+            part2.kick(p(3));
             v
         });
         let e = part.engine_for(p(0));
         e.register_send(p(0), Value::Int(21)).unwrap();
-        part.pump();
+        part.kick(p(0));
         e.wait_send(p(0), None).unwrap();
-        part.pump();
+        part.kick(p(0));
         assert_eq!(rx.join().unwrap().as_int(), Some(21));
+        assert!(part.stats().kicks >= 4, "every op kicked its region");
     }
 
     #[test]
@@ -570,7 +943,7 @@ mod tests {
         part.pump();
         let e = part.engine_for(p(3));
         e.register_recv(p(3)).unwrap();
-        part.pump();
+        part.kick(p(3));
         assert_eq!(e.wait_recv(p(3), None).unwrap().as_int(), Some(99));
     }
 
@@ -605,17 +978,17 @@ mod tests {
             let e = Arc::clone(part_tx.engine_for(p(0)));
             for k in 0..K {
                 e.register_send(p(0), Value::Int(k)).unwrap();
-                part_tx.pump();
+                part_tx.kick(p(0));
                 e.wait_send(p(0), None).unwrap();
-                part_tx.pump();
+                part_tx.kick(p(0));
             }
         });
         let e = Arc::clone(part.engine_for(p(3)));
         for k in 0..K {
             e.register_recv(p(3)).unwrap();
-            part.pump();
+            part.kick(p(3));
             let v = e.wait_recv(p(3), None).unwrap();
-            part.pump();
+            part.kick(p(3));
             assert_eq!(v.as_int(), Some(k), "link reordered or lost a value");
         }
         tx.join().unwrap();
@@ -638,22 +1011,75 @@ mod tests {
             let e = Arc::clone(part_tx.engine_for(p(0)));
             for k in 0..K {
                 e.register_send(p(0), Value::Int(k)).unwrap();
-                part_tx.kick();
+                part_tx.kick(p(0));
                 e.wait_send(p(0), None).unwrap();
-                part_tx.kick();
+                part_tx.kick(p(0));
             }
         });
         let e = Arc::clone(part.engine_for(p(3)));
         for k in 0..K {
             e.register_recv(p(3)).unwrap();
-            part.kick();
+            part.kick(p(3));
             let v = e.wait_recv(p(3), None).unwrap();
-            part.kick();
+            part.kick(p(3));
             assert_eq!(v.as_int(), Some(k));
         }
         tx.join().unwrap();
+        let stats = part.stats();
+        assert!(stats.kicks > 0, "worker mode still counts kicks");
+        assert!(stats.kick_wakeups > 0, "workers woke from their queues");
+        // Strict below-baseline is asserted at scale (thousands of kicks,
+        // huge coalescing margins) in the scale sweep and the
+        // mode-equivalence stress test; here just sanity-bound it.
+        assert!(
+            stats.kick_wakeups <= stats.kicks + 8,
+            "wakeups cannot exceed kicks (modulo OS-spurious wakes): {stats:?}"
+        );
         part.close();
         assert_eq!(part.worker_count(), 0, "close joins the pool");
+    }
+
+    /// A static (non-adaptive) pool never shrinks; an adaptive pool
+    /// retires idle workers down to one, and a late kick after full
+    /// quiescence is still serviced (the shrink-then-wake regression).
+    #[test]
+    fn adaptive_pool_shrinks_when_quiescent_and_still_serves_late_kicks() {
+        let part = Arc::new(two_region_pipeline());
+        part.pump();
+        part.spawn_workers_adaptive(4);
+        assert!(part.worker_count() >= 1);
+
+        // Idle well past the shrink timeout: the pool must retire workers
+        // down to exactly one survivor.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        while part.worker_count() > 1 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "pool never shrank: {} workers live",
+                part.worker_count()
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert_eq!(part.worker_count(), 1, "shrink must stop at one worker");
+
+        // The quiescent pool must still move a value end to end.
+        let part_rx = Arc::clone(&part);
+        let rx = std::thread::spawn(move || {
+            let e = part_rx.engine_for(p(3));
+            e.register_recv(p(3)).unwrap();
+            part_rx.kick(p(3));
+            let v = e.wait_recv(p(3), None).unwrap();
+            part_rx.kick(p(3));
+            v
+        });
+        let e = part.engine_for(p(0));
+        e.register_send(p(0), Value::Int(77)).unwrap();
+        part.kick(p(0));
+        e.wait_send(p(0), None).unwrap();
+        part.kick(p(0));
+        assert_eq!(rx.join().unwrap().as_int(), Some(77));
+        part.close();
+        assert_eq!(part.worker_count(), 0);
     }
 
     #[test]

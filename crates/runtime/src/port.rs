@@ -34,9 +34,10 @@ use crate::error::RuntimeError;
 use crate::partition::Partitioned;
 
 /// How a port reaches its engine(s). In the `Multi` (partitioned) case
-/// every operation *kicks* the partition after registering/completing:
-/// with the caller-thread scheduler that pumps links inline; with a fire
-/// worker pool it just wakes a worker (see [`Partitioned::kick`]).
+/// every operation *kicks* the partition after registering/completing —
+/// naming its own port, so only the links bordering that port's region
+/// are pumped (inline with the caller-thread scheduler) or enqueued onto
+/// their owning fire workers (see [`Partitioned::kick`]).
 #[derive(Clone)]
 pub(crate) enum Backend {
     Single(Arc<Engine>),
@@ -53,9 +54,9 @@ impl Backend {
             Backend::Multi(m) => {
                 let e = Arc::clone(m.engine_for(p));
                 e.register_send(p, v)?;
-                m.kick();
+                m.kick(p);
                 let r = e.wait_send(p, deadline);
-                m.kick();
+                m.kick(p);
                 r
             }
         }
@@ -70,9 +71,9 @@ impl Backend {
             Backend::Multi(m) => {
                 let e = Arc::clone(m.engine_for(p));
                 e.register_recv(p)?;
-                m.kick();
+                m.kick(p);
                 let r = e.wait_recv(p, deadline);
-                m.kick();
+                m.kick(p);
                 r
             }
         }
@@ -87,13 +88,17 @@ impl Backend {
             Backend::Multi(m) => {
                 let e = Arc::clone(m.engine_for(p));
                 e.register_send(p, v)?;
-                // One-shot probe: pump inline even with a worker pool — an
-                // asynchronous kick might not be serviced before the probe,
-                // which would spuriously retract an operation that
-                // caller-thread partitioned mode completes.
+                // One-shot probe: pump *all* links inline even with a
+                // worker pool — an asynchronous kick might not be serviced
+                // before the probe, which would spuriously retract an
+                // operation that caller-thread partitioned mode completes.
+                // The full sweep (not the targeted cascade) is required: a
+                // value parked behind an unserviced kick on an *upstream*
+                // link of a chain is unreachable from this port's adjacent
+                // links, since the cascade only expands on progress.
                 m.pump();
                 let r = e.finish_or_retract_send(p);
-                m.kick();
+                m.kick(p);
                 r
             }
         }
@@ -108,10 +113,12 @@ impl Backend {
             Backend::Multi(m) => {
                 let e = Arc::clone(m.engine_for(p));
                 e.register_recv(p)?;
-                // See try_send: the probe must not race the worker pool.
+                // See try_send: the probe must not race the worker pool,
+                // and must sweep the whole link set, not just this
+                // region's border.
                 m.pump();
                 let r = e.finish_or_retract_recv(p);
-                m.kick();
+                m.kick(p);
                 r
             }
         }

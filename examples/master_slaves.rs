@@ -30,6 +30,9 @@ fn main() {
         // Partitioned plus a fire-worker pool: cross-region propagation
         // runs off the task threads (see `reo::runtime::partition`).
         Some("workers") => Mode::partitioned_with_workers(2),
+        // Adaptive pool: min(available_parallelism, regions, links)
+        // workers, shrinking to one when the links are quiescent.
+        Some("auto") => Mode::partitioned_auto(),
         _ => Mode::jit(),
     };
 

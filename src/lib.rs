@@ -47,6 +47,14 @@
 //! and deadline-bounded (`send_timeout`/`recv_timeout`) operations; see
 //! [`runtime`] for the polling-loop example.
 
+/// The long-form architecture guide, rendered from the repository's
+/// `docs/ARCHITECTURE.md`: crate map, the jit → partitioned → workers →
+/// region-owned scheduler progression, and the paper-to-module table.
+/// Included here so its examples compile and run as doctests of the
+/// facade.
+#[doc = include_str!("../docs/ARCHITECTURE.md")]
+pub mod architecture {}
+
 pub use reo_automata as automata;
 pub use reo_connectors as connectors;
 pub use reo_core as core;

@@ -68,6 +68,7 @@ fn modes() -> Vec<Mode> {
         },
         Mode::partitioned(),
         Mode::partitioned_with_workers(2),
+        Mode::partitioned_auto(),
     ]
 }
 
@@ -152,6 +153,7 @@ fn contended_disjoint_channels_agree_and_wakeups_stay_bounded() {
         ("jit", Mode::jit()),
         ("partitioned", Mode::partitioned()),
         ("partitioned+workers", Mode::partitioned_with_workers(2)),
+        ("partitioned+auto", Mode::partitioned_auto()),
     ];
     let reference: Vec<Vec<i64>> = (0..CHANNELS).map(|_| (0..K as i64).collect()).collect();
     for (label, mode) in grid {
@@ -170,6 +172,96 @@ fn contended_disjoint_channels_agree_and_wakeups_stay_bounded() {
             stats.completions
         );
     }
+}
+
+/// Per channel `Sync – Fifo1 – Sync`: two synchronous regions joined by
+/// one cut link, channels fully disjoint — the link-scheduler workload.
+/// (The fifo must sit in its own iteration section to become a link; see
+/// `reo_runtime::partition`.)
+const RELAY_SRC: &str = "P(a[];b[]) = prod (i:1..#a) Sync(a[i];m[i]) \
+    mult prod (i:1..#a) Fifo1(m[i];n[i]) \
+    mult prod (i:1..#a) Sync(n[i];b[i])";
+
+/// The steal-under-contention stress: skewed load over disjoint
+/// cross-region links with a 2-worker pool. Channel 0 carries 8× the
+/// traffic of the others, so its owner's kick queue backs up and the
+/// other worker must steal. Assert (a) every channel's per-port trace is
+/// exactly FIFO — stealing never reorders or loses — and (b) the steal
+/// counter actually moved, so the counters in `EngineStats` are
+/// exercised, not decorative. Stealing is scheduling-dependent, so the
+/// steal assertion retries a few runs and requires a cumulative count.
+#[test]
+fn skewed_load_steals_across_workers_without_reordering() {
+    const CHANNELS: usize = 4;
+    const K_HOT: usize = 1200; // channel 0
+    const K_COLD: usize = 150; // channels 1..
+
+    let mut total_steals = 0u64;
+    for _attempt in 0..5 {
+        let program = reo::dsl::parse_program(RELAY_SRC).unwrap();
+        let connector =
+            Connector::compile(&program, "P", Mode::partitioned_with_workers(2)).unwrap();
+        let mut session = connector
+            .connect(&[("a", CHANNELS), ("b", CHANNELS)])
+            .unwrap();
+        let handle = session.handle();
+        assert_eq!(handle.region_count(), 2 * CHANNELS);
+        assert_eq!(handle.link_count(), CHANNELS);
+
+        let txs = session.typed_outports::<i64>("a").unwrap();
+        let rxs = session.typed_inports::<i64>("b").unwrap();
+        let k_of = |ch: usize| if ch == 0 { K_HOT } else { K_COLD };
+        let senders: Vec<_> = txs
+            .into_iter()
+            .enumerate()
+            .map(|(ch, tx)| {
+                std::thread::spawn(move || {
+                    for v in 0..k_of(ch) as i64 {
+                        tx.send(v).unwrap();
+                    }
+                })
+            })
+            .collect();
+        let receivers: Vec<_> = rxs
+            .into_iter()
+            .enumerate()
+            .map(|(ch, rx)| {
+                std::thread::spawn(move || {
+                    (0..k_of(ch))
+                        .map(|_| rx.recv().unwrap())
+                        .collect::<Vec<i64>>()
+                })
+            })
+            .collect();
+        for s in senders {
+            s.join().unwrap();
+        }
+        for (ch, r) in receivers.into_iter().enumerate() {
+            let trace = r.join().unwrap();
+            let expected: Vec<i64> = (0..k_of(ch) as i64).collect();
+            assert_eq!(
+                trace, expected,
+                "channel {ch}: trace diverged under stealing"
+            );
+        }
+        let stats = handle.stats();
+        assert!(stats.kicks > 0, "link traffic must kick");
+        assert!(
+            stats.kick_wakeups < stats.kicks,
+            "kick-queue wakeups must stay below the global-generation \
+             baseline (= kicks): {stats:?}"
+        );
+        total_steals += stats.steals;
+        handle.close();
+        if total_steals > 0 {
+            break;
+        }
+    }
+    assert!(
+        total_steals > 0,
+        "no steal observed across 5 skewed runs — idle workers never \
+         took over the hot owner's backlog"
+    );
 }
 
 proptest! {

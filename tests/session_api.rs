@@ -116,6 +116,7 @@ fn timed_out_sends_retract_cleanly_with_no_loss_or_duplication() {
         Mode::jit(),
         Mode::partitioned(),
         Mode::partitioned_with_workers(2),
+        Mode::partitioned_auto(),
     ] {
         let program = reo::dsl::parse_program("Buf(a;b) = Fifo1(a;b)").unwrap();
         let connector = Connector::builder(&program, "Buf")
@@ -297,15 +298,25 @@ fn try_send_accepts_into_buffer_and_retracts_when_full() {
 /// time, so the try paths pump the links inline (regression for the
 /// kick-vs-probe race).
 #[test]
-fn one_shot_try_recv_sees_cross_region_value_in_both_schedulers() {
-    for mode in [Mode::partitioned(), Mode::partitioned_with_workers(2)] {
-        let program =
-            reo::dsl::parse_program("P(a;b) = Sync(a;m) mult Fifo1(m;n) mult Sync(n;b)").unwrap();
+fn one_shot_try_recv_sees_cross_region_value_in_all_schedulers() {
+    // Each constituent in its own iteration section, so the fifo is a
+    // genuine cut link between two regions (a single-section program
+    // composes into one region and would test nothing cross-region).
+    let src = "P(a;b) = prod (i:1..1) Sync(a;m) \
+               mult prod (i:1..1) Fifo1(m;n) \
+               mult prod (i:1..1) Sync(n;b)";
+    for mode in [
+        Mode::partitioned(),
+        Mode::partitioned_with_workers(2),
+        Mode::partitioned_auto(),
+    ] {
+        let program = reo::dsl::parse_program(src).unwrap();
         let connector = Connector::builder(&program, "P")
             .mode(mode)
             .build()
             .unwrap();
         let mut session = connector.connect(&[]).unwrap();
+        assert_eq!(session.handle().link_count(), 1, "{mode:?}");
         let tx = session.typed_outport::<i64>("a").unwrap();
         let rx = session.typed_inport::<i64>("b").unwrap();
         // The send crosses into the link queue (the link's recv side is
@@ -316,6 +327,43 @@ fn one_shot_try_recv_sees_cross_region_value_in_both_schedulers() {
             rx.try_recv().unwrap(),
             Some(42),
             "{mode:?}: one-shot probe missed a queued cross-region value"
+        );
+    }
+}
+
+/// Regression for the targeted-probe race: with a *chain* of two links
+/// (A –l1– M –l2– B), a value can sit behind an unserviced kick on the
+/// upstream link l1, where a cascade started from B's region never
+/// reaches it (l2 makes no progress, so the cascade stops). The probe
+/// must therefore sweep the whole link set synchronously — a one-shot
+/// `try_recv` at the far end has to pull the value across *both* links,
+/// in every scheduler, with no worker given a chance to run first.
+#[test]
+fn one_shot_try_recv_crosses_a_two_link_chain() {
+    let src = "P(a;b) = prod (i:1..1) Sync(a;m) \
+               mult prod (i:1..1) Fifo1(m;n) \
+               mult prod (i:1..1) Sync(n;o) \
+               mult prod (i:1..1) Fifo1(o;p) \
+               mult prod (i:1..1) Sync(p;b)";
+    for mode in [
+        Mode::partitioned(),
+        Mode::partitioned_with_workers(2),
+        Mode::partitioned_auto(),
+    ] {
+        let program = reo::dsl::parse_program(src).unwrap();
+        let connector = Connector::builder(&program, "P")
+            .mode(mode)
+            .build()
+            .unwrap();
+        let mut session = connector.connect(&[]).unwrap();
+        assert_eq!(session.handle().link_count(), 2, "{mode:?}");
+        let tx = session.typed_outport::<i64>("a").unwrap();
+        let rx = session.typed_inport::<i64>("b").unwrap();
+        tx.send(7).unwrap();
+        assert_eq!(
+            rx.try_recv().unwrap(),
+            Some(7),
+            "{mode:?}: one-shot probe lost a value parked on an upstream link"
         );
     }
 }
