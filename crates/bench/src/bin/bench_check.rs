@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run --release -p reo-bench --bin bench_check -- \
 //!     --kind fig12 --new ci_fig12.json [--baseline BENCH_fig12.json] \
-//!     [--relaxed] [--track deltas.txt]
+//!     [--relaxed] [--track deltas.txt] [--require verdict_field]
 //! ```
 //!
 //! Exit status 0 iff `--new` is schema-valid and no cell that has
@@ -15,9 +15,15 @@
 //! `--relaxed` exempts the timing-sensitive cells (fig13 class S, whose
 //! DNF verdicts flap on noisy CI runners) from the regression gate —
 //! schema validation still covers them. `--track <path>` writes per-cell
-//! primary-metric deltas vs the baseline (steps, seconds, or steps/sec)
-//! to `<path>`; CI uploads that file as an artifact instead of gating on
-//! throughput, so runner noise stays reviewable without blocking merges.
+//! primary-metric deltas vs the baseline (steps, seconds, or steps/sec —
+//! plus, for scale reports, the batched-pumping counters and
+//! locks-per-value) to `<path>`; CI uploads that file as an artifact
+//! instead of gating on throughput, so runner noise stays reviewable
+//! without blocking merges. `--require <field>` gates on a top-level
+//! verdict boolean of the *new* report being `true` (e.g.
+//! `--require locks_per_value_below_seed` on scale reports — the
+//! verdicts are algorithmic lock/wakeup counts, not timing, so they are
+//! safe to enforce on noisy runners).
 
 use reo_bench::check::{failure_regressions_gated, metric_deltas, validate, Json, Kind};
 use reo_bench::Args;
@@ -54,6 +60,24 @@ fn main() {
         Err(e) => {
             eprintln!("bench_check: {new_path}: schema error: {e}");
             std::process::exit(1);
+        }
+    }
+
+    if let Some(field) = args.get("require") {
+        match new.get(field) {
+            Some(Json::Bool(true)) => {
+                println!("bench_check: {new_path}: required verdict `{field}` is true");
+            }
+            Some(other) => {
+                eprintln!(
+                    "bench_check: {new_path}: required verdict `{field}` is {other:?}, not true"
+                );
+                std::process::exit(1);
+            }
+            None => {
+                eprintln!("bench_check: {new_path}: required verdict `{field}` is missing");
+                std::process::exit(1);
+            }
         }
     }
 

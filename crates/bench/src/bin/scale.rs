@@ -51,7 +51,7 @@ fn main() {
         available_parallelism()
     );
     println!(
-        "{:<16}{:>4}  {:<20}{:>8}  {:>12}  {:>10}  {:>10}  {:>8}  {:>8}  {:>7}  {:>9}",
+        "{:<16}{:>4}  {:<20}{:>8}  {:>12}  {:>10}  {:>10}  {:>8}  {:>8}  {:>7}  {:>8}  {:>8}  {:>9}",
         "connector",
         "N",
         "mode",
@@ -62,6 +62,8 @@ fn main() {
         "kicks",
         "k-wakes",
         "steals",
+        "b-moves",
+        "b-vals",
         "p99-us"
     );
 
@@ -87,7 +89,7 @@ fn main() {
             .map(|l| format!("{:.1}", l.p99_us))
             .unwrap_or_else(|| "-".into());
         println!(
-            "{:<16}{:>4}  {:<20}{:>8}  {:>12.0}  {:>10}  {:>10}  {:>8}  {:>8}  {:>7}  {:>9}",
+            "{:<16}{:>4}  {:<20}{:>8}  {:>12.0}  {:>10}  {:>10}  {:>8}  {:>8}  {:>7}  {:>8}  {:>8}  {:>9}",
             cell.family,
             cell.n,
             cell.mode,
@@ -98,6 +100,8 @@ fn main() {
             stats.kicks,
             stats.kick_wakeups,
             stats.steals,
+            stats.batch_moves,
+            stats.batched_values,
             p99
         );
     });
@@ -114,6 +118,20 @@ fn main() {
     println!(
         "verdict: kick-queue wakeups below the global-generation baseline (kicks): {}",
         v.kick_wakeups_below_kicks
+    );
+    // The eligible-cell count makes a false verdict diagnosable: 0
+    // eligible cells means the sweep produced no burst traffic (window
+    // too short / family filtered out), not a lock-amortization
+    // regression.
+    let eligible = cells
+        .iter()
+        .filter(|c| c.family == "burst" && c.mode == "partitioned" && c.locks_per_value().is_some())
+        .count();
+    println!(
+        "verdict: burst locks per value below the unbatched seed baseline ({}): {} \
+         ({eligible} eligible cell(s))",
+        reo_bench::scale::SEED_BURST_LOCKS_PER_VALUE,
+        v.locks_per_value_below_seed
     );
 
     if let Some(value) = args.get("json") {
@@ -138,6 +156,7 @@ fn to_json(cells: &[Cell], config: &Config) -> String {
   "wakeups_below_broadcast": {},
   "workers_reach_jit": {},
   "kick_wakeups_below_kicks": {},
+  "locks_per_value_below_seed": {},
   "cells": ["#,
         config.window.as_secs_f64(),
         config.ns,
@@ -145,7 +164,8 @@ fn to_json(cells: &[Cell], config: &Config) -> String {
         available_parallelism(),
         v.wakeups_below_broadcast,
         v.workers_reach_jit,
-        v.kick_wakeups_below_kicks
+        v.kick_wakeups_below_kicks,
+        v.locks_per_value_below_seed
     );
     for (i, c) in cells.iter().enumerate() {
         let failure = match &c.outcome.failure {
@@ -161,9 +181,13 @@ fn to_json(cells: &[Cell], config: &Config) -> String {
             ),
             None => ("null".into(), "null".into(), "null".into()),
         };
+        let locks_per_value = match c.locks_per_value() {
+            Some(l) => format!("{l:.3}"),
+            None => "null".into(),
+        };
         let _ = write!(
             s,
-            r#"    {{"family":{},"n":{},"mode":{},"threads":{},"steps":{},"steps_per_sec":{:.1},"wakeups":{},"spurious_wakeups":{},"completions":{},"lock_acquisitions":{},"broadcast_baseline_wakeups":{},"kicks":{},"kick_wakeups":{},"steals":{},"p50_us":{},"p95_us":{},"p99_us":{},"connect_ms":{:.3},"failure":{}}}"#,
+            r#"    {{"family":{},"n":{},"mode":{},"threads":{},"steps":{},"steps_per_sec":{:.1},"wakeups":{},"spurious_wakeups":{},"completions":{},"lock_acquisitions":{},"broadcast_baseline_wakeups":{},"batch_moves":{},"batched_values":{},"locks_per_value":{},"kicks":{},"kick_wakeups":{},"steals":{},"p50_us":{},"p95_us":{},"p99_us":{},"connect_ms":{:.3},"failure":{}}}"#,
             json_str(c.family),
             c.n,
             json_str(c.mode),
@@ -175,6 +199,9 @@ fn to_json(cells: &[Cell], config: &Config) -> String {
             stats.completions,
             stats.lock_acquisitions,
             c.broadcast_baseline_wakeups,
+            stats.batch_moves,
+            stats.batched_values,
+            locks_per_value,
             stats.kicks,
             stats.kick_wakeups,
             stats.steals,

@@ -411,10 +411,14 @@ pub fn validate(doc: &Json, kind: Kind) -> Result<usize, String> {
                 require_num(cell, "completions", &ctx)?;
                 require_num(cell, "lock_acquisitions", &ctx)?;
                 require_num(cell, "broadcast_baseline_wakeups", &ctx)?;
+                require_num(cell, "batch_moves", &ctx)?;
+                require_num(cell, "batched_values", &ctx)?;
                 require_num(cell, "kicks", &ctx)?;
                 require_num(cell, "kick_wakeups", &ctx)?;
                 require_num(cell, "steals", &ctx)?;
-                for key in ["p50_us", "p95_us", "p99_us"] {
+                // `locks_per_value` is defined only for the burst cells in
+                // the partitioned modes; null everywhere else.
+                for key in ["locks_per_value", "p50_us", "p95_us", "p99_us"] {
                     let v = require(cell, key, &ctx)?;
                     if !v.is_null() && v.as_num().is_none() {
                         return Err(format!("{ctx}: `{key}` is neither null nor a number"));
@@ -556,7 +560,19 @@ fn metric_map(doc: &Json, kind: Kind) -> Result<HashMap<String, f64>, String> {
                     require_num(cell, "n", &ctx)?,
                     require_str(cell, "mode", &ctx)?
                 );
-                out.insert(key, require_num(cell, "steps_per_sec", &ctx)?);
+                out.insert(key.clone(), require_num(cell, "steps_per_sec", &ctx)?);
+                // Secondary tracked metrics of the batched link protocol:
+                // reviewable per-cell deltas for the amortization counters
+                // and the locks-per-value ratio. Optional here so a cell
+                // with a null `locks_per_value` (non-burst families)
+                // contributes only its primary metric — note that whole
+                // documents missing `batch_moves`/`batched_values` are
+                // rejected earlier by [`validate`] regardless.
+                for extra in ["batch_moves", "batched_values", "locks_per_value"] {
+                    if let Some(v) = cell.get(extra).and_then(Json::as_num) {
+                        out.insert(format!("{key}#{extra}"), v);
+                    }
+                }
             }
         }
     }
@@ -564,9 +580,12 @@ fn metric_map(doc: &Json, kind: Kind) -> Result<HashMap<String, f64>, String> {
 }
 
 /// The tracking artifact: one human-readable line per cell key present in
-/// both reports, `key: baseline -> new (+x.x%)`, sorted by key. Timing
-/// deltas go here instead of into the gate, so runner noise never blocks
-/// a merge but stays reviewable in the uploaded artifact.
+/// both reports, `key: baseline -> new (+x.x%)`, sorted by key. Scale
+/// reports additionally track the batched-pumping metrics as
+/// `key#batch_moves` / `key#batched_values` / `key#locks_per_value`
+/// lines. Timing deltas go here instead of into the gate, so runner
+/// noise never blocks a merge but stays reviewable in the uploaded
+/// artifact.
 pub fn metric_deltas(new: &Json, baseline: &Json, kind: Kind) -> Result<Vec<String>, String> {
     let new_map = metric_map(new, kind)?;
     let base_map = metric_map(baseline, kind)?;

@@ -47,33 +47,45 @@
 //! { "benchmark": "scale", "window_secs": 0.2, "ns": [1, 2, 4, 8, 16],
 //!   "workers": 2, "available_parallelism": 8,
 //!   "wakeups_below_broadcast": true, "workers_reach_jit": true,
-//!   "kick_wakeups_below_kicks": true,
+//!   "kick_wakeups_below_kicks": true, "locks_per_value_below_seed": true,
 //!   "cells": [
-//!     { "family": "relay", "n": 8, "mode": "partitioned+auto",
-//!       "threads": 16, "steps": 10917, "steps_per_sec": 54585.0,
+//!     { "family": "burst", "n": 8, "mode": "partitioned",
+//!       "threads": 9, "steps": 10917, "steps_per_sec": 54585.0,
 //!       "wakeups": 11071, "spurious_wakeups": 0, "completions": 21834,
 //!       "lock_acquisitions": 76893, "broadcast_baseline_wakeups": 152838,
-//!       "kicks": 21834, "kick_wakeups": 1207, "steals": 31,
-//!       "p50_us": 8.192, "p95_us": 65.536, "p99_us": 131.072,
+//!       "batch_moves": 10917, "batched_values": 13404,
+//!       "locks_per_value": 14.087,
+//!       "kicks": 0, "kick_wakeups": 0, "steals": 0,
+//!       "p50_us": 8.192, "p95_us": 61.44, "p99_us": 122.88,
 //!       "connect_ms": 0.2, "failure": null } ] }
 //! ```
 //!
 //! `mode` is one of `jit`, `partitioned`, `partitioned+workers`,
 //! `partitioned+auto`; the counter fields mirror
-//! [`reo_runtime::EngineStats`]. Two baselines are embedded:
+//! [`reo_runtime::EngineStats`]. Three baselines are embedded:
 //! `broadcast_baseline_wakeups` is the `steps × (threads − 2)` estimate
-//! of what a per-engine broadcast condvar would have woken, and `kicks`
+//! of what a per-engine broadcast condvar would have woken; `kicks`
 //! doubles as the *global-generation baseline* for `kick_wakeups` (the
 //! PR 3 scheduler signalled the worker pool once per kick; the per-link
-//! kick queues must wake strictly less often — see [`crate::scale`]).
-//! `steals` counts links pumped by a non-owner worker. The latency
-//! percentiles `p50_us`/`p95_us`/`p99_us` come from the driver's
-//! log₂-bucketed per-operation histogram
+//! kick queues must wake strictly less often — see [`crate::scale`]);
+//! and `locks_per_value` (engine-lock acquisitions per cross-link value,
+//! defined only on the `burst` family's partitioned cells where every
+//! value costs exactly four completions, `null` elsewhere) is gated
+//! against the unbatched-protocol seed constant
+//! [`crate::scale::SEED_BURST_LOCKS_PER_VALUE`]. `batch_moves` /
+//! `batched_values` are the batched link-transfer counters: engine-lock
+//! holds that moved ≥ 1 value, and the values they moved (each crossing
+//! counts once per side); their ratio is the measured amortization.
+//! `kicks` counts only operations that went through the kick machinery —
+//! regions bordering exactly one link take the kick-free fast path and
+//! report 0. `steals` counts links pumped by a non-owner worker. The
+//! latency percentiles `p50_us`/`p95_us`/`p99_us` come from the driver's
+//! per-operation histogram with four linear sub-buckets per log₂ bucket
 //! ([`reo_connectors::LatencyHistogram`]): values are the *upper bound*
-//! of the hit bucket in microseconds (exact to within 2×), and `null`
-//! when the cell failed or completed no operation. The header's
+//! of the hit sub-bucket in microseconds (exact to within 1.25×), and
+//! `null` when the cell failed or completed no operation. The header's
 //! `available_parallelism` records the sweeping machine's core budget so
-//! readers can tell algorithmic wins from parallel speedup; the three
+//! readers can tell algorithmic wins from parallel speedup; the four
 //! top-level booleans are the [`crate::scale::verdict`] acceptance
 //! checks.
 

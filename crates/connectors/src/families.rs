@@ -364,9 +364,10 @@ fn n_only_t() -> fn(usize) -> Vec<(&'static str, usize)> {
 /// is two synchronous regions joined by one cut link and channels share
 /// nothing. The fifo sits in its own iteration section — constituents of
 /// one section compose into one medium automaton, so this placement is
-/// what turns it into a link instead of region-internal state. This is
-/// the showcase for per-link kicks and work stealing: kicks from channel
-/// `i` can only ever name channel `i`'s link.
+/// what turns it into a link instead of region-internal state. Both of a
+/// channel's regions border exactly one link, so this is the showcase for
+/// the *kick-free* fast path: steady-state relays pump their own link
+/// inline and never touch the kick queue (`EngineStats::kicks` stays 0).
 pub fn relay_family() -> Family {
     Family {
         name: "relay",
@@ -381,6 +382,40 @@ RelayN(t[];hd[]) =
         drivers: &[("t", Role::Send), ("hd", Role::Recv)],
         paired_sends: &[],
         exponential_fanout: true,
+    }
+}
+
+/// The capacity of the cut fifo in [`burst_family`]: the per-link backlog
+/// the emit side can hold beyond the producers' pending sends.
+pub const BURST_LINK_CAPACITY: usize = 8;
+
+/// The **deep-backlog** scale workload: `n` producers fan into one
+/// merger region, a `FifoN<8>` cut link buffers up to
+/// [`BURST_LINK_CAPACITY`] values, and `n` consumers drain through one
+/// router region. The per-cell backlog depth is `n` — up to `n` producer
+/// sends pend at the merger while up to `n` consumer receives pend at
+/// the router, on both sides of one deep link. This is the showcase for
+/// *batched* cross-link pumping: a single engine-lock hold on the merger
+/// region drains every deliverable value (each re-arm immediately fires
+/// the next pending producer), and a single hold on the router region
+/// lands one value per pending receive (each acknowledgment immediately
+/// re-offers the next queue front) — observable as
+/// `EngineStats::batched_values / batch_moves > 1` and as engine-lock
+/// acquisitions per moved value strictly below the unbatched protocol's.
+pub fn burst_family() -> Family {
+    Family {
+        name: "burst",
+        def: "BurstN",
+        source: "
+BurstN(t[];hd[]) =
+  Merger(t[1..#t];m[1])
+  mult prod (i:1..1) FifoN<8>(m[i];w[i])
+  mult Router(w[1];hd[1..#hd])
+",
+        sizes: |n| vec![("t", n), ("hd", n)],
+        drivers: &[("t", Role::Send), ("hd", Role::Recv)],
+        paired_sends: &[],
+        exponential_fanout: false,
     }
 }
 
@@ -433,6 +468,22 @@ mod tests {
             conn.connect(&sizes)
                 .unwrap_or_else(|e| panic!("{}: {e}", f.name));
         }
+    }
+
+    #[test]
+    fn burst_family_partitions_into_one_deep_link() {
+        let f = burst_family();
+        // The DSL literal must agree with the exported capacity constant.
+        assert!(
+            f.source.contains(&format!("FifoN<{BURST_LINK_CAPACITY}>")),
+            "burst source out of sync with BURST_LINK_CAPACITY"
+        );
+        let prog = f.program();
+        let conn = Connector::compile(&prog, f.def, Mode::partitioned()).unwrap();
+        let session = conn.connect(&(f.sizes)(6)).unwrap();
+        let handle = session.handle();
+        assert_eq!(handle.region_count(), 2, "merger region + consumer region");
+        assert_eq!(handle.link_count(), 1, "one deep cut fifo");
     }
 
     #[test]

@@ -187,15 +187,34 @@ impl PendingTable {
 ///   register/wait/probe/stat call takes it exactly once; fire loops run
 ///   under the caller's acquisition).
 ///
-/// The last three counters belong to the **partitioned scheduler** (see
-/// `crate::partition`), not to any single engine; they are zero in the
-/// single-engine modes and filled in by the partition when aggregating:
+/// Two counters measure the **batched link-transfer protocol** (see
+/// `crate::partition`); they are zero in the single-engine modes, which
+/// have no links:
+///
+/// * `batch_moves` — batched link-transfer lock holds that moved at
+///   least one value: one per call of the engine's link drain/offer entry
+///   points (`link_drain_deliveries` / `link_offer_batch`) that
+///   transferred anything. Each such call acquires the engine mutex
+///   exactly once, however many values it moves.
+/// * `batched_values` — values moved by those calls. A value crossing a
+///   link contributes **twice**: once when the *from* engine's delivery
+///   is drained into the link queue, once when the *to* engine
+///   acknowledges its consumption. `batched_values / batch_moves` is the
+///   average batch size per engine-lock acquisition on the link path;
+///   anything above 1 is amortization the old one-value-per-hold
+///   protocol could not express.
+///
+/// The last three counters belong to the **partitioned scheduler**, not
+/// to any single engine; they are zero in the single-engine modes and
+/// filled in by the partition when aggregating:
 ///
 /// * `kicks` — kick requests that named at least one cross-region link
-///   (one per port operation whose region borders a link). Under the PR 3
-///   global-generation scheduler every one of these bumped one shared
-///   counter and could wake a worker, so `kicks` doubles as the
-///   *global-generation baseline* for `kick_wakeups`.
+///   *and went through the kick machinery*. Regions bordering exactly
+///   one link take the kick-free fast path (they pump their own link
+///   inline) and do not count. Under the PR 3 global-generation
+///   scheduler every counted kick bumped one shared counter and could
+///   wake a worker, so `kicks` doubles as the *global-generation
+///   baseline* for `kick_wakeups`.
 /// * `kick_wakeups` — times a fire worker actually woke from its
 ///   per-worker kick-queue condvar to find work. Per-link deduplication
 ///   and batch draining keep this far below `kicks` under load.
@@ -217,9 +236,17 @@ pub struct EngineStats {
     /// call takes it exactly once; fire loops run under the caller's
     /// acquisition).
     pub lock_acquisitions: u64,
-    /// Scheduler: kick requests naming ≥ 1 link — also the PR 3
-    /// global-generation wakeup baseline (see type docs). 0 outside
+    /// Batched link-transfer lock holds that moved ≥ 1 value (see type
+    /// docs). 0 outside partitioned mode.
+    pub batch_moves: u64,
+    /// Values moved by batched link transfers — each cross-link value
+    /// counts twice, once per side (see type docs). 0 outside
     /// partitioned mode.
+    pub batched_values: u64,
+    /// Scheduler: kick requests naming ≥ 1 link that went through the
+    /// kick machinery (single-link-border regions pump inline and do not
+    /// count) — also the PR 3 global-generation wakeup baseline (see
+    /// type docs). 0 outside partitioned mode.
     pub kicks: u64,
     /// Scheduler: fire-worker wakeups out of kick-queue waits. 0 without
     /// a worker pool.
@@ -237,6 +264,8 @@ impl EngineStats {
         self.wakeups += other.wakeups;
         self.spurious_wakeups += other.spurious_wakeups;
         self.lock_acquisitions += other.lock_acquisitions;
+        self.batch_moves += other.batch_moves;
+        self.batched_values += other.batched_values;
         self.kicks += other.kicks;
         self.kick_wakeups += other.kick_wakeups;
         self.steals += other.steals;
@@ -282,6 +311,8 @@ pub(crate) struct EngineInner {
     completions: u64,
     wakeups: u64,
     spurious_wakeups: u64,
+    batch_moves: u64,
+    batched_values: u64,
     pub closed: bool,
     /// Set when a fire failed irrecoverably; all operations then error.
     pub poisoned: Option<String>,
@@ -318,6 +349,8 @@ impl Engine {
                 completions: 0,
                 wakeups: 0,
                 spurious_wakeups: 0,
+                batch_moves: 0,
+                batched_values: 0,
                 closed: false,
                 poisoned: None,
             }),
@@ -349,6 +382,8 @@ impl Engine {
             wakeups: inner.wakeups,
             spurious_wakeups: inner.spurious_wakeups,
             lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
+            batch_moves: inner.batch_moves,
+            batched_values: inner.batched_values,
             kicks: 0,
             kick_wakeups: 0,
             steals: 0,
@@ -634,59 +669,113 @@ impl Engine {
         }
     }
 
-    /// Non-blocking probe used by link pumping: take a delivery at `p`.
-    pub(crate) fn link_take_delivery(&self, p: PortId) -> Option<Value> {
+    /// Batched accept-side link transfer: under **one** engine-lock hold,
+    /// drain every delivery at `p` into `out` (at most `credit` values —
+    /// the link queue's free capacity) and keep the port's receive armed
+    /// while credit remains. Each drained delivery frees the slot, and the
+    /// immediate re-arm + fire can complete the *next* pending task send
+    /// in the same hold — so a backlog of `k` stuck producers costs one
+    /// acquisition instead of `k` cascade revisits at one acquisition
+    /// each.
+    ///
+    /// Returns `true` iff the call made progress (drained a value or
+    /// newly armed the receive) — the link pump's cascade trigger.
+    pub(crate) fn link_drain_deliveries(
+        &self,
+        p: PortId,
+        out: &mut std::collections::VecDeque<Value>,
+        credit: usize,
+    ) -> bool {
         let mut inner = self.lock();
-        if matches!(inner.pending.get(p), Pending::DoneRecv(_)) {
-            let Pending::DoneRecv(v) = inner.pending.take(p) else {
-                unreachable!();
-            };
-            Some(v)
-        } else {
-            None
+        let mut drained = 0usize;
+        let mut newly_armed = false;
+        loop {
+            match inner.pending.get(p) {
+                Pending::DoneRecv(_) => {
+                    if drained == credit {
+                        break; // no room left: the delivery stays parked
+                    }
+                    let Pending::DoneRecv(v) = inner.pending.take(p) else {
+                        unreachable!("matched above");
+                    };
+                    out.push_back(v);
+                    drained += 1;
+                }
+                Pending::None => {
+                    if drained == credit || inner.closed || inner.poisoned.is_some() {
+                        break;
+                    }
+                    inner.pending.set(p, Pending::Recv);
+                    self.fire_loop(&mut inner);
+                    if matches!(inner.pending.get(p), Pending::Recv) {
+                        newly_armed = true;
+                        break; // armed and quiescent: nothing more to take
+                    }
+                    // A delivery landed immediately: loop takes it next.
+                }
+                // Already armed (left so by an earlier drain) and nothing
+                // delivered since: quiescent.
+                Pending::Recv => break,
+                other => unreachable!("link in-port held {other:?} during drain"),
+            }
         }
+        if drained > 0 {
+            inner.batch_moves += 1;
+            inner.batched_values += drained as u64;
+        }
+        drained > 0 || newly_armed
     }
 
-    /// Link pumping: arm a receive on `p` if the slot is free; fires.
-    /// Returns true if newly armed.
-    pub(crate) fn link_arm_recv(&self, p: PortId) -> bool {
+    /// Batched emit-side link transfer: under **one** engine-lock hold,
+    /// acknowledge a consumed send at `p` (popping the link `queue`'s
+    /// front), then re-offer queue fronts until one is left armed or the
+    /// queue runs dry. When the downstream region can consume immediately
+    /// (a receive is already pending), each offer fires in place and the
+    /// next front follows in the same hold.
+    ///
+    /// `armed` is the link's own front-is-offered flag; the armed front
+    /// stays in `queue` until acknowledged, so queue length keeps meaning
+    /// "values resident in the link". Returns `true` iff the call made
+    /// progress (acknowledged a value or newly armed an offer).
+    pub(crate) fn link_offer_batch(
+        &self,
+        p: PortId,
+        queue: &mut std::collections::VecDeque<Value>,
+        armed: &mut bool,
+    ) -> bool {
         let mut inner = self.lock();
-        if inner.closed || inner.poisoned.is_some() {
-            return false;
-        }
-        if matches!(inner.pending.get(p), Pending::None) {
-            inner.pending.set(p, Pending::Recv);
-            self.fire_loop(&mut inner);
-            true
-        } else {
-            false
-        }
-    }
-
-    /// Link pumping: acknowledge a consumed send at `p`.
-    pub(crate) fn link_take_send_done(&self, p: PortId) -> bool {
-        let mut inner = self.lock();
-        if matches!(inner.pending.get(p), Pending::DoneSend) {
+        let mut acked = 0usize;
+        let mut progressed = false;
+        if *armed && matches!(inner.pending.get(p), Pending::DoneSend) {
             inner.pending.set(p, Pending::None);
-            true
-        } else {
-            false
+            queue.pop_front();
+            *armed = false;
+            acked += 1;
         }
-    }
-
-    /// Link pumping: offer a value on `p` if the slot is free; fires.
-    pub(crate) fn link_arm_send(&self, p: PortId, v: &Value) -> bool {
-        let mut inner = self.lock();
-        if inner.closed || inner.poisoned.is_some() {
-            return false;
-        }
-        if matches!(inner.pending.get(p), Pending::None) {
-            inner.pending.set(p, Pending::Send(v.clone()));
+        while !*armed {
+            let Some(front) = queue.front() else { break };
+            if inner.closed || inner.poisoned.is_some() {
+                break;
+            }
+            if !matches!(inner.pending.get(p), Pending::None) {
+                break; // out-port busy (should not happen on a link port)
+            }
+            inner.pending.set(p, Pending::Send(front.clone()));
             self.fire_loop(&mut inner);
-            true
-        } else {
-            false
+            if matches!(inner.pending.get(p), Pending::DoneSend) {
+                inner.pending.set(p, Pending::None);
+                queue.pop_front();
+                acked += 1;
+            } else {
+                *armed = true; // left offered; acknowledged on a later pump
+                progressed = true;
+            }
         }
+        if acked > 0 {
+            inner.batch_moves += 1;
+            inner.batched_values += acked as u64;
+        }
+        acked > 0 || progressed
     }
 }
 

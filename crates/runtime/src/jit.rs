@@ -230,7 +230,10 @@ impl EngineCore for JitCore {
                 store,
                 completed,
             )? {
-                self.states = gt.targets.clone();
+                // In-place copy, not `clone()`: a step is the engine's
+                // innermost hot path (batched link drains fire many steps
+                // per lock hold), and the tuple size never changes.
+                self.states.copy_from_slice(&gt.targets);
                 self.rotation = self.rotation.wrapping_add(1);
                 return Ok(true);
             }

@@ -15,7 +15,10 @@
 //!   fire-worker pool ([`Mode::partitioned_with_workers`]), or an
 //!   adaptively sized, quiescence-shrinking pool
 //!   ([`Mode::partitioned_auto`]) pumping the cross-region links through
-//!   per-link kick queues with work stealing (see [`partition`]).
+//!   per-link kick queues with work stealing. Link pumping is *batched*
+//!   (one engine-lock hold per side moves a whole backlog) and
+//!   single-link-border regions skip the kick machinery entirely (see
+//!   [`partition`]).
 //!
 //! Engines block tasks on *per-port* wait queues (a completed transition
 //! wakes only the ports that fired — no thundering herd) and expose

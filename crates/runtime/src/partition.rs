@@ -15,7 +15,38 @@
 //! ([`crate::engine::PortMap::Sparse`]), so memory also scales with the
 //! region, not with the whole connector.
 //!
-//! # Region-owned scheduling
+//! # Batched link pumping
+//!
+//! One pump step of a link makes exactly **two** engine-lock
+//! acquisitions — one per side — and each moves as many values as it
+//! can: the fix for per-boundary overhead is to make each boundary
+//! crossing do more work, not to dissolve the boundary.
+//!
+//! Concretely:
+//!
+//! * **Accept side** (`link_drain_deliveries`): under a single hold of
+//!   the *from* engine's lock, every delivery at the link's tail is
+//!   drained into the link queue, re-arming the receive between takes up
+//!   to the link's free capacity (the *credit*). Each re-arm fires the
+//!   engine in place, so the next stuck producer completes inside the
+//!   same hold — a backlog of `k` pending sends drains in one
+//!   acquisition.
+//! * **Emit side** (`link_offer_batch`): under a single hold of the *to*
+//!   engine's lock, a consumed front is acknowledged (popped) and queue
+//!   fronts are re-offered until one stays armed or the queue runs dry —
+//!   an eager downstream region swallows several values per acquisition.
+//!
+//! The old protocol took four acquisitions to move at most one value, so
+//! a backlog of depth `k` cost `O(k)` cascade revisits and `O(4k)` lock
+//! round-trips. [`EngineStats::batch_moves`] counts transfer holds that
+//! moved anything and [`EngineStats::batched_values`] the values they
+//! moved (each crossing counts once per side); their ratio is the
+//! measured amortization.
+//!
+//! [`EngineStats::batch_moves`]: crate::EngineStats::batch_moves
+//! [`EngineStats::batched_values`]: crate::EngineStats::batched_values
+//!
+//! # Region-owned scheduling, and when it is skipped
 //!
 //! Moving values across links ("pumping") is work that someone has to do,
 //! and — since PR 4 — it is *routed*, not broadcast. The partition keeps a
@@ -27,7 +58,21 @@
 //! traversal of the link graph that reaches quiescence without ever
 //! touching unaffected links.
 //!
-//! Two schedulers execute those kicks:
+//! **The kick-free fast path.** A region whose border is exactly one
+//! link never uses that machinery at all: its operations pump the sole
+//! link inline — uncounted, unqueued, no worker wakeup. The link is
+//! armed at connect time ([`Partitioned::pump`]) and the batched pump
+//! keeps it armed (the drain re-arms inside the engine's own completion
+//! step while credit remains; the offer leaves a front offered), so a
+//! steady-state single-link chain such as the `relay` family's
+//! `Sync – Fifo1 – Sync` runs with [`EngineStats::kicks`] pinned at
+//! zero. Regions bordering no link return before touching the counter —
+//! a pure intra-region connector pays nothing per operation.
+//!
+//! [`EngineStats::kicks`]: crate::EngineStats::kicks
+//!
+//! Regions bordering **two or more** links kick, and two schedulers
+//! execute those kicks:
 //!
 //! * **caller-thread** (no workers): the kicking task runs the cascade
 //!   inline, exactly the cost model of the paper's sequential runtime —
@@ -92,8 +137,12 @@
 //! txs[0].send(5).unwrap();
 //! assert_eq!(rxs[0].recv().unwrap(), 5);
 //!
+//! // Every region here borders exactly one link, so the kick-free fast
+//! // path pumps inline: the kick machinery is never touched, and the
+//! // value crossed the link through batched transfers.
 //! let stats = handle.stats();
-//! assert!(stats.kicks > 0, "cross-region ops must kick their links");
+//! assert_eq!(stats.kicks, 0, "single-link chains must not kick");
+//! assert!(stats.batched_values > 0, "the value crossed via batched pumps");
 //! handle.close(); // joins the pool
 //! assert_eq!(handle.worker_count(), 0);
 //! ```
@@ -122,6 +171,16 @@ thread_local! {
     /// allocation, no O(links) re-zeroing on the operation hot path.
     static CASCADE_SCRATCH: std::cell::RefCell<Vec<bool>> =
         const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// The cascade-scratch invariant, checkable only in test builds: between
+/// cascades every mark is false (each push's mark is cleared by its pop).
+/// The scan is O(links), so it is deliberately *not* a `debug_assert!` on
+/// the pump path — a debug `cargo test` pumps millions of cascades — and
+/// lives behind `cfg(test)` for the dedicated invariant test instead.
+#[cfg(test)]
+fn cascade_scratch_is_clean() -> bool {
+    CASCADE_SCRATCH.with(|s| s.borrow().iter().all(|&m| !m))
 }
 
 /// The queue of a cut fifo plus its arming flag — one lock for both, held
@@ -412,36 +471,29 @@ pub fn partition(
 }
 
 impl Partitioned {
-    /// One pump step of one link, with the link's state locked across the
-    /// whole sequence (lock order is always link → engine; engines never
-    /// take link locks, so there is no cycle).
+    /// One **batched** pump step of one link, with the link's state locked
+    /// across the whole sequence (lock order is always link → engine;
+    /// engines never take link locks, so there is no cycle).
+    ///
+    /// Exactly two engine-lock acquisitions, each moving as many values as
+    /// it can: the accept side drains every delivery the *from* engine can
+    /// produce (re-arming between takes, up to the link's free capacity —
+    /// the credit), the emit side acknowledges and re-offers queue fronts
+    /// until the *to* engine stops consuming. The old protocol made four
+    /// acquisitions to move at most one value, so a backlog of depth `k`
+    /// cost `O(k)` cascade revisits at `O(4k)` lock round-trips; now it is
+    /// one pump step at two.
     fn pump_link(&self, link: &Link) -> bool {
         let mut st = link.state.lock();
-        let mut progressed = false;
-        // Accept side: collect a delivered value, re-arm if room.
-        if let Some(v) = self.engines[link.from].link_take_delivery(link.in_port) {
-            st.queue.push_back(v);
-            progressed = true;
-        }
-        let room = link.capacity.is_none_or(|cap| st.queue.len() < cap);
-        if room && self.engines[link.from].link_arm_recv(link.in_port) {
-            progressed = true;
-        }
-        // Emit side: acknowledge consumption, then offer the front.
-        if self.engines[link.to].link_take_send_done(link.out_port) {
-            debug_assert!(st.armed, "consumed a send that was never armed");
-            st.queue.pop_front();
-            st.armed = false;
-            progressed = true;
-        }
-        if !st.armed {
-            if let Some(v) = st.queue.front() {
-                if self.engines[link.to].link_arm_send(link.out_port, v) {
-                    st.armed = true;
-                    progressed = true;
-                }
-            }
-        }
+        let LinkState { queue, armed } = &mut *st;
+        // Credit: free slots in the link queue (the armed front stays
+        // queued until acknowledged, so `len` counts resident values).
+        let credit = link
+            .capacity
+            .map_or(usize::MAX, |cap| cap.saturating_sub(queue.len()));
+        let mut progressed =
+            self.engines[link.from].link_drain_deliveries(link.in_port, queue, credit);
+        progressed |= self.engines[link.to].link_offer_batch(link.out_port, queue, armed);
         progressed
     }
 
@@ -459,7 +511,10 @@ impl Partitioned {
         if scratch.len() < self.links.len() {
             scratch.resize(self.links.len(), false);
         }
-        debug_assert!(scratch.iter().all(|&m| !m), "scratch not self-cleaned");
+        // The all-false invariant is O(links) to scan, so it is *not*
+        // checked here even in debug builds (a debug `cargo test` pumps
+        // millions of cascades); `cascade_scratch_is_clean` + the
+        // dedicated invariant test cover it.
         let mut work: Vec<usize> = Vec::new();
         for l in start {
             if !scratch[l] {
@@ -495,28 +550,60 @@ impl Partitioned {
 
     /// Request pumping after an operation on port `p`: only the links
     /// bordering `p`'s region can have been enabled, so only those are
-    /// kicked — inline (cascading) without a worker pool, otherwise onto
-    /// the owning workers' kick queues.
+    /// considered.
+    ///
+    /// Three tiers, cheapest first:
+    ///
+    /// * **zero links anywhere / zero links on this region's border** —
+    ///   return immediately, uncounted. A pure intra-region connector
+    ///   pays nothing beyond the (skipped-entirely when the partition has
+    ///   no links at all) router lookup.
+    /// * **exactly one bordering link — the kick-free fast path.** The
+    ///   caller pumps that link inline, right now: no kick counter, no
+    ///   worker queue, no wakeup. Combined with connect-time arming and
+    ///   the batched pump's keep-armed discipline, a steady-state
+    ///   single-link chain (`Sync – Fifo1 – Sync`) never touches the kick
+    ///   machinery at all — `EngineStats::kicks` flatlines. When the
+    ///   link's cascade frontier is itself alone, the pump loops in place;
+    ///   otherwise the inline cascade covers downstream links.
+    /// * **two or more bordering links** — the counted kick path: inline
+    ///   cascade without a worker pool, otherwise enqueue onto the links'
+    ///   owning workers' kick queues.
     pub fn kick(&self, p: PortId) {
+        if self.links.is_empty() {
+            return; // no links at all: nothing a kick could ever pump
+        }
         let Some(&region) = self.router.get(&p) else {
             return;
         };
         let adjacent = &self.region_links[region];
-        if adjacent.is_empty() {
-            return; // region borders no link: the engine already did it all
-        }
-        self.kicks.fetch_add(1, Ordering::Relaxed);
-        if self.has_workers.load(Ordering::Relaxed) {
-            if let Some(pool) = self.pool.get() {
-                for &l in adjacent {
-                    self.enqueue_kick(pool, l);
+        match adjacent.len() {
+            0 => (), // region borders no link: the engine already did it all
+            1 => {
+                let l = adjacent[0];
+                if self.link_neighbors[l].len() == 1 {
+                    while self.pump_link(&self.links[l]) {}
+                } else {
+                    CASCADE_SCRATCH.with(|s| {
+                        self.pump_cascade(std::iter::once(l), &mut s.borrow_mut());
+                    });
                 }
-                return;
+            }
+            _ => {
+                self.kicks.fetch_add(1, Ordering::Relaxed);
+                if self.has_workers.load(Ordering::Relaxed) {
+                    if let Some(pool) = self.pool.get() {
+                        for &l in adjacent {
+                            self.enqueue_kick(pool, l);
+                        }
+                        return;
+                    }
+                }
+                CASCADE_SCRATCH.with(|s| {
+                    self.pump_cascade(adjacent.iter().copied(), &mut s.borrow_mut());
+                });
             }
         }
-        CASCADE_SCRATCH.with(|s| {
-            self.pump_cascade(adjacent.iter().copied(), &mut s.borrow_mut());
-        });
     }
 
     /// Put link `l` on its owner's kick queue (deduplicated by the link's
@@ -903,6 +990,24 @@ mod tests {
         partition(autos, 4, &layout, CachePolicy::Unbounded, 1 << 20).unwrap()
     }
 
+    /// Replicator → two parallel fifo links → merger: both regions border
+    /// *two* links, so operations go through the counted kick machinery
+    /// (the two_region_pipeline above takes the kick-free fast path
+    /// instead). Every value sent at port 0 arrives twice at port 5.
+    fn dual_link_pipeline() -> Partitioned {
+        let autos = vec![
+            primitives::replicator(p(0), &[p(1), p(2)]),
+            primitives::fifo1(p(1), p(3), MemId(0)),
+            primitives::fifo1(p(2), p(4), MemId(1)),
+            primitives::merger(&[p(3), p(4)], p(5)),
+        ];
+        let layout = MemLayout::cells(2);
+        let part = partition(autos, 6, &layout, CachePolicy::Unbounded, 1 << 20).unwrap();
+        assert_eq!(part.engines.len(), 2);
+        assert_eq!(part.links.len(), 2);
+        part
+    }
+
     #[test]
     fn values_flow_across_a_link_end_to_end() {
         let part = Arc::new(two_region_pipeline());
@@ -926,7 +1031,112 @@ mod tests {
         e.wait_send(p(0), None).unwrap();
         part.kick(p(0));
         assert_eq!(rx.join().unwrap().as_int(), Some(21));
-        assert!(part.stats().kicks >= 4, "every op kicked its region");
+        let stats = part.stats();
+        assert_eq!(
+            stats.kicks, 0,
+            "single-link regions take the kick-free fast path: {stats:?}"
+        );
+        assert!(
+            stats.batched_values > 0,
+            "the value crossed via batched link transfers: {stats:?}"
+        );
+    }
+
+    /// Satellite: a partition without any links must early-return from
+    /// `kick` without counting — pure intra-region connectors pay no
+    /// per-operation kick bookkeeping.
+    #[test]
+    fn zero_link_partitions_skip_kicks_entirely() {
+        let autos = vec![
+            primitives::sync(p(0), p(1)),
+            primitives::fifo1(p(1), p(2), MemId(0)),
+        ];
+        let layout = MemLayout::cells(1);
+        let part = partition(autos, 3, &layout, CachePolicy::Unbounded, 1 << 20).unwrap();
+        assert!(part.links.is_empty());
+        for _ in 0..10 {
+            part.kick(p(0));
+            part.kick(p(2));
+        }
+        assert_eq!(part.stats().kicks, 0, "no-link kicks must stay uncounted");
+    }
+
+    /// The tentpole in miniature: three producers stuck behind one merger
+    /// region drain across the link in a single accept-side engine-lock
+    /// hold — one batched transfer, three values.
+    #[test]
+    fn batched_drain_moves_a_whole_backlog_in_one_lock_hold() {
+        let autos = vec![
+            primitives::merger(&[p(0), p(1), p(2)], p(3)),
+            primitives::fifo_n(p(3), p(4), MemId(0), 8),
+            primitives::sync(p(4), p(5)),
+        ];
+        let layout = MemLayout::cells(1);
+        let part = partition(autos, 6, &layout, CachePolicy::Unbounded, 1 << 20).unwrap();
+        assert_eq!(part.links.len(), 1);
+        assert_eq!(part.links[0].capacity, Some(8));
+        part.pump(); // arm the accept side
+
+        // All three producers register; only the first fires immediately
+        // (the armed receive is single-slot), the rest pend.
+        let from = Arc::clone(part.engine_for(p(0)));
+        for (i, port) in [p(0), p(1), p(2)].into_iter().enumerate() {
+            from.register_send(port, Value::Int(i as i64)).unwrap();
+        }
+        let before = from.stats();
+        part.pump();
+        let after = from.stats();
+        assert_eq!(
+            after.batched_values - before.batched_values,
+            3,
+            "one pump drains the whole backlog: {after:?}"
+        );
+        assert_eq!(
+            after.batch_moves - before.batch_moves,
+            1,
+            "…in a single batched transfer: {after:?}"
+        );
+        assert_eq!(
+            part.links[0].depth(),
+            3,
+            "all three values reside in the link"
+        );
+
+        // And they come out strictly in producer order.
+        let to = Arc::clone(part.engine_for(p(5)));
+        for expect in 0..3i64 {
+            to.register_recv(p(5)).unwrap();
+            part.kick(p(5));
+            assert_eq!(to.wait_recv(p(5), None).unwrap().as_int(), Some(expect));
+            part.kick(p(5));
+        }
+    }
+
+    /// Satellite: the cascade scratch self-cleans (every mark set by a
+    /// push is cleared by its pop). The O(links) scan lives here, not on
+    /// the pump hot path.
+    #[test]
+    fn cascade_scratch_self_cleans_between_cascades() {
+        let part = Arc::new(dual_link_pipeline());
+        part.pump();
+        let tx = Arc::clone(part.engine_for(p(0)));
+        let rx = Arc::clone(part.engine_for(p(5)));
+        for k in 0..50i64 {
+            tx.register_send(p(0), Value::Int(k)).unwrap();
+            part.kick(p(0));
+            tx.wait_send(p(0), None).unwrap();
+            part.kick(p(0));
+            for _ in 0..2 {
+                rx.register_recv(p(5)).unwrap();
+                part.kick(p(5));
+                rx.wait_recv(p(5), None).unwrap();
+                part.kick(p(5));
+            }
+            assert!(
+                cascade_scratch_is_clean(),
+                "cascade left a worklist mark set at round {k}"
+            );
+        }
     }
 
     #[test]
@@ -1000,7 +1210,9 @@ mod tests {
 
     #[test]
     fn fire_workers_pump_links_off_the_caller_thread() {
-        let part = Arc::new(two_region_pipeline());
+        // Multi-link borders are required: single-link regions pump
+        // inline (kick-free) and would never hand the pool any work.
+        let part = Arc::new(dual_link_pipeline());
         part.pump();
         part.spawn_workers(2);
         assert_eq!(part.worker_count(), 2);
@@ -1016,13 +1228,12 @@ mod tests {
                 part_tx.kick(p(0));
             }
         });
-        let e = Arc::clone(part.engine_for(p(3)));
-        for k in 0..K {
-            e.register_recv(p(3)).unwrap();
-            part.kick(p(3));
-            let v = e.wait_recv(p(3), None).unwrap();
-            part.kick(p(3));
-            assert_eq!(v.as_int(), Some(k));
+        let e = Arc::clone(part.engine_for(p(5)));
+        for _ in 0..2 * K {
+            e.register_recv(p(5)).unwrap();
+            part.kick(p(5));
+            e.wait_recv(p(5), None).unwrap();
+            part.kick(p(5));
         }
         tx.join().unwrap();
         let stats = part.stats();
@@ -1044,7 +1255,9 @@ mod tests {
     /// quiescence is still serviced (the shrink-then-wake regression).
     #[test]
     fn adaptive_pool_shrinks_when_quiescent_and_still_serves_late_kicks() {
-        let part = Arc::new(two_region_pipeline());
+        // Dual-link borders so the late kick really lands on the shrunk
+        // pool (single-link regions would bypass it via the fast path).
+        let part = Arc::new(dual_link_pipeline());
         part.pump();
         part.spawn_workers_adaptive(4);
         assert!(part.worker_count() >= 1);
@@ -1065,19 +1278,23 @@ mod tests {
         // The quiescent pool must still move a value end to end.
         let part_rx = Arc::clone(&part);
         let rx = std::thread::spawn(move || {
-            let e = part_rx.engine_for(p(3));
-            e.register_recv(p(3)).unwrap();
-            part_rx.kick(p(3));
-            let v = e.wait_recv(p(3), None).unwrap();
-            part_rx.kick(p(3));
-            v
+            let e = part_rx.engine_for(p(5));
+            let mut got = Vec::new();
+            for _ in 0..2 {
+                e.register_recv(p(5)).unwrap();
+                part_rx.kick(p(5));
+                got.push(e.wait_recv(p(5), None).unwrap());
+                part_rx.kick(p(5));
+            }
+            got
         });
         let e = part.engine_for(p(0));
         e.register_send(p(0), Value::Int(77)).unwrap();
         part.kick(p(0));
         e.wait_send(p(0), None).unwrap();
         part.kick(p(0));
-        assert_eq!(rx.join().unwrap().as_int(), Some(77));
+        let got = rx.join().unwrap();
+        assert!(got.iter().all(|v| v.as_int() == Some(77)), "{got:?}");
         part.close();
         assert_eq!(part.worker_count(), 0);
     }

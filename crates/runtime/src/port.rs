@@ -36,8 +36,10 @@ use crate::partition::Partitioned;
 /// How a port reaches its engine(s). In the `Multi` (partitioned) case
 /// every operation *kicks* the partition after registering/completing —
 /// naming its own port, so only the links bordering that port's region
-/// are pumped (inline with the caller-thread scheduler) or enqueued onto
-/// their owning fire workers (see [`Partitioned::kick`]).
+/// are considered: none (free return), exactly one (the kick-free fast
+/// path pumps it inline, batched, without touching the kick machinery),
+/// or several (pumped inline with the caller-thread scheduler, enqueued
+/// onto their owning fire workers otherwise — see [`Partitioned::kick`]).
 #[derive(Clone)]
 pub(crate) enum Backend {
     Single(Arc<Engine>),

@@ -95,16 +95,16 @@ fn run_pipeline(src: &str, k: usize, mode: Mode) -> Vec<i64> {
     got
 }
 
-/// Drive `channels` disjoint fifo channels with one sender and one
-/// receiver thread each; return every receiver's observed trace plus the
-/// engine contention counters (snapshotted before `close()` adds its
-/// final wake-everyone burst).
-fn channel_traces(
+/// Drive `channels` disjoint channels of connector source `src` (params
+/// `a[]`/`b[]`) with one sender and one receiver thread each; return
+/// every receiver's observed trace plus the engine contention counters
+/// (snapshotted before `close()` adds its final wake-everyone burst).
+fn traces_for(
+    src: &str,
     mode: Mode,
     channels: usize,
     k: usize,
 ) -> (Vec<Vec<i64>>, reo::runtime::EngineStats) {
-    let src = "P(a[];b[]) = prod (i:1..#a) Fifo1(a[i];b[i])";
     let program = reo::dsl::parse_program(src).unwrap();
     let connector = Connector::compile(&program, "P", mode).unwrap();
     let mut session = connector
@@ -136,6 +136,20 @@ fn channel_traces(
     let stats = handle.stats();
     handle.close();
     (traces, stats)
+}
+
+/// [`traces_for`] on the plain disjoint-fifo workload.
+fn channel_traces(
+    mode: Mode,
+    channels: usize,
+    k: usize,
+) -> (Vec<Vec<i64>>, reo::runtime::EngineStats) {
+    traces_for(
+        "P(a[];b[]) = prod (i:1..#a) Fifo1(a[i];b[i])",
+        mode,
+        channels,
+        k,
+    )
 }
 
 /// The contended stress case: 16 tasks, > 10k port operations, on a
@@ -175,21 +189,65 @@ fn contended_disjoint_channels_agree_and_wakeups_stay_bounded() {
 }
 
 /// Per channel `Sync – Fifo1 – Sync`: two synchronous regions joined by
-/// one cut link, channels fully disjoint — the link-scheduler workload.
-/// (The fifo must sit in its own iteration section to become a link; see
-/// `reo_runtime::partition`.)
+/// one cut link, channels fully disjoint. Since the kick-free fast path,
+/// this is the workload that proves single-link chains never touch the
+/// kick machinery at all. (The fifo must sit in its own iteration section
+/// to become a link; see `reo_runtime::partition`.)
 const RELAY_SRC: &str = "P(a[];b[]) = prod (i:1..#a) Sync(a[i];m[i]) \
     mult prod (i:1..#a) Fifo1(m[i];n[i]) \
     mult prod (i:1..#a) Sync(n[i];b[i])";
 
-/// The steal-under-contention stress: skewed load over disjoint
-/// cross-region links with a 2-worker pool. Channel 0 carries 8× the
-/// traffic of the others, so its owner's kick queue backs up and the
-/// other worker must steal. Assert (a) every channel's per-port trace is
-/// exactly FIFO — stealing never reorders or loses — and (b) the steal
-/// counter actually moved, so the counters in `EngineStats` are
-/// exercised, not decorative. Stealing is scheduling-dependent, so the
-/// steal assertion retries a few runs and requires a cumulative count.
+/// Per channel `Sync – FifoN<4> – Sync`: the deep-burst variant of the
+/// relay — a capacity-4 cut link lets each producer run ahead of its
+/// consumer by four values, so link pumps face real backlog and the
+/// batched drain/offer paths carry multi-value traffic.
+const DEEP_RELAY_SRC: &str = "P(a[];b[]) = prod (i:1..#a) Sync(a[i];m[i]) \
+    mult prod (i:1..#a) FifoN<4>(m[i];n[i]) \
+    mult prod (i:1..#a) Sync(n[i];b[i])";
+
+/// Per channel `Repl2 – (FifoN<4> ∥ FifoN<4>) – Merg2`: every region
+/// borders **two** capacity-4 links, so — unlike the relays above —
+/// operations go through the counted kick path and, with a pool, the
+/// per-worker kick queues. Every sent value arrives at the consumer
+/// exactly twice, once through each fifo, each copy stream in FIFO order.
+const DUAL_RELAY_SRC: &str = "P(a[];b[]) = prod (i:1..#a) Repl2(a[i];m[i],u[i]) \
+    mult prod (i:1..#a) FifoN<4>(m[i];n[i]) \
+    mult prod (i:1..#a) FifoN<4>(u[i];v[i]) \
+    mult prod (i:1..#a) Merg2(n[i],v[i];b[i])";
+
+/// Is `trace` a merge of two in-order copies of `0..k`? Each value must
+/// appear exactly twice, and both the first-occurrence and the
+/// second-occurrence subsequences must be strictly increasing (each copy
+/// stream is FIFO; the interleaving between them is free).
+fn is_merge_of_two_ordered_copies(trace: &[i64], k: i64) -> bool {
+    let mut seen = vec![0u8; k as usize];
+    let (mut first, mut second) = (-1i64, -1i64);
+    for &v in trace {
+        if v < 0 || v >= k {
+            return false;
+        }
+        let c = &mut seen[v as usize];
+        *c += 1;
+        match *c {
+            1 if v > first => first = v,
+            2 if v > second => second = v,
+            _ => return false,
+        }
+    }
+    trace.len() == 2 * k as usize
+}
+
+/// The steal-under-contention stress: skewed load over channels whose
+/// regions border two cross-region links each, with a 2-worker pool.
+/// Channel 0 carries 8× the traffic of the others, so its owner's kick
+/// queue backs up and the other worker must steal. Assert (a) every
+/// channel's trace is a merge of two FIFO copy streams — stealing never
+/// reorders or loses; (b) kick-queue wakeups stay below the
+/// global-generation baseline (= kicks); (c) the steal counter moved and
+/// (d) batched transfers actually amortized (more values than lock
+/// holds — workers coalesce deduplicated kicks into multi-value pumps
+/// over the capacity-4 links). (c) and (d) are scheduling-dependent, so
+/// they accumulate over a few retries.
 #[test]
 fn skewed_load_steals_across_workers_without_reordering() {
     const CHANNELS: usize = 4;
@@ -197,8 +255,9 @@ fn skewed_load_steals_across_workers_without_reordering() {
     const K_COLD: usize = 150; // channels 1..
 
     let mut total_steals = 0u64;
+    let mut total_batch_surplus = 0u64; // batched_values - batch_moves
     for _attempt in 0..5 {
-        let program = reo::dsl::parse_program(RELAY_SRC).unwrap();
+        let program = reo::dsl::parse_program(DUAL_RELAY_SRC).unwrap();
         let connector =
             Connector::compile(&program, "P", Mode::partitioned_with_workers(2)).unwrap();
         let mut session = connector
@@ -206,7 +265,7 @@ fn skewed_load_steals_across_workers_without_reordering() {
             .unwrap();
         let handle = session.handle();
         assert_eq!(handle.region_count(), 2 * CHANNELS);
-        assert_eq!(handle.link_count(), CHANNELS);
+        assert_eq!(handle.link_count(), 2 * CHANNELS);
 
         let txs = session.typed_outports::<i64>("a").unwrap();
         let rxs = session.typed_inports::<i64>("b").unwrap();
@@ -227,7 +286,7 @@ fn skewed_load_steals_across_workers_without_reordering() {
             .enumerate()
             .map(|(ch, rx)| {
                 std::thread::spawn(move || {
-                    (0..k_of(ch))
+                    (0..2 * k_of(ch))
                         .map(|_| rx.recv().unwrap())
                         .collect::<Vec<i64>>()
                 })
@@ -238,22 +297,22 @@ fn skewed_load_steals_across_workers_without_reordering() {
         }
         for (ch, r) in receivers.into_iter().enumerate() {
             let trace = r.join().unwrap();
-            let expected: Vec<i64> = (0..k_of(ch) as i64).collect();
-            assert_eq!(
-                trace, expected,
-                "channel {ch}: trace diverged under stealing"
+            assert!(
+                is_merge_of_two_ordered_copies(&trace, k_of(ch) as i64),
+                "channel {ch}: trace diverged under stealing: {trace:?}"
             );
         }
         let stats = handle.stats();
-        assert!(stats.kicks > 0, "link traffic must kick");
+        assert!(stats.kicks > 0, "dual-link regions must kick");
         assert!(
             stats.kick_wakeups < stats.kicks,
             "kick-queue wakeups must stay below the global-generation \
              baseline (= kicks): {stats:?}"
         );
         total_steals += stats.steals;
+        total_batch_surplus += stats.batched_values - stats.batch_moves;
         handle.close();
-        if total_steals > 0 {
+        if total_steals > 0 && total_batch_surplus > 0 {
             break;
         }
     }
@@ -262,6 +321,77 @@ fn skewed_load_steals_across_workers_without_reordering() {
         "no steal observed across 5 skewed runs — idle workers never \
          took over the hot owner's backlog"
     );
+    assert!(
+        total_batch_surplus > 0,
+        "no batched transfer ever moved more than one value across 5 \
+         skewed runs — kick coalescing never amortized"
+    );
+}
+
+/// The steady-state relay: per-port traces identical across all four
+/// runtimes, and — since the kick-free fast path — the partitioned
+/// modes complete the whole run without a single counted kick (the PR 4
+/// scheduler counted one per port operation here).
+#[test]
+fn relay_chains_run_kick_free_with_identical_traces() {
+    const CHANNELS: usize = 4;
+    const K: usize = 400;
+    let grid = [
+        ("jit", Mode::jit()),
+        ("partitioned", Mode::partitioned()),
+        ("partitioned+workers", Mode::partitioned_with_workers(2)),
+        ("partitioned+auto", Mode::partitioned_auto()),
+    ];
+    let reference: Vec<Vec<i64>> = (0..CHANNELS).map(|_| (0..K as i64).collect()).collect();
+    for (label, mode) in grid {
+        let (traces, stats) = traces_for(RELAY_SRC, mode, CHANNELS, K);
+        assert_eq!(traces, reference, "{label}: per-port traces diverged");
+        if label != "jit" {
+            assert_eq!(
+                stats.kicks, 0,
+                "{label}: relay chains must skip the kick machinery: {stats:?}"
+            );
+            assert_eq!(
+                stats.kick_wakeups, 0,
+                "{label}: no kicks, no worker wakeups"
+            );
+        }
+    }
+}
+
+/// Deep producer bursts through capacity-4 links: per-port traces stay
+/// identical (and strictly FIFO) across all four runtimes even though
+/// the batched drains move multi-value backlogs, and the single-link
+/// chains stay entirely kick-free in every partitioned mode.
+#[test]
+fn deep_bursts_through_capacity_links_agree_and_stay_fifo() {
+    const CHANNELS: usize = 6;
+    const K: usize = 700;
+    let grid = [
+        ("jit", Mode::jit()),
+        ("partitioned", Mode::partitioned()),
+        ("partitioned+workers", Mode::partitioned_with_workers(2)),
+        ("partitioned+auto", Mode::partitioned_auto()),
+    ];
+    let reference: Vec<Vec<i64>> = (0..CHANNELS).map(|_| (0..K as i64).collect()).collect();
+    for (label, mode) in grid {
+        let (traces, stats) = traces_for(DEEP_RELAY_SRC, mode, CHANNELS, K);
+        assert_eq!(traces, reference, "{label}: per-port traces diverged");
+        if label != "jit" {
+            assert_eq!(
+                stats.kicks, 0,
+                "{label}: single-link chains must stay kick-free: {stats:?}"
+            );
+            assert!(
+                stats.batch_moves > 0,
+                "{label}: link traffic must flow through batched transfers: {stats:?}"
+            );
+            assert!(
+                stats.batched_values >= 2 * (CHANNELS * K) as u64,
+                "{label}: every value crosses its link once per side: {stats:?}"
+            );
+        }
+    }
 }
 
 proptest! {
@@ -285,6 +415,36 @@ proptest! {
         for mode in modes() {
             let got = run_pipeline(&src, k, mode);
             prop_assert_eq!(&got, &reference, "mode {:?} on {}", mode, src);
+        }
+    }
+
+    #[test]
+    fn capacity_n_links_agree_across_the_runtime_grid(
+        cap in 1usize..5,
+        channels in 1usize..4,
+        k in 1usize..10,
+    ) {
+        // Random-capacity cut links: producers run ahead by up to `cap`,
+        // exercising batched drains at every depth; traces must stay
+        // identical (strict per-channel FIFO) across the whole grid.
+        let src = format!(
+            "P(a[];b[]) = prod (i:1..#a) Sync(a[i];m[i]) \
+             mult prod (i:1..#a) FifoN<{cap}>(m[i];n[i]) \
+             mult prod (i:1..#a) Sync(n[i];b[i])"
+        );
+        let reference: Vec<Vec<i64>> =
+            (0..channels).map(|_| (0..k as i64).collect()).collect();
+        for (label, mode) in [
+            ("jit", Mode::jit()),
+            ("partitioned", Mode::partitioned()),
+            ("partitioned+workers", Mode::partitioned_with_workers(2)),
+            ("partitioned+auto", Mode::partitioned_auto()),
+        ] {
+            let (traces, _) = traces_for(&src, mode, channels, k);
+            prop_assert_eq!(
+                &traces, &reference,
+                "{} diverged at capacity {}", label, cap
+            );
         }
     }
 
