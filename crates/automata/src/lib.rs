@@ -29,6 +29,7 @@ pub mod automaton;
 pub mod explore;
 pub mod fire;
 pub mod guard;
+pub mod lower;
 pub mod port;
 pub mod primitives;
 pub mod product;
@@ -42,6 +43,7 @@ pub use assign::{Assign, Dst};
 pub use automaton::{Automaton, AutomatonBuilder, StateId, Transition};
 pub use fire::{try_fire, Firing};
 pub use guard::{Cmp, Guard, Pred};
+pub use lower::{lower, lower_with, ExecScratch, LowerOptions, Lowered, LoweredTransition};
 pub use port::{MemId, PortAllocator, PortId, PortSet};
 pub use product::{product, product_all, Explosion, ProductOptions};
 pub use simplify::simplify;

@@ -99,11 +99,13 @@ impl Store {
     }
 
     /// Front value of cell `m`, if any.
+    #[inline]
     pub fn peek(&self, m: MemId) -> Option<&Value> {
         self.cells[m.index()].front()
     }
 
     /// Queue length of cell `m`.
+    #[inline]
     pub fn len(&self, m: MemId) -> usize {
         self.cells[m.index()].len()
     }
@@ -113,6 +115,7 @@ impl Store {
     }
 
     /// Replace the contents of cell `m` by exactly `v`.
+    #[inline]
     pub fn set(&mut self, m: MemId, v: Value) {
         let cell = &mut self.cells[m.index()];
         cell.clear();
@@ -120,11 +123,13 @@ impl Store {
     }
 
     /// Enqueue at the back of cell `m`.
+    #[inline]
     pub fn push(&mut self, m: MemId, v: Value) {
         self.cells[m.index()].push_back(v);
     }
 
     /// Dequeue from the front of cell `m`.
+    #[inline]
     pub fn pop(&mut self, m: MemId) -> Option<Value> {
         self.cells[m.index()].pop_front()
     }

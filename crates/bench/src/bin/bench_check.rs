@@ -4,7 +4,7 @@
 //! ```text
 //! cargo run --release -p reo-bench --bin bench_check -- \
 //!     --kind fig12 --new ci_fig12.json [--baseline BENCH_fig12.json] \
-//!     [--relaxed] [--track deltas.txt] [--require verdict_field]
+//!     [--relaxed] [--track deltas.txt] [--require verdict_a,verdict_b]
 //! ```
 //!
 //! Exit status 0 iff `--new` is schema-valid and no cell that has
@@ -19,11 +19,12 @@
 //! plus, for scale reports, the batched-pumping counters and
 //! locks-per-value) to `<path>`; CI uploads that file as an artifact
 //! instead of gating on throughput, so runner noise stays reviewable
-//! without blocking merges. `--require <field>` gates on a top-level
-//! verdict boolean of the *new* report being `true` (e.g.
-//! `--require locks_per_value_below_seed` on scale reports — the
-//! verdicts are algorithmic lock/wakeup counts, not timing, so they are
-//! safe to enforce on noisy runners).
+//! without blocking merges. `--require <fields>` (comma-separated) gates
+//! on each listed top-level verdict boolean of the *new* report being
+//! `true` (e.g. `--require locks_per_value_below_seed,codegen_beats_jit`
+//! on scale reports — those verdicts are algorithmic counts or large
+//! ratio floors, not raw timing, so they are safe to enforce on noisy
+//! runners).
 
 use reo_bench::check::{failure_regressions_gated, metric_deltas, validate, Json, Kind};
 use reo_bench::Args;
@@ -63,7 +64,9 @@ fn main() {
         }
     }
 
-    if let Some(field) = args.get("require") {
+    // Comma-separated: `--require locks_per_value_below_seed,codegen_beats_jit`.
+    for field in args.list("require", &[]) {
+        let field = field.as_str();
         match new.get(field) {
             Some(Json::Bool(true)) => {
                 println!("bench_check: {new_path}: required verdict `{field}` is true");

@@ -3,7 +3,7 @@
 //! ```text
 //! cargo run --release -p reo-bench --bin fig12 -- \
 //!     [--secs 0.3] [--ns 2,4,8,16,32,64] [--families merger,router,…] \
-//!     [--partitioned] [--json [BENCH_fig12.json]]
+//!     [--partitioned] [--compiled] [--json [BENCH_fig12.json]]
 //! ```
 //!
 //! With `--json` the per-cell results are also written as a JSON document
@@ -24,6 +24,7 @@ fn main() {
         window: Duration::from_secs_f64(args.f64("secs", 0.3)),
         ns: args.usize_list("ns", &[2, 4, 8, 16, 32, 64]),
         partitioned: args.bool("partitioned"),
+        compiled: args.bool("compiled"),
         ..Config::default()
     };
     if args.get("families").is_some() {
@@ -38,8 +39,11 @@ fn main() {
             " (+ partitioned)"
         } else {
             ""
-        }
+        },
     );
+    if config.compiled {
+        println!("(+ compiled: the whole-connector lowered stepping program)");
+    }
     println!(
         "{:<16}{:>4}  {:>14}  {:>14}  {:>9}  bin",
         "connector", "N", "existing st/s", "new st/s", "ratio"
@@ -63,15 +67,20 @@ fn main() {
             Some(o) => format!("  part={}", fmt(o)),
             None => String::new(),
         };
+        let comp = match &cell.compiled {
+            Some(o) => format!("  comp={}", fmt(o)),
+            None => String::new(),
+        };
         println!(
-            "{:<16}{:>4}  {:>14}  {:>14}  {:>9}  {}{}",
+            "{:<16}{:>4}  {:>14}  {:>14}  {:>9}  {}{}{}",
             cell.family,
             cell.n,
             fmt(&cell.existing),
             fmt(&cell.new),
             ratio,
             classify(cell).label(),
-            part
+            part,
+            comp
         );
     });
 
@@ -117,15 +126,20 @@ fn to_json(cells: &[Cell], config: &Config) -> String {
             Some(o) => outcome(o),
             None => "null".to_string(),
         };
+        let compiled = match &c.compiled {
+            Some(o) => outcome(o),
+            None => "null".to_string(),
+        };
         let _ = write!(
             s,
-            r#"    {{"family":{},"n":{},"bin":{},"existing":{},"new":{},"partitioned":{}}}"#,
+            r#"    {{"family":{},"n":{},"bin":{},"existing":{},"new":{},"partitioned":{},"compiled":{}}}"#,
             json_str(c.family),
             c.n,
             json_str(classify(c).label()),
             outcome(&c.existing),
             outcome(&c.new),
-            partitioned
+            partitioned,
+            compiled
         );
         s.push_str(if i + 1 < cells.len() { ",\n" } else { "\n" });
     }

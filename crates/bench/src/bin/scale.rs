@@ -21,7 +21,7 @@ use std::fmt::Write as _;
 use std::time::Duration;
 
 use reo_bench::json::{json_path, json_str};
-use reo_bench::scale::{run, verdict, Cell, Config};
+use reo_bench::scale::{run, run_codegen, verdict, Cell, CodegenCell, Config};
 use reo_bench::Args;
 
 fn available_parallelism() -> usize {
@@ -106,7 +106,32 @@ fn main() {
         );
     });
 
-    let v = verdict(&cells);
+    // The codegen duel: raw single-threaded stepping, jit interpreter vs
+    // the lowered flat programs, boundary saturated (no tasks, so the
+    // task-count sweep above cannot hide a stepping-core win behind
+    // scheduling costs). The compared quantity is completed boundary
+    // operations (values moved), best of the interleaved passes per mode.
+    println!(
+        "\nCodegen duel (raw stepping, N={}, best of {} x {:.2}s windows per core):",
+        reo_bench::scale::CODEGEN_N,
+        reo_bench::scale::CODEGEN_PASSES,
+        window.as_secs_f64()
+    );
+    println!(
+        "{:<16}{:>14}  {:>14}  {:>7}",
+        "connector", "jit ops/s", "compiled ops/s", "ratio"
+    );
+    let codegen = run_codegen(&config, |c| {
+        println!(
+            "{:<16}{:>14.0}  {:>14.0}  {:>6.2}x",
+            c.family,
+            c.jit_ops as f64 / window.as_secs_f64(),
+            c.compiled_ops as f64 / window.as_secs_f64(),
+            c.ratio()
+        );
+    });
+
+    let v = verdict(&cells, &codegen);
     println!(
         "\nverdict: targeted wakeups below broadcast baseline (channels, threads>2): {}",
         v.wakeups_below_broadcast
@@ -133,19 +158,26 @@ fn main() {
         reo_bench::scale::SEED_BURST_LOCKS_PER_VALUE,
         v.locks_per_value_below_seed
     );
+    println!(
+        "verdict: compiled stepping >= {}x jit boundary ops on every codegen duel: {} \
+         ({} duel(s))",
+        reo_bench::scale::CODEGEN_SPEEDUP_FLOOR,
+        v.codegen_beats_jit,
+        codegen.len()
+    );
 
     if let Some(value) = args.get("json") {
         let path = json_path(value, "BENCH_scale.json");
-        std::fs::write(path, to_json(&cells, &config)).expect("write JSON report");
+        std::fs::write(path, to_json(&cells, &codegen, &config)).expect("write JSON report");
         println!("wrote {path} ({} cells)", cells.len());
     }
 }
 
 /// Serialize the run by hand — the offline workspace carries no serde.
 /// Schema documented in [`reo_bench::json`].
-fn to_json(cells: &[Cell], config: &Config) -> String {
+fn to_json(cells: &[Cell], codegen: &[CodegenCell], config: &Config) -> String {
     let mut s = String::from("{\n");
-    let v = verdict(cells);
+    let v = verdict(cells, codegen);
     let _ = writeln!(
         s,
         r#"  "benchmark": "scale",
@@ -157,7 +189,8 @@ fn to_json(cells: &[Cell], config: &Config) -> String {
   "workers_reach_jit": {},
   "kick_wakeups_below_kicks": {},
   "locks_per_value_below_seed": {},
-  "cells": ["#,
+  "codegen_beats_jit": {},
+  "codegen": ["#,
         config.window.as_secs_f64(),
         config.ns,
         config.workers,
@@ -165,8 +198,23 @@ fn to_json(cells: &[Cell], config: &Config) -> String {
         v.wakeups_below_broadcast,
         v.workers_reach_jit,
         v.kick_wakeups_below_kicks,
-        v.locks_per_value_below_seed
+        v.locks_per_value_below_seed,
+        v.codegen_beats_jit
     );
+    let secs = config.window.as_secs_f64();
+    for (i, c) in codegen.iter().enumerate() {
+        let _ = write!(
+            s,
+            r#"    {{"family":{},"n":{},"jit_ops_per_sec":{:.1},"compiled_ops_per_sec":{:.1},"ratio":{:.3}}}"#,
+            json_str(c.family),
+            c.n,
+            c.jit_ops as f64 / secs,
+            c.compiled_ops as f64 / secs,
+            c.ratio()
+        );
+        s.push_str(if i + 1 < codegen.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
         let failure = match &c.outcome.failure {
             Some(f) => json_str(f),

@@ -386,6 +386,12 @@ pub fn validate(doc: &Json, kind: Kind) -> Result<usize, String> {
                 if !partitioned.is_null() {
                     check_outcome(partitioned, &format!("{ctx}.partitioned"))?;
                 }
+                // Optional series (absent from pre-lowering baselines).
+                if let Some(compiled) = cell.get("compiled") {
+                    if !compiled.is_null() {
+                        check_outcome(compiled, &format!("{ctx}.compiled"))?;
+                    }
+                }
             }
             Kind::Fig13 => {
                 require_str(cell, "prog", &ctx)?;
@@ -428,6 +434,24 @@ pub fn validate(doc: &Json, kind: Kind) -> Result<usize, String> {
             }
         }
     }
+    if kind == Kind::Scale {
+        // Optional codegen-duel section (absent from pre-lowering
+        // baselines): raw stepping throughput (completed boundary
+        // operations), jit vs compiled.
+        if let Some(duels) = doc.get("codegen") {
+            let duels = duels
+                .as_arr()
+                .ok_or("document: `codegen` is not an array")?;
+            for (i, duel) in duels.iter().enumerate() {
+                let ctx = format!("codegen {i}");
+                require_str(duel, "family", &ctx)?;
+                require_num(duel, "n", &ctx)?;
+                require_num(duel, "jit_ops_per_sec", &ctx)?;
+                require_num(duel, "compiled_ops_per_sec", &ctx)?;
+                require_num(duel, "ratio", &ctx)?;
+            }
+        }
+    }
     Ok(cells.len())
 }
 
@@ -444,8 +468,10 @@ fn failure_map(doc: &Json, kind: Kind) -> Result<HashMap<String, bool>, String> 
             Kind::Fig12 => {
                 let family = require_str(cell, "family", &ctx)?;
                 let n = require_num(cell, "n", &ctx)?;
-                for series in ["existing", "new", "partitioned"] {
-                    let o = require(cell, series, &ctx)?;
+                for series in ["existing", "new", "partitioned", "compiled"] {
+                    // `compiled` is optional: absent from pre-lowering
+                    // baselines, so look it up rather than require it.
+                    let Some(o) = cell.get(series) else { continue };
                     if o.is_null() {
                         continue;
                     }
@@ -530,8 +556,9 @@ fn metric_map(doc: &Json, kind: Kind) -> Result<HashMap<String, f64>, String> {
             Kind::Fig12 => {
                 let family = require_str(cell, "family", &ctx)?;
                 let n = require_num(cell, "n", &ctx)?;
-                for series in ["existing", "new", "partitioned"] {
-                    let o = require(cell, series, &ctx)?;
+                for series in ["existing", "new", "partitioned", "compiled"] {
+                    // `compiled` is optional (see [`failure_map`]).
+                    let Some(o) = cell.get(series) else { continue };
                     if o.is_null() {
                         continue;
                     }
@@ -576,35 +603,63 @@ fn metric_map(doc: &Json, kind: Kind) -> Result<HashMap<String, f64>, String> {
             }
         }
     }
+    if kind == Kind::Scale {
+        // Codegen-duel ratios (optional: absent pre-lowering). These show
+        // up as *new-only* delta lines against old baselines — see
+        // [`metric_deltas`].
+        for duel in doc
+            .get("codegen")
+            .and_then(Json::as_arr)
+            .unwrap_or_default()
+        {
+            let ctx = "codegen";
+            let key = format!(
+                "codegen/{}/n={}",
+                require_str(duel, "family", ctx)?,
+                require_num(duel, "n", ctx)?
+            );
+            out.insert(format!("{key}#ratio"), require_num(duel, "ratio", ctx)?);
+            out.insert(
+                format!("{key}#compiled_ops_per_sec"),
+                require_num(duel, "compiled_ops_per_sec", ctx)?,
+            );
+        }
+    }
     Ok(out)
 }
 
-/// The tracking artifact: one human-readable line per cell key present in
-/// both reports, `key: baseline -> new (+x.x%)`, sorted by key. Scale
-/// reports additionally track the batched-pumping metrics as
-/// `key#batch_moves` / `key#batched_values` / `key#locks_per_value`
-/// lines. Timing deltas go here instead of into the gate, so runner
-/// noise never blocks a merge but stays reviewable in the uploaded
-/// artifact.
+/// The tracking artifact: one human-readable line per cell key of the
+/// fresh report, `key: baseline -> new (+x.x%)` where the baseline has
+/// the key, `key: (new) -> value` where it does not (a freshly added
+/// series or section — e.g. the `compiled` column — must surface in the
+/// artifact, not vanish into the intersection). Keys only the *baseline*
+/// has are still skipped: short CI sweeps legitimately cover fewer cells
+/// than the checked-in full run. Scale reports additionally track the
+/// batched-pumping metrics as `key#batch_moves` / `key#batched_values` /
+/// `key#locks_per_value` lines and the codegen duels as
+/// `codegen/…#ratio` lines. Timing deltas go here instead of into the
+/// gate, so runner noise never blocks a merge but stays reviewable in
+/// the uploaded artifact.
 pub fn metric_deltas(new: &Json, baseline: &Json, kind: Kind) -> Result<Vec<String>, String> {
     let new_map = metric_map(new, kind)?;
     let base_map = metric_map(baseline, kind)?;
-    let mut keys: Vec<&String> = base_map
-        .keys()
-        .filter(|k| new_map.contains_key(*k))
-        .collect();
+    let mut keys: Vec<&String> = new_map.keys().collect();
     keys.sort();
     Ok(keys
         .into_iter()
         .map(|k| {
-            let base = base_map[k];
             let fresh = new_map[k];
-            let pct = if base.abs() > f64::EPSILON {
-                (fresh - base) / base * 100.0
-            } else {
-                0.0
-            };
-            format!("{k}: {base:.3} -> {fresh:.3} ({pct:+.1}%)")
+            match base_map.get(k) {
+                Some(&base) => {
+                    let pct = if base.abs() > f64::EPSILON {
+                        (fresh - base) / base * 100.0
+                    } else {
+                        0.0
+                    };
+                    format!("{k}: {base:.3} -> {fresh:.3} ({pct:+.1}%)")
+                }
+                None => format!("{k}: (new) -> {fresh:.3}"),
+            }
         })
         .collect())
 }
@@ -724,6 +779,39 @@ mod tests {
         // A DNF cell drops out of the metric map → empty intersection.
         let dnf = Json::parse(&fig13_doc("S", r#""timeout""#, "null")).unwrap();
         assert!(metric_deltas(&dnf, &base, Kind::Fig13).unwrap().is_empty());
+    }
+
+    #[test]
+    fn metric_deltas_surface_new_only_cells() {
+        // A series present only in the fresh report (the `compiled`
+        // column against a pre-lowering baseline) must emit a `(new)`
+        // line instead of silently dropping out of the intersection;
+        // baseline-only cells (short CI sweeps) must stay skipped.
+        let base = Json::parse(
+            r#"{"benchmark":"scale","cells":[
+              {"family":"relay","n":2,"mode":"jit","steps_per_sec":100.0},
+              {"family":"relay","n":16,"mode":"jit","steps_per_sec":90.0}]}"#,
+        )
+        .unwrap();
+        let fresh = Json::parse(
+            r#"{"benchmark":"scale","codegen":[
+               {"family":"relay","n":4,"jit_ops_per_sec":10.0,
+                "compiled_ops_per_sec":40.0,"ratio":4.0}],
+              "cells":[
+              {"family":"relay","n":2,"mode":"jit","steps_per_sec":110.0},
+              {"family":"relay","n":2,"mode":"compiled","steps_per_sec":400.0}]}"#,
+        )
+        .unwrap();
+        let lines = metric_deltas(&fresh, &base, Kind::Scale).unwrap();
+        assert_eq!(
+            lines,
+            vec![
+                "codegen/relay/n=4#compiled_ops_per_sec: (new) -> 40.000".to_string(),
+                "codegen/relay/n=4#ratio: (new) -> 4.000".to_string(),
+                "relay/n=2/compiled: (new) -> 400.000".to_string(),
+                "relay/n=2/jit: 100.000 -> 110.000 (+10.0%)".to_string(),
+            ]
+        );
     }
 
     #[test]

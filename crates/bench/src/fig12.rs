@@ -34,6 +34,11 @@ pub struct Cell {
     pub existing: RunOutcome,
     pub new: RunOutcome,
     pub partitioned: Option<RunOutcome>,
+    /// `Mode::compiled()` — the whole-connector lowered stepping program
+    /// (`--compiled`). Like the existing approach it composes the full
+    /// product, so Explosion failures at large N on fanout families are
+    /// expected and legitimate cells here.
+    pub compiled: Option<RunOutcome>,
 }
 
 /// The paper's classification bins.
@@ -89,6 +94,8 @@ pub struct Config {
     pub family_filter: Option<Vec<String>>,
     /// Also measure Mode::JitPartitioned (third series).
     pub partitioned: bool,
+    /// Also measure Mode::Compiled (fourth series).
+    pub compiled: bool,
     /// Budgets chosen so failure cells fail in milliseconds, not minutes.
     pub limits: Limits,
 }
@@ -100,6 +107,7 @@ impl Default for Config {
             ns: vec![2, 4, 8, 16, 32, 64],
             family_filter: None,
             partitioned: false,
+            compiled: false,
             limits: Limits {
                 product: ProductOptions {
                     max_states: 1 << 16,
@@ -158,12 +166,23 @@ pub fn run(config: &Config, mut progress: impl FnMut(&Cell)) -> Vec<Cell> {
                     config.limits,
                 )
             });
+            let compiled = config.compiled.then(|| {
+                drive_with_limits(
+                    &program,
+                    &family,
+                    n,
+                    Mode::compiled(),
+                    config.window,
+                    config.limits,
+                )
+            });
             let cell = Cell {
                 family: family.name,
                 n,
                 existing,
                 new,
                 partitioned,
+                compiled,
             };
             progress(&cell);
             cells.push(cell);
@@ -237,6 +256,7 @@ mod tests {
             existing: exist,
             new,
             partitioned: None,
+            compiled: None,
         }
     }
 

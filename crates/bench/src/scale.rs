@@ -49,7 +49,7 @@ use std::time::Duration;
 use reo_automata::ProductOptions;
 use reo_connectors::driver::drive_with_limits;
 use reo_connectors::{burst_family, families, relay_family, Family, RunOutcome};
-use reo_runtime::{Limits, Mode};
+use reo_runtime::{stepping_run, Limits, Mode, SteppingMode};
 
 /// The family names swept by default: the disjoint-port rendezvous
 /// workload (`channels`), the disjoint-region link workload (`relay` —
@@ -72,7 +72,11 @@ pub const DEFAULT_FAMILIES: &[&str] = &[
     "merger",
 ];
 
-/// The four runtimes compared per cell, with their report labels.
+/// The five runtimes compared per cell, with their report labels. The
+/// `compiled` series runs the lowered flat stepping programs behind the
+/// same region partitioning as `partitioned` (monolithic
+/// `Mode::compiled()` would explode on the exponential-fanout families),
+/// so the column isolates the stepping-core swap, scheduler held fixed.
 pub fn mode_grid(workers: usize) -> Vec<(&'static str, Mode)> {
     vec![
         ("jit", Mode::jit()),
@@ -82,6 +86,7 @@ pub fn mode_grid(workers: usize) -> Vec<(&'static str, Mode)> {
             Mode::partitioned_with_workers(workers),
         ),
         ("partitioned+auto", Mode::partitioned_auto()),
+        ("compiled", Mode::compiled_partitioned()),
     ]
 }
 
@@ -215,6 +220,112 @@ pub fn run(config: &Config, mut progress: impl FnMut(&Cell)) -> Vec<Cell> {
     cells
 }
 
+/// The families of the raw-stepping codegen duel (see [`run_codegen`]):
+/// every fig12-style family the sweep carries except the two link-heavy
+/// scale workloads (`relay`, `burst`), whose behavior is about pumping,
+/// not stepping.
+pub const CODEGEN_FAMILIES: &[&str] = &[
+    "channels",
+    "sequencer",
+    "token_ring",
+    "ordered",
+    "scatter_gather",
+    "pipeline",
+    "merger",
+];
+
+/// Instance size of the codegen duel. Small enough that the monolithic
+/// product stays well inside the limits on every family, large enough
+/// that per-step work is not a single-transition special case.
+pub const CODEGEN_N: usize = 4;
+
+/// One codegen duel: the same connector instance stepped flat-out by the
+/// interpreting [`reo_runtime::JitCore`](reo_runtime::jit::JitCore) and by
+/// the lowered [`reo_runtime::CompiledCore`], single-threaded, boundary
+/// saturated — no tasks, no wakeups, no locks (see
+/// [`reo_runtime::stepping_run`]). This is the measurement behind the
+/// `codegen_beats_jit` verdict: the task-driven sweep above is
+/// scheduling-bound on a single hardware thread, so a stepping-core win
+/// is invisible there.
+///
+/// The compared quantity is **completed boundary operations**, not raw
+/// firings: the two cores walk the same product but fire different
+/// transition mixes (the compiled core's exact candidate tables reach the
+/// bigger combined transitions more often), and a combined firing moves
+/// several values at once. Operations per second is the
+/// granularity-independent throughput of the core.
+#[derive(Clone, Debug)]
+pub struct CodegenCell {
+    pub family: &'static str,
+    pub n: usize,
+    /// Completed boundary operations of the best jit pass.
+    pub jit_ops: u64,
+    /// Completed boundary operations of the best compiled pass.
+    pub compiled_ops: u64,
+}
+
+impl CodegenCell {
+    /// Compiled-over-jit speedup; 0 when the jit completed no operations.
+    pub fn ratio(&self) -> f64 {
+        if self.jit_ops == 0 {
+            return 0.0;
+        }
+        self.compiled_ops as f64 / self.jit_ops as f64
+    }
+}
+
+/// Measurement passes per mode in one duel. The passes interleave
+/// (jit, compiled, jit, compiled, …) and each mode keeps its best pass:
+/// on a shared single-core runner, a pass can lose a large slice of its
+/// wall-clock window to unrelated load, and best-of interleaved passes
+/// cancels that noise symmetrically instead of gating on one unlucky
+/// window.
+pub const CODEGEN_PASSES: usize = 2;
+
+/// Run the codegen duel over [`CODEGEN_FAMILIES`] (respecting the
+/// configured family filter) at [`CODEGEN_N`].
+pub fn run_codegen(config: &Config, mut progress: impl FnMut(&CodegenCell)) -> Vec<CodegenCell> {
+    let mut cells = Vec::new();
+    for family in selected_families(config) {
+        if !CODEGEN_FAMILIES.contains(&family.name) {
+            continue;
+        }
+        let program = family.program();
+        let sizes = (family.sizes)(CODEGEN_N);
+        let ops = |mode: SteppingMode| {
+            stepping_run(
+                &program,
+                family.def,
+                &sizes,
+                mode,
+                config.limits,
+                config.window,
+            )
+            .unwrap_or_else(|e| panic!("{} stepping run failed: {e:?}", family.name))
+            .ops
+        };
+        let mut jit_ops = 0;
+        let mut compiled_ops = 0;
+        for _ in 0..CODEGEN_PASSES {
+            jit_ops = jit_ops.max(ops(SteppingMode::Jit));
+            compiled_ops = compiled_ops.max(ops(SteppingMode::Compiled));
+        }
+        let cell = CodegenCell {
+            family: family.name,
+            n: CODEGEN_N,
+            jit_ops,
+            compiled_ops,
+        };
+        progress(&cell);
+        cells.push(cell);
+    }
+    cells
+}
+
+/// The multiple the compiled stepping core must reach over the jit
+/// interpreter on every codegen duel for [`Verdict::codegen_beats_jit`].
+pub const CODEGEN_SPEEDUP_FLOOR: f64 = 3.0;
+
 /// The acceptance checks the scale sweep exists to witness, evaluated on a
 /// finished grid (also asserted by `tests/mode_equivalence.rs` at a
 /// smaller scale):
@@ -229,7 +340,10 @@ pub fn run(config: &Config, mut progress: impl FnMut(&Cell)) -> Vec<Cell> {
 /// 4. on every caller-thread `partitioned` `burst` cell with real
 ///    traffic, engine-lock acquisitions per moved value stay strictly
 ///    below the unbatched-protocol seed measurement
-///    ([`SEED_BURST_LOCKS_PER_VALUE`]).
+///    ([`SEED_BURST_LOCKS_PER_VALUE`]);
+/// 5. on every codegen duel, the lowered stepping program completes at
+///    least [`CODEGEN_SPEEDUP_FLOOR`]× the boundary operations of the jit
+///    interpreter.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Verdict {
     /// Check 1, over every `channels` cell with `threads > 2` and
@@ -242,9 +356,11 @@ pub struct Verdict {
     /// Check 4, over every `burst`/`partitioned` cell with
     /// `completions > 400` (≥ 100 moved values).
     pub locks_per_value_below_seed: bool,
+    /// Check 5, over every [`CodegenCell`]; false when none ran.
+    pub codegen_beats_jit: bool,
 }
 
-pub fn verdict(cells: &[Cell]) -> Verdict {
+pub fn verdict(cells: &[Cell], codegen: &[CodegenCell]) -> Verdict {
     let disjoint: Vec<&Cell> = cells
         .iter()
         .filter(|c| c.family == "channels" && c.threads > 2 && c.outcome.steps > 0)
@@ -312,11 +428,17 @@ pub fn verdict(cells: &[Cell]) -> Verdict {
                 .is_some_and(|l| l < SEED_BURST_LOCKS_PER_VALUE)
         });
 
+    // Check 5: the compiled stepping core must beat the interpreter by
+    // the floor multiple on every duel that ran.
+    let codegen_beats_jit =
+        !codegen.is_empty() && codegen.iter().all(|c| c.ratio() >= CODEGEN_SPEEDUP_FLOOR);
+
     Verdict {
         wakeups_below_broadcast,
         workers_reach_jit,
         kick_wakeups_below_kicks,
         locks_per_value_below_seed,
+        codegen_beats_jit,
     }
 }
 
@@ -325,7 +447,7 @@ mod tests {
     use super::*;
 
     #[test]
-    fn tiny_grid_produces_all_four_modes_and_stats() {
+    fn tiny_grid_produces_all_five_modes_and_stats() {
         let config = Config {
             window: Duration::from_millis(50),
             ns: vec![2],
@@ -334,7 +456,7 @@ mod tests {
             ..Config::default()
         };
         let cells = run(&config, |_| {});
-        assert_eq!(cells.len(), 4);
+        assert_eq!(cells.len(), 5);
         for c in &cells {
             assert!(c.outcome.failure.is_none(), "{}: {:?}", c.mode, c.outcome);
             assert!(c.outcome.steps > 0, "{} made no progress", c.mode);
@@ -358,7 +480,7 @@ mod tests {
             ..Config::default()
         };
         let cells = run(&config, |_| {});
-        let v = verdict(&cells);
+        let v = verdict(&cells, &[]);
         assert!(
             v.wakeups_below_broadcast,
             "targeted wakeups not below broadcast baseline: {:?}",
@@ -384,7 +506,7 @@ mod tests {
             ..Config::default()
         };
         let cells = run(&config, |_| {});
-        let v = verdict(&cells);
+        let v = verdict(&cells, &[]);
         assert!(
             v.kick_wakeups_below_kicks,
             "kick-queue wakeups not below the kick baseline: {:?}",
@@ -426,6 +548,32 @@ mod tests {
     }
 
     #[test]
+    fn codegen_duel_runs_and_compiled_leads_in_miniature() {
+        // One family, short window: both cores must make real progress
+        // and the lowered program must already be ahead of the
+        // interpreter (the full-window BENCH run enforces the 3× floor).
+        let config = Config {
+            window: Duration::from_millis(60),
+            family_filter: Some(vec!["pipeline".into()]),
+            ..Config::default()
+        };
+        let codegen = run_codegen(&config, |_| {});
+        assert_eq!(codegen.len(), 1);
+        let c = &codegen[0];
+        assert!(c.jit_ops > 0, "jit completed no operations: {c:?}");
+        assert!(
+            c.compiled_ops > 0,
+            "compiled completed no operations: {c:?}"
+        );
+        assert!(
+            c.ratio() > 1.0,
+            "lowered stepping not ahead of the interpreter: {c:?}"
+        );
+        // The verdict is false on an empty duel set (nothing witnessed).
+        assert!(!verdict(&[], &[]).codegen_beats_jit);
+    }
+
+    #[test]
     fn burst_workload_beats_unbatched_lock_baseline_in_miniature() {
         // The deep-backlog workload: engine-lock acquisitions per moved
         // value must come in strictly below the unbatched seed protocol,
@@ -438,7 +586,7 @@ mod tests {
             ..Config::default()
         };
         let cells = run(&config, |_| {});
-        let v = verdict(&cells);
+        let v = verdict(&cells, &[]);
         assert!(
             v.locks_per_value_below_seed,
             "locks per value not below the unbatched baseline {}: {:?}",

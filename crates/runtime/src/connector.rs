@@ -27,11 +27,25 @@ use reo_core::{
 
 use crate::aot::AotCore;
 use crate::cache::{CachePolicy, CacheStats};
+use crate::compiled::CompiledCore;
 use crate::engine::{Engine, EngineStats, PortMap};
 use crate::error::RuntimeError;
 use crate::jit::JitCore;
-use crate::partition::{partition, Partitioned};
+use crate::partition::{partition, partition_with, Partitioned, RegionEngine};
 use crate::port::{Backend, Inport, Outport};
+
+/// Start the fire-worker pool selected by `workers` (shared by both
+/// partitioned modes).
+fn spawn_partition_workers(parts: &Arc<Partitioned>, workers: Workers) {
+    match workers {
+        Workers::Caller | Workers::Fixed(0) => {}
+        Workers::Fixed(n) => parts.spawn_workers(n),
+        Workers::Auto => {
+            let n = parts.auto_worker_count();
+            parts.spawn_workers_adaptive(n);
+        }
+    }
+}
 
 /// Fire-worker scheduling of a partitioned connector (see
 /// [`crate::partition`] for the protocol).
@@ -67,6 +81,19 @@ pub enum Mode {
     /// [`crate::partition`] — with the scheduler selected by [`Workers`].
     JitPartitioned {
         cache: CachePolicy,
+        workers: Workers,
+    },
+    /// AOT composition lowered to a flat stepping program
+    /// ([`crate::compiled::CompiledCore`]): register bytecode instead of
+    /// `Term` interpretation, table dispatch instead of sync-set scans.
+    Compiled {
+        simplify: bool,
+    },
+    /// Partitioned execution with one *compiled* core per synchronous
+    /// region: each region's product is lowered at `connect` time and the
+    /// regions exchange values over the same batched links as
+    /// [`Mode::JitPartitioned`].
+    CompiledPartitioned {
         workers: Workers,
     },
 }
@@ -107,6 +134,18 @@ impl Mode {
     /// The paper's baseline (existing approach, with its optimizations on).
     pub fn existing() -> Self {
         Mode::ExistingMonolithic { simplify: true }
+    }
+
+    /// Single-engine compiled mode: compose, simplify, lower.
+    pub fn compiled() -> Self {
+        Mode::Compiled { simplify: true }
+    }
+
+    /// Partitioned compiled mode with the caller-thread scheduler.
+    pub fn compiled_partitioned() -> Self {
+        Mode::CompiledPartitioned {
+            workers: Workers::Caller,
+        }
     }
 
     pub fn is_parametrized(&self) -> bool {
@@ -317,6 +356,14 @@ impl Connector {
                     Store::new(&layout),
                 )))
             }
+            Mode::Compiled { simplify } => {
+                let core = CompiledCore::compose(&instance, &self.limits.product, simplify)?;
+                Backend::Single(Arc::new(Engine::new(
+                    Box::new(core),
+                    PortMap::dense(alloc.port_count()),
+                    Store::new(&layout),
+                )))
+            }
             Mode::JitPartitioned { cache, workers } => {
                 let parts: Arc<Partitioned> = Arc::new(partition(
                     instance.automata,
@@ -328,14 +375,19 @@ impl Connector {
                 // Deterministic initial arming (tokens reach link heads)
                 // before any worker can race it.
                 parts.pump();
-                match workers {
-                    Workers::Caller | Workers::Fixed(0) => {}
-                    Workers::Fixed(n) => parts.spawn_workers(n),
-                    Workers::Auto => {
-                        let n = parts.auto_worker_count();
-                        parts.spawn_workers_adaptive(n);
-                    }
-                }
+                spawn_partition_workers(&parts, workers);
+                Backend::Multi(parts)
+            }
+            Mode::CompiledPartitioned { workers } => {
+                let parts: Arc<Partitioned> = Arc::new(partition_with(
+                    instance.automata,
+                    alloc.port_count(),
+                    &layout,
+                    RegionEngine::Compiled(self.limits.product),
+                    self.limits.expansion_budget,
+                )?);
+                parts.pump();
+                spawn_partition_workers(&parts, workers);
                 Backend::Multi(parts)
             }
         };

@@ -121,6 +121,7 @@ impl PortMap {
 
     /// Local slot of a served port. Panics on a port this engine does not
     /// serve — that is a routing bug, never a user error.
+    #[inline]
     pub fn slot(&self, p: PortId) -> usize {
         match self {
             PortMap::Dense(n) => {
@@ -141,27 +142,46 @@ impl PortMap {
 pub struct PendingTable {
     ports: Arc<PortMap>,
     slots: Box<[Pending]>,
+    version: u64,
 }
 
 impl PendingTable {
     pub fn new(ports: Arc<PortMap>) -> Self {
         let slots = vec![Pending::None; ports.len()].into_boxed_slice();
-        PendingTable { ports, slots }
+        PendingTable {
+            ports,
+            slots,
+            version: 0,
+        }
     }
 
+    #[inline(always)]
     pub fn get(&self, p: PortId) -> &Pending {
         &self.slots[self.ports.slot(p)]
     }
 
+    #[inline(always)]
     pub fn set(&mut self, p: PortId, v: Pending) {
         let i = self.ports.slot(p);
         self.slots[i] = v;
+        self.version = self.version.wrapping_add(1);
     }
 
     /// Replace the slot with `Pending::None`, returning the old value.
+    #[inline(always)]
     pub fn take(&mut self, p: PortId) -> Pending {
         let i = self.ports.slot(p);
+        self.version = self.version.wrapping_add(1);
         std::mem::take(&mut self.slots[i])
+    }
+
+    /// Mutation counter: bumped on every [`set`](Self::set) /
+    /// [`take`](Self::take). Cores use it to reuse dispatch state (e.g. the
+    /// compiled armed-port mask) across consecutive `try_step` calls that
+    /// nobody else interleaved a table write into.
+    #[inline(always)]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 }
 

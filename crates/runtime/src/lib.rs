@@ -69,6 +69,7 @@
 pub mod analyze;
 pub mod aot;
 pub mod cache;
+pub mod compiled;
 pub mod connector;
 pub mod engine;
 pub mod error;
@@ -76,11 +77,14 @@ pub mod jit;
 pub mod partition;
 pub mod port;
 pub mod program;
+pub mod stepping;
 
 pub use cache::{CachePolicy, CacheStats};
+pub use compiled::CompiledCore;
 pub use connector::{Connector, ConnectorBuilder, ConnectorHandle, Limits, Mode, Session, Workers};
 pub use engine::EngineStats;
 pub use error::RuntimeError;
 pub use port::{Inport, Messages, Outport};
 pub use program::{run_main, RunReport, TaskCtx, TaskRegistry};
 pub use reo_automata::{FromValue, IntoValue};
+pub use stepping::{stepping_run, SteppingMode, SteppingRun};

@@ -153,10 +153,11 @@ use std::sync::{Arc, OnceLock, Weak};
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
-use reo_automata::{Automaton, MemLayout, PortId, Store, Value};
+use reo_automata::{Automaton, MemLayout, PortId, ProductOptions, Store, Value};
 
 use crate::cache::CachePolicy;
-use crate::engine::{Engine, EngineStats, PortMap};
+use crate::compiled::CompiledCore;
+use crate::engine::{Engine, EngineCore, EngineStats, PortMap};
 use crate::error::RuntimeError;
 use crate::jit::JitCore;
 
@@ -291,18 +292,48 @@ pub struct Partitioned {
     has_workers: AtomicBool,
 }
 
+/// What steps a synchronous region: the interpreting JIT core or a region
+/// product lowered to a flat stepping program
+/// ([`crate::compiled::CompiledCore`]).
+#[derive(Clone, Copy, Debug)]
+pub enum RegionEngine {
+    /// Just-in-time composition with the given state-cache policy.
+    Jit(CachePolicy),
+    /// Eager per-region product, lowered at build time (the budget bounds
+    /// each region's product, not the whole connector's).
+    Compiled(ProductOptions),
+}
+
+/// Split `automata` into synchronous regions connected by queue links,
+/// stepping each region with a JIT core — see [`partition_with`].
+pub fn partition(
+    automata: Vec<Automaton>,
+    port_count: usize,
+    mem_layout: &MemLayout,
+    cache: CachePolicy,
+    expansion_budget: usize,
+) -> Result<Partitioned, RuntimeError> {
+    partition_with(
+        automata,
+        port_count,
+        mem_layout,
+        RegionEngine::Jit(cache),
+        expansion_budget,
+    )
+}
+
 /// Split `automata` into synchronous regions connected by queue links.
 ///
 /// Every automaton *without* a queue hint goes into a region; regions are
 /// the connected components over shared ports. A queue automaton whose two
 /// sides touch different regions becomes a [`Link`]; one with both sides in
 /// the same region (or dangling sides) stays an ordinary automaton of that
-/// region.
-pub fn partition(
+/// region. `engine` selects each region's stepping core.
+pub fn partition_with(
     automata: Vec<Automaton>,
     port_count: usize,
     mem_layout: &MemLayout,
-    cache: CachePolicy,
+    engine: RegionEngine,
     expansion_budget: usize,
 ) -> Result<Partitioned, RuntimeError> {
     let _ = port_count; // regions shard to their own ports (kept for API stability)
@@ -413,17 +444,20 @@ pub fn partition(
     // still shares the global layout (regions touch disjoint cells, so
     // sharing it is safe and keeps ids global).
     let region_sizes: Vec<usize> = regions.iter().map(Vec::len).collect();
-    let engines: Vec<Arc<Engine>> = regions
-        .into_iter()
-        .map(|autos| {
-            let ports = PortMap::sparse(autos.iter().flat_map(|a| {
-                let ps = a.ports();
-                ps.iter().collect::<Vec<_>>()
-            }));
-            let core = JitCore::new(autos, cache.build(), expansion_budget);
-            Arc::new(Engine::new(Box::new(core), ports, Store::new(mem_layout)))
-        })
-        .collect();
+    let mut engines: Vec<Arc<Engine>> = Vec::with_capacity(regions.len());
+    for autos in regions {
+        let ports = PortMap::sparse(autos.iter().flat_map(|a| {
+            let ps = a.ports();
+            ps.iter().collect::<Vec<_>>()
+        }));
+        let core: Box<dyn EngineCore> = match engine {
+            RegionEngine::Jit(cache) => {
+                Box::new(JitCore::new(autos, cache.build(), expansion_budget))
+            }
+            RegionEngine::Compiled(opts) => Box::new(CompiledCore::from_region(&autos, &opts)?),
+        };
+        engines.push(Arc::new(Engine::new(core, ports, Store::new(mem_layout))));
+    }
 
     let mut router = HashMap::new();
     for (i, region) in automaton_region.iter().enumerate() {
@@ -488,12 +522,29 @@ impl Partitioned {
         let LinkState { queue, armed } = &mut *st;
         // Credit: free slots in the link queue (the armed front stays
         // queued until acknowledged, so `len` counts resident values).
+        let len0 = queue.len();
         let credit = link
             .capacity
-            .map_or(usize::MAX, |cap| cap.saturating_sub(queue.len()));
+            .map_or(usize::MAX, |cap| cap.saturating_sub(len0));
         let mut progressed =
             self.engines[link.from].link_drain_deliveries(link.in_port, queue, credit);
+        // The drain was capacity-throttled iff it used up every free slot
+        // of a bounded queue — only then can an acknowledgment below free
+        // anything worth a second pass.
+        let throttled = link.capacity.is_some() && queue.len() - len0 == credit;
+        let len1 = queue.len();
         progressed |= self.engines[link.to].link_offer_batch(link.out_port, queue, armed);
+        // Emit-before-drain credit: acknowledgments during the offer freed
+        // queue slots, and the drain above had been starved of credit —
+        // use the freed slots in this same pump step instead of leaving
+        // them to the next one (one fewer pump per value on a full link).
+        if throttled && queue.len() < len1 {
+            let credit = link
+                .capacity
+                .map_or(usize::MAX, |cap| cap.saturating_sub(queue.len()));
+            progressed |=
+                self.engines[link.from].link_drain_deliveries(link.in_port, queue, credit);
+        }
         progressed
     }
 
@@ -1137,6 +1188,48 @@ mod tests {
                 "cascade left a worklist mark set at round {k}"
             );
         }
+    }
+
+    /// Satellite (emit-before-drain credit): on a *full* bounded link, one
+    /// pump step must both acknowledge the consumed front (freeing a slot)
+    /// and refill that slot from the producer side — without the second
+    /// drain pass the refill costs an extra pump per value.
+    #[test]
+    fn freed_slot_is_reusable_within_the_same_pump_step() {
+        let part = Arc::new(two_region_pipeline()); // fifo1 link: capacity 1
+        part.pump();
+        assert_eq!(part.links[0].capacity, Some(1));
+        let tx = Arc::clone(part.engine_for(p(0)));
+        let rx = Arc::clone(part.engine_for(p(3)));
+
+        // Fill the link to capacity.
+        tx.register_send(p(0), Value::Int(0)).unwrap();
+        part.pump();
+        tx.wait_send(p(0), None).unwrap();
+        assert_eq!(part.links[0].depth(), 1, "link full");
+
+        // The next value queues up behind the full link: pumping moves
+        // nothing (no credit).
+        tx.register_send(p(0), Value::Int(1)).unwrap();
+        part.pump();
+        assert_eq!(part.links[0].depth(), 1, "no credit: value 1 must wait");
+
+        // The consumer takes the front; the acknowledgment (pop) is still
+        // pending inside the link.
+        rx.register_recv(p(3)).unwrap();
+        assert_eq!(rx.wait_recv(p(3), None).unwrap().as_int(), Some(0));
+        assert_eq!(part.links[0].depth(), 1, "front consumed but unacked");
+
+        // ONE pump step: the offer acknowledges (slot freed) and the
+        // second drain pass refills it immediately, completing the
+        // producer — one fewer pump per value.
+        assert!(part.pump_link(&part.links[0]));
+        assert_eq!(
+            part.links[0].depth(),
+            1,
+            "freed slot must be refilled within the same pump step"
+        );
+        tx.wait_send(p(0), None).unwrap(); // already complete: no more pumps
     }
 
     #[test]

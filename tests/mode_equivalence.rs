@@ -1,8 +1,9 @@
-//! Property tests: the four execution approaches are observationally
-//! equivalent. The paper's correctness claim for parametrized compilation
-//! is that it "strictly generalizes the existing compilation approach";
-//! here random connector programs are generated and driven end to end,
-//! and every mode must deliver the same data.
+//! Property tests: the execution approaches (existing, aot, jit,
+//! partitioned, compiled) are observationally equivalent. The paper's
+//! correctness claim for parametrized compilation is that it "strictly
+//! generalizes the existing compilation approach"; here random connector
+//! programs are generated and driven end to end, and every mode must
+//! deliver the same data.
 
 use proptest::prelude::*;
 
@@ -69,6 +70,8 @@ fn modes() -> Vec<Mode> {
         Mode::partitioned(),
         Mode::partitioned_with_workers(2),
         Mode::partitioned_auto(),
+        Mode::compiled(),
+        Mode::compiled_partitioned(),
     ]
 }
 
@@ -168,6 +171,8 @@ fn contended_disjoint_channels_agree_and_wakeups_stay_bounded() {
         ("partitioned", Mode::partitioned()),
         ("partitioned+workers", Mode::partitioned_with_workers(2)),
         ("partitioned+auto", Mode::partitioned_auto()),
+        ("compiled", Mode::compiled()),
+        ("compiled+partitioned", Mode::compiled_partitioned()),
     ];
     let reference: Vec<Vec<i64>> = (0..CHANNELS).map(|_| (0..K as i64).collect()).collect();
     for (label, mode) in grid {
@@ -341,12 +346,14 @@ fn relay_chains_run_kick_free_with_identical_traces() {
         ("partitioned", Mode::partitioned()),
         ("partitioned+workers", Mode::partitioned_with_workers(2)),
         ("partitioned+auto", Mode::partitioned_auto()),
+        ("compiled", Mode::compiled()),
+        ("compiled+partitioned", Mode::compiled_partitioned()),
     ];
     let reference: Vec<Vec<i64>> = (0..CHANNELS).map(|_| (0..K as i64).collect()).collect();
     for (label, mode) in grid {
         let (traces, stats) = traces_for(RELAY_SRC, mode, CHANNELS, K);
         assert_eq!(traces, reference, "{label}: per-port traces diverged");
-        if label != "jit" {
+        if label.contains("partitioned") {
             assert_eq!(
                 stats.kicks, 0,
                 "{label}: relay chains must skip the kick machinery: {stats:?}"
@@ -367,17 +374,20 @@ fn relay_chains_run_kick_free_with_identical_traces() {
 fn deep_bursts_through_capacity_links_agree_and_stay_fifo() {
     const CHANNELS: usize = 6;
     const K: usize = 700;
+    // No monolithic `Mode::compiled()` here: like ExistingMonolithic it
+    // composes the full 18-automaton product, which explodes at this size.
     let grid = [
         ("jit", Mode::jit()),
         ("partitioned", Mode::partitioned()),
         ("partitioned+workers", Mode::partitioned_with_workers(2)),
         ("partitioned+auto", Mode::partitioned_auto()),
+        ("compiled+partitioned", Mode::compiled_partitioned()),
     ];
     let reference: Vec<Vec<i64>> = (0..CHANNELS).map(|_| (0..K as i64).collect()).collect();
     for (label, mode) in grid {
         let (traces, stats) = traces_for(DEEP_RELAY_SRC, mode, CHANNELS, K);
         assert_eq!(traces, reference, "{label}: per-port traces diverged");
-        if label != "jit" {
+        if label.contains("partitioned") {
             assert_eq!(
                 stats.kicks, 0,
                 "{label}: single-link chains must stay kick-free: {stats:?}"
@@ -396,7 +406,7 @@ fn deep_bursts_through_capacity_links_agree_and_stay_fifo() {
 
 proptest! {
     #![proptest_config(ProptestConfig {
-        cases: 12, // each case spins up 6 modes x threads; keep it lean
+        cases: 12, // each case spins up 10 modes x threads; keep it lean
         .. ProptestConfig::default()
     })]
 
@@ -439,6 +449,8 @@ proptest! {
             ("partitioned", Mode::partitioned()),
             ("partitioned+workers", Mode::partitioned_with_workers(2)),
             ("partitioned+auto", Mode::partitioned_auto()),
+            ("compiled", Mode::compiled()),
+            ("compiled+partitioned", Mode::compiled_partitioned()),
         ] {
             let (traces, _) = traces_for(&src, mode, channels, k);
             prop_assert_eq!(
