@@ -3,7 +3,8 @@
 //! ```text
 //! cargo run --release -p reo-bench --bin scale -- \
 //!     [--secs 0.2] [--ns 1,2,4,8,16] [--families channels,relay,…] \
-//!     [--workers 2] [--json [BENCH_scale.json]]
+//!     [--workers 2] [--session-ns 1000,10000,100000] \
+//!     [--json [BENCH_scale.json]]
 //! ```
 //!
 //! For every family × task count, the connector is driven by no-compute
@@ -20,8 +21,10 @@
 use std::fmt::Write as _;
 use std::time::Duration;
 
-use reo_bench::json::{json_path, json_str};
-use reo_bench::scale::{run, run_codegen, verdict, Cell, CodegenCell, Config};
+use reo_bench::json::{json_opt_str, json_path, json_str};
+use reo_bench::scale::{
+    run, run_codegen, run_sessions, verdict, Cell, CodegenCell, Config, SessionsCell,
+};
 use reo_bench::Args;
 
 fn available_parallelism() -> usize {
@@ -36,6 +39,7 @@ fn main() {
         window: Duration::from_secs_f64(args.f64("secs", 0.2)),
         ns: args.usize_list("ns", &[1, 2, 4, 8, 16]),
         workers: args.usize("workers", 2),
+        session_counts: args.usize_list("session-ns", &[1_000, 10_000, 100_000]),
         ..Config::default()
     };
     if args.get("families").is_some() {
@@ -131,7 +135,40 @@ fn main() {
         );
     });
 
-    let v = verdict(&cells, &codegen);
+    // The async sessions sweep: fixed work, executor-driven, measuring
+    // session concurrency and wake precision instead of a windowed rate.
+    println!(
+        "\nAsync sessions sweep ({} executor threads, {} values per session):",
+        reo_bench::scale::SESSIONS_THREADS,
+        reo_bench::scale::SESSIONS_VALUES
+    );
+    println!(
+        "{:>9}  {:>8}  {:>8}  {:>10}  {:>11}  {:>11}  {:>10}  {:>9}",
+        "sessions", "tasks", "open-s", "drain-s", "values/s", "waker-wakes", "precision", "rss-KiB"
+    );
+    let sessions = run_sessions(&config, |c| {
+        if let Some(f) = &c.failure {
+            println!("{:>9}  {:>8}  FAIL: {f}", c.sessions, c.tasks);
+            return;
+        }
+        let rss = c
+            .rss_per_session_kib
+            .map(|r| format!("{r:.2}"))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:>9}  {:>8}  {:>8.2}  {:>10.2}  {:>11.0}  {:>11}  {:>10.3}  {:>9}",
+            c.sessions,
+            c.tasks,
+            c.open_secs,
+            c.drain_secs,
+            c.values_per_sec(),
+            c.waker_wakes,
+            c.wake_precision(),
+            rss
+        );
+    });
+
+    let v = verdict(&cells, &codegen, &sessions);
     println!(
         "\nverdict: targeted wakeups below broadcast baseline (channels, threads>2): {}",
         v.wakeups_below_broadcast
@@ -165,19 +202,31 @@ fn main() {
         v.codegen_beats_jit,
         codegen.len()
     );
+    println!(
+        "verdict: async sessions complete with wake precision <= {}: {} ({} cell(s))",
+        reo_bench::scale::SESSIONS_WAKE_PRECISION_CEILING,
+        v.async_sessions_scale,
+        sessions.len()
+    );
 
     if let Some(value) = args.get("json") {
         let path = json_path(value, "BENCH_scale.json");
-        std::fs::write(path, to_json(&cells, &codegen, &config)).expect("write JSON report");
+        std::fs::write(path, to_json(&cells, &codegen, &sessions, &config))
+            .expect("write JSON report");
         println!("wrote {path} ({} cells)", cells.len());
     }
 }
 
 /// Serialize the run by hand — the offline workspace carries no serde.
 /// Schema documented in [`reo_bench::json`].
-fn to_json(cells: &[Cell], codegen: &[CodegenCell], config: &Config) -> String {
+fn to_json(
+    cells: &[Cell],
+    codegen: &[CodegenCell],
+    sessions: &[SessionsCell],
+    config: &Config,
+) -> String {
     let mut s = String::from("{\n");
-    let v = verdict(cells, codegen);
+    let v = verdict(cells, codegen, sessions);
     let _ = writeln!(
         s,
         r#"  "benchmark": "scale",
@@ -190,6 +239,7 @@ fn to_json(cells: &[Cell], codegen: &[CodegenCell], config: &Config) -> String {
   "kick_wakeups_below_kicks": {},
   "locks_per_value_below_seed": {},
   "codegen_beats_jit": {},
+  "async_sessions_scale": {},
   "codegen": ["#,
         config.window.as_secs_f64(),
         config.ns,
@@ -199,7 +249,8 @@ fn to_json(cells: &[Cell], codegen: &[CodegenCell], config: &Config) -> String {
         v.workers_reach_jit,
         v.kick_wakeups_below_kicks,
         v.locks_per_value_below_seed,
-        v.codegen_beats_jit
+        v.codegen_beats_jit,
+        v.async_sessions_scale
     );
     let secs = config.window.as_secs_f64();
     for (i, c) in codegen.iter().enumerate() {
@@ -213,6 +264,33 @@ fn to_json(cells: &[Cell], codegen: &[CodegenCell], config: &Config) -> String {
             c.ratio()
         );
         s.push_str(if i + 1 < codegen.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"sessions\": [\n");
+    for (i, c) in sessions.iter().enumerate() {
+        let rss = c
+            .rss_per_session_kib
+            .map(|r| format!("{r:.3}"))
+            .unwrap_or_else(|| "null".into());
+        let _ = write!(
+            s,
+            r#"    {{"sessions":{},"tasks":{},"threads":{},"values":{},"completions":{},"waker_wakes":{},"wakeups":{},"lock_acquisitions":{},"steps":{},"open_secs":{:.3},"drain_secs":{:.3},"values_per_sec":{:.1},"wake_precision":{:.4},"rss_per_session_kib":{},"failure":{}}}"#,
+            c.sessions,
+            c.tasks,
+            c.threads,
+            c.values,
+            c.completions,
+            c.waker_wakes,
+            c.wakeups,
+            c.lock_acquisitions,
+            c.steps,
+            c.open_secs,
+            c.drain_secs,
+            c.values_per_sec(),
+            c.wake_precision(),
+            rss,
+            json_opt_str(&c.failure)
+        );
+        s.push_str(if i + 1 < sessions.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {

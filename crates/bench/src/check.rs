@@ -451,6 +451,42 @@ pub fn validate(doc: &Json, kind: Kind) -> Result<usize, String> {
                 require_num(duel, "ratio", &ctx)?;
             }
         }
+        // Optional async-sessions section (absent from pre-async
+        // baselines): fixed-work fleet cells behind the
+        // `async_sessions_scale` verdict.
+        if let Some(fleet) = doc.get("sessions") {
+            let fleet = fleet
+                .as_arr()
+                .ok_or("document: `sessions` is not an array")?;
+            for (i, cell) in fleet.iter().enumerate() {
+                let ctx = format!("sessions {i}");
+                for key in [
+                    "sessions",
+                    "tasks",
+                    "threads",
+                    "values",
+                    "completions",
+                    "waker_wakes",
+                    "wakeups",
+                    "lock_acquisitions",
+                    "steps",
+                    "open_secs",
+                    "drain_secs",
+                    "values_per_sec",
+                    "wake_precision",
+                ] {
+                    require_num(cell, key, &ctx)?;
+                }
+                // Null off-Linux or when allocator reuse hides the delta.
+                let rss = require(cell, "rss_per_session_kib", &ctx)?;
+                if !rss.is_null() && rss.as_num().is_none() {
+                    return Err(format!(
+                        "{ctx}: `rss_per_session_kib` is neither null nor a number"
+                    ));
+                }
+                check_failure(cell, "failure", &ctx)?;
+            }
+        }
     }
     Ok(cells.len())
 }
@@ -498,6 +534,21 @@ fn failure_map(doc: &Json, kind: Kind) -> Result<HashMap<String, bool>, String> 
                 );
                 out.insert(key, check_failure(cell, "failure", &ctx)?);
             }
+        }
+    }
+    if kind == Kind::Scale {
+        // Async-sessions cells (optional section) carry their own
+        // failure field and join the regression gate under distinct keys.
+        for (i, cell) in doc
+            .get("sessions")
+            .and_then(Json::as_arr)
+            .unwrap_or_default()
+            .iter()
+            .enumerate()
+        {
+            let ctx = format!("sessions {i}");
+            let key = format!("sessions/n={}/async", require_num(cell, "sessions", &ctx)?);
+            out.insert(key, check_failure(cell, "failure", &ctx)?);
         }
     }
     Ok(out)
@@ -623,6 +674,25 @@ fn metric_map(doc: &Json, kind: Kind) -> Result<HashMap<String, f64>, String> {
                 format!("{key}#compiled_ops_per_sec"),
                 require_num(duel, "compiled_ops_per_sec", ctx)?,
             );
+        }
+        // Async-sessions cells (optional: absent pre-async). Primary
+        // metric is drain throughput; wake precision and the footprint
+        // estimate ride along as `#`-suffixed lines.
+        for cell in doc
+            .get("sessions")
+            .and_then(Json::as_arr)
+            .unwrap_or_default()
+        {
+            let ctx = "sessions";
+            let key = format!("sessions/n={}/async", require_num(cell, "sessions", ctx)?);
+            out.insert(key.clone(), require_num(cell, "values_per_sec", ctx)?);
+            out.insert(
+                format!("{key}#wake_precision"),
+                require_num(cell, "wake_precision", ctx)?,
+            );
+            if let Some(r) = cell.get("rss_per_session_kib").and_then(Json::as_num) {
+                out.insert(format!("{key}#rss_per_session_kib"), r);
+            }
         }
     }
     Ok(out)
@@ -812,6 +882,68 @@ mod tests {
                 "relay/n=2/jit: 100.000 -> 110.000 (+10.0%)".to_string(),
             ]
         );
+    }
+
+    fn scale_doc(sessions_cell: &str) -> String {
+        format!(
+            r#"{{"benchmark":"scale","available_parallelism":1,
+              "sessions":[{sessions_cell}],
+              "cells":[
+              {{"family":"relay","n":2,"mode":"jit","threads":4,"steps":10,
+                "steps_per_sec":100.0,"wakeups":5,"spurious_wakeups":0,
+                "completions":20,"lock_acquisitions":40,
+                "broadcast_baseline_wakeups":20,"batch_moves":0,
+                "batched_values":0,"locks_per_value":null,"kicks":0,
+                "kick_wakeups":0,"steals":0,"p50_us":1.0,"p95_us":2.0,
+                "p99_us":3.0,"failure":null}}]}}"#
+        )
+    }
+
+    fn sessions_cell(failure: &str) -> String {
+        format!(
+            r#"{{"sessions":1000,"tasks":2000,"threads":4,"values":2,
+               "completions":4000,"waker_wakes":1000,"wakeups":0,
+               "lock_acquisitions":9000,"steps":2000,"open_secs":0.1,
+               "drain_secs":0.2,"values_per_sec":10000.0,
+               "wake_precision":0.25,"rss_per_session_kib":4.9,
+               "failure":{failure}}}"#
+        )
+    }
+
+    #[test]
+    fn validates_and_tracks_the_async_sessions_section() {
+        let doc = Json::parse(&scale_doc(&sessions_cell("null"))).unwrap();
+        assert_eq!(validate(&doc, Kind::Scale), Ok(1));
+
+        // A sessions cell missing a required field is a schema error.
+        let broken = Json::parse(&scale_doc(
+            r#"{"sessions":1000,"tasks":2000,"failure":null}"#,
+        ))
+        .unwrap();
+        assert!(validate(&broken, Kind::Scale)
+            .unwrap_err()
+            .contains("threads"));
+
+        // An ok→fail transition on a sessions cell trips the gate under
+        // its own key.
+        let bad = Json::parse(&scale_doc(&sessions_cell(r#""stalled""#))).unwrap();
+        assert_eq!(
+            failure_regressions(&bad, &doc, Kind::Scale).unwrap(),
+            vec!["sessions/n=1000/async".to_string()]
+        );
+
+        // And the tracking artifact carries the throughput, precision and
+        // footprint lines.
+        let lines = metric_deltas(&doc, &doc, Kind::Scale).unwrap();
+        assert!(lines
+            .iter()
+            .any(|l| l.starts_with("sessions/n=1000/async: 10000.000 -> 10000.000")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("sessions/n=1000/async#wake_precision")));
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("sessions/n=1000/async#rss_per_session_kib")));
     }
 
     #[test]

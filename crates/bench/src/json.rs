@@ -48,6 +48,14 @@
 //!   "workers": 2, "available_parallelism": 8,
 //!   "wakeups_below_broadcast": true, "workers_reach_jit": true,
 //!   "kick_wakeups_below_kicks": true, "locks_per_value_below_seed": true,
+//!   "codegen_beats_jit": true, "async_sessions_scale": true,
+//!   "sessions": [
+//!     { "sessions": 100000, "tasks": 200000, "threads": 4, "values": 2,
+//!       "completions": 400000, "waker_wakes": 100000, "wakeups": 0,
+//!       "lock_acquisitions": 900000, "steps": 200000,
+//!       "open_secs": 0.81, "drain_secs": 13.7, "values_per_sec": 14564.0,
+//!       "wake_precision": 0.25, "rss_per_session_kib": 4.95,
+//!       "failure": null } ],
 //!   "cells": [
 //!     { "family": "burst", "n": 8, "mode": "partitioned",
 //!       "threads": 9, "steps": 10917, "steps_per_sec": 54585.0,
@@ -85,9 +93,23 @@
 //! of the hit sub-bucket in microseconds (exact to within 1.25×), and
 //! `null` when the cell failed or completed no operation. The header's
 //! `available_parallelism` records the sweeping machine's core budget so
-//! readers can tell algorithmic wins from parallel speedup; the four
+//! readers can tell algorithmic wins from parallel speedup; the
 //! top-level booleans are the [`crate::scale::verdict`] acceptance
 //! checks.
+//!
+//! The `sessions` array is the async fleet sweep
+//! ([`crate::scale::run_sessions`]): per cell, `sessions` Fifo1
+//! connectors held open concurrently, each driven by an async
+//! producer/consumer pair (`tasks = 2 × sessions` futures) on a
+//! `threads`-thread hand-rolled executor, moving `values` values per
+//! session (fixed work, so `open_secs`/`drain_secs` are wall-clock, not
+//! a window). `waker_wakes` counts `Waker` fires — the async
+//! counterpart of the condvar `wakeups` — and `wake_precision` is
+//! `waker_wakes / completions`, gated at
+//! [`crate::scale::SESSIONS_WAKE_PRECISION_CEILING`] by the
+//! `async_sessions_scale` verdict. `rss_per_session_kib` is the
+//! peak-RSS-per-open-session estimate from `/proc/self/statm` deltas
+//! (`null` off-Linux or when allocator reuse hides the delta).
 
 use std::fmt::Write as _;
 

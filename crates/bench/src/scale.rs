@@ -44,12 +44,15 @@
 //!   The batched runtime must come in strictly below it — that is
 //!   [`Verdict::locks_per_value_below_seed`].
 
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use reo_automata::ProductOptions;
 use reo_connectors::driver::drive_with_limits;
 use reo_connectors::{burst_family, families, relay_family, Family, RunOutcome};
-use reo_runtime::{stepping_run, Limits, Mode, SteppingMode};
+use reo_exec::Executor;
+use reo_runtime::{stepping_run, Connector, Limits, Mode, SteppingMode};
 
 /// The family names swept by default: the disjoint-port rendezvous
 /// workload (`channels`), the disjoint-region link workload (`relay` —
@@ -113,6 +116,10 @@ pub struct Config {
     pub family_filter: Option<Vec<String>>,
     /// Fire-worker pool size of the `partitioned+workers` series.
     pub workers: usize,
+    /// Session-count sweep of the async `sessions` family
+    /// ([`run_sessions`]). Unlike the task-count sweep, these cells do a
+    /// fixed amount of work instead of filling a time window.
+    pub session_counts: Vec<usize>,
     pub limits: Limits,
 }
 
@@ -123,6 +130,7 @@ impl Default for Config {
             ns: vec![1, 2, 4, 8, 16],
             family_filter: None,
             workers: 2,
+            session_counts: vec![1_000, 10_000, 100_000],
             limits: Limits {
                 product: ProductOptions {
                     max_states: 1 << 16,
@@ -326,6 +334,241 @@ pub fn run_codegen(config: &Config, mut progress: impl FnMut(&CodegenCell)) -> V
 /// interpreter on every codegen duel for [`Verdict::codegen_beats_jit`].
 pub const CODEGEN_SPEEDUP_FLOOR: f64 = 3.0;
 
+/// Executor threads of the `sessions` family — the "handful" the async
+/// backend must carry 100k+ sessions on.
+pub const SESSIONS_THREADS: usize = 4;
+
+/// Values each session moves through its `Fifo1` in the `sessions`
+/// family. Small on purpose: the family measures session *concurrency*
+/// (opens, parked futures, targeted wakes), not per-channel throughput —
+/// the other families cover that.
+pub const SESSIONS_VALUES: usize = 2;
+
+/// Ceiling on `waker_wakes / completions` for
+/// [`Verdict::async_sessions_scale`]: a waker fires only when its port's
+/// pending operation completed, so the engines may wake at most a small
+/// constant per completed operation. A broadcast-style async backend
+/// (wake every parked future on every step) would blow past this by
+/// orders of magnitude at 100k sessions.
+pub const SESSIONS_WAKE_PRECISION_CEILING: f64 = 2.0;
+
+/// One cell of the async `sessions` sweep: `sessions` Fifo1 connectors
+/// opened concurrently, each driven by an async producer/consumer task
+/// pair on a [`SESSIONS_THREADS`]-thread [`Executor`]. Fixed work per
+/// cell (every session moves [`SESSIONS_VALUES`] values), so the
+/// interesting numbers are the wake counters and the footprint, not a
+/// windowed rate.
+#[derive(Clone, Debug)]
+pub struct SessionsCell {
+    /// Concurrently open sessions.
+    pub sessions: usize,
+    /// Spawned futures: two per session (producer + consumer).
+    pub tasks: usize,
+    /// Executor worker threads.
+    pub threads: usize,
+    /// Values moved per session.
+    pub values: usize,
+    /// Summed engine completions (one send + one recv per value).
+    pub completions: u64,
+    /// Summed `Waker` wakes — the async counterpart of `wakeups`.
+    pub waker_wakes: u64,
+    /// Summed condvar wakeups (blocking-side; ~0 in a pure-async sweep).
+    pub wakeups: u64,
+    /// Summed engine-lock acquisitions.
+    pub lock_acquisitions: u64,
+    /// Summed global execution steps.
+    pub steps: u64,
+    /// Wall-clock to open every session (connect + port take).
+    pub open_secs: f64,
+    /// Wall-clock from first spawn to last join.
+    pub drain_secs: f64,
+    /// Peak RSS estimate per open session in KiB (`/proc/self/statm`
+    /// deltas; `None` off-Linux or when allocator reuse hides the delta).
+    pub rss_per_session_kib: Option<f64>,
+    pub failure: Option<String>,
+}
+
+impl SessionsCell {
+    /// `waker_wakes / completions` — gated against
+    /// [`SESSIONS_WAKE_PRECISION_CEILING`].
+    pub fn wake_precision(&self) -> f64 {
+        self.waker_wakes as f64 / (self.completions.max(1)) as f64
+    }
+
+    /// End-to-end values per second of the drain phase.
+    pub fn values_per_sec(&self) -> f64 {
+        if self.drain_secs <= 0.0 {
+            return 0.0;
+        }
+        (self.sessions * self.values) as f64 / self.drain_secs
+    }
+}
+
+/// Resident set size in KiB via `/proc/self/statm`, `None` off-Linux.
+fn rss_kib() -> Option<u64> {
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let pages: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(pages * 4)
+}
+
+/// Run the async `sessions` sweep over `config.session_counts`.
+///
+/// Each cell compiles one `Fifo1` connector (once, shared), opens `n`
+/// sessions up front, then spawns an async producer and consumer per
+/// session onto a fresh [`SESSIONS_THREADS`]-thread executor and joins
+/// them all. A watchdog closes every connector if a cell stalls past its
+/// deadline, so a lost wake degrades into a recorded failure instead of
+/// hanging the harness.
+pub fn run_sessions(config: &Config, mut progress: impl FnMut(&SessionsCell)) -> Vec<SessionsCell> {
+    let program =
+        reo_dsl::parse_program("Buf(a;b) = Fifo1(a;b)").expect("sessions family program parses");
+    let connector = Connector::builder(&program, "Buf")
+        .mode(Mode::jit())
+        .build()
+        .expect("sessions family connector builds");
+
+    let mut cells = Vec::new();
+    for &n in &config.session_counts {
+        let values = SESSIONS_VALUES;
+        let rss0 = rss_kib();
+
+        // Open the whole fleet before any value moves.
+        let t_open = Instant::now();
+        let mut handles = Vec::with_capacity(n);
+        let mut ports = Vec::with_capacity(n);
+        let mut open_failure = None;
+        for _ in 0..n {
+            match connector.connect(&[]) {
+                Ok(mut s) => {
+                    let tx = s.typed_outport::<i64>("a").expect("port a");
+                    let rx = s.typed_inport::<i64>("b").expect("port b");
+                    handles.push(s.handle());
+                    ports.push((tx, rx));
+                }
+                Err(e) => {
+                    open_failure = Some(format!("connect failed: {e:?}"));
+                    break;
+                }
+            }
+        }
+        let open_secs = t_open.elapsed().as_secs_f64();
+        let rss_open = rss_kib();
+
+        // Drive it: two tasks per session. Errors (a watchdog close) end
+        // the task; value loss is caught by the received count below.
+        let exec = Executor::new(SESSIONS_THREADS);
+        let received = Arc::new(AtomicU64::new(0));
+        let misordered = Arc::new(AtomicBool::new(false));
+        let t_drain = Instant::now();
+        let mut joins = Vec::with_capacity(2 * ports.len());
+        for (tx, rx) in ports {
+            joins.push(exec.spawn(async move {
+                for v in 0..values as i64 {
+                    if tx.send_async(v).await.is_err() {
+                        return;
+                    }
+                }
+            }));
+            let received = Arc::clone(&received);
+            let misordered = Arc::clone(&misordered);
+            joins.push(exec.spawn(async move {
+                for v in 0..values as i64 {
+                    match rx.recv_async().await {
+                        Ok(got) => {
+                            if got != v {
+                                misordered.store(true, Ordering::Relaxed);
+                            }
+                            received.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => return,
+                    }
+                }
+            }));
+        }
+
+        // Watchdog: a stalled cell (lost wake, stuck session) is closed
+        // out and recorded as a failure rather than hanging the sweep.
+        let done = Arc::new(AtomicBool::new(false));
+        let watchdog = {
+            let done = Arc::clone(&done);
+            let handles = handles.clone();
+            let deadline = Instant::now() + Duration::from_secs(30 + n as u64 / 500);
+            std::thread::spawn(move || {
+                while !done.load(Ordering::Relaxed) {
+                    if Instant::now() >= deadline {
+                        for h in &handles {
+                            h.close();
+                        }
+                        return true;
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                false
+            })
+        };
+        for j in joins {
+            j.join();
+        }
+        let drain_secs = t_drain.elapsed().as_secs_f64();
+        done.store(true, Ordering::Relaxed);
+        let timed_out = watchdog.join().expect("watchdog thread");
+        let rss_drained = rss_kib();
+
+        let expected = (n * values) as u64;
+        let got = received.load(Ordering::SeqCst);
+        let failure = if let Some(f) = open_failure {
+            Some(f)
+        } else if timed_out {
+            Some(format!("stalled: {got}/{expected} values after deadline"))
+        } else if got != expected {
+            Some(format!("lost values: received {got}, expected {expected}"))
+        } else if misordered.load(Ordering::SeqCst) {
+            Some("a session observed its stream out of order".into())
+        } else {
+            None
+        };
+
+        let (mut completions, mut waker_wakes, mut wakeups) = (0u64, 0u64, 0u64);
+        let (mut lock_acquisitions, mut steps) = (0u64, 0u64);
+        for h in &handles {
+            let st = h.stats();
+            completions += st.completions;
+            waker_wakes += st.waker_wakes;
+            wakeups += st.wakeups;
+            lock_acquisitions += st.lock_acquisitions;
+            steps += h.steps();
+        }
+
+        // Peak of the two samples minus the pre-open floor; allocator
+        // reuse across cells can swallow the delta, hence the `None` arm.
+        let rss_per_session_kib = match (rss0, rss_open, rss_drained) {
+            (Some(a), Some(b), Some(c)) if b.max(c) > a && n > 0 => {
+                Some((b.max(c) - a) as f64 / n as f64)
+            }
+            _ => None,
+        };
+
+        let cell = SessionsCell {
+            sessions: n,
+            tasks: 2 * n,
+            threads: SESSIONS_THREADS,
+            values,
+            completions,
+            waker_wakes,
+            wakeups,
+            lock_acquisitions,
+            steps,
+            open_secs,
+            drain_secs,
+            rss_per_session_kib,
+            failure,
+        };
+        progress(&cell);
+        cells.push(cell);
+    }
+    cells
+}
+
 /// The acceptance checks the scale sweep exists to witness, evaluated on a
 /// finished grid (also asserted by `tests/mode_equivalence.rs` at a
 /// smaller scale):
@@ -343,7 +586,10 @@ pub const CODEGEN_SPEEDUP_FLOOR: f64 = 3.0;
 ///    ([`SEED_BURST_LOCKS_PER_VALUE`]);
 /// 5. on every codegen duel, the lowered stepping program completes at
 ///    least [`CODEGEN_SPEEDUP_FLOOR`]× the boundary operations of the jit
-///    interpreter.
+///    interpreter;
+/// 6. every async `sessions` cell completes all its values with wake
+///    precision `waker_wakes / completions` at most
+///    [`SESSIONS_WAKE_PRECISION_CEILING`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Verdict {
     /// Check 1, over every `channels` cell with `threads > 2` and
@@ -358,9 +604,11 @@ pub struct Verdict {
     pub locks_per_value_below_seed: bool,
     /// Check 5, over every [`CodegenCell`]; false when none ran.
     pub codegen_beats_jit: bool,
+    /// Check 6, over every [`SessionsCell`]; false when none ran.
+    pub async_sessions_scale: bool,
 }
 
-pub fn verdict(cells: &[Cell], codegen: &[CodegenCell]) -> Verdict {
+pub fn verdict(cells: &[Cell], codegen: &[CodegenCell], sessions: &[SessionsCell]) -> Verdict {
     let disjoint: Vec<&Cell> = cells
         .iter()
         .filter(|c| c.family == "channels" && c.threads > 2 && c.outcome.steps > 0)
@@ -433,12 +681,22 @@ pub fn verdict(cells: &[Cell], codegen: &[CodegenCell]) -> Verdict {
     let codegen_beats_jit =
         !codegen.is_empty() && codegen.iter().all(|c| c.ratio() >= CODEGEN_SPEEDUP_FLOOR);
 
+    // Check 6: every async sessions cell delivered every value and the
+    // engines woke futures with per-completion precision.
+    let async_sessions_scale = !sessions.is_empty()
+        && sessions.iter().all(|c| {
+            c.failure.is_none()
+                && c.completions > 0
+                && c.wake_precision() <= SESSIONS_WAKE_PRECISION_CEILING
+        });
+
     Verdict {
         wakeups_below_broadcast,
         workers_reach_jit,
         kick_wakeups_below_kicks,
         locks_per_value_below_seed,
         codegen_beats_jit,
+        async_sessions_scale,
     }
 }
 
@@ -480,7 +738,7 @@ mod tests {
             ..Config::default()
         };
         let cells = run(&config, |_| {});
-        let v = verdict(&cells, &[]);
+        let v = verdict(&cells, &[], &[]);
         assert!(
             v.wakeups_below_broadcast,
             "targeted wakeups not below broadcast baseline: {:?}",
@@ -506,7 +764,7 @@ mod tests {
             ..Config::default()
         };
         let cells = run(&config, |_| {});
-        let v = verdict(&cells, &[]);
+        let v = verdict(&cells, &[], &[]);
         assert!(
             v.kick_wakeups_below_kicks,
             "kick-queue wakeups not below the kick baseline: {:?}",
@@ -570,7 +828,36 @@ mod tests {
             "lowered stepping not ahead of the interpreter: {c:?}"
         );
         // The verdict is false on an empty duel set (nothing witnessed).
-        assert!(!verdict(&[], &[]).codegen_beats_jit);
+        assert!(!verdict(&[], &[], &[]).codegen_beats_jit);
+    }
+
+    #[test]
+    fn sessions_sweep_completes_with_precise_wakes_in_miniature() {
+        // A small fleet must deliver every value, keep the wake count
+        // within the precision ceiling, and satisfy the sixth verdict.
+        let config = Config {
+            session_counts: vec![64],
+            ..Config::default()
+        };
+        let cells = run_sessions(&config, |_| {});
+        assert_eq!(cells.len(), 1);
+        let c = &cells[0];
+        assert!(c.failure.is_none(), "{c:?}");
+        assert_eq!(c.sessions, 64);
+        assert_eq!(c.tasks, 128);
+        assert_eq!(c.threads, SESSIONS_THREADS);
+        assert_eq!(
+            c.completions,
+            2 * 64 * SESSIONS_VALUES as u64,
+            "every value completes one send and one recv: {c:?}"
+        );
+        assert!(
+            c.wake_precision() <= SESSIONS_WAKE_PRECISION_CEILING,
+            "waker storm in miniature: {c:?}"
+        );
+        assert!(verdict(&[], &[], &cells).async_sessions_scale);
+        // No sessions run → nothing witnessed → verdict false.
+        assert!(!verdict(&[], &[], &[]).async_sessions_scale);
     }
 
     #[test]
@@ -586,7 +873,7 @@ mod tests {
             ..Config::default()
         };
         let cells = run(&config, |_| {});
-        let v = verdict(&cells, &[]);
+        let v = verdict(&cells, &[], &[]);
         assert!(
             v.locks_per_value_below_seed,
             "locks per value not below the unbatched baseline {}: {:?}",

@@ -56,6 +56,7 @@
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::task::Waker;
 use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
@@ -249,6 +250,14 @@ pub struct EngineStats {
     pub completions: u64,
     /// Threads woken by targeted notifications (see type docs).
     pub wakeups: u64,
+    /// Stored [`std::task::Waker`]s woken by targeted notifications: the
+    /// async twin of `wakeups`. A future that polls `Pending` parks its
+    /// waker in the port's slot; a step completing that port (or
+    /// close/poison) takes and wakes it, counting one here. Like
+    /// `wakeups` this stays in the order of `completions` — the verdict
+    /// `async_sessions_scale` gates `waker_wakes ≤ 2 × completions`
+    /// (targeted wakeups, not polling).
+    pub waker_wakes: u64,
     /// Wakeups after which the woken task found its operation still
     /// incomplete and had to block again.
     pub spurious_wakeups: u64,
@@ -282,6 +291,7 @@ impl EngineStats {
         self.steps += other.steps;
         self.completions += other.completions;
         self.wakeups += other.wakeups;
+        self.waker_wakes += other.waker_wakes;
         self.spurious_wakeups += other.spurious_wakeups;
         self.lock_acquisitions += other.lock_acquisitions;
         self.batch_moves += other.batch_moves;
@@ -325,11 +335,19 @@ pub(crate) struct EngineInner {
     /// notifications: a port with zero waiters gets no notify call and no
     /// wakeup count).
     waiters: Vec<u32>,
+    /// The *async* waiter of each local port slot: a future that polled
+    /// while its operation was still pending parks its `Waker` here
+    /// instead of an OS thread on the condvar. At most one pending
+    /// operation exists per port (`PortBusy` otherwise), so one slot per
+    /// port suffices — no waker lists. A completed step takes and wakes
+    /// exactly the completed ports' wakers, mirroring the condvar path.
+    wakers: Vec<Option<Waker>>,
     /// Scratch buffer for the ports completed by one step (reused).
     completed: Vec<PortId>,
     pub steps: u64,
     completions: u64,
     wakeups: u64,
+    waker_wakes: u64,
     spurious_wakeups: u64,
     batch_moves: u64,
     batched_values: u64,
@@ -364,10 +382,12 @@ impl Engine {
                 pending: PendingTable::new(Arc::clone(&ports)),
                 store,
                 waiters: vec![0; n],
+                wakers: (0..n).map(|_| None).collect(),
                 completed: Vec::new(),
                 steps: 0,
                 completions: 0,
                 wakeups: 0,
+                waker_wakes: 0,
                 spurious_wakeups: 0,
                 batch_moves: 0,
                 batched_values: 0,
@@ -400,6 +420,7 @@ impl Engine {
             steps: inner.steps,
             completions: inner.completions,
             wakeups: inner.wakeups,
+            waker_wakes: inner.waker_wakes,
             spurious_wakeups: inner.spurious_wakeups,
             lock_acquisitions: self.lock_acquisitions.load(Ordering::Relaxed),
             batch_moves: inner.batch_moves,
@@ -441,13 +462,21 @@ impl Engine {
         self.lock().poisoned.clone()
     }
 
-    /// Notify every port with a registered waiter (close/poison paths).
-    /// Called with the lock held.
+    /// Notify every port with a registered waiter — condvar parkers *and*
+    /// stored wakers (close/poison paths: a pending future polled after
+    /// close must resolve to `Closed`, not hang). Called with the lock
+    /// held.
     fn wake_all(&self, inner: &mut EngineInner) {
         for (i, &w) in inner.waiters.iter().enumerate() {
             if w > 0 {
                 inner.wakeups += w as u64;
                 self.port_cvs[i].notify_all();
+            }
+        }
+        for slot in 0..inner.wakers.len() {
+            if let Some(w) = inner.wakers[slot].take() {
+                inner.waker_wakes += 1;
+                w.wake();
             }
         }
     }
@@ -483,6 +512,10 @@ impl Engine {
                         if w > 0 {
                             inner.wakeups += w as u64;
                             self.port_cvs[slot].notify_all();
+                        }
+                        if let Some(w) = inner.wakers[slot].take() {
+                            inner.waker_wakes += 1;
+                            w.wake();
                         }
                     }
                     inner.completed = completed;
@@ -601,11 +634,19 @@ impl Engine {
     }
 
     /// Phase 1 of `recv`.
+    ///
+    /// A pre-existing `DoneRecv` is *not* an error: a cancelled
+    /// [`RecvFuture`](crate::port::RecvFuture) leaves a delivery that
+    /// raced its drop parked in the slot (see [`abandon_recv`]), and this
+    /// registration is then already satisfied — the wait phase takes it.
+    ///
+    /// [`abandon_recv`]: Engine::abandon_recv
     pub(crate) fn register_recv(&self, p: PortId) -> Result<(), RuntimeError> {
         let mut inner = self.lock();
         Self::check_open(&inner)?;
         match inner.pending.get(p) {
             Pending::None => inner.pending.set(p, Pending::Recv),
+            Pending::DoneRecv(_) => return Ok(()), // abandoned delivery: take it in phase 2
             _ => return Err(RuntimeError::PortBusy(p)),
         }
         self.fire_loop(&mut inner);
@@ -687,6 +728,137 @@ impl Engine {
             }
             other => unreachable!("recv slot held {other:?} at try probe"),
         }
+    }
+
+    /// One poll of an async send, under **one** engine-lock hold.
+    ///
+    /// First poll (`value` is `Some`): registers `Pending::Send` (the
+    /// async twin of [`register_send`]) and fires what it enables — the
+    /// common uncontended case completes right here without ever storing
+    /// a waker. While the operation stays pending the task's `Waker` is
+    /// parked in the port's waker slot (replacing any staler clone) and
+    /// `None` is returned; a step that completes the port takes and
+    /// wakes it (counted as `waker_wakes`). Close/poison resolve the
+    /// poll with the same errors as the blocking path.
+    ///
+    /// Returns `Some(result)` when the future is ready, `None` when
+    /// pending. After `Some`, the registration is consumed — a drop of
+    /// the future must no longer retract.
+    ///
+    /// [`register_send`]: Engine::register_send
+    pub(crate) fn poll_send(
+        &self,
+        p: PortId,
+        value: &mut Option<Value>,
+        waker: &Waker,
+    ) -> Option<Result<(), RuntimeError>> {
+        let mut inner = self.lock();
+        if let Some(v) = value.take() {
+            if let Err(e) = Self::check_open(&inner) {
+                return Some(Err(e));
+            }
+            match inner.pending.get(p) {
+                Pending::None => inner.pending.set(p, Pending::Send(v)),
+                _ => return Some(Err(RuntimeError::PortBusy(p))),
+            }
+            self.fire_loop(&mut inner);
+        }
+        if matches!(inner.pending.get(p), Pending::DoneSend) {
+            inner.pending.set(p, Pending::None);
+            return Some(Ok(()));
+        }
+        if let Some(msg) = &inner.poisoned {
+            return Some(Err(RuntimeError::Poisoned(msg.clone())));
+        }
+        if inner.closed {
+            return Some(Err(RuntimeError::Closed));
+        }
+        let slot = self.ports.slot(p);
+        inner.wakers[slot] = Some(waker.clone());
+        None
+    }
+
+    /// One poll of an async recv, under **one** engine-lock hold; the
+    /// recv twin of [`poll_send`]. `registered` tracks whether phase 1
+    /// already ran (the future's state, so a re-poll does not
+    /// re-register). A pre-existing `DoneRecv` from an abandoned future
+    /// satisfies the first poll immediately (see [`register_recv`]).
+    ///
+    /// [`poll_send`]: Engine::poll_send
+    /// [`register_recv`]: Engine::register_recv
+    pub(crate) fn poll_recv(
+        &self,
+        p: PortId,
+        registered: &mut bool,
+        waker: &Waker,
+    ) -> Option<Result<Value, RuntimeError>> {
+        let mut inner = self.lock();
+        if !*registered {
+            if let Err(e) = Self::check_open(&inner) {
+                return Some(Err(e));
+            }
+            match inner.pending.get(p) {
+                Pending::None => {
+                    inner.pending.set(p, Pending::Recv);
+                    *registered = true;
+                    self.fire_loop(&mut inner);
+                }
+                Pending::DoneRecv(_) => *registered = true,
+                _ => return Some(Err(RuntimeError::PortBusy(p))),
+            }
+        }
+        if matches!(inner.pending.get(p), Pending::DoneRecv(_)) {
+            let Pending::DoneRecv(v) = inner.pending.take(p) else {
+                unreachable!("matched above");
+            };
+            return Some(Ok(v));
+        }
+        if let Some(msg) = &inner.poisoned {
+            return Some(Err(RuntimeError::Poisoned(msg.clone())));
+        }
+        if inner.closed {
+            return Some(Err(RuntimeError::Closed));
+        }
+        let slot = self.ports.slot(p);
+        inner.wakers[slot] = Some(waker.clone());
+        None
+    }
+
+    /// Drop-retraction of a registered async send: the cancellation twin
+    /// of [`expire_send`], atomic under the same engine lock that fires
+    /// transitions, so a cancelled future can never leak a half-armed
+    /// operation. A `Send` still pending is retracted (the value never
+    /// entered the connector); a `DoneSend` is acknowledged (a step took
+    /// the value before the drop — it is *in* the connector, exactly
+    /// once). The parked waker, if any, is discarded.
+    ///
+    /// [`expire_send`]: Engine::expire_send
+    pub(crate) fn abandon_send(&self, p: PortId) {
+        let mut inner = self.lock();
+        if matches!(inner.pending.get(p), Pending::Send(_) | Pending::DoneSend) {
+            inner.pending.set(p, Pending::None);
+        }
+        let slot = self.ports.slot(p);
+        inner.wakers[slot] = None;
+    }
+
+    /// Drop-retraction of a registered async recv. A pending `Recv` is
+    /// retracted; a `DoneRecv` is deliberately **left parked** — the
+    /// delivery was already committed by a fired step, so taking it out
+    /// here would lose the value. The next receive on this port absorbs
+    /// it instead ([`register_recv`] / [`poll_recv`] treat a parked
+    /// `DoneRecv` as an already-satisfied registration): no loss, no
+    /// duplication.
+    ///
+    /// [`register_recv`]: Engine::register_recv
+    /// [`poll_recv`]: Engine::poll_recv
+    pub(crate) fn abandon_recv(&self, p: PortId) {
+        let mut inner = self.lock();
+        if matches!(inner.pending.get(p), Pending::Recv) {
+            inner.pending.set(p, Pending::None);
+        }
+        let slot = self.ports.slot(p);
+        inner.wakers[slot] = None;
     }
 
     /// Batched accept-side link transfer: under **one** engine-lock hold,

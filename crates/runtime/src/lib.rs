@@ -77,6 +77,7 @@ pub mod jit;
 pub mod partition;
 pub mod port;
 pub mod program;
+pub mod select;
 pub mod stepping;
 
 pub use cache::{CachePolicy, CacheStats};
@@ -84,7 +85,8 @@ pub use compiled::CompiledCore;
 pub use connector::{Connector, ConnectorBuilder, ConnectorHandle, Limits, Mode, Session, Workers};
 pub use engine::EngineStats;
 pub use error::RuntimeError;
-pub use port::{Inport, Messages, Outport};
+pub use port::{Inport, Messages, Outport, RecvFuture, SendFuture};
 pub use program::{run_main, RunReport, TaskCtx, TaskRegistry};
 pub use reo_automata::{FromValue, IntoValue};
+pub use select::{select2, select_slice, Either, Select2, SelectSlice};
 pub use stepping::{stepping_run, SteppingMode, SteppingRun};

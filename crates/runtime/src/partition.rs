@@ -210,6 +210,15 @@ pub struct Link {
     /// cleared by the dequeuing worker *before* it pumps, so a kick that
     /// races the pump re-enqueues and is never lost.
     queued: AtomicBool,
+    /// The contention-handoff flag: a pumper that finds the link lock
+    /// held raises it and leaves (the holder is already in a pump step
+    /// and re-pumps on its way out) instead of convoying on the lock.
+    /// Raised *before* the `try_lock` attempt and cleared by the holder
+    /// only while it holds the lock, so a flag raised between the
+    /// holder's last in-lock clear and its release is always observed by
+    /// the holder's post-release re-check — a delegated pump cannot be
+    /// stranded.
+    repump: AtomicBool,
 }
 
 impl Link {
@@ -437,6 +446,7 @@ pub fn partition_with(
                 armed: false,
             }),
             queued: AtomicBool::new(false),
+            repump: AtomicBool::new(false),
         });
     }
 
@@ -509,6 +519,40 @@ impl Partitioned {
     /// across the whole sequence (lock order is always link → engine;
     /// engines never take link locks, so there is no cycle).
     ///
+    /// **Contention-aware handoff:** the link lock is taken with a
+    /// `try_lock`. A pumper that finds it held does not convoy behind the
+    /// holder — it raises the link's `repump` flag and returns; the
+    /// holder is mid-pump-step and, seeing the flag on its way out,
+    /// re-pumps to cover the delegated work. The flag is raised *before*
+    /// the `try_lock` and the holder clears it only while holding the
+    /// lock, then re-checks it after every release: whichever side loses
+    /// the race, the flag is observed and the work is done (see `Link`).
+    ///
+    /// Returns `true` iff *this call* observed progress. A delegated call
+    /// returns `false` — the holder observes (and, in its own cascade,
+    /// propagates) the progress instead.
+    fn pump_link(&self, link: &Link) -> bool {
+        link.repump.store(true, Ordering::SeqCst);
+        let mut progressed = false;
+        loop {
+            let Some(mut st) = link.state.try_lock() else {
+                // Lock held: the holder's post-release re-check sees the
+                // flag we just raised and re-pumps on our behalf.
+                return progressed;
+            };
+            link.repump.store(false, Ordering::SeqCst);
+            progressed |= self.pump_link_locked(link, &mut st);
+            drop(st);
+            if !link.repump.load(Ordering::SeqCst) {
+                return progressed;
+            }
+            // A contender delegated to us between our last in-lock clear
+            // and the release: loop and cover its pump.
+        }
+    }
+
+    /// The pump-step body, with the link state lock held.
+    ///
     /// Exactly two engine-lock acquisitions, each moving as many values as
     /// it can: the accept side drains every delivery the *from* engine can
     /// produce (re-arming between takes, up to the link's free capacity —
@@ -517,9 +561,8 @@ impl Partitioned {
     /// acquisitions to move at most one value, so a backlog of depth `k`
     /// cost `O(k)` cascade revisits at `O(4k)` lock round-trips; now it is
     /// one pump step at two.
-    fn pump_link(&self, link: &Link) -> bool {
-        let mut st = link.state.lock();
-        let LinkState { queue, armed } = &mut *st;
+    fn pump_link_locked(&self, link: &Link, st: &mut LinkState) -> bool {
+        let LinkState { queue, armed } = st;
         // Credit: free slots in the link queue (the armed front stays
         // queued until acknowledged, so `len` counts resident values).
         let len0 = queue.len();
@@ -1293,6 +1336,96 @@ mod tests {
             let v = e.wait_recv(p(3), None).unwrap();
             part.kick(p(3));
             assert_eq!(v.as_int(), Some(k), "link reordered or lost a value");
+        }
+        tx.join().unwrap();
+        stop.store(true, Ordering::Relaxed);
+        for t in pumpers {
+            t.join().unwrap();
+        }
+    }
+
+    /// Satellite (contention-aware handoff): a pumper that finds the link
+    /// lock held must not convoy — it raises the `repump` flag and
+    /// returns immediately; the holder sees the flag on its way out and
+    /// performs the delegated pump itself.
+    #[test]
+    fn contended_pump_delegates_to_the_holder_via_the_repump_flag() {
+        use std::sync::atomic::Ordering;
+        let part = two_region_pipeline();
+        part.pump();
+        let link = &part.links[0];
+
+        // A value is ready to cross: the drain side can arm + take it.
+        let tx = Arc::clone(part.engine_for(p(0)));
+        tx.register_send(p(0), Value::Int(7)).unwrap();
+
+        // Simulate a holder mid-pump-step: take the link state lock.
+        let guard = link.state.lock();
+        // The contender must neither block nor pump: it delegates.
+        assert!(
+            !part.pump_link(link),
+            "a delegated pump reports no progress"
+        );
+        assert!(
+            link.repump.load(Ordering::SeqCst),
+            "the contender must leave the repump flag raised for the holder"
+        );
+        // Inspect through the held guard (`depth()` would self-deadlock).
+        assert_eq!(guard.queue.len(), 0, "the contender must not have pumped");
+        drop(guard);
+
+        // The holder's post-release re-check runs exactly this call: the
+        // raised flag routes the delegated work to it, it pumps, and the
+        // flag comes back down.
+        assert!(part.pump_link(link), "the holder's re-pump covers the work");
+        assert_eq!(link.depth(), 1, "the delegated value crossed the link");
+        assert!(
+            !link.repump.load(Ordering::SeqCst),
+            "a completed pump leaves the flag clear"
+        );
+        tx.wait_send(p(0), None).unwrap(); // the producer was completed too
+    }
+
+    /// Satellite (contention-aware handoff), adversarially: two threads
+    /// hammer `pump_link` on the same link while a full stream crosses
+    /// it. Every overlap takes the delegation path; if a holder ever
+    /// missed a raised flag the stream would strand (both ends block
+    /// forever) — completion of all K values in order is the proof.
+    #[test]
+    fn delegated_pumps_are_never_stranded_under_contention() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let part = Arc::new(two_region_pipeline());
+        part.pump();
+
+        let stop = Arc::new(AtomicBool::new(false));
+        let pumpers: Vec<_> = (0..2)
+            .map(|_| {
+                let part = Arc::clone(&part);
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    while !stop.load(Ordering::Relaxed) {
+                        part.pump_link(&part.links[0]);
+                    }
+                })
+            })
+            .collect();
+
+        // No kicks anywhere: the contending pumpers are the only engine
+        // of progress, so a stranded delegation would hang this stream.
+        const K: i64 = 500;
+        let part_tx = Arc::clone(&part);
+        let tx = std::thread::spawn(move || {
+            let e = Arc::clone(part_tx.engine_for(p(0)));
+            for k in 0..K {
+                e.register_send(p(0), Value::Int(k)).unwrap();
+                e.wait_send(p(0), None).unwrap();
+            }
+        });
+        let e = Arc::clone(part.engine_for(p(3)));
+        for k in 0..K {
+            e.register_recv(p(3)).unwrap();
+            let v = e.wait_recv(p(3), None).unwrap();
+            assert_eq!(v.as_int(), Some(k), "contended link lost or reordered");
         }
         tx.join().unwrap();
         stop.store(true, Ordering::Relaxed);

@@ -22,9 +22,23 @@
 //!   never lose or duplicate a message).
 //! * **iteration** — `for v in &inport { … }` drains deliveries until the
 //!   connector closes.
+//! * **async operations** — [`Outport::send_async`]/[`Inport::recv_async`]
+//!   return hand-rolled [`SendFuture`]/[`RecvFuture`]s (no external
+//!   runtime required; any executor works, e.g. `reo-exec`). A pending
+//!   future parks its [`Waker`](std::task::Waker) in the engine's
+//!   per-port waker slot and is woken exactly when its port completes —
+//!   the same targeted-wakeup discipline as the blocking path, counted
+//!   as `waker_wakes` in [`crate::EngineStats`]. Dropping a pending
+//!   future *retracts* its registered operation atomically under the
+//!   engine lock (the timeout-retraction path), so cancellation — e.g.
+//!   losing a [`crate::select::select2`] race — can never lose or
+//!   duplicate a message.
 
+use std::future::Future;
 use std::marker::PhantomData;
+use std::pin::Pin;
 use std::sync::Arc;
+use std::task::{Context, Poll};
 use std::time::{Duration, Instant};
 
 use reo_automata::{FromValue, IntoValue, PortId, Value};
@@ -126,6 +140,82 @@ impl Backend {
         }
     }
 
+    /// One poll of an async send (see `Engine::poll_send`). In the
+    /// `Multi` case the partition is kicked after the first poll (the
+    /// registration may enable cross-region link traffic) and after
+    /// completion — mirroring the blocking path's register→kick→wait→kick
+    /// discipline. The waker is parked *before* the kick, so a completion
+    /// raced by the kick's own pump cannot be lost.
+    fn poll_send(
+        &self,
+        p: PortId,
+        value: &mut Option<Value>,
+        cx: &mut Context<'_>,
+    ) -> Poll<Result<(), RuntimeError>> {
+        let first = value.is_some();
+        let r = match self {
+            Backend::Single(e) => e.poll_send(p, value, cx.waker()),
+            Backend::Multi(m) => {
+                let e = Arc::clone(m.engine_for(p));
+                let r = e.poll_send(p, value, cx.waker());
+                if first || r.is_some() {
+                    m.kick(p);
+                }
+                r
+            }
+        };
+        match r {
+            Some(res) => Poll::Ready(res),
+            None => Poll::Pending,
+        }
+    }
+
+    /// One poll of an async recv; kick discipline as in
+    /// [`Backend::poll_send`].
+    fn poll_recv(
+        &self,
+        p: PortId,
+        registered: &mut bool,
+        cx: &mut Context<'_>,
+    ) -> Poll<Result<Value, RuntimeError>> {
+        let first = !*registered;
+        let r = match self {
+            Backend::Single(e) => e.poll_recv(p, registered, cx.waker()),
+            Backend::Multi(m) => {
+                let e = Arc::clone(m.engine_for(p));
+                let r = e.poll_recv(p, registered, cx.waker());
+                if first || r.is_some() {
+                    m.kick(p);
+                }
+                r
+            }
+        };
+        match r {
+            Some(res) => Poll::Ready(res),
+            None => Poll::Pending,
+        }
+    }
+
+    /// Drop-retraction of a cancelled async send (see
+    /// `Engine::abandon_send`). No kick: a retraction removes an
+    /// operation and cannot enable new transitions.
+    fn abandon_send(&self, p: PortId) {
+        match self {
+            Backend::Single(e) => e.abandon_send(p),
+            Backend::Multi(m) => m.engine_for(p).abandon_send(p),
+        }
+    }
+
+    /// Drop-retraction of a cancelled async recv (see
+    /// `Engine::abandon_recv`; a raced delivery stays parked for the next
+    /// receive on the port).
+    fn abandon_recv(&self, p: PortId) {
+        match self {
+            Backend::Single(e) => e.abandon_recv(p),
+            Backend::Multi(m) => m.engine_for(p).abandon_recv(p),
+        }
+    }
+
     pub(crate) fn steps(&self) -> u64 {
         match self {
             Backend::Single(e) => e.steps(),
@@ -221,6 +311,41 @@ impl<T: IntoValue> Outport<T> {
             .send(self.port, v.into().into_value(), deadline_in(timeout))
     }
 
+    /// Async send: resolves once the connector has accepted the message.
+    ///
+    /// The returned [`SendFuture`] registers the operation on its first
+    /// poll (the uncontended case completes right there, without parking
+    /// anything) and otherwise parks the task's waker in the engine's
+    /// per-port slot — it is woken exactly when this port completes, not
+    /// on unrelated traffic. Dropping the future before completion
+    /// retracts the registration atomically; a send whose value was
+    /// already taken by a transition counts as delivered (exactly once).
+    pub fn send_async(&self, v: impl Into<T>) -> SendFuture<'_> {
+        SendFuture {
+            backend: &self.backend,
+            port: self.port,
+            value: Some(v.into().into_value()),
+            done: false,
+        }
+    }
+
+    /// Low-level poll of an async send, for hand-written futures.
+    ///
+    /// `value` is the operation's state: `Some(v)` registers the send on
+    /// this poll (taking the value); `None` re-polls an already
+    /// registered one. On [`Poll::Pending`] the waker of `cx` is parked
+    /// in the port's waker slot. A caller that abandons a registered,
+    /// still-pending operation without polling it to completion must not
+    /// reuse the port until the connector closes — prefer
+    /// [`Outport::send_async`], whose future retracts on drop.
+    pub fn poll_send(
+        &self,
+        cx: &mut Context<'_>,
+        value: &mut Option<Value>,
+    ) -> Poll<Result<(), RuntimeError>> {
+        self.backend.poll_send(self.port, value, cx)
+    }
+
     /// Re-type the handle; the connector itself is data-agnostic, so this
     /// only changes what the `send` signature accepts.
     pub fn typed<U: IntoValue>(self) -> Outport<U> {
@@ -297,6 +422,41 @@ impl<T: FromValue> Inport<T> {
         }
     }
 
+    /// Async receive: resolves to the delivered message.
+    ///
+    /// The returned [`RecvFuture`] registers the receive on its first
+    /// poll and parks the task's waker while the operation is pending
+    /// (see [`Outport::send_async`] for the wakeup discipline). Dropping
+    /// the future before completion retracts the registration; a
+    /// delivery that raced the drop is *not* lost — it stays parked in
+    /// the port's slot and satisfies the next receive on this port.
+    pub fn recv_async(&self) -> RecvFuture<'_, T> {
+        RecvFuture {
+            backend: &self.backend,
+            port: self.port,
+            registered: false,
+            done: false,
+            _payload: PhantomData,
+        }
+    }
+
+    /// Low-level poll of an async receive, for hand-written futures.
+    ///
+    /// `registered` is the operation's state (start with `false`; set by
+    /// this call once the receive is registered). On [`Poll::Pending`]
+    /// the waker of `cx` is parked in the port's waker slot. Prefer
+    /// [`Inport::recv_async`], whose future retracts on drop.
+    pub fn poll_recv(
+        &self,
+        cx: &mut Context<'_>,
+        registered: &mut bool,
+    ) -> Poll<Result<T, RuntimeError>> {
+        match self.backend.poll_recv(self.port, registered, cx) {
+            Poll::Ready(r) => Poll::Ready(r.and_then(convert)),
+            Poll::Pending => Poll::Pending,
+        }
+    }
+
     /// Re-type the handle: subsequent receives unwrap into `U`.
     pub fn typed<U: FromValue>(self) -> Inport<U> {
         Inport::new(self.backend, self.port)
@@ -367,6 +527,107 @@ impl<'a, T: FromValue> IntoIterator for &'a Inport<T> {
 
     fn into_iter(self) -> Messages<'a, T> {
         self.iter()
+    }
+}
+
+/// The future of [`Outport::send_async`]: resolves once the connector
+/// accepts the message.
+///
+/// State machine: `value: Some` = not yet registered (the first poll
+/// registers and may complete immediately); `value: None, done: false` =
+/// registered and pending (waker parked); `done: true` = resolved.
+/// Dropping the future in the registered-pending state retracts the
+/// operation atomically under the engine lock — the cancelled send was
+/// never accepted, so re-sending the value cannot duplicate it. If a
+/// transition took the value before the drop, it was delivered exactly
+/// once and the drop merely acknowledges.
+#[must_use = "futures do nothing unless polled"]
+pub struct SendFuture<'a> {
+    backend: &'a Backend,
+    port: PortId,
+    /// `Some` until the first poll registers the operation.
+    value: Option<Value>,
+    /// Resolved: drop must no longer retract.
+    done: bool,
+}
+
+impl Future for SendFuture<'_> {
+    type Output = Result<(), RuntimeError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        assert!(!this.done, "SendFuture polled after completion");
+        match this.backend.poll_send(this.port, &mut this.value, cx) {
+            Poll::Ready(r) => {
+                this.done = true;
+                Poll::Ready(r)
+            }
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+impl Drop for SendFuture<'_> {
+    fn drop(&mut self) {
+        // Registered (value taken by the first poll) but never resolved:
+        // retract. An unpolled future (value still Some) armed nothing.
+        if !self.done && self.value.is_none() {
+            self.backend.abandon_send(self.port);
+        }
+    }
+}
+
+impl std::fmt::Debug for SendFuture<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SendFuture({})", self.port)
+    }
+}
+
+/// The future of [`Inport::recv_async`]: resolves to the delivered
+/// message (converted to `T`).
+///
+/// Dropping the future while its receive is pending retracts the
+/// registration; a delivery that raced the drop stays parked in the
+/// port's slot and satisfies the next receive on this port — cancelled
+/// receives never lose values.
+#[must_use = "futures do nothing unless polled"]
+pub struct RecvFuture<'a, T = Value> {
+    backend: &'a Backend,
+    port: PortId,
+    /// Set once the first poll registered the receive.
+    registered: bool,
+    /// Resolved: drop must no longer retract.
+    done: bool,
+    _payload: PhantomData<fn() -> T>,
+}
+
+impl<T: FromValue> Future for RecvFuture<'_, T> {
+    type Output = Result<T, RuntimeError>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        assert!(!this.done, "RecvFuture polled after completion");
+        match this.backend.poll_recv(this.port, &mut this.registered, cx) {
+            Poll::Ready(r) => {
+                this.done = true;
+                Poll::Ready(r.and_then(convert))
+            }
+            Poll::Pending => Poll::Pending,
+        }
+    }
+}
+
+impl<T> Drop for RecvFuture<'_, T> {
+    fn drop(&mut self) {
+        if self.registered && !self.done {
+            self.backend.abandon_recv(self.port);
+        }
+    }
+}
+
+impl<T> std::fmt::Debug for RecvFuture<'_, T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "RecvFuture({})", self.port)
     }
 }
 

@@ -12,7 +12,10 @@
 //! * [`core`] — parametrized compilation (flattening, normalization,
 //!   medium-automata templates, instantiation);
 //! * [`dsl`] — the textual syntax of Sect. IV-B;
-//! * [`runtime`] — blocking ports and the four execution modes;
+//! * [`runtime`] — blocking *and async* ports and the execution modes;
+//! * [`exec`] — a minimal hand-rolled async executor (task arena,
+//!   global+local run queues) for 100k+ concurrent sessions on a few
+//!   threads;
 //! * [`connectors`] — the 18 parametrizable connector families of Fig. 12;
 //! * [`npb`] — the NAS Parallel Benchmarks substrate of Fig. 13.
 //!
@@ -59,8 +62,12 @@ pub use reo_automata as automata;
 pub use reo_connectors as connectors;
 pub use reo_core as core;
 pub use reo_dsl as dsl;
+pub use reo_exec as exec;
 pub use reo_npb as npb;
 pub use reo_runtime as runtime;
 
 pub use reo_automata::{FromValue, IntoValue, Value};
-pub use reo_runtime::{Connector, Inport, Mode, Outport, RuntimeError, Session};
+pub use reo_runtime::{
+    select2, select_slice, Connector, Either, Inport, Mode, Outport, RecvFuture, RuntimeError,
+    SendFuture, Session,
+};

@@ -5,10 +5,24 @@
 //! programs are generated and driven end to end, and every mode must
 //! deliver the same data.
 
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll, Waker};
+
 use proptest::prelude::*;
 
 use reo::runtime::{CachePolicy, Connector, Mode};
 use reo::Value;
+
+/// A do-nothing waker for polling port futures by hand (the poll-once
+/// cancellation loops below never wait on a wake — they drop and retry).
+fn noop_waker() -> Waker {
+    struct Noop;
+    impl std::task::Wake for Noop {
+        fn wake(self: std::sync::Arc<Self>) {}
+    }
+    Waker::from(std::sync::Arc::new(Noop))
+}
 
 /// A random pipeline stage.
 #[derive(Clone, Copy, Debug)]
@@ -153,6 +167,105 @@ fn channel_traces(
         channels,
         k,
     )
+}
+
+/// [`run_pipeline`], but driven by the async backend: producer and
+/// consumer are futures on the hand-rolled executor, moving data with
+/// `send_async`/`recv_async` instead of parking OS threads.
+fn run_pipeline_async(src: &str, k: usize, mode: Mode) -> Vec<i64> {
+    let program = reo::dsl::parse_program(src).unwrap();
+    let connector = Connector::compile(&program, "P", mode).unwrap();
+    let mut session = connector.connect(&[]).unwrap();
+    let tx = session.typed_outport::<i64>("a").unwrap();
+    let rx = session.typed_inport::<i64>("b").unwrap();
+    let exec = reo::exec::Executor::new(2);
+    let producer = exec.spawn(async move {
+        for i in 0..k as i64 {
+            tx.send_async(i).await.unwrap();
+        }
+    });
+    let consumer = exec.spawn(async move {
+        let mut got = Vec::with_capacity(k);
+        for _ in 0..k {
+            got.push(rx.recv_async().await.unwrap());
+        }
+        got
+    });
+    producer.join();
+    consumer.join()
+}
+
+/// The async backend joins the grid: futures-driven traces must be
+/// identical to what the synchronous drivers observe (the `0..k` FIFO
+/// reference that `pipelines_agree_across_all_modes` pins for the same
+/// sources) — on every one of the 10 runtimes.
+#[test]
+fn async_driving_matches_the_sync_reference_across_all_modes() {
+    const K: usize = 200;
+    let srcs = [
+        "P(a;b) = Fifo1(a;b)",
+        "P(a;b) = Sync(a;m) mult FifoN<2>(m;n) mult Sync(n;b)",
+    ];
+    let reference: Vec<i64> = (0..K as i64).collect();
+    for src in srcs {
+        for mode in modes() {
+            let got = run_pipeline_async(src, K, mode);
+            assert_eq!(got, reference, "{mode:?} on {src}: async trace diverged");
+        }
+    }
+}
+
+/// PR 2's retraction stress, futures edition: every receive is a
+/// `RecvFuture` polled once by hand and *dropped mid-flight* whenever it
+/// is not immediately ready. A delivery racing such a drop stays parked
+/// in the port's slot and must satisfy the next receive — so across
+/// thousands of cancelled in-flight futures, the observed stream is
+/// exactly `0..k` in every runtime: nothing lost, nothing duplicated.
+#[test]
+fn cancelled_recv_futures_lose_nothing_across_the_runtime_grid() {
+    const K: i64 = 400;
+    for mode in modes() {
+        let program = reo::dsl::parse_program("P(a;b) = Fifo1(a;b)").unwrap();
+        let connector = Connector::compile(&program, "P", mode).unwrap();
+        let mut session = connector.connect(&[]).unwrap();
+        let tx = session.typed_outport::<i64>("a").unwrap();
+        let rx = session.typed_inport::<i64>("b").unwrap();
+        let waker = noop_waker();
+        let mut cx = Context::from_waker(&waker);
+        // Deterministic seed cancellation: register on the empty fifo,
+        // then drop the in-flight future.
+        let mut dropped = 0u64;
+        {
+            let mut fut = rx.recv_async();
+            assert!(Pin::new(&mut fut).poll(&mut cx).is_pending());
+            dropped += 1;
+        }
+        let producer = std::thread::spawn(move || {
+            for v in 0..K {
+                tx.send(v).unwrap();
+            }
+        });
+        let mut got = Vec::with_capacity(K as usize);
+        while got.len() < K as usize {
+            let mut fut = rx.recv_async();
+            match Pin::new(&mut fut).poll(&mut cx) {
+                Poll::Ready(r) => got.push(r.unwrap()),
+                Poll::Pending => {
+                    dropped += 1; // drop(fut) retracts the registration
+                    drop(fut);
+                    std::thread::yield_now();
+                }
+            }
+        }
+        producer.join().unwrap();
+        let reference: Vec<i64> = (0..K).collect();
+        assert_eq!(
+            got, reference,
+            "{mode:?}: cancellation lost or duplicated values"
+        );
+        assert!(dropped > 0);
+        eprintln!("{mode:?}: {dropped} in-flight receives dropped across {K} deliveries");
+    }
 }
 
 /// The contended stress case: 16 tasks, > 10k port operations, on a
