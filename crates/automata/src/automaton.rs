@@ -133,6 +133,17 @@ impl Automaton {
         self.initial
     }
 
+    /// A clone of this automaton whose initial state is `s` — used by the
+    /// reconfiguration splice to resume a constituent from its *current*
+    /// control state rather than from scratch. States unreachable from `s`
+    /// are kept (they are harmless and keep [`StateId`]s stable).
+    pub fn with_initial(&self, s: StateId) -> Automaton {
+        assert!(s.index() < self.states.len(), "state {s:?} out of range");
+        let mut a = self.clone();
+        a.initial = s;
+        a
+    }
+
     pub fn state_count(&self) -> usize {
         self.states.len()
     }

@@ -45,7 +45,9 @@ pub use fire::{try_fire, Firing};
 pub use guard::{Cmp, Guard, Pred};
 pub use lower::{lower, lower_with, ExecScratch, LowerOptions, Lowered, LoweredTransition};
 pub use port::{MemId, PortAllocator, PortId, PortSet};
-pub use product::{product, product_all, Explosion, ProductOptions};
+pub use product::{
+    product, product_all, product_all_traced, product_from, Explosion, ProductOptions, StateTrace,
+};
 pub use simplify::simplify;
 pub use store::{MemLayout, Store};
 pub use term::{Func, Term};

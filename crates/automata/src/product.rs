@@ -72,6 +72,25 @@ pub fn product(
     b: &Automaton,
     opts: &ProductOptions,
 ) -> Result<Automaton, Explosion> {
+    product_from(a, b, a.initial(), b.initial(), opts).map(|(p, _)| p)
+}
+
+/// Compose two automata with ×, starting the reachable-only construction
+/// from the given constituent states instead of the initials, and return
+/// for every product state the `(a, b)` state pair it stands for.
+///
+/// `pairs[s.index()]` is the constituent pair of product state `s`; the
+/// product's initial state is `(sa, sb)`. This is the building block of
+/// [`product_all_traced`], which the dynamic-reconfiguration splice uses to
+/// re-compose a region *from its current state tuple* while keeping the
+/// tuple recoverable from any later product state.
+pub fn product_from(
+    a: &Automaton,
+    b: &Automaton,
+    sa: StateId,
+    sb: StateId,
+    opts: &ProductOptions,
+) -> Result<(Automaton, Vec<(StateId, StateId)>), Explosion> {
     let ports_a = a.ports();
     let ports_b = b.ports();
     let shared = ports_a.intersection(&ports_b);
@@ -118,10 +137,10 @@ pub fn product(
     mems.merge(a.mem_layout());
     mems.merge(b.mem_layout());
 
-    // Reachable-only BFS over state pairs.
+    // Reachable-only BFS over state pairs, from the requested start pair.
     let mut index: HashMap<(StateId, StateId), StateId> = HashMap::new();
     let mut queue: Vec<(StateId, StateId)> = Vec::new();
-    let initial = (a.initial(), b.initial());
+    let initial = (sa, sb);
     let first = builder.state();
     index.insert(initial, first);
     queue.push(initial);
@@ -245,7 +264,10 @@ pub fn product(
     }
     let mut result = builder.build();
     copy_mems(&mut result, &mems, a, b);
-    Ok(result)
+    // `queue` was pushed in lockstep with `builder.state()` (one entry per
+    // interned pair, never popped — `head` is a cursor), so it doubles as
+    // the product-state → constituent-pair trace.
+    Ok((result, queue))
 }
 
 fn copy_mems(result: &mut Automaton, _mems: &MemLayout, a: &Automaton, b: &Automaton) {
@@ -270,6 +292,46 @@ pub fn product_all(autos: &[Automaton], opts: &ProductOptions) -> Result<Automat
         acc = product(&acc, next, opts)?;
     }
     Ok(acc)
+}
+
+/// Per-product-state constituent tuples: `trace[s.index()]` is the tuple
+/// of constituent states that product state `s` stands for.
+pub type StateTrace = Vec<Box<[StateId]>>;
+
+/// Compose a list of automata with ×, starting each constituent from the
+/// given state, and return alongside the product a **trace**:
+/// `trace[s.index()]` is the constituent state tuple that product state `s`
+/// stands for (one entry per input automaton, in input order).
+///
+/// The product's initial state corresponds exactly to `starts`. Label
+/// simplification must **not** be applied to a traced product — merging
+/// states would orphan the trace. This is the composition primitive of the
+/// dynamic-reconfiguration splice: a region is re-composed from its current
+/// tuple, and the tuple stays recoverable from whatever product state the
+/// region reaches later.
+pub fn product_all_traced(
+    autos: &[Automaton],
+    starts: &[StateId],
+    opts: &ProductOptions,
+) -> Result<(Automaton, StateTrace), Explosion> {
+    assert!(!autos.is_empty(), "product of zero automata");
+    assert_eq!(autos.len(), starts.len(), "one start state per automaton");
+    let mut acc = autos[0].with_initial(starts[0]);
+    // Identity trace over the first constituent.
+    let mut trace: Vec<Box<[StateId]>> = acc.all_states().map(|s| Box::from([s])).collect();
+    for (next, &start) in autos[1..].iter().zip(&starts[1..]) {
+        let (prod, pairs) = product_from(&acc, next, acc.initial(), start, opts)?;
+        trace = pairs
+            .iter()
+            .map(|&(sa, sb)| {
+                let mut tuple = trace[sa.index()].to_vec();
+                tuple.push(sb);
+                tuple.into_boxed_slice()
+            })
+            .collect();
+        acc = prod;
+    }
+    Ok((acc, trace))
 }
 
 #[cfg(test)]

@@ -138,6 +138,28 @@ impl Store {
     pub fn clear(&mut self, m: MemId) {
         self.cells[m.index()].clear();
     }
+
+    /// Extend the store with cells `cell_count()..layout.len()`, each
+    /// initialized from the layout. Existing cells keep their current
+    /// contents — this is the memory-growth half of a dynamic
+    /// reconfiguration splice, where new constituents bring fresh cells
+    /// while the surviving constituents' state must not move.
+    pub fn grow(&mut self, layout: &MemLayout) {
+        for i in self.cells.len()..layout.len() {
+            let m = MemId(i as u32);
+            self.cells
+                .push(layout.initial_contents(m).iter().cloned().collect());
+        }
+    }
+
+    /// Whether cell `m`'s current contents equal the layout's initial
+    /// contents — the memory half of a constituent quiescence check before
+    /// it may be removed by a reconfiguration.
+    pub fn matches_initial(&self, m: MemId, layout: &MemLayout) -> bool {
+        let cell = &self.cells[m.index()];
+        let init = layout.initial_contents(m);
+        cell.len() == init.len() && cell.iter().zip(init.iter()).all(|(a, b)| a == b)
+    }
 }
 
 #[cfg(test)]

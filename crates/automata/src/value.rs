@@ -9,7 +9,11 @@ use std::fmt;
 use std::sync::Arc;
 
 /// A message. `Clone` is cheap for every variant (bulk data is `Arc`-shared).
-#[derive(Clone, Debug, Default)]
+///
+/// `PartialEq` compares payloads structurally (floats bitwise via their
+/// ordering semantics — `NaN != NaN`); the runtime only uses it for
+/// quiescence checks, never for protocol decisions.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub enum Value {
     /// The unit token; what spouts and token rings circulate.
     #[default]

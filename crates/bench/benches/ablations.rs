@@ -26,10 +26,16 @@ fn bench_simplify_ablation(c: &mut Criterion) {
     for (label, simplify) in [("on", true), ("off", false)] {
         group.bench_function(label, |b| {
             b.iter_custom(|iters| {
-                let connector =
-                    Connector::compile(&program, family.def, Mode::ExistingMonolithic { simplify })
-                        .unwrap();
-                let mut session = connector.connect(&[("tl", 8), ("hd", 8)]).unwrap();
+                let connector = Connector::builder(&program, family.def)
+                    .mode(Mode::ExistingMonolithic { simplify })
+                    .build()
+                    .unwrap();
+                let mut session = connector
+                    .session()
+                    .replicate("tl", 8)
+                    .replicate("hd", 8)
+                    .connect()
+                    .unwrap();
                 let senders = session.outports("tl").unwrap();
                 let receivers = session.inports("hd").unwrap();
                 let start = Instant::now();
@@ -70,8 +76,11 @@ fn bench_cache_ablation(c: &mut Criterion) {
         group.bench_function(label, |b| {
             // The sequencer is single-thread drivable: clients complete
             // strictly in rotation.
-            let connector = Connector::compile(&program, family.def, Mode::Jit { cache }).unwrap();
-            let mut session = connector.connect(&[("t", 6)]).unwrap();
+            let connector = Connector::builder(&program, family.def)
+                .mode(Mode::Jit { cache })
+                .build()
+                .unwrap();
+            let mut session = connector.session().replicate("t", 6).connect().unwrap();
             let clients = session.outports("t").unwrap();
             b.iter(|| {
                 for client in &clients {
@@ -96,8 +105,16 @@ fn bench_partition_ablation(c: &mut Criterion) {
         for (label, mode) in [("jit", Mode::jit()), ("partitioned", Mode::partitioned())] {
             group.bench_with_input(BenchmarkId::new(label, n), &n, |b, &n| {
                 b.iter_custom(|iters| {
-                    let connector = Connector::compile(&program, family.def, mode).unwrap();
-                    let mut session = connector.connect(&[("v", n), ("w", n)]).unwrap();
+                    let connector = Connector::builder(&program, family.def)
+                        .mode(mode)
+                        .build()
+                        .unwrap();
+                    let mut session = connector
+                        .session()
+                        .replicate("v", n)
+                        .replicate("w", n)
+                        .connect()
+                        .unwrap();
                     let master_out = session.outports("m").unwrap().pop().unwrap();
                     let results = session.inports("res").unwrap().pop().unwrap();
                     let work_in = session.inports("w").unwrap();

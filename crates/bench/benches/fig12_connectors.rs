@@ -17,8 +17,16 @@ fn ordered_round(n: usize, mode: Mode, rounds: u64) -> Duration {
         .find(|f| f.name == "ordered")
         .expect("ordered family");
     let program = family.program();
-    let connector = Connector::compile(&program, family.def, mode).unwrap();
-    let mut session = connector.connect(&[("tl", n), ("hd", n)]).unwrap();
+    let connector = Connector::builder(&program, family.def)
+        .mode(mode)
+        .build()
+        .unwrap();
+    let mut session = connector
+        .session()
+        .replicate("tl", n)
+        .replicate("hd", n)
+        .connect()
+        .unwrap();
     let senders = session.outports("tl").unwrap();
     let receivers = session.inports("hd").unwrap();
 
@@ -64,8 +72,11 @@ fn merger_round(n: usize, mode: Mode, rounds: u64) -> Duration {
         .find(|f| f.name == "merger")
         .expect("merger family");
     let program = family.program();
-    let connector = Connector::compile(&program, family.def, mode).unwrap();
-    let mut session = connector.connect(&[("tl", n)]).unwrap();
+    let connector = Connector::builder(&program, family.def)
+        .mode(mode)
+        .build()
+        .unwrap();
+    let mut session = connector.session().replicate("tl", n).connect().unwrap();
     let senders = session.outports("tl").unwrap();
     let receiver = session.inports("hd").unwrap().pop().unwrap();
 

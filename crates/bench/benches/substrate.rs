@@ -96,8 +96,11 @@ fn bench_port_roundtrip(c: &mut Criterion) {
         ("aot", Mode::AotCompose { simplify: true }),
     ] {
         group.bench_function(label, |b| {
-            let connector = Connector::compile(&program, "Buf", mode).unwrap();
-            let mut session = connector.connect(&[]).unwrap();
+            let connector = Connector::builder(&program, "Buf")
+                .mode(mode)
+                .build()
+                .unwrap();
+            let mut session = connector.session().connect().unwrap();
             let tx = session.outports("a").unwrap().pop().unwrap();
             let rx = session.inports("b").unwrap().pop().unwrap();
             b.iter(|| {

@@ -23,7 +23,8 @@ use std::time::Duration;
 
 use reo_bench::json::{json_opt_str, json_path, json_str};
 use reo_bench::scale::{
-    run, run_codegen, run_sessions, verdict, Cell, CodegenCell, Config, SessionsCell,
+    run, run_churn, run_codegen, run_sessions, verdict, Cell, ChurnCell, CodegenCell, Config,
+    SessionsCell,
 };
 use reo_bench::Args;
 
@@ -40,6 +41,7 @@ fn main() {
         ns: args.usize_list("ns", &[1, 2, 4, 8, 16]),
         workers: args.usize("workers", 2),
         session_counts: args.usize_list("session-ns", &[1_000, 10_000, 100_000]),
+        churn_counts: args.usize_list("churn-ns", &[2, 8]),
         ..Config::default()
     };
     if args.get("families").is_some() {
@@ -168,7 +170,35 @@ fn main() {
         );
     });
 
-    let v = verdict(&cells, &codegen, &sessions);
+    // The reconfiguration churn sweep: branches join and leave a running
+    // merger as fast as the splice path allows, while static producers
+    // keep the data moving; exactly-once accounting is folded into each
+    // cell's failure field.
+    println!(
+        "\nReconfiguration churn sweep ({:.2}s window per cell):",
+        window.as_secs_f64()
+    );
+    println!(
+        "{:>4}  {:<20}{:>9}  {:>11}  {:>9}  {:>11}",
+        "N", "mode", "splices", "splices/s", "values", "values/s"
+    );
+    let churn = run_churn(&config, |c| {
+        if let Some(f) = &c.failure {
+            println!("{:>4}  {:<20}FAIL: {f}", c.n, c.mode);
+            return;
+        }
+        println!(
+            "{:>4}  {:<20}{:>9}  {:>11.1}  {:>9}  {:>11.0}",
+            c.n,
+            c.mode,
+            c.splices,
+            c.splices_per_sec(),
+            c.values,
+            c.values_per_sec()
+        );
+    });
+
+    let v = verdict(&cells, &codegen, &sessions, &churn);
     println!(
         "\nverdict: targeted wakeups below broadcast baseline (channels, threads>2): {}",
         v.wakeups_below_broadcast
@@ -208,10 +238,15 @@ fn main() {
         v.async_sessions_scale,
         sessions.len()
     );
+    println!(
+        "verdict: churn cells deliver exactly-once across join/leave splices: {} ({} cell(s))",
+        v.reconfig_churn_scale,
+        churn.len()
+    );
 
     if let Some(value) = args.get("json") {
         let path = json_path(value, "BENCH_scale.json");
-        std::fs::write(path, to_json(&cells, &codegen, &sessions, &config))
+        std::fs::write(path, to_json(&cells, &codegen, &sessions, &churn, &config))
             .expect("write JSON report");
         println!("wrote {path} ({} cells)", cells.len());
     }
@@ -223,10 +258,11 @@ fn to_json(
     cells: &[Cell],
     codegen: &[CodegenCell],
     sessions: &[SessionsCell],
+    churn: &[ChurnCell],
     config: &Config,
 ) -> String {
     let mut s = String::from("{\n");
-    let v = verdict(cells, codegen, sessions);
+    let v = verdict(cells, codegen, sessions, churn);
     let _ = writeln!(
         s,
         r#"  "benchmark": "scale",
@@ -240,6 +276,7 @@ fn to_json(
   "locks_per_value_below_seed": {},
   "codegen_beats_jit": {},
   "async_sessions_scale": {},
+  "reconfig_churn_scale": {},
   "codegen": ["#,
         config.window.as_secs_f64(),
         config.ns,
@@ -250,7 +287,8 @@ fn to_json(
         v.kick_wakeups_below_kicks,
         v.locks_per_value_below_seed,
         v.codegen_beats_jit,
-        v.async_sessions_scale
+        v.async_sessions_scale,
+        v.reconfig_churn_scale
     );
     let secs = config.window.as_secs_f64();
     for (i, c) in codegen.iter().enumerate() {
@@ -291,6 +329,23 @@ fn to_json(
             json_opt_str(&c.failure)
         );
         s.push_str(if i + 1 < sessions.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"churn\": [\n");
+    for (i, c) in churn.iter().enumerate() {
+        let _ = write!(
+            s,
+            r#"    {{"family":"churn","n":{},"mode":{},"splices":{},"splices_per_sec":{:.1},"values":{},"received":{},"values_per_sec":{:.1},"window_secs":{:.3},"failure":{}}}"#,
+            c.n,
+            json_str(c.mode),
+            c.splices,
+            c.splices_per_sec(),
+            c.values,
+            c.received,
+            c.values_per_sec(),
+            c.window_secs,
+            json_opt_str(&c.failure)
+        );
+        s.push_str(if i + 1 < churn.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {

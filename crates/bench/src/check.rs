@@ -487,6 +487,29 @@ pub fn validate(doc: &Json, kind: Kind) -> Result<usize, String> {
                 check_failure(cell, "failure", &ctx)?;
             }
         }
+        // Optional reconfiguration-churn section (absent from
+        // pre-reconfiguration baselines): windowed join/leave cells
+        // behind the `reconfig_churn_scale` verdict.
+        if let Some(churn) = doc.get("churn") {
+            let churn = churn.as_arr().ok_or("document: `churn` is not an array")?;
+            for (i, cell) in churn.iter().enumerate() {
+                let ctx = format!("churn {i}");
+                require_str(cell, "family", &ctx)?;
+                require_str(cell, "mode", &ctx)?;
+                for key in [
+                    "n",
+                    "splices",
+                    "splices_per_sec",
+                    "values",
+                    "received",
+                    "values_per_sec",
+                    "window_secs",
+                ] {
+                    require_num(cell, key, &ctx)?;
+                }
+                check_failure(cell, "failure", &ctx)?;
+            }
+        }
     }
     Ok(cells.len())
 }
@@ -548,6 +571,22 @@ fn failure_map(doc: &Json, kind: Kind) -> Result<HashMap<String, bool>, String> 
         {
             let ctx = format!("sessions {i}");
             let key = format!("sessions/n={}/async", require_num(cell, "sessions", &ctx)?);
+            out.insert(key, check_failure(cell, "failure", &ctx)?);
+        }
+        // Reconfiguration-churn cells (optional section) likewise.
+        for (i, cell) in doc
+            .get("churn")
+            .and_then(Json::as_arr)
+            .unwrap_or_default()
+            .iter()
+            .enumerate()
+        {
+            let ctx = format!("churn {i}");
+            let key = format!(
+                "churn/n={}/{}",
+                require_num(cell, "n", &ctx)?,
+                require_str(cell, "mode", &ctx)?
+            );
             out.insert(key, check_failure(cell, "failure", &ctx)?);
         }
     }
@@ -693,6 +732,22 @@ fn metric_map(doc: &Json, kind: Kind) -> Result<HashMap<String, f64>, String> {
             if let Some(r) = cell.get("rss_per_session_kib").and_then(Json::as_num) {
                 out.insert(format!("{key}#rss_per_session_kib"), r);
             }
+        }
+        // Reconfiguration-churn cells (optional: absent
+        // pre-reconfiguration). Primary metric is the splice rate; the
+        // delivered-value rate rides along.
+        for cell in doc.get("churn").and_then(Json::as_arr).unwrap_or_default() {
+            let ctx = "churn";
+            let key = format!(
+                "churn/n={}/{}",
+                require_num(cell, "n", ctx)?,
+                require_str(cell, "mode", ctx)?
+            );
+            out.insert(key.clone(), require_num(cell, "splices_per_sec", ctx)?);
+            out.insert(
+                format!("{key}#values_per_sec"),
+                require_num(cell, "values_per_sec", ctx)?,
+            );
         }
     }
     Ok(out)

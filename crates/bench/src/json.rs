@@ -49,6 +49,7 @@
 //!   "wakeups_below_broadcast": true, "workers_reach_jit": true,
 //!   "kick_wakeups_below_kicks": true, "locks_per_value_below_seed": true,
 //!   "codegen_beats_jit": true, "async_sessions_scale": true,
+//!   "reconfig_churn_scale": true,
 //!   "sessions": [
 //!     { "sessions": 100000, "tasks": 200000, "threads": 4, "values": 2,
 //!       "completions": 400000, "waker_wakes": 100000, "wakeups": 0,
@@ -56,6 +57,11 @@
 //!       "open_secs": 0.81, "drain_secs": 13.7, "values_per_sec": 14564.0,
 //!       "wake_precision": 0.25, "rss_per_session_kib": 4.95,
 //!       "failure": null } ],
+//!   "churn": [
+//!     { "family": "churn", "n": 8, "mode": "partitioned+auto",
+//!       "splices": 46, "splices_per_sec": 230.0,
+//!       "values": 5012, "received": 5012, "values_per_sec": 25060.0,
+//!       "window_secs": 0.2, "failure": null } ],
 //!   "cells": [
 //!     { "family": "burst", "n": 8, "mode": "partitioned",
 //!       "threads": 9, "steps": 10917, "steps_per_sec": 54585.0,
@@ -110,6 +116,16 @@
 //! `async_sessions_scale` verdict. `rss_per_session_kib` is the
 //! peak-RSS-per-open-session estimate from `/proc/self/statm` deltas
 //! (`null` off-Linux or when allocator reuse hides the delta).
+//!
+//! The `churn` array is the dynamic-reconfiguration sweep
+//! ([`crate::scale::run_churn`]): per cell, a reconfigurable merger
+//! starts with `n` producer branches under continuous load while the
+//! driver attaches and detaches an extra branch in a loop for
+//! `window_secs`. `splices` is the final session epoch (one per attach
+//! or detach), `values` the producer-reported accepted sends and
+//! `received` the consumer-side deliveries after a full drain — the
+//! `reconfig_churn_scale` verdict requires `received == values` (no
+//! loss, no duplicates) and `splices ≥ 2` on every cell.
 
 use std::fmt::Write as _;
 

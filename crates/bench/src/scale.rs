@@ -120,6 +120,10 @@ pub struct Config {
     /// ([`run_sessions`]). Unlike the task-count sweep, these cells do a
     /// fixed amount of work instead of filling a time window.
     pub session_counts: Vec<usize>,
+    /// Initial branch counts of the reconfiguration `churn` family
+    /// ([`run_churn`]): producers merging into one sink while branches
+    /// join and leave mid-window.
+    pub churn_counts: Vec<usize>,
     pub limits: Limits,
 }
 
@@ -131,6 +135,7 @@ impl Default for Config {
             family_filter: None,
             workers: 2,
             session_counts: vec![1_000, 10_000, 100_000],
+            churn_counts: vec![2, 8],
             limits: Limits {
                 product: ProductOptions {
                     max_states: 1 << 16,
@@ -438,7 +443,7 @@ pub fn run_sessions(config: &Config, mut progress: impl FnMut(&SessionsCell)) ->
         let mut ports = Vec::with_capacity(n);
         let mut open_failure = None;
         for _ in 0..n {
-            match connector.connect(&[]) {
+            match connector.session().connect() {
                 Ok(mut s) => {
                     let tx = s.typed_outport::<i64>("a").expect("port a");
                     let rx = s.typed_inport::<i64>("b").expect("port b");
@@ -569,6 +574,249 @@ pub fn run_sessions(config: &Config, mut progress: impl FnMut(&SessionsCell)) ->
     cells
 }
 
+/// The connector of the reconfiguration `churn` family: one `Fifo1` per
+/// producer branch feeding a variadic stateless `Merger`. The buffered
+/// branches let producers run ahead of the sink by one value each, and
+/// the merger is the *variable-shape* constituent every splice reshapes.
+pub const CHURN_SRC: &str =
+    "M(src[];c) = prod (i:1..#src) Fifo1(src[i];m[i]) mult Merger(m[1..#src];c)";
+
+/// One cell of the reconfiguration `churn` sweep: `n` initial producer
+/// branches merging into one sink for a fixed window while the harness
+/// thread attaches a fresh branch, pushes one value through it, and
+/// detaches it again, as fast as the splice path allows. Fixed window,
+/// so splices and values are both rates; the correctness claim is
+/// *exactly-once across churn* — every accepted value reaches the sink
+/// exactly once, with every join/leave counted by the session epoch.
+#[derive(Clone, Debug)]
+pub struct ChurnCell {
+    /// Initial (static) producer branches.
+    pub n: usize,
+    /// Report label of the runtime (the [`mode_grid`] labels).
+    pub mode: &'static str,
+    /// Successful splices — the final session epoch (attach + detach
+    /// each count one).
+    pub splices: u64,
+    /// Values accepted by producer branches (static and churned).
+    pub values: u64,
+    /// Values that reached the sink; equals `values` on a clean run.
+    pub received: u64,
+    /// Wall-clock of the churn window in seconds.
+    pub window_secs: f64,
+    pub failure: Option<String>,
+}
+
+impl ChurnCell {
+    /// Splices per second of the churn window.
+    pub fn splices_per_sec(&self) -> f64 {
+        if self.window_secs <= 0.0 {
+            return 0.0;
+        }
+        self.splices as f64 / self.window_secs
+    }
+
+    /// End-to-end values per second of the churn window.
+    pub fn values_per_sec(&self) -> f64 {
+        if self.window_secs <= 0.0 {
+            return 0.0;
+        }
+        self.received as f64 / self.window_secs
+    }
+}
+
+/// Run the reconfiguration `churn` sweep over `config.churn_counts` ×
+/// [`mode_grid`].
+///
+/// Each cell connects [`CHURN_SRC`] with `n` branches as a
+/// *reconfigurable* session, spawns one producer thread per static
+/// branch (non-blocking sends, counted on acceptance) and one sink
+/// consumer, then spends the window on the harness thread churning:
+/// attach a branch, push one value through it, detach. After the window,
+/// producers stop, the sink drains to parity, and the cell records a
+/// failure unless every accepted value arrived exactly once and the
+/// epoch equals the number of successful splices.
+pub fn run_churn(config: &Config, mut progress: impl FnMut(&ChurnCell)) -> Vec<ChurnCell> {
+    let program = reo_dsl::parse_program(CHURN_SRC).expect("churn family program parses");
+    let mut cells = Vec::new();
+    for &n in &config.churn_counts {
+        for (label, mode) in mode_grid(config.workers) {
+            let connector = match Connector::builder(&program, "M")
+                .mode(mode)
+                .limits(config.limits)
+                .build()
+            {
+                Ok(c) => c,
+                Err(e) => {
+                    let cell = ChurnCell {
+                        n,
+                        mode: label,
+                        splices: 0,
+                        values: 0,
+                        received: 0,
+                        window_secs: 0.0,
+                        failure: Some(format!("build failed: {e}")),
+                    };
+                    progress(&cell);
+                    cells.push(cell);
+                    continue;
+                }
+            };
+            let cell = churn_cell(&connector, n, label, config.window);
+            progress(&cell);
+            cells.push(cell);
+        }
+    }
+    cells
+}
+
+fn churn_cell(connector: &Connector, n: usize, label: &'static str, window: Duration) -> ChurnCell {
+    use reo_automata::Value;
+    use std::collections::HashSet;
+
+    let fail = |msg: String| ChurnCell {
+        n,
+        mode: label,
+        splices: 0,
+        values: 0,
+        received: 0,
+        window_secs: 0.0,
+        failure: Some(msg),
+    };
+
+    let mut session = match connector
+        .session()
+        .replicate("src", n)
+        .reconfigurable()
+        .connect()
+    {
+        Ok(s) => s,
+        Err(e) => return fail(format!("connect failed: {e}")),
+    };
+    let handle = session.handle();
+    let txs = session.outports("src").expect("src ports");
+    let rx = session.typed_inport::<i64>("c").expect("sink port");
+
+    // Static producers: non-blocking sends so a closing engine can never
+    // wedge a thread mid-send; only *accepted* values count.
+    let stop = Arc::new(AtomicBool::new(false));
+    let sent = Arc::new(AtomicU64::new(0));
+    let mut producers = Vec::new();
+    for (p, tx) in txs.into_iter().enumerate() {
+        let stop = Arc::clone(&stop);
+        let sent = Arc::clone(&sent);
+        producers.push(std::thread::spawn(move || {
+            let mut k = 0i64;
+            while !stop.load(Ordering::Relaxed) {
+                match tx.try_send(Value::Int(p as i64 * 1_000_000 + k)) {
+                    Ok(true) => {
+                        k += 1;
+                        sent.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(false) => std::thread::yield_now(),
+                    Err(_) => break,
+                }
+            }
+        }));
+    }
+
+    // Sink: tally and dedup until the engine closes.
+    let received = Arc::new(AtomicU64::new(0));
+    let duplicated = Arc::new(AtomicBool::new(false));
+    let consumer = {
+        let received = Arc::clone(&received);
+        let duplicated = Arc::clone(&duplicated);
+        std::thread::spawn(move || {
+            let mut seen = HashSet::new();
+            while let Ok(v) = rx.recv() {
+                if !seen.insert(v) {
+                    duplicated.store(true, Ordering::Relaxed);
+                }
+                received.fetch_add(1, Ordering::Relaxed);
+            }
+        })
+    };
+
+    // The churn loop: join, push one value through the new branch, leave.
+    let t0 = Instant::now();
+    let deadline = t0 + window;
+    let mut churn_failure = None;
+    let mut j = 0i64;
+    while Instant::now() < deadline {
+        let mut branch = match handle.attach("src") {
+            Ok(b) => b,
+            Err(e) => {
+                churn_failure = Some(format!("attach failed: {e}"));
+                break;
+            }
+        };
+        let tx = branch.outport().expect("fresh branch outport");
+        loop {
+            match tx.try_send(Value::Int(900_000_000 + j)) {
+                Ok(true) => {
+                    j += 1;
+                    sent.fetch_add(1, Ordering::Relaxed);
+                    break;
+                }
+                Ok(false) => std::thread::yield_now(),
+                Err(e) => {
+                    churn_failure = Some(format!("churn send failed: {e}"));
+                    break;
+                }
+            }
+        }
+        drop(tx);
+        if let Err(e) = branch.detach() {
+            churn_failure = Some(format!("detach failed: {e}"));
+            break;
+        }
+        if churn_failure.is_some() {
+            break;
+        }
+    }
+    let window_secs = t0.elapsed().as_secs_f64();
+    let splices = handle.epoch();
+
+    // Stop the producers, let the sink drain to parity, then close.
+    stop.store(true, Ordering::SeqCst);
+    for p in producers {
+        let _ = p.join();
+    }
+    let total_sent = sent.load(Ordering::SeqCst);
+    let drain_deadline = Instant::now() + Duration::from_secs(10);
+    while received.load(Ordering::SeqCst) < total_sent && Instant::now() < drain_deadline {
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    handle.close();
+    let _ = consumer.join();
+
+    let got = received.load(Ordering::SeqCst);
+    let failure = if let Some(f) = churn_failure {
+        Some(f)
+    } else if got != total_sent {
+        Some(format!(
+            "lost values: received {got}, accepted {total_sent}"
+        ))
+    } else if duplicated.load(Ordering::SeqCst) {
+        Some("a value was delivered twice".into())
+    } else if splices < 2 {
+        Some(format!(
+            "no full churn cycle completed ({splices} splice(s))"
+        ))
+    } else {
+        None
+    };
+
+    ChurnCell {
+        n,
+        mode: label,
+        splices,
+        values: total_sent,
+        received: got,
+        window_secs,
+        failure,
+    }
+}
+
 /// The acceptance checks the scale sweep exists to witness, evaluated on a
 /// finished grid (also asserted by `tests/mode_equivalence.rs` at a
 /// smaller scale):
@@ -589,7 +837,10 @@ pub fn run_sessions(config: &Config, mut progress: impl FnMut(&SessionsCell)) ->
 ///    interpreter;
 /// 6. every async `sessions` cell completes all its values with wake
 ///    precision `waker_wakes / completions` at most
-///    [`SESSIONS_WAKE_PRECISION_CEILING`].
+///    [`SESSIONS_WAKE_PRECISION_CEILING`];
+/// 7. every reconfiguration `churn` cell survives its window of
+///    join/leave splices with exactly-once delivery and an epoch equal
+///    to the splice count.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Verdict {
     /// Check 1, over every `channels` cell with `threads > 2` and
@@ -606,9 +857,16 @@ pub struct Verdict {
     pub codegen_beats_jit: bool,
     /// Check 6, over every [`SessionsCell`]; false when none ran.
     pub async_sessions_scale: bool,
+    /// Check 7, over every [`ChurnCell`]; false when none ran.
+    pub reconfig_churn_scale: bool,
 }
 
-pub fn verdict(cells: &[Cell], codegen: &[CodegenCell], sessions: &[SessionsCell]) -> Verdict {
+pub fn verdict(
+    cells: &[Cell],
+    codegen: &[CodegenCell],
+    sessions: &[SessionsCell],
+    churn: &[ChurnCell],
+) -> Verdict {
     let disjoint: Vec<&Cell> = cells
         .iter()
         .filter(|c| c.family == "channels" && c.threads > 2 && c.outcome.steps > 0)
@@ -690,6 +948,16 @@ pub fn verdict(cells: &[Cell], codegen: &[CodegenCell], sessions: &[SessionsCell
                 && c.wake_precision() <= SESSIONS_WAKE_PRECISION_CEILING
         });
 
+    // Check 7: every churn cell must finish its window clean — its
+    // `failure` already folds in exactly-once accounting and a minimum
+    // of one full join/leave cycle; the epoch/splice identity is
+    // restated here so a miscounting epoch cannot hide behind a clean
+    // delivery tally.
+    let reconfig_churn_scale = !churn.is_empty()
+        && churn.iter().all(|c| {
+            c.failure.is_none() && c.splices >= 2 && c.values > 0 && c.received == c.values
+        });
+
     Verdict {
         wakeups_below_broadcast,
         workers_reach_jit,
@@ -697,6 +965,7 @@ pub fn verdict(cells: &[Cell], codegen: &[CodegenCell], sessions: &[SessionsCell
         locks_per_value_below_seed,
         codegen_beats_jit,
         async_sessions_scale,
+        reconfig_churn_scale,
     }
 }
 
@@ -738,7 +1007,7 @@ mod tests {
             ..Config::default()
         };
         let cells = run(&config, |_| {});
-        let v = verdict(&cells, &[], &[]);
+        let v = verdict(&cells, &[], &[], &[]);
         assert!(
             v.wakeups_below_broadcast,
             "targeted wakeups not below broadcast baseline: {:?}",
@@ -764,7 +1033,7 @@ mod tests {
             ..Config::default()
         };
         let cells = run(&config, |_| {});
-        let v = verdict(&cells, &[], &[]);
+        let v = verdict(&cells, &[], &[], &[]);
         assert!(
             v.kick_wakeups_below_kicks,
             "kick-queue wakeups not below the kick baseline: {:?}",
@@ -828,7 +1097,7 @@ mod tests {
             "lowered stepping not ahead of the interpreter: {c:?}"
         );
         // The verdict is false on an empty duel set (nothing witnessed).
-        assert!(!verdict(&[], &[], &[]).codegen_beats_jit);
+        assert!(!verdict(&[], &[], &[], &[]).codegen_beats_jit);
     }
 
     #[test]
@@ -855,9 +1124,35 @@ mod tests {
             c.wake_precision() <= SESSIONS_WAKE_PRECISION_CEILING,
             "waker storm in miniature: {c:?}"
         );
-        assert!(verdict(&[], &[], &cells).async_sessions_scale);
+        assert!(verdict(&[], &[], &cells, &[]).async_sessions_scale);
         // No sessions run → nothing witnessed → verdict false.
-        assert!(!verdict(&[], &[], &[]).async_sessions_scale);
+        assert!(!verdict(&[], &[], &[], &[]).async_sessions_scale);
+    }
+
+    #[test]
+    fn churn_sweep_survives_join_leave_in_miniature() {
+        // A short window across the full mode grid: every cell must
+        // complete at least one join/leave cycle with exactly-once
+        // delivery, satisfying the seventh verdict.
+        let config = Config {
+            window: Duration::from_millis(60),
+            churn_counts: vec![2],
+            ..Config::default()
+        };
+        let cells = run_churn(&config, |_| {});
+        assert_eq!(cells.len(), 5, "one churn cell per runtime mode");
+        for c in &cells {
+            assert!(c.failure.is_none(), "{}: {:?}", c.mode, c);
+            assert!(c.splices >= 2, "{}: no full churn cycle: {c:?}", c.mode);
+            assert_eq!(
+                c.received, c.values,
+                "{}: loss or duplication: {c:?}",
+                c.mode
+            );
+        }
+        assert!(verdict(&[], &[], &[], &cells).reconfig_churn_scale);
+        // No churn cells run → nothing witnessed → verdict false.
+        assert!(!verdict(&[], &[], &[], &[]).reconfig_churn_scale);
     }
 
     #[test]
@@ -873,7 +1168,7 @@ mod tests {
             ..Config::default()
         };
         let cells = run(&config, |_| {});
-        let v = verdict(&cells, &[], &[]);
+        let v = verdict(&cells, &[], &[], &[]);
         assert!(
             v.locks_per_value_below_seed,
             "locks per value not below the unbatched baseline {}: {:?}",

@@ -211,7 +211,7 @@ pub fn drive_with_limits(
     };
     let sizes = (family.sizes)(n);
     let start = Instant::now();
-    let mut session = match connector.connect(&sizes) {
+    let mut session = match connector.session().replicate_all(&sizes).connect() {
         Ok(c) => c,
         Err(e) => return RunOutcome::failed(e.to_string(), start.elapsed()),
     };
@@ -350,7 +350,10 @@ pub fn connect_only(
     let connector = Connector::builder(&program, family.def)
         .mode(mode)
         .build()?;
-    let session = connector.connect(&(family.sizes)(n))?;
+    let session = connector
+        .session()
+        .replicate_all(&(family.sizes)(n))
+        .connect()?;
     Ok((session, program))
 }
 

@@ -437,7 +437,9 @@ mod tests {
     fn every_family_parses_and_compiles_parametrized() {
         for f in families() {
             let prog = f.program();
-            Connector::compile(&prog, f.def, Mode::jit())
+            Connector::builder(&prog, f.def)
+                .mode(Mode::jit())
+                .build()
                 .unwrap_or_else(|e| panic!("{}: {e}", f.name));
         }
     }
@@ -446,14 +448,19 @@ mod tests {
     fn every_family_connects_at_small_n() {
         for f in families() {
             let prog = f.program();
-            let conn = Connector::compile(&prog, f.def, Mode::jit()).unwrap();
+            let conn = Connector::builder(&prog, f.def)
+                .mode(Mode::jit())
+                .build()
+                .unwrap();
             for n in [1usize, 2, 3] {
                 // Some constructions need n >= 2 (chains with explicit ends).
                 if n == 1 && matches!(f.name, "exchanger" | "token_ring") {
                     continue;
                 }
                 let sizes = (f.sizes)(n);
-                conn.connect(&sizes)
+                conn.session()
+                    .replicate_all(&sizes)
+                    .connect()
                     .unwrap_or_else(|e| panic!("{} at n={n}: {e}", f.name));
             }
         }
@@ -463,9 +470,14 @@ mod tests {
     fn every_family_connects_monolithically_at_n2() {
         for f in families() {
             let prog = f.program();
-            let conn = Connector::compile(&prog, f.def, Mode::existing()).unwrap();
+            let conn = Connector::builder(&prog, f.def)
+                .mode(Mode::existing())
+                .build()
+                .unwrap();
             let sizes = (f.sizes)(2);
-            conn.connect(&sizes)
+            conn.session()
+                .replicate_all(&sizes)
+                .connect()
                 .unwrap_or_else(|e| panic!("{}: {e}", f.name));
         }
     }
@@ -479,8 +491,15 @@ mod tests {
             "burst source out of sync with BURST_LINK_CAPACITY"
         );
         let prog = f.program();
-        let conn = Connector::compile(&prog, f.def, Mode::partitioned()).unwrap();
-        let session = conn.connect(&(f.sizes)(6)).unwrap();
+        let conn = Connector::builder(&prog, f.def)
+            .mode(Mode::partitioned())
+            .build()
+            .unwrap();
+        let session = conn
+            .session()
+            .replicate_all(&(f.sizes)(6))
+            .connect()
+            .unwrap();
         let handle = session.handle();
         assert_eq!(handle.region_count(), 2, "merger region + consumer region");
         assert_eq!(handle.link_count(), 1, "one deep cut fifo");
@@ -490,8 +509,15 @@ mod tests {
     fn relay_family_partitions_into_disjoint_linked_regions() {
         let f = relay_family();
         let prog = f.program();
-        let conn = Connector::compile(&prog, f.def, Mode::partitioned()).unwrap();
-        let session = conn.connect(&(f.sizes)(3)).unwrap();
+        let conn = Connector::builder(&prog, f.def)
+            .mode(Mode::partitioned())
+            .build()
+            .unwrap();
+        let session = conn
+            .session()
+            .replicate_all(&(f.sizes)(3))
+            .connect()
+            .unwrap();
         let handle = session.handle();
         assert_eq!(handle.region_count(), 6, "2 regions per channel");
         assert_eq!(handle.link_count(), 3, "1 cut fifo per channel");

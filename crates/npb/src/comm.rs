@@ -219,14 +219,15 @@ impl ReoComm {
         let program: Program =
             reo_dsl::parse_program(NPB_COMM_SOURCE).expect("NPB comm source parses");
         let connector = Connector::builder(&program, "NpbComm").mode(mode).build()?;
-        let mut session = connector.connect(&[
-            ("v", n),
-            ("w", n),
-            ("fwd", n),
-            ("bwd", n),
-            ("fin", n),
-            ("bin", n),
-        ])?;
+        let mut session = connector
+            .session()
+            .replicate("v", n)
+            .replicate("w", n)
+            .replicate("fwd", n)
+            .replicate("bwd", n)
+            .replicate("fin", n)
+            .replicate("bin", n)
+            .connect()?;
         let handle = session.handle();
         Ok(Arc::new(ReoComm {
             n,

@@ -107,7 +107,10 @@ mod tests {
     #[test]
     fn ex11n_is_deadlock_free_across_sizes() {
         let program = parse_program(reo_dsl::stdlib::FIG9_SOURCE).unwrap();
-        let connector = Connector::compile(&program, "ConnectorEx11N", Mode::jit()).unwrap();
+        let connector = Connector::builder(&program, "ConnectorEx11N")
+            .mode(Mode::jit())
+            .build()
+            .unwrap();
         for n in [1usize, 2, 4] {
             let report = connector
                 .analyze(&[("tl", n), ("hd", n)], &ProductOptions::default())
@@ -122,7 +125,10 @@ mod tests {
     fn dangling_port_is_detected() {
         // `b2` is declared but never wired: a genuine wiring bug.
         let program = parse_program("Oops(a;b1,b2) = Sync(a;b1)").unwrap();
-        let connector = Connector::compile(&program, "Oops", Mode::jit()).unwrap();
+        let connector = Connector::builder(&program, "Oops")
+            .mode(Mode::jit())
+            .build()
+            .unwrap();
         let report = connector.analyze(&[], &ProductOptions::default()).unwrap();
         assert_eq!(report.dead_ports.len(), 1);
     }
@@ -130,7 +136,10 @@ mod tests {
     #[test]
     fn fanout_metric_flags_independent_constituents() {
         let program = parse_program("Chans(t[];h[]) = prod (i:1..#t) Sync(t[i];h[i])").unwrap();
-        let connector = Connector::compile(&program, "Chans", Mode::jit()).unwrap();
+        let connector = Connector::builder(&program, "Chans")
+            .mode(Mode::jit())
+            .build()
+            .unwrap();
         let report = connector
             .analyze(&[("t", 10), ("h", 10)], &ProductOptions::default())
             .unwrap();
@@ -142,7 +151,10 @@ mod tests {
     #[test]
     fn analysis_respects_budgets() {
         let program = parse_program("Bufs(t[];h[]) = prod (i:1..#t) Fifo1(t[i];h[i])").unwrap();
-        let connector = Connector::compile(&program, "Bufs", Mode::jit()).unwrap();
+        let connector = Connector::builder(&program, "Bufs")
+            .mode(Mode::jit())
+            .build()
+            .unwrap();
         let tight = ProductOptions {
             max_states: 64,
             max_transitions: 1 << 20,

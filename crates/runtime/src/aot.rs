@@ -7,7 +7,8 @@
 //! module reports as [`RuntimeError::Explosion`].
 
 use reo_automata::{
-    product_all, simplify, Automaton, PortId, PortSet, ProductOptions, StateId, Store,
+    product_all, product_all_traced, simplify, Automaton, PortId, PortSet, ProductOptions, StateId,
+    Store,
 };
 use reo_core::ConnectorInstance;
 
@@ -22,6 +23,10 @@ pub struct AotCore {
     state: StateId,
     inputs: PortSet,
     outputs: PortSet,
+    /// Product-state → constituent-tuple trace, present when composed via
+    /// [`AotCore::compose_traced`]; lets a reconfiguration splice read the
+    /// current per-constituent control states back out of the product.
+    trace: Option<Vec<Box<[StateId]>>>,
     /// Fairness: rotate the scan start so that no transition starves.
     rotation: usize,
 }
@@ -54,8 +59,25 @@ impl AotCore {
             state,
             inputs,
             outputs,
+            trace: None,
             rotation: 0,
         }
+    }
+
+    /// Compose from an explicit constituent state tuple, recording the
+    /// product trace so the tuple stays recoverable from any later product
+    /// state ([`EngineCore::constituent_states`]). Label simplification is
+    /// deliberately skipped — merging states would orphan the trace. This
+    /// is the composition path of reconfigurable sessions.
+    pub fn compose_traced(
+        automata: &[Automaton],
+        starts: &[StateId],
+        opts: &ProductOptions,
+    ) -> Result<Self, RuntimeError> {
+        let (large, trace) = product_all_traced(automata, starts, opts)?;
+        let mut core = Self::from_automaton(large);
+        core.trace = Some(trace);
+        Ok(core)
     }
 
     pub fn state_count(&self) -> usize {
@@ -96,6 +118,10 @@ impl EngineCore for AotCore {
 
     fn boundary_outputs(&self) -> &PortSet {
         &self.outputs
+    }
+
+    fn constituent_states(&self) -> Option<Vec<StateId>> {
+        self.trace.as_ref().map(|t| t[self.state.index()].to_vec())
     }
 }
 

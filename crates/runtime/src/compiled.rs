@@ -30,7 +30,7 @@
 //!     .mode(Mode::compiled())
 //!     .build()
 //!     .unwrap();
-//! let mut session = connector.connect(&[]).unwrap();
+//! let mut session = connector.session().connect().unwrap();
 //! let tx = session.typed_outport::<i64>("a").unwrap();
 //! let rx = session.typed_inport::<i64>("b").unwrap();
 //! tx.send(7).unwrap();
@@ -39,7 +39,8 @@
 
 use reo_automata::lower::{lower_with, ExecScratch, LowerOptions, Lowered};
 use reo_automata::{
-    product_all, simplify, Automaton, PortId, PortSet, ProductOptions, StateId, Store, Value,
+    product_all, product_all_traced, simplify, Automaton, PortId, PortSet, ProductOptions, StateId,
+    Store, Value,
 };
 use reo_core::ConnectorInstance;
 
@@ -82,6 +83,11 @@ pub struct CompiledCore {
     mask_version: u64,
     scratch: ExecScratch,
     deliveries: Vec<(PortId, Value)>,
+    /// Product-state → constituent-tuple trace, present when built via
+    /// [`CompiledCore::compose_traced`] / [`CompiledCore::from_region_traced`];
+    /// lets a reconfiguration splice read the current per-constituent
+    /// control states back out of the lowered product.
+    trace: Option<Vec<Box<[StateId]>>>,
 }
 
 impl CompiledCore {
@@ -120,6 +126,38 @@ impl CompiledCore {
         let (inputs, outputs) = boundary_classes(automata);
         let product = product_all(automata, opts)?;
         Ok(Self::from_parts(&product, inputs, outputs))
+    }
+
+    /// Compose from an explicit constituent state tuple, recording the
+    /// product trace so the tuple stays recoverable from any later product
+    /// state ([`EngineCore::constituent_states`]). No label simplification
+    /// (it would merge states and orphan the trace). The whole-connector
+    /// composition path of reconfigurable compiled sessions; "re-lower" in
+    /// the splice protocol means rebuilding the core through here.
+    pub fn compose_traced(
+        automata: &[Automaton],
+        starts: &[StateId],
+        opts: &ProductOptions,
+    ) -> Result<Self, RuntimeError> {
+        let (large, trace) = product_all_traced(automata, starts, opts)?;
+        let mut core = Self::from_automaton(&large);
+        core.trace = Some(trace);
+        Ok(core)
+    }
+
+    /// The traced twin of [`from_region`](Self::from_region): re-lower a
+    /// partition region from its current state tuple during a splice,
+    /// keeping the tuple recoverable afterwards.
+    pub fn from_region_traced(
+        automata: &[Automaton],
+        starts: &[StateId],
+        opts: &ProductOptions,
+    ) -> Result<Self, RuntimeError> {
+        let (inputs, outputs) = boundary_classes(automata);
+        let (product, trace) = product_all_traced(automata, starts, opts)?;
+        let mut core = Self::from_parts(&product, inputs, outputs);
+        core.trace = Some(trace);
+        Ok(core)
     }
 
     fn from_parts(a: &Automaton, inputs: PortSet, outputs: PortSet) -> Self {
@@ -195,6 +233,7 @@ impl CompiledCore {
             cached_mask: 0,
             mask_version: u64::MAX,
             deliveries: Vec::new(),
+            trace: None,
         }
     }
 
@@ -356,5 +395,9 @@ impl EngineCore for CompiledCore {
 
     fn boundary_outputs(&self) -> &PortSet {
         &self.outputs
+    }
+
+    fn constituent_states(&self) -> Option<Vec<StateId>> {
+        self.trace.as_ref().map(|t| t[self.state.index()].to_vec())
     }
 }

@@ -17,9 +17,13 @@
 //!   ([`Mode::partitioned_auto`]).
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
-use reo_automata::{FromValue, IntoValue, MemLayout, PortAllocator, ProductOptions, Store};
+use reo_automata::{
+    FromValue, IntoValue, MemLayout, PortAllocator, PortId, ProductOptions, StateId, Store,
+};
 use reo_core::{
     compile, compile_monolithic, instantiate, Binding, CompiledConnector, ConnectorInstance,
     MonolithicOptions, Program,
@@ -31,8 +35,9 @@ use crate::compiled::CompiledCore;
 use crate::engine::{Engine, EngineStats, PortMap};
 use crate::error::RuntimeError;
 use crate::jit::JitCore;
-use crate::partition::{partition, partition_with, Partitioned, RegionEngine};
+use crate::partition::{partition, partition_with_opts, Partitioned, RegionEngine};
 use crate::port::{Backend, Inport, Outport};
+use crate::reconfig::{self, Change, ReconfigShared, ReconfigState};
 
 /// Start the fire-worker pool selected by `workers` (shared by both
 /// partitioned modes).
@@ -245,10 +250,15 @@ impl Connector {
 
     /// Compile `name` from `program` for the given mode — shorthand for
     /// [`Connector::builder`] with defaults.
+    #[deprecated(note = "use `Connector::builder(program, name).mode(mode).build()`")]
     pub fn compile(program: &Program, name: &str, mode: Mode) -> Result<Self, RuntimeError> {
         Self::builder(program, name).mode(mode).build()
     }
 
+    /// Compile with explicit limits — shorthand for [`Connector::builder`].
+    #[deprecated(
+        note = "use `Connector::builder(program, name).mode(mode).limits(limits).build()`"
+    )]
     pub fn compile_with_limits(
         program: &Program,
         name: &str,
@@ -274,13 +284,54 @@ impl Connector {
         &self.program
     }
 
+    /// Start describing a session over this connector: the typed
+    /// replacement for the stringly `connect(&[("prod", n)])` call.
+    ///
+    /// ```ignore
+    /// let mut session = connector
+    ///     .session()
+    ///     .replicate("prod", 3)
+    ///     .reconfigurable()
+    ///     .connect()?;
+    /// ```
+    pub fn session(&self) -> SessionSpec<'_> {
+        SessionSpec {
+            connector: self,
+            sizes: Vec::new(),
+            reconfigurable: false,
+        }
+    }
+
     /// Instantiate for concrete array sizes and build the engine(s).
     ///
     /// `sizes` gives the length per array parameter; scalar parameters
     /// default to 1 and may be omitted.
+    #[deprecated(
+        note = "use `Connector::session()` — e.g. `c.session().replicate(\"prod\", n).connect()`"
+    )]
     pub fn connect(&self, sizes: &[(&str, usize)]) -> Result<Session, RuntimeError> {
+        self.connect_impl(sizes, false)
+    }
+
+    fn connect_impl(
+        &self,
+        sizes: &[(&str, usize)],
+        reconfigurable: bool,
+    ) -> Result<Session, RuntimeError> {
         let mut alloc = PortAllocator::new();
-        let (params, tail_names): (Vec<(String, bool)>, Vec<String>) = match &self.compiled {
+        // Reconfiguration replays the instantiation walk at every splice,
+        // so it needs the compiled template even in the monolithic mode —
+        // compile it on demand there.
+        let compiled_on_demand;
+        let compiled: Option<&CompiledConnector> = match (&self.compiled, reconfigurable) {
+            (Some(cc), _) => Some(cc),
+            (None, true) => {
+                compiled_on_demand = compile(&self.program, &self.name)?;
+                Some(&compiled_on_demand)
+            }
+            (None, false) => None,
+        };
+        let (params, tail_names): (Vec<(String, bool)>, Vec<String>) = match compiled {
             Some(cc) => (
                 cc.params().map(|p| (p.name.clone(), p.is_array)).collect(),
                 cc.tails.iter().map(|p| p.name.clone()).collect(),
@@ -306,7 +357,7 @@ impl Connector {
             binding.insert(name.clone(), alloc.fresh_ports(n));
         }
 
-        let instance: ConnectorInstance = match (&self.compiled, self.mode) {
+        let instance: ConnectorInstance = match (compiled, self.mode) {
             (None, Mode::ExistingMonolithic { simplify }) => compile_monolithic(
                 &self.program,
                 &self.name,
@@ -325,72 +376,40 @@ impl Connector {
         layout.merge(&instance.mem_layout);
         let medium_count = instance.automata.len();
 
-        let backend = match self.mode {
-            Mode::ExistingMonolithic { .. } => {
-                let [large] = <[_; 1]>::try_from(instance.automata)
-                    .expect("monolithic instance has exactly one automaton");
-                let core = AotCore::from_automaton(large);
-                Backend::Single(Arc::new(Engine::new(
-                    Box::new(core),
-                    PortMap::dense(alloc.port_count()),
-                    Store::new(&layout),
-                )))
-            }
-            Mode::AotCompose { simplify } => {
-                let core = AotCore::compose(&instance, &self.limits.product, simplify)?;
-                Backend::Single(Arc::new(Engine::new(
-                    Box::new(core),
-                    PortMap::dense(alloc.port_count()),
-                    Store::new(&layout),
-                )))
-            }
-            Mode::Jit { cache } => {
-                let core = JitCore::new(
-                    instance.automata,
-                    cache.build(),
-                    self.limits.expansion_budget,
-                );
-                Backend::Single(Arc::new(Engine::new(
-                    Box::new(core),
-                    PortMap::dense(alloc.port_count()),
-                    Store::new(&layout),
-                )))
-            }
-            Mode::Compiled { simplify } => {
-                let core = CompiledCore::compose(&instance, &self.limits.product, simplify)?;
-                Backend::Single(Arc::new(Engine::new(
-                    Box::new(core),
-                    PortMap::dense(alloc.port_count()),
-                    Store::new(&layout),
-                )))
-            }
-            Mode::JitPartitioned { cache, workers } => {
-                let parts: Arc<Partitioned> = Arc::new(partition(
-                    instance.automata,
-                    alloc.port_count(),
-                    &layout,
-                    cache,
-                    self.limits.expansion_budget,
-                )?);
-                // Deterministic initial arming (tokens reach link heads)
-                // before any worker can race it.
-                parts.pump();
-                spawn_partition_workers(&parts, workers);
-                Backend::Multi(parts)
-            }
-            Mode::CompiledPartitioned { workers } => {
-                let parts: Arc<Partitioned> = Arc::new(partition_with(
-                    instance.automata,
-                    alloc.port_count(),
-                    &layout,
-                    RegionEngine::Compiled(self.limits.product),
-                    self.limits.expansion_budget,
-                )?);
-                parts.pump();
-                spawn_partition_workers(&parts, workers);
-                Backend::Multi(parts)
-            }
+        // The reconfiguration record snapshots the constituents before
+        // the backend consumes them.
+        let reconfig_seed = if reconfigurable {
+            Some((
+                instance.automata.clone(),
+                compiled
+                    .expect("reconfigurable sessions compile the template")
+                    .clone(),
+            ))
+        } else {
+            None
         };
+
+        let backend = if reconfigurable {
+            self.reconfigurable_backend(instance, &mut alloc, &layout)?
+        } else {
+            self.static_backend(instance, &alloc, &layout)?
+        };
+
+        let reconfig = reconfig_seed.map(|(automata, cc)| {
+            Arc::new(ReconfigShared {
+                state: parking_lot::Mutex::new(ReconfigState {
+                    cc,
+                    binding: binding.clone(),
+                    alloc,
+                    automata,
+                    layout: layout.clone(),
+                    tails: tail_names.clone(),
+                    mode: self.mode,
+                    limits: self.limits,
+                }),
+                epoch: AtomicU64::new(0),
+            })
+        });
 
         // Hand out port handles by formal parameter, tails as outports.
         let mut outports = HashMap::new();
@@ -426,8 +445,181 @@ impl Connector {
             handle: ConnectorHandle {
                 backend,
                 medium_count,
+                reconfig,
             },
         })
+    }
+
+    /// The engine(s) of a non-reconfigurable session (the historical
+    /// `connect` path, untraced cores, dense single-engine port maps).
+    fn static_backend(
+        &self,
+        instance: ConnectorInstance,
+        alloc: &PortAllocator,
+        layout: &MemLayout,
+    ) -> Result<Backend, RuntimeError> {
+        Ok(match self.mode {
+            Mode::ExistingMonolithic { .. } => {
+                let [large] = <[_; 1]>::try_from(instance.automata)
+                    .expect("monolithic instance has exactly one automaton");
+                let core = AotCore::from_automaton(large);
+                Backend::Single(Arc::new(Engine::new(
+                    Box::new(core),
+                    PortMap::dense(alloc.port_count()),
+                    Store::new(layout),
+                )))
+            }
+            Mode::AotCompose { simplify } => {
+                let core = AotCore::compose(&instance, &self.limits.product, simplify)?;
+                Backend::Single(Arc::new(Engine::new(
+                    Box::new(core),
+                    PortMap::dense(alloc.port_count()),
+                    Store::new(layout),
+                )))
+            }
+            Mode::Jit { cache } => {
+                let core = JitCore::new(
+                    instance.automata,
+                    cache.build(),
+                    self.limits.expansion_budget,
+                );
+                Backend::Single(Arc::new(Engine::new(
+                    Box::new(core),
+                    PortMap::dense(alloc.port_count()),
+                    Store::new(layout),
+                )))
+            }
+            Mode::Compiled { simplify } => {
+                let core = CompiledCore::compose(&instance, &self.limits.product, simplify)?;
+                Backend::Single(Arc::new(Engine::new(
+                    Box::new(core),
+                    PortMap::dense(alloc.port_count()),
+                    Store::new(layout),
+                )))
+            }
+            Mode::JitPartitioned { cache, workers } => {
+                let parts: Arc<Partitioned> = Arc::new(partition(
+                    instance.automata,
+                    alloc.port_count(),
+                    layout,
+                    cache,
+                    self.limits.expansion_budget,
+                )?);
+                // Deterministic initial arming (tokens reach link heads)
+                // before any worker can race it.
+                parts.pump();
+                spawn_partition_workers(&parts, workers);
+                Backend::Multi(parts)
+            }
+            Mode::CompiledPartitioned { workers } => {
+                let parts: Arc<Partitioned> = Arc::new(partition_with_opts(
+                    instance.automata,
+                    alloc.port_count(),
+                    layout,
+                    RegionEngine::Compiled(self.limits.product),
+                    self.limits.expansion_budget,
+                    false,
+                )?);
+                parts.pump();
+                spawn_partition_workers(&parts, workers);
+                Backend::Multi(parts)
+            }
+        })
+    }
+
+    /// The engine(s) of a reconfigurable session: every core is
+    /// state-traced (a splice reads constituent states back out of it),
+    /// label simplification is skipped (it would orphan the trace), and
+    /// single-engine port maps are sparse so a detached port is *unknown*
+    /// to the engine ([`RuntimeError::Detached`]) rather than a silent
+    /// dead slot. The monolithic mode runs its composition through the
+    /// same traced product — identical behaviour, splice-able artifact.
+    fn reconfigurable_backend(
+        &self,
+        instance: ConnectorInstance,
+        alloc: &mut PortAllocator,
+        layout: &MemLayout,
+    ) -> Result<Backend, RuntimeError> {
+        Ok(match self.mode {
+            Mode::JitPartitioned { cache, workers } => {
+                let parts: Arc<Partitioned> = Arc::new(partition_with_opts(
+                    instance.automata,
+                    alloc.port_count(),
+                    layout,
+                    RegionEngine::Jit(cache),
+                    self.limits.expansion_budget,
+                    true,
+                )?);
+                parts.pump();
+                spawn_partition_workers(&parts, workers);
+                Backend::Multi(parts)
+            }
+            Mode::CompiledPartitioned { workers } => {
+                let parts: Arc<Partitioned> = Arc::new(partition_with_opts(
+                    instance.automata,
+                    alloc.port_count(),
+                    layout,
+                    RegionEngine::Compiled(self.limits.product),
+                    self.limits.expansion_budget,
+                    true,
+                )?);
+                parts.pump();
+                spawn_partition_workers(&parts, workers);
+                Backend::Multi(parts)
+            }
+            mode => {
+                let starts: Vec<StateId> = instance.automata.iter().map(|a| a.initial()).collect();
+                let core =
+                    reconfig::single_core_traced(mode, &self.limits, &instance.automata, &starts)?;
+                let ports = PortMap::sparse(instance.automata.iter().flat_map(|a| {
+                    let ps = a.ports();
+                    ps.iter().collect::<Vec<_>>()
+                }));
+                Backend::Single(Arc::new(Engine::new(core, ports, Store::new(layout))))
+            }
+        })
+    }
+}
+
+/// Typed description of one session over a [`Connector`]: which
+/// parameters are replicated and how widely, and whether the session may
+/// [`attach`](Session::attach)/detach branches while running. Built by
+/// [`Connector::session`], consumed by [`SessionSpec::connect`].
+pub struct SessionSpec<'c> {
+    connector: &'c Connector,
+    sizes: Vec<(String, usize)>,
+    reconfigurable: bool,
+}
+
+impl SessionSpec<'_> {
+    /// Replicate array parameter `name` across `n` branches (scalar
+    /// parameters default to 1 and need no entry).
+    pub fn replicate(mut self, name: &str, n: usize) -> Self {
+        self.sizes.push((name.to_string(), n));
+        self
+    }
+
+    /// Replicate every `(name, n)` pair in `sizes` — convenience for
+    /// callers holding a runtime-computed size table.
+    pub fn replicate_all(mut self, sizes: &[(&str, usize)]) -> Self {
+        for (name, n) in sizes {
+            self.sizes.push((name.to_string(), *n));
+        }
+        self
+    }
+
+    /// Allow runtime branch churn on this session: cores are built
+    /// state-traced so later splices can read constituent states, at the
+    /// cost of skipping label simplification.
+    pub fn reconfigurable(mut self) -> Self {
+        self.reconfigurable = true;
+        self
+    }
+
+    /// Instantiate and build the engine(s) — the terminal call.
+    pub fn connect(self) -> Result<Session, RuntimeError> {
+        let sizes: Vec<(&str, usize)> = self.sizes.iter().map(|(s, n)| (s.as_str(), *n)).collect();
+        self.connector.connect_impl(&sizes, self.reconfigurable)
     }
 }
 
@@ -532,13 +724,28 @@ impl Session {
     pub fn handle(&self) -> ConnectorHandle {
         self.handle.clone()
     }
+
+    /// Attach one fresh branch to replicated parameter `name` while the
+    /// session runs (requires [`SessionSpec::reconfigurable`]).
+    ///
+    /// The splice quiesces only the affected region(s), recomposes them
+    /// from their current constituent states, and rebalances link/kick
+    /// routing; traffic on unaffected regions never blocks. Serialized
+    /// per session ([`RuntimeError::ReconfigInFlight`] if another splice
+    /// is mid-flight); on success the session [`epoch`](ConnectorHandle::epoch)
+    /// advances by one.
+    pub fn attach(&self, name: &str) -> Result<Branch, RuntimeError> {
+        self.handle.attach(name)
+    }
 }
 
-/// Control handle: step counting, statistics, shutdown.
+/// Control handle: step counting, statistics, shutdown — and, for
+/// reconfigurable sessions, branch churn ([`ConnectorHandle::attach`]).
 #[derive(Clone)]
 pub struct ConnectorHandle {
     backend: Backend,
     medium_count: usize,
+    reconfig: Option<Arc<ReconfigShared>>,
 }
 
 impl ConnectorHandle {
@@ -579,7 +786,7 @@ impl ConnectorHandle {
     pub fn region_count(&self) -> usize {
         match &self.backend {
             Backend::Single(_) => 1,
-            Backend::Multi(m) => m.engines.len(),
+            Backend::Multi(m) => m.region_count(),
         }
     }
 
@@ -587,7 +794,7 @@ impl ConnectorHandle {
     pub fn link_count(&self) -> usize {
         match &self.backend {
             Backend::Single(_) => 0,
-            Backend::Multi(m) => m.links.len(),
+            Backend::Multi(m) => m.link_count(),
         }
     }
 
@@ -598,6 +805,153 @@ impl ConnectorHandle {
         match &self.backend {
             Backend::Single(_) => 0,
             Backend::Multi(m) => m.worker_count(),
+        }
+    }
+
+    /// Whether this session was connected with
+    /// [`SessionSpec::reconfigurable`].
+    pub fn is_reconfigurable(&self) -> bool {
+        self.reconfig.is_some()
+    }
+
+    /// The session's configuration epoch: 0 at connect, +1 per successful
+    /// attach/detach splice. Traces produced between two equal epoch
+    /// readings ran under one fixed configuration.
+    pub fn epoch(&self) -> u64 {
+        self.reconfig
+            .as_ref()
+            .map(|r| r.epoch.load(Ordering::SeqCst))
+            .unwrap_or(0)
+    }
+
+    /// [`Session::attach`], callable from any clone of the handle.
+    pub fn attach(&self, name: &str) -> Result<Branch, RuntimeError> {
+        let shared = self
+            .reconfig
+            .as_ref()
+            .ok_or(RuntimeError::NotReconfigurable)?;
+        let r = reconfig::reconfigure(shared, &self.backend, name, Change::Attach)?;
+        let (outport, inport) = if r.is_tail {
+            (Some(Outport::new(self.backend.clone(), r.port)), None)
+        } else {
+            (None, Some(Inport::new(self.backend.clone(), r.port)))
+        };
+        Ok(Branch {
+            name: name.to_string(),
+            port: r.port,
+            is_tail: r.is_tail,
+            outport,
+            inport,
+            live: true,
+            handle: self.clone(),
+        })
+    }
+}
+
+/// One dynamically attached branch of a replicated parameter: the port
+/// handle plus the right to detach it again.
+///
+/// Dropping a `Branch` detaches it best-effort (bounded at ~1 s); call
+/// [`Branch::detach`] for the blocking, error-reporting version. Either
+/// way the detach only succeeds once the branch is *quiescent* — no
+/// pending operation and no value buffered anywhere inside it — so churn
+/// can never lose or duplicate data. After a detach, any surviving handle
+/// to the branch's port fails with [`RuntimeError::Detached`].
+pub struct Branch {
+    name: String,
+    port: PortId,
+    is_tail: bool,
+    outport: Option<Outport>,
+    inport: Option<Inport>,
+    live: bool,
+    handle: ConnectorHandle,
+}
+
+impl Branch {
+    /// The branch's global port id.
+    pub fn port(&self) -> PortId {
+        self.port
+    }
+
+    /// The replicated parameter this branch belongs to.
+    pub fn param(&self) -> &str {
+        &self.name
+    }
+
+    /// Take the branch's outport (tail-side branches; single-owner).
+    pub fn outport(&mut self) -> Result<Outport, RuntimeError> {
+        if !self.is_tail {
+            return Err(RuntimeError::UnknownParam {
+                name: self.name.clone(),
+            });
+        }
+        self.outport
+            .take()
+            .ok_or_else(|| RuntimeError::AlreadyTaken {
+                name: self.name.clone(),
+            })
+    }
+
+    /// Take the branch's inport (head-side branches; single-owner).
+    pub fn inport(&mut self) -> Result<Inport, RuntimeError> {
+        if self.is_tail {
+            return Err(RuntimeError::UnknownParam {
+                name: self.name.clone(),
+            });
+        }
+        self.inport
+            .take()
+            .ok_or_else(|| RuntimeError::AlreadyTaken {
+                name: self.name.clone(),
+            })
+    }
+
+    /// Detach this branch, blocking until the splice succeeds (bounded at
+    /// ~5 s — a branch that still buffers undelivered values refuses to
+    /// detach until they drain, then times out with the quiescence error).
+    pub fn detach(mut self) -> Result<(), RuntimeError> {
+        self.outport = None;
+        self.inport = None;
+        self.live = false;
+        detach_blocking(&self.handle, &self.name, self.port, Duration::from_secs(5))
+    }
+}
+
+impl Drop for Branch {
+    fn drop(&mut self) {
+        if self.live {
+            self.outport = None;
+            self.inport = None;
+            // Best-effort: a branch that cannot quiesce within the bound
+            // simply stays attached (harmless — its port is idle).
+            let _ = detach_blocking(&self.handle, &self.name, self.port, Duration::from_secs(1));
+        }
+    }
+}
+
+/// Retry the detach splice until it succeeds or `budget` elapses;
+/// transient refusals (another reconfiguration in flight, the branch not
+/// yet quiescent) are retried, everything else returns immediately.
+fn detach_blocking(
+    handle: &ConnectorHandle,
+    name: &str,
+    port: PortId,
+    budget: Duration,
+) -> Result<(), RuntimeError> {
+    let shared = handle
+        .reconfig
+        .as_ref()
+        .ok_or(RuntimeError::NotReconfigurable)?;
+    let deadline = Instant::now() + budget;
+    loop {
+        match reconfig::reconfigure(shared, &handle.backend, name, Change::Detach(port)) {
+            Ok(_) => return Ok(()),
+            Err(RuntimeError::Reconfig(_)) | Err(RuntimeError::ReconfigInFlight)
+                if Instant::now() < deadline =>
+            {
+                std::thread::sleep(Duration::from_micros(500));
+            }
+            Err(e) => return Err(e),
         }
     }
 }

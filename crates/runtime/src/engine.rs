@@ -41,7 +41,7 @@
 //!
 //! let program = reo_dsl::parse_program("Buf(a;b) = Fifo1(a;b)").unwrap();
 //! let connector = Connector::builder(&program, "Buf").mode(Mode::jit()).build().unwrap();
-//! let mut session = connector.connect(&[]).unwrap();
+//! let mut session = connector.session().connect().unwrap();
 //! let tx = session.typed_outport::<i64>("a").unwrap();
 //! let rx = session.typed_inport::<i64>("b").unwrap();
 //! tx.send(1).unwrap();
@@ -55,12 +55,14 @@
 //! ```
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 use std::task::Waker;
 use std::time::Instant;
 
 use parking_lot::{Condvar, Mutex, MutexGuard};
-use reo_automata::{automaton::Transition, fire::try_fire, PortId, PortSet, Store, Value};
+use reo_automata::{
+    automaton::Transition, fire::try_fire, MemLayout, PortId, PortSet, StateId, Store, Value,
+};
 
 use crate::error::RuntimeError;
 
@@ -134,6 +136,26 @@ impl PortMap {
                 .unwrap_or_else(|_| panic!("port {p} not served by this engine")),
         }
     }
+
+    /// Local slot of a served port, or `None` when this engine does not
+    /// serve `p` — the graceful twin of [`slot`](Self::slot) for callers
+    /// that may legitimately hold a stale port after a reconfiguration
+    /// detached it.
+    #[inline]
+    pub fn try_slot(&self, p: PortId) -> Option<usize> {
+        match self {
+            PortMap::Dense(n) => (p.index() < *n).then(|| p.index()),
+            PortMap::Sparse(ids) => ids.binary_search_by_key(&p.index(), |q| q.index()).ok(),
+        }
+    }
+
+    /// The served global ports, in local slot order.
+    pub fn iter(&self) -> Box<dyn Iterator<Item = PortId> + '_> {
+        match self {
+            PortMap::Dense(n) => Box::new((0..*n as u32).map(PortId)),
+            PortMap::Sparse(ids) => Box::new(ids.iter().copied()),
+        }
+    }
 }
 
 /// The pending-operation table of one engine, indexed by *global*
@@ -183,6 +205,11 @@ impl PendingTable {
     #[inline(always)]
     pub fn version(&self) -> u64 {
         self.version
+    }
+
+    /// The global → local port map this table is sharded by.
+    pub fn port_map(&self) -> &Arc<PortMap> {
+        &self.ports
     }
 }
 
@@ -325,6 +352,16 @@ pub trait EngineCore: Send {
     fn cache_stats(&self) -> Option<crate::cache::CacheStats> {
         None
     }
+
+    /// The constituent control-state tuple behind the current global state
+    /// (one entry per medium automaton, in composition order), when this
+    /// core can recover it. JIT cores track the tuple natively; AOT and
+    /// compiled cores built with a product *trace* recover it from the
+    /// trace. Cores without a trace return `None` — such an engine cannot
+    /// take part in a dynamic reconfiguration.
+    fn constituent_states(&self) -> Option<Vec<StateId>> {
+        None
+    }
 }
 
 pub(crate) struct EngineInner {
@@ -359,11 +396,13 @@ pub(crate) struct EngineInner {
 /// One sequential protocol engine, shared by all ports it serves.
 pub struct Engine {
     inner: Mutex<EngineInner>,
-    /// Global → local port translation, shared with the pending table.
-    ports: Arc<PortMap>,
-    /// One condition variable per *served* port: completing a transition
-    /// notifies only the ports that fired. All share the one engine mutex.
-    port_cvs: Box<[Condvar]>,
+    /// One condition variable per *served* local port slot: completing a
+    /// transition notifies only the ports that fired. All share the one
+    /// engine mutex. Behind an `RwLock` so a reconfiguration can remap the
+    /// table (write) while the hot paths clone `Arc`s out of it (read);
+    /// every access happens with the engine mutex held, so the only lock
+    /// order is mutex → cv-table.
+    port_cvs: RwLock<Vec<Arc<Condvar>>>,
     /// Engine-mutex acquisitions (outside the lock, hence atomic).
     lock_acquisitions: AtomicU64,
     /// Mirrors `inner.closed`, but settable without the engine lock so that
@@ -394,8 +433,7 @@ impl Engine {
                 closed: false,
                 poisoned: None,
             }),
-            ports,
-            port_cvs: (0..n).map(|_| Condvar::new()).collect(),
+            port_cvs: RwLock::new((0..n).map(|_| Arc::new(Condvar::new())).collect()),
             lock_acquisitions: AtomicU64::new(0),
             closing: AtomicBool::new(false),
         }
@@ -467,12 +505,14 @@ impl Engine {
     /// close must resolve to `Closed`, not hang). Called with the lock
     /// held.
     fn wake_all(&self, inner: &mut EngineInner) {
+        let cvs = self.port_cvs.read().unwrap();
         for (i, &w) in inner.waiters.iter().enumerate() {
             if w > 0 {
                 inner.wakeups += w as u64;
-                self.port_cvs[i].notify_all();
+                cvs[i].notify_all();
             }
         }
+        drop(cvs);
         for slot in 0..inner.wakers.len() {
             if let Some(w) = inner.wakers[slot].take() {
                 inner.waker_wakes += 1;
@@ -506,18 +546,20 @@ impl Engine {
                     inner.steps += 1;
                     inner.completions += inner.completed.len() as u64;
                     let completed = std::mem::take(&mut inner.completed);
+                    let cvs = self.port_cvs.read().unwrap();
                     for &p in &completed {
-                        let slot = self.ports.slot(p);
+                        let slot = inner.pending.port_map().slot(p);
                         let w = inner.waiters[slot];
                         if w > 0 {
                             inner.wakeups += w as u64;
-                            self.port_cvs[slot].notify_all();
+                            cvs[slot].notify_all();
                         }
                         if let Some(w) = inner.wakers[slot].take() {
                             inner.waker_wakes += 1;
                             w.wake();
                         }
                     }
+                    drop(cvs);
                     inner.completed = completed;
                 }
                 Ok(false) => break,
@@ -544,10 +586,20 @@ impl Engine {
         Ok(())
     }
 
+    /// `Detached` classification: a port this engine no longer serves was
+    /// removed by a reconfiguration splice.
+    fn check_served(inner: &EngineInner, p: PortId) -> Result<(), RuntimeError> {
+        if inner.pending.port_map().try_slot(p).is_none() {
+            return Err(RuntimeError::Detached(p));
+        }
+        Ok(())
+    }
+
     /// Phase 1 of `send`: register the operation and fire what it enables.
     pub(crate) fn register_send(&self, p: PortId, v: Value) -> Result<(), RuntimeError> {
         let mut inner = self.lock();
         Self::check_open(&inner)?;
+        Self::check_served(&inner, p)?;
         match inner.pending.get(p) {
             Pending::None => inner.pending.set(p, Pending::Send(v)),
             _ => return Err(RuntimeError::PortBusy(p)),
@@ -607,15 +659,21 @@ impl Engine {
         p: PortId,
         deadline: Option<Instant>,
     ) -> bool {
-        let slot = self.ports.slot(p);
+        let slot = inner.pending.port_map().slot(p);
+        let cv = Arc::clone(&self.port_cvs.read().unwrap()[slot]);
         inner.waiters[slot] += 1;
         let timed_out = match deadline {
             None => {
-                self.port_cvs[slot].wait(inner);
+                cv.wait(inner);
                 false
             }
-            Some(d) => self.port_cvs[slot].wait_until(inner, d).timed_out(),
+            Some(d) => cv.wait_until(inner, d).timed_out(),
         };
+        // Recompute: a reconfiguration may have renumbered the slots while
+        // this task slept (the port itself survives — a splice refuses to
+        // remove a port with registered waiters, and the condvar `Arc` is
+        // carried over per port, so the notify still reached us).
+        let slot = inner.pending.port_map().slot(p);
         inner.waiters[slot] -= 1;
         timed_out
     }
@@ -644,6 +702,7 @@ impl Engine {
     pub(crate) fn register_recv(&self, p: PortId) -> Result<(), RuntimeError> {
         let mut inner = self.lock();
         Self::check_open(&inner)?;
+        Self::check_served(&inner, p)?;
         match inner.pending.get(p) {
             Pending::None => inner.pending.set(p, Pending::Recv),
             Pending::DoneRecv(_) => return Ok(()), // abandoned delivery: take it in phase 2
@@ -753,6 +812,9 @@ impl Engine {
         waker: &Waker,
     ) -> Option<Result<(), RuntimeError>> {
         let mut inner = self.lock();
+        if let Err(e) = Self::check_served(&inner, p) {
+            return Some(Err(e));
+        }
         if let Some(v) = value.take() {
             if let Err(e) = Self::check_open(&inner) {
                 return Some(Err(e));
@@ -773,7 +835,7 @@ impl Engine {
         if inner.closed {
             return Some(Err(RuntimeError::Closed));
         }
-        let slot = self.ports.slot(p);
+        let slot = inner.pending.port_map().slot(p);
         inner.wakers[slot] = Some(waker.clone());
         None
     }
@@ -793,6 +855,9 @@ impl Engine {
         waker: &Waker,
     ) -> Option<Result<Value, RuntimeError>> {
         let mut inner = self.lock();
+        if let Err(e) = Self::check_served(&inner, p) {
+            return Some(Err(e));
+        }
         if !*registered {
             if let Err(e) = Self::check_open(&inner) {
                 return Some(Err(e));
@@ -819,7 +884,7 @@ impl Engine {
         if inner.closed {
             return Some(Err(RuntimeError::Closed));
         }
-        let slot = self.ports.slot(p);
+        let slot = inner.pending.port_map().slot(p);
         inner.wakers[slot] = Some(waker.clone());
         None
     }
@@ -835,10 +900,12 @@ impl Engine {
     /// [`expire_send`]: Engine::expire_send
     pub(crate) fn abandon_send(&self, p: PortId) {
         let mut inner = self.lock();
+        let Some(slot) = inner.pending.port_map().try_slot(p) else {
+            return; // detached by a reconfiguration: nothing to retract
+        };
         if matches!(inner.pending.get(p), Pending::Send(_) | Pending::DoneSend) {
             inner.pending.set(p, Pending::None);
         }
-        let slot = self.ports.slot(p);
         inner.wakers[slot] = None;
     }
 
@@ -854,10 +921,12 @@ impl Engine {
     /// [`poll_recv`]: Engine::poll_recv
     pub(crate) fn abandon_recv(&self, p: PortId) {
         let mut inner = self.lock();
+        let Some(slot) = inner.pending.port_map().try_slot(p) else {
+            return; // detached by a reconfiguration: nothing to retract
+        };
         if matches!(inner.pending.get(p), Pending::Recv) {
             inner.pending.set(p, Pending::None);
         }
-        let slot = self.ports.slot(p);
         inner.wakers[slot] = None;
     }
 
@@ -879,6 +948,9 @@ impl Engine {
         credit: usize,
     ) -> bool {
         let mut inner = self.lock();
+        if Self::check_served(&inner, p).is_err() {
+            return false; // stale pump on a spliced-out link port: no-op
+        }
         let mut drained = 0usize;
         let mut newly_armed = false;
         loop {
@@ -936,6 +1008,9 @@ impl Engine {
         armed: &mut bool,
     ) -> bool {
         let mut inner = self.lock();
+        if Self::check_served(&inner, p).is_err() {
+            return false; // stale pump on a spliced-out link port: no-op
+        }
         let mut acked = 0usize;
         let mut progressed = false;
         if *armed && matches!(inner.pending.get(p), Pending::DoneSend) {
@@ -968,6 +1043,121 @@ impl Engine {
             inner.batched_values += acked as u64;
         }
         acked > 0 || progressed
+    }
+
+    // ------------------------------------------------------------------
+    // Dynamic reconfiguration (stage 8). The engine mutex *is* the region
+    // quiesce: transitions only fire inside `fire_loop` with it held, so
+    // holding it guarantees no in-flight firing. A splice validates, swaps
+    // the core/pending/store, and wakes everything; parked tasks recompute
+    // their slot and state on wake (`block_on_port` re-reads the map).
+    // ------------------------------------------------------------------
+
+    /// Take the engine lock for a reconfiguration step. `pub(crate)` so the
+    /// partitioned splice can hold several affected engines' guards at
+    /// once (the link pumps never nest engine locks, so no cycle exists).
+    pub(crate) fn lock_for_reconfig(&self) -> MutexGuard<'_, EngineInner> {
+        self.lock()
+    }
+
+    /// Closed/poisoned classification, exposed for splice orchestration.
+    pub(crate) fn check_open_for_reconfig(inner: &EngineInner) -> Result<(), RuntimeError> {
+        Self::check_open(inner)
+    }
+
+    /// Every port in `removed` must be idle before a splice may drop it:
+    /// no pending operation, no parked thread, no stored waker. The port
+    /// handles of a detaching branch are consumed before this runs, so a
+    /// violation means the branch still has traffic — refuse, leave the
+    /// engine untouched.
+    pub(crate) fn removal_quiescent(
+        inner: &EngineInner,
+        removed: &[PortId],
+    ) -> Result<(), RuntimeError> {
+        for &p in removed {
+            let Some(slot) = inner.pending.port_map().try_slot(p) else {
+                continue; // not served here: nothing to check
+            };
+            if !matches!(inner.pending.get(p), Pending::None) {
+                return Err(RuntimeError::Reconfig(format!(
+                    "port {p} of the detaching branch has a pending operation"
+                )));
+            }
+            if inner.waiters[slot] > 0 || inner.wakers[slot].is_some() {
+                return Err(RuntimeError::Reconfig(format!(
+                    "port {p} of the detaching branch has a blocked task"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Swap in a new core and port map under an already-held engine lock,
+    /// carrying pending operations, waiter counts, parked wakers, and
+    /// condition variables **per global port** so blocked tasks survive
+    /// the slot renumbering; the store grows to `layout` (new constituents
+    /// bring fresh cells, surviving cells never move). Ports only in the
+    /// old map must have passed [`removal_quiescent`](Self::removal_quiescent).
+    /// Fires whatever the new core enables and wakes every waiter so
+    /// parked tasks re-evaluate against the new tables.
+    pub(crate) fn install(
+        &self,
+        inner: &mut EngineInner,
+        core: Box<dyn EngineCore>,
+        ports: PortMap,
+        layout: &MemLayout,
+    ) {
+        let new_ports = Arc::new(ports);
+        let n = new_ports.len();
+        let mut pending = PendingTable::new(Arc::clone(&new_ports));
+        let mut waiters = vec![0u32; n];
+        let mut wakers: Vec<Option<Waker>> = (0..n).map(|_| None).collect();
+        let mut cvs: Vec<Arc<Condvar>> = (0..n).map(|_| Arc::new(Condvar::new())).collect();
+        {
+            let old_cvs = self.port_cvs.read().unwrap();
+            let old_ports = Arc::clone(inner.pending.port_map());
+            for p in old_ports.iter() {
+                let Some(new_slot) = new_ports.try_slot(p) else {
+                    continue; // removed port: verified idle by the caller
+                };
+                let old_slot = old_ports.slot(p);
+                pending.set(p, inner.pending.take(p));
+                waiters[new_slot] = inner.waiters[old_slot];
+                wakers[new_slot] = inner.wakers[old_slot].take();
+                cvs[new_slot] = Arc::clone(&old_cvs[old_slot]);
+            }
+        }
+        inner.pending = pending;
+        inner.waiters = waiters;
+        inner.wakers = wakers;
+        inner.store.grow(layout);
+        inner.core = core;
+        *self.port_cvs.write().unwrap() = cvs;
+        self.fire_loop(inner);
+        self.wake_all(inner);
+    }
+
+    /// Single-engine reconfiguration: validate the removed ports, build
+    /// the replacement core *under the lock* (the builder reads the old
+    /// core's [`EngineCore::constituent_states`] and the store, which no
+    /// firing can move in the meantime), and install it. On any error the
+    /// engine is left exactly as it was.
+    pub(crate) fn reconfigure<F>(
+        &self,
+        removed: &[PortId],
+        ports: PortMap,
+        layout: &MemLayout,
+        build: F,
+    ) -> Result<(), RuntimeError>
+    where
+        F: FnOnce(&EngineInner) -> Result<Box<dyn EngineCore>, RuntimeError>,
+    {
+        let mut inner = self.lock();
+        Self::check_open(&inner)?;
+        Self::removal_quiescent(&inner, removed)?;
+        let core = build(&inner)?;
+        self.install(&mut inner, core, ports, layout);
+        Ok(())
     }
 }
 

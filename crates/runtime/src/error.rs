@@ -3,7 +3,12 @@
 use std::fmt;
 
 /// Why a port operation or connector construction failed.
+///
+/// The enum is `#[non_exhaustive]`: new failure modes (such as the
+/// reconfiguration variants added with the dynamic-attach API) may appear
+/// in minor releases, so downstream matches need a wildcard arm.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum RuntimeError {
     /// The connector was shut down while the operation was pending.
     Closed,
@@ -43,6 +48,22 @@ pub enum RuntimeError {
         expected: &'static str,
         found: reo_automata::Value,
     },
+    /// The operation named a port whose branch has been detached from the
+    /// connector by a reconfiguration (or the engine no longer serves it
+    /// after a splice).
+    Detached(reo_automata::PortId),
+    /// Another attach/detach is currently splicing this session; retry
+    /// after it finishes. Reconfigurations are serialized per session.
+    ReconfigInFlight,
+    /// A reconfiguration splice could not be carried out — e.g. a branch
+    /// slated for removal was not quiescent, the template diff was
+    /// ambiguous, or the new partition would merge or split live regions
+    /// (unsupported). The session is left exactly as it was.
+    Reconfig(String),
+    /// The session was not created with
+    /// `SessionSpec::reconfigurable`, or the parameter is not replicated,
+    /// so it cannot attach or detach branches at runtime.
+    NotReconfigurable,
 }
 
 impl fmt::Display for RuntimeError {
@@ -81,6 +102,17 @@ impl fmt::Display for RuntimeError {
             RuntimeError::TypeMismatch { expected, found } => {
                 write!(f, "typed receive expected {expected}, got {found}")
             }
+            RuntimeError::Detached(p) => {
+                write!(f, "port {p} was detached by a reconfiguration")
+            }
+            RuntimeError::ReconfigInFlight => {
+                write!(f, "another reconfiguration is in flight; retry")
+            }
+            RuntimeError::Reconfig(msg) => write!(f, "reconfiguration failed: {msg}"),
+            RuntimeError::NotReconfigurable => write!(
+                f,
+                "session was not connected with SessionSpec::reconfigurable"
+            ),
         }
     }
 }

@@ -80,6 +80,22 @@ impl JitCore {
         }
     }
 
+    /// Like [`new`](Self::new), but resume from an explicit constituent
+    /// state tuple instead of the initials — the dynamic-reconfiguration
+    /// splice re-creates a region's core mid-run this way (and it is the
+    /// fallback when re-lowering a compiled region explodes).
+    pub fn with_states(
+        automata: Vec<Automaton>,
+        states: &[StateId],
+        cache: Box<dyn StateCache>,
+        expansion_budget: usize,
+    ) -> Self {
+        assert_eq!(automata.len(), states.len(), "one state per automaton");
+        let mut core = Self::new(automata, cache, expansion_budget);
+        core.states.copy_from_slice(states);
+        core
+    }
+
     pub fn automata_count(&self) -> usize {
         self.automata.len()
     }
@@ -251,6 +267,10 @@ impl EngineCore for JitCore {
 
     fn cache_stats(&self) -> Option<CacheStats> {
         Some(self.cache.stats())
+    }
+
+    fn constituent_states(&self) -> Option<Vec<StateId>> {
+        Some(self.states.to_vec())
     }
 }
 

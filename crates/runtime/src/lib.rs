@@ -36,7 +36,7 @@
 //!     "Buf(a[];b[]) = prod (i:1..#a) Fifo1(a[i];b[i])",
 //! ).unwrap();
 //! let connector = Connector::builder(&program, "Buf").mode(Mode::jit()).build().unwrap();
-//! let mut session = connector.connect(&[("a", 2), ("b", 2)]).unwrap();
+//! let mut session = connector.session().replicate("a", 2).replicate("b", 2).connect().unwrap();
 //! let senders = session.typed_outports::<i64>("a").unwrap();
 //! let receivers = session.typed_inports::<i64>("b").unwrap();
 //! senders[0].send(7).unwrap();
@@ -52,7 +52,7 @@
 //!
 //! let program = reo_dsl::parse_program("Buf(a;b) = Fifo1(a;b)").unwrap();
 //! let connector = Connector::builder(&program, "Buf").build().unwrap();
-//! let mut session = connector.connect(&[]).unwrap();
+//! let mut session = connector.session().connect().unwrap();
 //! assert!(matches!(
 //!     session.outports("nope"),
 //!     Err(RuntimeError::UnknownParam { .. })
@@ -77,12 +77,16 @@ pub mod jit;
 pub mod partition;
 pub mod port;
 pub mod program;
+mod reconfig;
 pub mod select;
 pub mod stepping;
 
 pub use cache::{CachePolicy, CacheStats};
 pub use compiled::CompiledCore;
-pub use connector::{Connector, ConnectorBuilder, ConnectorHandle, Limits, Mode, Session, Workers};
+pub use connector::{
+    Branch, Connector, ConnectorBuilder, ConnectorHandle, Limits, Mode, Session, SessionSpec,
+    Workers,
+};
 pub use engine::EngineStats;
 pub use error::RuntimeError;
 pub use port::{Inport, Messages, Outport, RecvFuture, SendFuture};

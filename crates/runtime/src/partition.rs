@@ -127,7 +127,7 @@
 //!     .mode(Mode::partitioned_auto())
 //!     .build()
 //!     .unwrap();
-//! let mut session = connector.connect(&[("a", 2), ("b", 2)]).unwrap();
+//! let mut session = connector.session().replicate("a", 2).replicate("b", 2).connect().unwrap();
 //! let handle = session.handle();
 //! assert_eq!(handle.region_count(), 4); // 2 channels × 2 regions
 //! assert_eq!(handle.link_count(), 2); // one cut fifo per channel
@@ -147,17 +147,17 @@
 //! assert_eq!(handle.worker_count(), 0);
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, OnceLock, Weak};
+use std::sync::{Arc, OnceLock, RwLock, Weak};
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
-use reo_automata::{Automaton, MemLayout, PortId, ProductOptions, Store, Value};
+use reo_automata::{Automaton, MemLayout, PortId, ProductOptions, StateId, Store, Value};
 
 use crate::cache::CachePolicy;
 use crate::compiled::CompiledCore;
-use crate::engine::{Engine, EngineCore, EngineStats, PortMap};
+use crate::engine::{Engine, EngineCore, EngineInner, EngineStats, PortMap};
 use crate::error::RuntimeError;
 use crate::jit::JitCore;
 
@@ -196,6 +196,12 @@ struct LinkState {
 }
 
 /// A cut fifo: an engine-to-engine queue.
+///
+/// The queue itself (`state`) is `Arc`-shared so that a reconfiguration
+/// splice can carry a surviving link's in-flight values into the next
+/// [`Topology`] without draining them: the new topology gets a fresh
+/// `Link` record (region indices are renumbered by the splice) that
+/// points at the *same* `LinkState`.
 pub struct Link {
     /// The fifo's tail vertex — a boundary *output* of engine `from`.
     pub in_port: PortId,
@@ -204,7 +210,7 @@ pub struct Link {
     pub from: usize,
     pub to: usize,
     capacity: Option<usize>,
-    state: Mutex<LinkState>,
+    state: Arc<Mutex<LinkState>>,
     /// True while this link sits in some worker's kick queue — the
     /// deduplication flag of the kick protocol: set by the first enqueue,
     /// cleared by the dequeuing worker *before* it pumps, so a kick that
@@ -225,6 +231,24 @@ impl Link {
     pub fn depth(&self) -> usize {
         self.state.lock().queue.len()
     }
+
+    fn from_spec(spec: &LinkSpec, state: Option<Arc<Mutex<LinkState>>>) -> Link {
+        Link {
+            in_port: spec.in_port,
+            out_port: spec.out_port,
+            from: spec.from,
+            to: spec.to,
+            capacity: spec.capacity,
+            state: state.unwrap_or_else(|| {
+                Arc::new(Mutex::new(LinkState {
+                    queue: spec.initial.iter().cloned().collect(),
+                    armed: false,
+                }))
+            }),
+            queued: AtomicBool::new(false),
+            repump: AtomicBool::new(false),
+        }
+    }
 }
 
 /// One fire worker's kick queue (the worker and any kicker lock it).
@@ -234,8 +258,13 @@ struct Slot {
 }
 
 struct SlotState {
-    /// Pending link indices, owner pops front / stealers pop back.
-    queue: std::collections::VecDeque<usize>,
+    /// Pending `(topology version, link index)` pairs, owner pops front /
+    /// stealers pop back. The version tag makes entries that survive a
+    /// reconfiguration splice self-invalidating: a worker that dequeues a
+    /// stale pair (its version no longer matches the live topology's)
+    /// drops it — the splice finishes with a full pump, so no work is
+    /// lost with it.
+    queue: std::collections::VecDeque<(u64, usize)>,
     /// Worker parked on `cv` right now (a kick then notifies it).
     waiting: bool,
     /// Worker attached; false once the worker retired (adaptive shrink).
@@ -258,10 +287,13 @@ impl Slot {
 }
 
 /// The region-owned scheduler state shared by kickers and fire workers.
+///
+/// There is deliberately *no* static link → owner table here: the owner
+/// of link `l` is computed on the fly as `topology.links[l].to % slots`,
+/// so a reconfiguration splice that renumbers regions (or adds/removes
+/// links) rebalances kick ownership across the live workers for free.
 struct Pool {
     slots: Box<[Slot]>,
-    /// Link index → owning slot (the owner of the link's `to` region).
-    owners: Box<[usize]>,
     /// Idle workers may retire down to one (quiescence-based shrink).
     adaptive: bool,
     idle_timeout: Duration,
@@ -277,8 +309,15 @@ struct Pool {
     steals: AtomicU64,
 }
 
-/// The result of partitioning a set of medium automata.
-pub struct Partitioned {
+/// One immutable snapshot of the partition's structure: regions, links,
+/// routing. Hot paths clone an `Arc<Topology>` out of
+/// [`Partitioned::topo`] and run against the snapshot lock-free; a
+/// reconfiguration splice builds a successor snapshot (bumping
+/// [`Topology::version`]) and swaps it in atomically. Engines of
+/// surviving regions are carried over **by `Arc` identity** — blocked
+/// tasks hold `Arc<Engine>` clones, so the engine they sleep in must be
+/// the engine the new topology routes to.
+pub struct Topology {
     /// One engine per synchronous region, each sharded to its own ports.
     pub engines: Vec<Arc<Engine>>,
     pub links: Vec<Link>,
@@ -291,6 +330,25 @@ pub struct Partitioned {
     /// Link → links bordering either of its regions (incl. itself): the
     /// cascade frontier after a pump step of that link made progress.
     link_neighbors: Vec<Vec<usize>>,
+    /// Region → constituent indices (into the automata list this topology
+    /// was planned from), in composition order — the order of the region
+    /// core's constituent state tuple.
+    region_constituents: Vec<Vec<usize>>,
+    /// Constituent index → its region; `None` for a cut queue (a link).
+    automaton_region: Vec<Option<usize>>,
+    /// Bumped by every splice; tags kick-queue entries so stale ones are
+    /// dropped instead of pumping a renumbered link.
+    pub version: u64,
+}
+
+/// The result of partitioning a set of medium automata. Structure lives
+/// in a swappable [`Topology`] snapshot; the scheduler (kick counter,
+/// worker pool) persists across reconfigurations.
+pub struct Partitioned {
+    topo: RwLock<Arc<Topology>>,
+    /// What steps each region (needed again when a splice rebuilds one).
+    engine_kind: RegionEngine,
+    expansion_budget: usize,
     /// Kick requests naming ≥ 1 link ([`EngineStats::kicks`]; also counted
     /// with the caller-thread scheduler).
     kicks: AtomicU64,
@@ -299,6 +357,28 @@ pub struct Partitioned {
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     /// Cached "pool is up", readable without locks on the hot kick path.
     has_workers: AtomicBool,
+}
+
+/// A planned link: where a cut queue automaton will sit between regions.
+struct LinkSpec {
+    in_port: PortId,
+    out_port: PortId,
+    from: usize,
+    to: usize,
+    capacity: Option<usize>,
+    initial: Vec<Value>,
+}
+
+/// Pure structural planning over a constituent list — regions, cut
+/// links, routing — shared by initial construction and the splice path.
+struct Plan {
+    /// Region → member constituent indices, in composition order.
+    regions: Vec<Vec<usize>>,
+    automaton_region: Vec<Option<usize>>,
+    links: Vec<LinkSpec>,
+    router: HashMap<PortId, usize>,
+    region_links: Vec<Vec<usize>>,
+    link_neighbors: Vec<Vec<usize>>,
 }
 
 /// What steps a synchronous region: the interpreting JIT core or a region
@@ -345,7 +425,96 @@ pub fn partition_with(
     engine: RegionEngine,
     expansion_budget: usize,
 ) -> Result<Partitioned, RuntimeError> {
+    partition_with_opts(
+        automata,
+        port_count,
+        mem_layout,
+        engine,
+        expansion_budget,
+        false,
+    )
+}
+
+/// [`partition_with`], optionally building *state-traced* region cores.
+///
+/// `traced` must be set for sessions that intend to reconfigure: a splice
+/// reads each affected region's per-constituent control states back out
+/// of its core ([`EngineCore::constituent_states`]), which a compiled
+/// region only records when composed via
+/// [`CompiledCore::from_region_traced`] (JIT cores always track them).
+/// Tracing skips label simplification, so non-reconfigurable sessions
+/// keep the cheaper untraced build.
+pub fn partition_with_opts(
+    automata: Vec<Automaton>,
+    port_count: usize,
+    mem_layout: &MemLayout,
+    engine: RegionEngine,
+    expansion_budget: usize,
+    traced: bool,
+) -> Result<Partitioned, RuntimeError> {
     let _ = port_count; // regions shard to their own ports (kept for API stability)
+    let plan = plan_partition(&automata);
+
+    // One engine per region, sharded to the region's own ports. The store
+    // still shares the global layout (regions touch disjoint cells, so
+    // sharing it is safe and keeps ids global).
+    let mut engines: Vec<Arc<Engine>> = Vec::with_capacity(plan.regions.len());
+    for members in &plan.regions {
+        let autos: Vec<Automaton> = members.iter().map(|&i| automata[i].clone()).collect();
+        let ports = region_port_map(&autos);
+        let core: Box<dyn EngineCore> = match engine {
+            RegionEngine::Jit(cache) => {
+                Box::new(JitCore::new(autos, cache.build(), expansion_budget))
+            }
+            RegionEngine::Compiled(opts) if traced => {
+                let starts: Vec<StateId> = autos.iter().map(|a| a.initial()).collect();
+                Box::new(CompiledCore::from_region_traced(&autos, &starts, &opts)?)
+            }
+            RegionEngine::Compiled(opts) => Box::new(CompiledCore::from_region(&autos, &opts)?),
+        };
+        engines.push(Arc::new(Engine::new(core, ports, Store::new(mem_layout))));
+    }
+
+    let links: Vec<Link> = plan
+        .links
+        .iter()
+        .map(|spec| Link::from_spec(spec, None))
+        .collect();
+
+    Ok(Partitioned {
+        topo: RwLock::new(Arc::new(Topology {
+            engines,
+            links,
+            router: plan.router,
+            region_sizes: plan.regions.iter().map(Vec::len).collect(),
+            region_links: plan.region_links,
+            link_neighbors: plan.link_neighbors,
+            region_constituents: plan.regions,
+            automaton_region: plan.automaton_region,
+            version: 0,
+        })),
+        engine_kind: engine,
+        expansion_budget,
+        kicks: AtomicU64::new(0),
+        pool: OnceLock::new(),
+        workers: Mutex::new(Vec::new()),
+        has_workers: AtomicBool::new(false),
+    })
+}
+
+/// Sparse port map over a region's automata (its own ports only).
+fn region_port_map(autos: &[Automaton]) -> PortMap {
+    PortMap::sparse(autos.iter().flat_map(|a| {
+        let ps = a.ports();
+        ps.iter().collect::<Vec<_>>()
+    }))
+}
+
+/// The structural half of partitioning: regions as connected components
+/// over shared ports, cut queues as links, kick routing tables. Pure —
+/// no engines are built, so the splice path can re-plan a changed
+/// constituent list and diff the result against the live topology.
+fn plan_partition(automata: &[Automaton]) -> Plan {
     let n = automata.len();
     let is_queue: Vec<bool> = automata.iter().map(|a| a.queue_hint().is_some()).collect();
 
@@ -395,9 +564,9 @@ pub fn partition_with(
     // Build regions: roots of non-queue automata + kept queues + singleton
     // queues.
     let mut region_of_root: HashMap<usize, usize> = HashMap::new();
-    let mut regions: Vec<Vec<Automaton>> = Vec::new();
+    let mut regions: Vec<Vec<usize>> = Vec::new();
     let mut automaton_region: Vec<Option<usize>> = vec![None; n];
-    for (i, a) in automata.iter().enumerate() {
+    for i in 0..n {
         if cut[i] {
             continue;
         }
@@ -416,7 +585,7 @@ pub fn partition_with(
                 regions.len() - 1
             }
         };
-        regions[region].push(a.clone());
+        regions[region].push(i);
         automaton_region[i] = Some(region);
     }
 
@@ -435,38 +604,14 @@ pub fn partition_with(
                 .find_map(|j| automaton_region[j])
                 .expect("cut queue has solid neighbors")
         };
-        links.push(Link {
+        links.push(LinkSpec {
             in_port: hint.input,
             out_port: hint.output,
             from: owner_region(hint.input),
             to: owner_region(hint.output),
             capacity: hint.capacity,
-            state: Mutex::new(LinkState {
-                queue: hint.initial.iter().cloned().collect(),
-                armed: false,
-            }),
-            queued: AtomicBool::new(false),
-            repump: AtomicBool::new(false),
+            initial: hint.initial.clone(),
         });
-    }
-
-    // One engine per region, sharded to the region's own ports. The store
-    // still shares the global layout (regions touch disjoint cells, so
-    // sharing it is safe and keeps ids global).
-    let region_sizes: Vec<usize> = regions.iter().map(Vec::len).collect();
-    let mut engines: Vec<Arc<Engine>> = Vec::with_capacity(regions.len());
-    for autos in regions {
-        let ports = PortMap::sparse(autos.iter().flat_map(|a| {
-            let ps = a.ports();
-            ps.iter().collect::<Vec<_>>()
-        }));
-        let core: Box<dyn EngineCore> = match engine {
-            RegionEngine::Jit(cache) => {
-                Box::new(JitCore::new(autos, cache.build(), expansion_budget))
-            }
-            RegionEngine::Compiled(opts) => Box::new(CompiledCore::from_region(&autos, &opts)?),
-        };
-        engines.push(Arc::new(Engine::new(core, ports, Store::new(mem_layout))));
     }
 
     let mut router = HashMap::new();
@@ -479,7 +624,7 @@ pub fn partition_with(
     }
 
     // Static kick routing: region → bordering links, link → cascade set.
-    let mut region_links: Vec<Vec<usize>> = vec![Vec::new(); engines.len()];
+    let mut region_links: Vec<Vec<usize>> = vec![Vec::new(); regions.len()];
     for (l, link) in links.iter().enumerate() {
         region_links[link.from].push(l);
         if link.to != link.from {
@@ -500,21 +645,25 @@ pub fn partition_with(
         })
         .collect();
 
-    Ok(Partitioned {
-        engines,
+    Plan {
+        regions,
+        automaton_region,
         links,
         router,
-        region_sizes,
         region_links,
         link_neighbors,
-        kicks: AtomicU64::new(0),
-        pool: OnceLock::new(),
-        workers: Mutex::new(Vec::new()),
-        has_workers: AtomicBool::new(false),
-    })
+    }
 }
 
 impl Partitioned {
+    /// Snapshot the live topology. Hot paths clone the `Arc` out of a
+    /// brief read lock and then run lock-free against the snapshot; a
+    /// concurrent splice swaps in a successor snapshot without ever
+    /// blocking readers for longer than the pointer swap.
+    pub fn topo(&self) -> Arc<Topology> {
+        Arc::clone(&self.topo.read().expect("topology lock poisoned"))
+    }
+
     /// One **batched** pump step of one link, with the link's state locked
     /// across the whole sequence (lock order is always link → engine;
     /// engines never take link locks, so there is no cycle).
@@ -531,7 +680,7 @@ impl Partitioned {
     /// Returns `true` iff *this call* observed progress. A delegated call
     /// returns `false` — the holder observes (and, in its own cascade,
     /// propagates) the progress instead.
-    fn pump_link(&self, link: &Link) -> bool {
+    fn pump_link(&self, topo: &Topology, link: &Link) -> bool {
         link.repump.store(true, Ordering::SeqCst);
         let mut progressed = false;
         loop {
@@ -541,7 +690,7 @@ impl Partitioned {
                 return progressed;
             };
             link.repump.store(false, Ordering::SeqCst);
-            progressed |= self.pump_link_locked(link, &mut st);
+            progressed |= self.pump_link_locked(topo, link, &mut st);
             drop(st);
             if !link.repump.load(Ordering::SeqCst) {
                 return progressed;
@@ -561,7 +710,7 @@ impl Partitioned {
     /// acquisitions to move at most one value, so a backlog of depth `k`
     /// cost `O(k)` cascade revisits at `O(4k)` lock round-trips; now it is
     /// one pump step at two.
-    fn pump_link_locked(&self, link: &Link, st: &mut LinkState) -> bool {
+    fn pump_link_locked(&self, topo: &Topology, link: &Link, st: &mut LinkState) -> bool {
         let LinkState { queue, armed } = st;
         // Credit: free slots in the link queue (the armed front stays
         // queued until acknowledged, so `len` counts resident values).
@@ -570,13 +719,13 @@ impl Partitioned {
             .capacity
             .map_or(usize::MAX, |cap| cap.saturating_sub(len0));
         let mut progressed =
-            self.engines[link.from].link_drain_deliveries(link.in_port, queue, credit);
+            topo.engines[link.from].link_drain_deliveries(link.in_port, queue, credit);
         // The drain was capacity-throttled iff it used up every free slot
         // of a bounded queue — only then can an acknowledgment below free
         // anything worth a second pass.
         let throttled = link.capacity.is_some() && queue.len() - len0 == credit;
         let len1 = queue.len();
-        progressed |= self.engines[link.to].link_offer_batch(link.out_port, queue, armed);
+        progressed |= topo.engines[link.to].link_offer_batch(link.out_port, queue, armed);
         // Emit-before-drain credit: acknowledgments during the offer freed
         // queue slots, and the drain above had been starved of credit —
         // use the freed slots in this same pump step instead of leaving
@@ -586,7 +735,7 @@ impl Partitioned {
                 .capacity
                 .map_or(usize::MAX, |cap| cap.saturating_sub(queue.len()));
             progressed |=
-                self.engines[link.from].link_drain_deliveries(link.in_port, queue, credit);
+                topo.engines[link.from].link_drain_deliveries(link.in_port, queue, credit);
         }
         progressed
     }
@@ -601,9 +750,14 @@ impl Partitioned {
     /// `scratch` must be all-false on entry and is all-false again on
     /// exit (every mark set by a push is cleared by its pop), so callers
     /// reuse one buffer forever without re-zeroing; it only grows.
-    fn pump_cascade(&self, start: impl IntoIterator<Item = usize>, scratch: &mut Vec<bool>) {
-        if scratch.len() < self.links.len() {
-            scratch.resize(self.links.len(), false);
+    fn pump_cascade(
+        &self,
+        topo: &Topology,
+        start: impl IntoIterator<Item = usize>,
+        scratch: &mut Vec<bool>,
+    ) {
+        if scratch.len() < topo.links.len() {
+            scratch.resize(topo.links.len(), false);
         }
         // The all-false invariant is O(links) to scan, so it is *not*
         // checked here even in debug builds (a debug `cargo test` pumps
@@ -618,8 +772,8 @@ impl Partitioned {
         }
         while let Some(i) = work.pop() {
             scratch[i] = false;
-            if self.pump_link(&self.links[i]) {
-                for &j in &self.link_neighbors[i] {
+            if self.pump_link(topo, &topo.links[i]) {
+                for &j in &topo.link_neighbors[i] {
                     if !scratch[j] {
                         scratch[j] = true;
                         work.push(j);
@@ -637,8 +791,9 @@ impl Partitioned {
     /// guarantees the probe observes everything already in flight). Safe
     /// to run concurrently from any thread.
     pub fn pump(&self) {
+        let topo = self.topo();
         CASCADE_SCRATCH.with(|s| {
-            self.pump_cascade(0..self.links.len(), &mut s.borrow_mut());
+            self.pump_cascade(&topo, 0..topo.links.len(), &mut s.borrow_mut());
         });
     }
 
@@ -664,22 +819,23 @@ impl Partitioned {
     ///   cascade without a worker pool, otherwise enqueue onto the links'
     ///   owning workers' kick queues.
     pub fn kick(&self, p: PortId) {
-        if self.links.is_empty() {
+        let topo = self.topo();
+        if topo.links.is_empty() {
             return; // no links at all: nothing a kick could ever pump
         }
-        let Some(&region) = self.router.get(&p) else {
+        let Some(&region) = topo.router.get(&p) else {
             return;
         };
-        let adjacent = &self.region_links[region];
+        let adjacent = &topo.region_links[region];
         match adjacent.len() {
             0 => (), // region borders no link: the engine already did it all
             1 => {
                 let l = adjacent[0];
-                if self.link_neighbors[l].len() == 1 {
-                    while self.pump_link(&self.links[l]) {}
+                if topo.link_neighbors[l].len() == 1 {
+                    while self.pump_link(&topo, &topo.links[l]) {}
                 } else {
                     CASCADE_SCRATCH.with(|s| {
-                        self.pump_cascade(std::iter::once(l), &mut s.borrow_mut());
+                        self.pump_cascade(&topo, std::iter::once(l), &mut s.borrow_mut());
                     });
                 }
             }
@@ -688,13 +844,13 @@ impl Partitioned {
                 if self.has_workers.load(Ordering::Relaxed) {
                     if let Some(pool) = self.pool.get() {
                         for &l in adjacent {
-                            self.enqueue_kick(pool, l);
+                            self.enqueue_kick(pool, &topo, l);
                         }
                         return;
                     }
                 }
                 CASCADE_SCRATCH.with(|s| {
-                    self.pump_cascade(adjacent.iter().copied(), &mut s.borrow_mut());
+                    self.pump_cascade(&topo, adjacent.iter().copied(), &mut s.borrow_mut());
                 });
             }
         }
@@ -704,25 +860,28 @@ impl Partitioned {
     /// `queued` flag) and wake the owner — or, if the owner slot retired,
     /// the next live slot. A kick that finds the owner busy pokes one idle
     /// neighbour so it can come steal the backlog.
-    fn enqueue_kick(&self, pool: &Pool, l: usize) {
-        if self.links[l].queued.swap(true, Ordering::SeqCst) {
+    fn enqueue_kick(&self, pool: &Pool, topo: &Topology, l: usize) {
+        if topo.links[l].queued.swap(true, Ordering::SeqCst) {
             return; // already queued: the pending pump covers this kick
         }
         let n = pool.slots.len();
-        let owner = pool.owners[l];
+        // Ownership is computed from the *live* topology (no static
+        // table): a splice that renumbers regions rebalances links across
+        // the workers the moment it swaps the snapshot in.
+        let owner = topo.links[l].to % n;
         for off in 0..n {
             let idx = (owner + off) % n;
             let slot = &pool.slots[idx];
             let mut st = slot.state.lock();
             if st.shutdown {
                 // Closing: engines are already shut, nothing left to pump.
-                self.links[l].queued.store(false, Ordering::SeqCst);
+                topo.links[l].queued.store(false, Ordering::SeqCst);
                 return;
             }
             if !st.active {
                 continue; // retired slot: fall over to the next live one
             }
-            st.queue.push_back(l);
+            st.queue.push_back((topo.version, l));
             let owner_waiting = st.waiting;
             if owner_waiting {
                 slot.cv.notify_one();
@@ -746,17 +905,17 @@ impl Partitioned {
         }
         // No live slot (fully shrunk pool racing a respawn-less close):
         // service the kick inline so it cannot be lost.
-        self.links[l].queued.store(false, Ordering::SeqCst);
+        topo.links[l].queued.store(false, Ordering::SeqCst);
         CASCADE_SCRATCH.with(|s| {
-            self.pump_cascade(std::iter::once(l), &mut s.borrow_mut());
+            self.pump_cascade(topo, std::iter::once(l), &mut s.borrow_mut());
         });
     }
 
     /// Dequeue-side half of the kick protocol: clear the dedup flag first
     /// (a kick racing this pump re-enqueues), then cascade from the link.
-    fn process_link(&self, l: usize, scratch: &mut Vec<bool>) {
-        self.links[l].queued.store(false, Ordering::SeqCst);
-        self.pump_cascade(std::iter::once(l), scratch);
+    fn process_link(&self, topo: &Topology, l: usize, scratch: &mut Vec<bool>) {
+        topo.links[l].queued.store(false, Ordering::SeqCst);
+        self.pump_cascade(topo, std::iter::once(l), scratch);
     }
 
     /// Spawn a static pool of `n` fire workers that pump kicked links.
@@ -779,13 +938,14 @@ impl Partitioned {
     /// (workers beyond either have nothing of their own to do); 0 when
     /// there are no links at all — nothing to pump, so no pool.
     pub fn auto_worker_count(&self) -> usize {
-        if self.links.is_empty() {
+        let topo = self.topo();
+        if topo.links.is_empty() {
             return 0;
         }
         let avail = std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1);
-        avail.min(self.engines.len()).min(self.links.len()).max(1)
+        avail.min(topo.engines.len()).min(topo.links.len()).max(1)
     }
 
     fn spawn_pool(self: &Arc<Self>, n: usize, adaptive: bool) {
@@ -794,7 +954,6 @@ impl Partitioned {
         }
         let pool = Arc::new(Pool {
             slots: (0..n).map(|_| Slot::new()).collect(),
-            owners: self.links.iter().map(|l| l.to % n).collect(),
             adaptive,
             idle_timeout: IDLE_SHRINK_TIMEOUT,
             live: AtomicUsize::new(n),
@@ -832,14 +991,24 @@ impl Partitioned {
 
     /// Sum of global steps over all regions.
     pub fn steps(&self) -> u64 {
-        self.engines.iter().map(|e| e.steps()).sum()
+        self.topo().engines.iter().map(|e| e.steps()).sum()
+    }
+
+    /// Number of synchronous regions in the live topology.
+    pub fn region_count(&self) -> usize {
+        self.topo().engines.len()
+    }
+
+    /// Number of cross-region links in the live topology.
+    pub fn link_count(&self) -> usize {
+        self.topo().links.len()
     }
 
     /// Aggregated contention counters over all region engines, plus the
     /// scheduler counters (kicks / kick-queue wakeups / steals).
     pub fn stats(&self) -> EngineStats {
         let mut acc = EngineStats::default();
-        for e in &self.engines {
+        for e in &self.topo().engines {
             acc.merge(&e.stats());
         }
         acc.kicks = self.kicks.load(Ordering::Relaxed);
@@ -852,11 +1021,11 @@ impl Partitioned {
 
     /// First poison message among the region engines, if any.
     pub fn poison_message(&self) -> Option<String> {
-        self.engines.iter().find_map(|e| e.poison_message())
+        self.topo().engines.iter().find_map(|e| e.poison_message())
     }
 
     pub fn close(&self) {
-        for e in &self.engines {
+        for e in &self.topo().engines {
             e.close();
         }
         self.shutdown_workers();
@@ -893,10 +1062,384 @@ impl Partitioned {
     }
 
     /// Which engine serves port `p` (boundary ports of cut links route to
-    /// the engine that owns the surviving side).
-    pub fn engine_for(&self, p: PortId) -> &Arc<Engine> {
-        &self.engines[self.router[&p]]
+    /// the engine that owns the surviving side). Returns an owned `Arc`
+    /// snapshot: the caller keeps a stable engine reference even if a
+    /// splice swaps the topology mid-operation (kept regions preserve
+    /// their engine's `Arc` identity, so a parked task wakes in the same
+    /// engine the new topology routes to).
+    ///
+    /// A port the live topology no longer routes (detached by a splice)
+    /// falls back to an arbitrary engine, whose port map then rejects the
+    /// operation with [`RuntimeError::Detached`] — detached handles fail,
+    /// they don't panic.
+    pub fn engine_for(&self, p: PortId) -> Arc<Engine> {
+        let topo = self.topo();
+        match topo.router.get(&p) {
+            Some(&r) => Arc::clone(&topo.engines[r]),
+            None => Arc::clone(
+                topo.engines
+                    .first()
+                    .expect("partition has at least one region"),
+            ),
+        }
     }
+
+    /// A freshly composed region core for the splice path — always
+    /// state-traced, so the *next* splice can read constituent states
+    /// back out of it. A compiled re-lowering that blows its product
+    /// budget falls back to a JIT core for this region instead of
+    /// failing the splice ("re-lowering deferred").
+    fn build_region_core(
+        &self,
+        autos: &[Automaton],
+        starts: &[StateId],
+    ) -> Result<Box<dyn EngineCore>, RuntimeError> {
+        let jit = |cache: CachePolicy| -> Box<dyn EngineCore> {
+            Box::new(JitCore::with_states(
+                autos.to_vec(),
+                starts,
+                cache.build(),
+                self.expansion_budget,
+            ))
+        };
+        Ok(match self.engine_kind {
+            RegionEngine::Jit(cache) => jit(cache),
+            RegionEngine::Compiled(opts) => {
+                match CompiledCore::from_region_traced(autos, starts, &opts) {
+                    Ok(core) => Box::new(core),
+                    Err(RuntimeError::Explosion(_)) => jit(CachePolicy::Unbounded),
+                    Err(e) => return Err(e),
+                }
+            }
+        })
+    }
+
+    /// Splice the live topology from the `old_automata` constituent list
+    /// to `new_automata` — the partitioned half of a dynamic
+    /// reconfiguration (attach/leave of a replicated branch).
+    ///
+    /// `old_of_new[i]` names the old constituent that new constituent `i`
+    /// continues (`None` = freshly attached); old constituents not named
+    /// by any entry are being detached. `layout` is the new global memory
+    /// layout and **must be a superset of the old one** (memory ids are
+    /// allocated monotonically; kept and removed cells retain their ids
+    /// and initial contents).
+    ///
+    /// The protocol, in lock order (reconfig serialization is the
+    /// caller's job — [`crate::Session::attach`] holds the session's
+    /// reconfig lock):
+    ///
+    /// 1. **Plan** the new partition and match it against the live
+    ///    topology: a new region inherits an old region's engine iff they
+    ///    share a kept constituent. Merges and splits of live regions are
+    ///    rejected ([`RuntimeError::Reconfig`]) — v1 supports branch
+    ///    churn, not arbitrary re-partitioning.
+    /// 2. **Quiesce**: lock removed links (link → engine is the pump's
+    ///    lock order, so link locks come first), then every affected
+    ///    engine. Verify removed ports are idle
+    ///    (`Engine::removal_quiescent`), removed links empty, and every
+    ///    detaching constituent at rest (initial control state, initial
+    ///    memory) — the zero-loss guarantee: a branch with an undelivered
+    ///    value refuses to detach.
+    /// 3. **Splice**: recompose each affected region's core *from the
+    ///    current constituent states* (kept constituents resume exactly
+    ///    where they were) and install it into the same engine —
+    ///    `Arc<Engine>` identity is preserved, so tasks parked in kept
+    ///    regions wake in the engine the new topology routes to. Fresh
+    ///    regions get fresh engines; untouched regions are not even
+    ///    locked.
+    /// 4. **Swap** in the successor [`Topology`] (version + 1): kick
+    ///    ownership rebalances (owner = `to % workers`), queued kicks for
+    ///    the old version become self-invalidating, surviving links carry
+    ///    their in-flight values over via the shared `LinkState`.
+    /// 5. **Re-pump** everything once, inline — nothing enabled by the
+    ///    splice waits for a lost kick.
+    ///
+    /// On any error the live topology and every engine are left exactly
+    /// as they were (all mutations happen after the last fallible step).
+    pub fn splice(
+        &self,
+        old_automata: &[Automaton],
+        new_automata: &[Automaton],
+        old_of_new: &[Option<usize>],
+        layout: &MemLayout,
+    ) -> Result<(), RuntimeError> {
+        assert_eq!(new_automata.len(), old_of_new.len());
+        let old = self.topo();
+        let plan = plan_partition(new_automata);
+
+        // Kept constituents must keep their role: a queue that was a cut
+        // link cannot re-enter a region mid-flight (its values live in
+        // the link queue, not in its memory cell), and vice versa.
+        for (ni, oi) in old_of_new.iter().enumerate() {
+            let Some(oi) = *oi else { continue };
+            if plan.automaton_region[ni].is_none() != old.automaton_region[oi].is_none() {
+                return Err(RuntimeError::Reconfig(format!(
+                    "constituent `{}` would change between link and region roles",
+                    new_automata[ni].name()
+                )));
+            }
+        }
+
+        // Match regions old ↔ new through their kept constituents.
+        let mut old_region_of: Vec<Option<usize>> = vec![None; plan.regions.len()];
+        let mut taken: Vec<Option<usize>> = vec![None; old.engines.len()];
+        for (nr, members) in plan.regions.iter().enumerate() {
+            for &ni in members {
+                let Some(oi) = old_of_new[ni] else { continue };
+                let or = old.automaton_region[oi].expect("role checked above");
+                match old_region_of[nr] {
+                    None => old_region_of[nr] = Some(or),
+                    Some(prev) if prev != or => {
+                        return Err(RuntimeError::Reconfig(
+                            "the reconfiguration would merge two live regions (unsupported)".into(),
+                        ))
+                    }
+                    Some(_) => {}
+                }
+            }
+            if let Some(or) = old_region_of[nr] {
+                if taken[or].replace(nr).is_some() {
+                    return Err(RuntimeError::Reconfig(
+                        "the reconfiguration would split a live region (unsupported)".into(),
+                    ));
+                }
+            }
+        }
+        let removed_regions: Vec<usize> = (0..old.engines.len())
+            .filter(|&r| taken[r].is_none())
+            .collect();
+
+        // Ports leaving the session: ports of detached constituents that
+        // no surviving constituent still uses.
+        let mut kept_old = vec![false; old_automata.len()];
+        for oi in old_of_new.iter().flatten() {
+            kept_old[*oi] = true;
+        }
+        let live_ports: HashSet<PortId> = new_automata
+            .iter()
+            .flat_map(|a| {
+                let ps = a.ports();
+                ps.iter().collect::<Vec<_>>()
+            })
+            .collect();
+        let mut removed_ports: Vec<PortId> = old_automata
+            .iter()
+            .enumerate()
+            .filter(|(oi, _)| !kept_old[*oi])
+            .flat_map(|(_, a)| {
+                let ps = a.ports();
+                ps.iter().collect::<Vec<_>>()
+            })
+            .filter(|p| !live_ports.contains(p))
+            .collect();
+        removed_ports.sort_unstable_by_key(|p| p.index());
+        removed_ports.dedup();
+
+        // Surviving links keep their queue (matched by port pair — kept
+        // constituents keep their ports, fresh ones get fresh ports).
+        let mut carried_state: Vec<Option<Arc<Mutex<LinkState>>>> = vec![None; plan.links.len()];
+        let mut old_link_kept = vec![false; old.links.len()];
+        for (li, spec) in plan.links.iter().enumerate() {
+            if let Some((oli, ol)) = old
+                .links
+                .iter()
+                .enumerate()
+                .find(|(_, ol)| ol.in_port == spec.in_port && ol.out_port == spec.out_port)
+            {
+                carried_state[li] = Some(Arc::clone(&ol.state));
+                old_link_kept[oli] = true;
+            }
+        }
+
+        // Affected kept regions: constituent list (or its order, which is
+        // the state-tuple order) changed. Identical regions are reused
+        // untouched — they are never even locked.
+        let mut affected: Vec<usize> = Vec::new();
+        for (nr, members) in plan.regions.iter().enumerate() {
+            let Some(or) = old_region_of[nr] else {
+                continue;
+            };
+            let same = members.len() == old.region_constituents[or].len()
+                && members
+                    .iter()
+                    .zip(&old.region_constituents[or])
+                    .all(|(&ni, &oi)| old_of_new[ni] == Some(oi));
+            if !same {
+                affected.push(or);
+            }
+        }
+
+        // ---- Quiesce (lock order: links, then engines). ----
+        let mut removed_link_guards = Vec::new();
+        for (oli, ol) in old.links.iter().enumerate() {
+            if old_link_kept[oli] {
+                continue;
+            }
+            let g = ol.state.lock();
+            if !g.queue.is_empty() {
+                return Err(RuntimeError::Reconfig(format!(
+                    "link {} → {} of the detaching branch still holds {} undelivered value(s)",
+                    ol.in_port,
+                    ol.out_port,
+                    g.queue.len()
+                )));
+            }
+            removed_link_guards.push(g);
+        }
+
+        let mut locked: Vec<usize> = affected
+            .iter()
+            .chain(removed_regions.iter())
+            .copied()
+            .collect();
+        locked.sort_unstable();
+        locked.dedup();
+        let mut guards: HashMap<usize, parking_lot::MutexGuard<'_, EngineInner>> = HashMap::new();
+        for &r in &locked {
+            let g = old.engines[r].lock_for_reconfig();
+            Engine::check_open_for_reconfig(&g)?;
+            Engine::removal_quiescent(&g, &removed_ports)?;
+            guards.insert(r, g);
+        }
+
+        // Removed regions: *every* port idle, every constituent at rest.
+        for &r in &removed_regions {
+            let g = &guards[&r];
+            let all_ports: Vec<PortId> = g.pending.port_map().iter().collect();
+            Engine::removal_quiescent(g, &all_ports)?;
+            let states = constituent_states_of(g)?;
+            for (pos, &oi) in old.region_constituents[r].iter().enumerate() {
+                constituent_at_rest(&old_automata[oi], states[pos], g, layout)?;
+            }
+        }
+
+        // Affected kept regions: verify detaching members at rest, then
+        // recompose from the live constituent states.
+        let mut installs: Vec<(usize, Box<dyn EngineCore>, PortMap)> = Vec::new();
+        let mut fresh: HashMap<usize, (Box<dyn EngineCore>, PortMap)> = HashMap::new();
+        for (nr, members) in plan.regions.iter().enumerate() {
+            let autos: Vec<Automaton> =
+                members.iter().map(|&ni| new_automata[ni].clone()).collect();
+            match old_region_of[nr] {
+                Some(or) if affected.contains(&or) => {
+                    let g = &guards[&or];
+                    let states = constituent_states_of(g)?;
+                    for (pos, &oi) in old.region_constituents[or].iter().enumerate() {
+                        if !kept_old[oi] {
+                            constituent_at_rest(&old_automata[oi], states[pos], g, layout)?;
+                        }
+                    }
+                    let starts: Vec<StateId> = members
+                        .iter()
+                        .map(|&ni| match old_of_new[ni] {
+                            Some(oi) => {
+                                let pos = old.region_constituents[or]
+                                    .iter()
+                                    .position(|&c| c == oi)
+                                    .expect("kept member belongs to its matched region");
+                                states[pos]
+                            }
+                            None => new_automata[ni].initial(),
+                        })
+                        .collect();
+                    let core = self.build_region_core(&autos, &starts)?;
+                    installs.push((or, core, region_port_map(&autos)));
+                }
+                Some(_) => {} // untouched: engine reused as-is
+                None => {
+                    let starts: Vec<StateId> = autos.iter().map(|a| a.initial()).collect();
+                    let core = self.build_region_core(&autos, &starts)?;
+                    fresh.insert(nr, (core, region_port_map(&autos)));
+                }
+            }
+        }
+
+        // ---- Point of no return: install, assemble, swap. ----
+        for (or, core, ports) in installs {
+            let g = guards.get_mut(&or).expect("affected region is locked");
+            old.engines[or].install(g, core, ports, layout);
+        }
+        let engines: Vec<Arc<Engine>> = (0..plan.regions.len())
+            .map(|nr| match old_region_of[nr] {
+                Some(or) => Arc::clone(&old.engines[or]),
+                None => {
+                    let (core, ports) = fresh.remove(&nr).expect("fresh region core built");
+                    Arc::new(Engine::new(core, ports, Store::new(layout)))
+                }
+            })
+            .collect();
+        let links: Vec<Link> = plan
+            .links
+            .iter()
+            .enumerate()
+            .map(|(li, spec)| Link::from_spec(spec, carried_state[li].take()))
+            .collect();
+        let next = Topology {
+            engines,
+            links,
+            router: plan.router,
+            region_sizes: plan.regions.iter().map(Vec::len).collect(),
+            region_links: plan.region_links,
+            link_neighbors: plan.link_neighbors,
+            region_constituents: plan.regions,
+            automaton_region: plan.automaton_region,
+            version: old.version + 1,
+        };
+        *self.topo.write().expect("topology lock poisoned") = Arc::new(next);
+        drop(guards);
+        drop(removed_link_guards);
+        // Detached regions' engines are shut so any straggling reference
+        // fails with `Closed` instead of stepping a zombie core.
+        for &r in &removed_regions {
+            old.engines[r].close();
+        }
+        // One full pump covers everything the splice may have enabled
+        // (fresh links arm, carried tokens reach new heads) and replaces
+        // any version-dropped kick.
+        self.pump();
+        Ok(())
+    }
+}
+
+/// The per-constituent control states of a locked region engine, or the
+/// reconfiguration error explaining that its core is not state-traced.
+pub(crate) fn constituent_states_of(inner: &EngineInner) -> Result<Vec<StateId>, RuntimeError> {
+    inner.core.constituent_states().ok_or_else(|| {
+        RuntimeError::Reconfig(
+            "region core does not track constituent states (session was not connected \
+             as reconfigurable)"
+                .into(),
+        )
+    })
+}
+
+/// A detaching constituent must be *at rest*: initial control state and
+/// initial memory contents. Anything else means user data is still inside
+/// the branch, and detaching would lose it.
+pub(crate) fn constituent_at_rest(
+    a: &Automaton,
+    state: StateId,
+    inner: &EngineInner,
+    layout: &MemLayout,
+) -> Result<(), RuntimeError> {
+    if state != a.initial() {
+        return Err(RuntimeError::Reconfig(format!(
+            "constituent `{}` of the detaching branch is mid-protocol \
+             (control state {state:?} is not its initial state)",
+            a.name()
+        )));
+    }
+    for &m in a.mem_ids() {
+        if !inner.store.matches_initial(m, layout) {
+            return Err(RuntimeError::Reconfig(format!(
+                "constituent `{}` of the detaching branch still buffers data in memory \
+                 cell {m:?}",
+                a.name()
+            )));
+        }
+    }
+    Ok(())
 }
 
 impl Drop for Partitioned {
@@ -925,9 +1468,14 @@ fn worker_loop(part: Weak<Partitioned>, pool: Arc<Pool>, idx: usize) {
                 }
                 st.queue.pop_front()
             };
-            let Some(l) = next else { break };
+            let Some((ver, l)) = next else { break };
             let Some(part) = part.upgrade() else { return };
-            part.process_link(l, &mut scratch);
+            let topo = part.topo();
+            // A stale entry names a link of a superseded topology: drop
+            // it — the splice that superseded it re-pumped everything.
+            if ver == topo.version {
+                part.process_link(&topo, l, &mut scratch);
+            }
         }
         // Idle: steal one backlog link from a neighbour.
         for off in 1..n {
@@ -939,10 +1487,13 @@ fn worker_loop(part: Weak<Partitioned>, pool: Arc<Pool>, idx: usize) {
                 }
                 st.queue.pop_back()
             };
-            if let Some(l) = stolen {
+            if let Some((ver, l)) = stolen {
                 pool.steals.fetch_add(1, Ordering::Relaxed);
                 let Some(part) = part.upgrade() else { return };
-                part.process_link(l, &mut scratch);
+                let topo = part.topo();
+                if ver == topo.version {
+                    part.process_link(&topo, l, &mut scratch);
+                }
                 continue 'outer;
             }
         }
@@ -1037,14 +1588,15 @@ mod tests {
         ];
         let layout = MemLayout::cells(1);
         let part = partition(autos, 6, &layout, CachePolicy::Unbounded, 1 << 20).unwrap();
-        assert_eq!(part.engines.len(), 2);
-        assert_eq!(part.links.len(), 1);
-        assert_eq!(part.region_sizes, vec![1, 1]);
-        assert_ne!(part.links[0].from, part.links[0].to);
+        let t = part.topo();
+        assert_eq!(t.engines.len(), 2);
+        assert_eq!(t.links.len(), 1);
+        assert_eq!(t.region_sizes, vec![1, 1]);
+        assert_ne!(t.links[0].from, t.links[0].to);
         // The kick routing table covers both regions' borders.
-        assert_eq!(part.region_links[part.links[0].from], vec![0]);
-        assert_eq!(part.region_links[part.links[0].to], vec![0]);
-        assert_eq!(part.link_neighbors[0], vec![0]);
+        assert_eq!(t.region_links[t.links[0].from], vec![0]);
+        assert_eq!(t.region_links[t.links[0].to], vec![0]);
+        assert_eq!(t.link_neighbors[0], vec![0]);
     }
 
     #[test]
@@ -1056,8 +1608,8 @@ mod tests {
         ];
         let layout = MemLayout::cells(0);
         let part = partition(autos, 5, &layout, CachePolicy::Unbounded, 1 << 20).unwrap();
-        assert_eq!(part.engines.len(), 1);
-        assert!(part.links.is_empty());
+        assert_eq!(part.region_count(), 1);
+        assert_eq!(part.link_count(), 0);
     }
 
     #[test]
@@ -1070,8 +1622,8 @@ mod tests {
         ];
         let layout = MemLayout::cells(1);
         let part = partition(autos, 3, &layout, CachePolicy::Unbounded, 1 << 20).unwrap();
-        assert_eq!(part.engines.len(), 1);
-        assert!(part.links.is_empty());
+        assert_eq!(part.region_count(), 1);
+        assert_eq!(part.link_count(), 0);
     }
 
     fn two_region_pipeline() -> Partitioned {
@@ -1097,8 +1649,8 @@ mod tests {
         ];
         let layout = MemLayout::cells(2);
         let part = partition(autos, 6, &layout, CachePolicy::Unbounded, 1 << 20).unwrap();
-        assert_eq!(part.engines.len(), 2);
-        assert_eq!(part.links.len(), 2);
+        assert_eq!(part.region_count(), 2);
+        assert_eq!(part.link_count(), 2);
         part
     }
 
@@ -1106,8 +1658,8 @@ mod tests {
     fn values_flow_across_a_link_end_to_end() {
         let part = Arc::new(two_region_pipeline());
         part.pump(); // initial arming
-        let sender_engine = Arc::clone(part.engine_for(p(0)));
-        let recv_engine = Arc::clone(part.engine_for(p(3)));
+        let sender_engine = part.engine_for(p(0));
+        let recv_engine = part.engine_for(p(3));
         assert!(!Arc::ptr_eq(&sender_engine, &recv_engine));
 
         let part2 = Arc::clone(&part);
@@ -1147,7 +1699,7 @@ mod tests {
         ];
         let layout = MemLayout::cells(1);
         let part = partition(autos, 3, &layout, CachePolicy::Unbounded, 1 << 20).unwrap();
-        assert!(part.links.is_empty());
+        assert_eq!(part.link_count(), 0);
         for _ in 0..10 {
             part.kick(p(0));
             part.kick(p(2));
@@ -1167,13 +1719,14 @@ mod tests {
         ];
         let layout = MemLayout::cells(1);
         let part = partition(autos, 6, &layout, CachePolicy::Unbounded, 1 << 20).unwrap();
-        assert_eq!(part.links.len(), 1);
-        assert_eq!(part.links[0].capacity, Some(8));
+        let t = part.topo();
+        assert_eq!(t.links.len(), 1);
+        assert_eq!(t.links[0].capacity, Some(8));
         part.pump(); // arm the accept side
 
         // All three producers register; only the first fires immediately
         // (the armed receive is single-slot), the rest pend.
-        let from = Arc::clone(part.engine_for(p(0)));
+        let from = part.engine_for(p(0));
         for (i, port) in [p(0), p(1), p(2)].into_iter().enumerate() {
             from.register_send(port, Value::Int(i as i64)).unwrap();
         }
@@ -1190,14 +1743,10 @@ mod tests {
             1,
             "…in a single batched transfer: {after:?}"
         );
-        assert_eq!(
-            part.links[0].depth(),
-            3,
-            "all three values reside in the link"
-        );
+        assert_eq!(t.links[0].depth(), 3, "all three values reside in the link");
 
         // And they come out strictly in producer order.
-        let to = Arc::clone(part.engine_for(p(5)));
+        let to = part.engine_for(p(5));
         for expect in 0..3i64 {
             to.register_recv(p(5)).unwrap();
             part.kick(p(5));
@@ -1213,8 +1762,8 @@ mod tests {
     fn cascade_scratch_self_cleans_between_cascades() {
         let part = Arc::new(dual_link_pipeline());
         part.pump();
-        let tx = Arc::clone(part.engine_for(p(0)));
-        let rx = Arc::clone(part.engine_for(p(5)));
+        let tx = part.engine_for(p(0));
+        let rx = part.engine_for(p(5));
         for k in 0..50i64 {
             tx.register_send(p(0), Value::Int(k)).unwrap();
             part.kick(p(0));
@@ -1241,34 +1790,35 @@ mod tests {
     fn freed_slot_is_reusable_within_the_same_pump_step() {
         let part = Arc::new(two_region_pipeline()); // fifo1 link: capacity 1
         part.pump();
-        assert_eq!(part.links[0].capacity, Some(1));
-        let tx = Arc::clone(part.engine_for(p(0)));
-        let rx = Arc::clone(part.engine_for(p(3)));
+        let t = part.topo();
+        assert_eq!(t.links[0].capacity, Some(1));
+        let tx = part.engine_for(p(0));
+        let rx = part.engine_for(p(3));
 
         // Fill the link to capacity.
         tx.register_send(p(0), Value::Int(0)).unwrap();
         part.pump();
         tx.wait_send(p(0), None).unwrap();
-        assert_eq!(part.links[0].depth(), 1, "link full");
+        assert_eq!(t.links[0].depth(), 1, "link full");
 
         // The next value queues up behind the full link: pumping moves
         // nothing (no credit).
         tx.register_send(p(0), Value::Int(1)).unwrap();
         part.pump();
-        assert_eq!(part.links[0].depth(), 1, "no credit: value 1 must wait");
+        assert_eq!(t.links[0].depth(), 1, "no credit: value 1 must wait");
 
         // The consumer takes the front; the acknowledgment (pop) is still
         // pending inside the link.
         rx.register_recv(p(3)).unwrap();
         assert_eq!(rx.wait_recv(p(3), None).unwrap().as_int(), Some(0));
-        assert_eq!(part.links[0].depth(), 1, "front consumed but unacked");
+        assert_eq!(t.links[0].depth(), 1, "front consumed but unacked");
 
         // ONE pump step: the offer acknowledges (slot freed) and the
         // second drain pass refills it immediately, completing the
         // producer — one fewer pump per value.
-        assert!(part.pump_link(&part.links[0]));
+        assert!(part.pump_link(&t, &t.links[0]));
         assert_eq!(
-            part.links[0].depth(),
+            t.links[0].depth(),
             1,
             "freed slot must be refilled within the same pump step"
         );
@@ -1321,7 +1871,7 @@ mod tests {
         const K: i64 = 500;
         let part_tx = Arc::clone(&part);
         let tx = std::thread::spawn(move || {
-            let e = Arc::clone(part_tx.engine_for(p(0)));
+            let e = part_tx.engine_for(p(0));
             for k in 0..K {
                 e.register_send(p(0), Value::Int(k)).unwrap();
                 part_tx.kick(p(0));
@@ -1329,7 +1879,7 @@ mod tests {
                 part_tx.kick(p(0));
             }
         });
-        let e = Arc::clone(part.engine_for(p(3)));
+        let e = part.engine_for(p(3));
         for k in 0..K {
             e.register_recv(p(3)).unwrap();
             part.kick(p(3));
@@ -1353,17 +1903,18 @@ mod tests {
         use std::sync::atomic::Ordering;
         let part = two_region_pipeline();
         part.pump();
-        let link = &part.links[0];
+        let t = part.topo();
+        let link = &t.links[0];
 
         // A value is ready to cross: the drain side can arm + take it.
-        let tx = Arc::clone(part.engine_for(p(0)));
+        let tx = part.engine_for(p(0));
         tx.register_send(p(0), Value::Int(7)).unwrap();
 
         // Simulate a holder mid-pump-step: take the link state lock.
         let guard = link.state.lock();
         // The contender must neither block nor pump: it delegates.
         assert!(
-            !part.pump_link(link),
+            !part.pump_link(&t, link),
             "a delegated pump reports no progress"
         );
         assert!(
@@ -1377,7 +1928,10 @@ mod tests {
         // The holder's post-release re-check runs exactly this call: the
         // raised flag routes the delegated work to it, it pumps, and the
         // flag comes back down.
-        assert!(part.pump_link(link), "the holder's re-pump covers the work");
+        assert!(
+            part.pump_link(&t, link),
+            "the holder's re-pump covers the work"
+        );
         assert_eq!(link.depth(), 1, "the delegated value crossed the link");
         assert!(
             !link.repump.load(Ordering::SeqCst),
@@ -1403,8 +1957,9 @@ mod tests {
                 let part = Arc::clone(&part);
                 let stop = Arc::clone(&stop);
                 std::thread::spawn(move || {
+                    let t = part.topo();
                     while !stop.load(Ordering::Relaxed) {
-                        part.pump_link(&part.links[0]);
+                        part.pump_link(&t, &t.links[0]);
                     }
                 })
             })
@@ -1415,13 +1970,13 @@ mod tests {
         const K: i64 = 500;
         let part_tx = Arc::clone(&part);
         let tx = std::thread::spawn(move || {
-            let e = Arc::clone(part_tx.engine_for(p(0)));
+            let e = part_tx.engine_for(p(0));
             for k in 0..K {
                 e.register_send(p(0), Value::Int(k)).unwrap();
                 e.wait_send(p(0), None).unwrap();
             }
         });
-        let e = Arc::clone(part.engine_for(p(3)));
+        let e = part.engine_for(p(3));
         for k in 0..K {
             e.register_recv(p(3)).unwrap();
             let v = e.wait_recv(p(3), None).unwrap();
@@ -1446,7 +2001,7 @@ mod tests {
         const K: i64 = 200;
         let part_tx = Arc::clone(&part);
         let tx = std::thread::spawn(move || {
-            let e = Arc::clone(part_tx.engine_for(p(0)));
+            let e = part_tx.engine_for(p(0));
             for k in 0..K {
                 e.register_send(p(0), Value::Int(k)).unwrap();
                 part_tx.kick(p(0));
@@ -1454,7 +2009,7 @@ mod tests {
                 part_tx.kick(p(0));
             }
         });
-        let e = Arc::clone(part.engine_for(p(5)));
+        let e = part.engine_for(p(5));
         for _ in 0..2 * K {
             e.register_recv(p(5)).unwrap();
             part.kick(p(5));

@@ -68,7 +68,7 @@ impl Backend {
                 e.wait_send(p, deadline)
             }
             Backend::Multi(m) => {
-                let e = Arc::clone(m.engine_for(p));
+                let e = m.engine_for(p);
                 e.register_send(p, v)?;
                 m.kick(p);
                 let r = e.wait_send(p, deadline);
@@ -85,7 +85,7 @@ impl Backend {
                 e.wait_recv(p, deadline)
             }
             Backend::Multi(m) => {
-                let e = Arc::clone(m.engine_for(p));
+                let e = m.engine_for(p);
                 e.register_recv(p)?;
                 m.kick(p);
                 let r = e.wait_recv(p, deadline);
@@ -102,7 +102,7 @@ impl Backend {
                 e.finish_or_retract_send(p)
             }
             Backend::Multi(m) => {
-                let e = Arc::clone(m.engine_for(p));
+                let e = m.engine_for(p);
                 e.register_send(p, v)?;
                 // One-shot probe: pump *all* links inline even with a
                 // worker pool — an asynchronous kick might not be serviced
@@ -127,7 +127,7 @@ impl Backend {
                 e.finish_or_retract_recv(p)
             }
             Backend::Multi(m) => {
-                let e = Arc::clone(m.engine_for(p));
+                let e = m.engine_for(p);
                 e.register_recv(p)?;
                 // See try_send: the probe must not race the worker pool,
                 // and must sweep the whole link set, not just this
@@ -156,7 +156,7 @@ impl Backend {
         let r = match self {
             Backend::Single(e) => e.poll_send(p, value, cx.waker()),
             Backend::Multi(m) => {
-                let e = Arc::clone(m.engine_for(p));
+                let e = m.engine_for(p);
                 let r = e.poll_send(p, value, cx.waker());
                 if first || r.is_some() {
                     m.kick(p);
@@ -182,7 +182,7 @@ impl Backend {
         let r = match self {
             Backend::Single(e) => e.poll_recv(p, registered, cx.waker()),
             Backend::Multi(m) => {
-                let e = Arc::clone(m.engine_for(p));
+                let e = m.engine_for(p);
                 let r = e.poll_recv(p, registered, cx.waker());
                 if first || r.is_some() {
                     m.kick(p);
@@ -249,7 +249,8 @@ impl Backend {
             Backend::Single(e) => e.cache_stats(),
             Backend::Multi(m) => {
                 let mut acc = crate::cache::CacheStats::default();
-                for e in &m.engines {
+                let t = m.topo();
+                for e in &t.engines {
                     if let Some(s) = e.cache_stats() {
                         acc.hits += s.hits;
                         acc.misses += s.misses;

@@ -109,12 +109,14 @@ pub fn run_main(
     }
 
     // Connect with the widths the spans dictate.
-    let connector = Connector::compile(program, &main.connector.name, mode)?;
-    let sizes: Vec<(&str, usize)> = spans
-        .iter()
-        .map(|(param, _, lo, hi, _)| (param.as_str(), (hi - lo + 1).max(1) as usize))
-        .collect();
-    let mut session: Session = connector.connect(&sizes)?;
+    let connector = Connector::builder(program, &main.connector.name)
+        .mode(mode)
+        .build()?;
+    let mut spec = connector.session();
+    for (param, _, lo, hi, _) in &spans {
+        spec = spec.replicate(param, ((hi - lo + 1).max(1)) as usize);
+    }
+    let mut session: Session = spec.connect()?;
     let handle = session.handle();
 
     // Build the main-level arrays as optional endpoints to move out.

@@ -21,7 +21,7 @@
 //!     "Buf(a[];b[]) = prod (i:1..#a) Fifo1(a[i];b[i])",
 //! ).unwrap();
 //! let connector = Connector::builder(&program, "Buf").mode(Mode::jit()).build().unwrap();
-//! let mut session = connector.connect(&[("a", 2), ("b", 2)]).unwrap();
+//! let mut session = connector.session().replicate("a", 2).replicate("b", 2).connect().unwrap();
 //! let txs = session.typed_outports::<i64>("a").unwrap();
 //! let rxs = session.typed_inports::<i64>("b").unwrap();
 //!

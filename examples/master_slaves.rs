@@ -45,7 +45,12 @@ fn main() {
         .mode(mode)
         .build()
         .unwrap();
-    let mut session = connector.connect(&[("v", n), ("w", n)]).unwrap();
+    let mut session = connector
+        .session()
+        .replicate("v", n)
+        .replicate("w", n)
+        .connect()
+        .unwrap();
 
     let master_out = session.typed_outport::<i64>("m").unwrap();
     let results_in = session.typed_inport::<(i64, i64)>("res").unwrap();

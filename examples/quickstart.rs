@@ -20,7 +20,7 @@ fn main() {
     let connector = Connector::builder(&program, "ConnectorEx11a")
         .build()
         .unwrap();
-    let mut session = connector.connect(&[]).unwrap();
+    let mut session = connector.session().connect().unwrap();
 
     let a_out = session.typed_outport::<String>("tl1").unwrap();
     let b_out = session.typed_outport::<String>("tl2").unwrap();

@@ -118,7 +118,7 @@ fn main() {
     let mut handles = Vec::with_capacity(sessions);
     let mut ports = Vec::with_capacity(sessions);
     for _ in 0..sessions {
-        let mut s = connector.connect(&[]).unwrap();
+        let mut s = connector.session().connect().unwrap();
         let tx = s.typed_outport::<i64>("a").unwrap();
         let rx = s.typed_inport::<i64>("b").unwrap();
         handles.push(s.handle());

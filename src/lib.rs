@@ -33,7 +33,7 @@
 //!
 //! // Choose N at *run time* — the generalization the paper contributes.
 //! let n = 3;
-//! let mut session = connector.connect(&[("tl", n), ("hd", n)]).unwrap();
+//! let mut session = connector.session().replicate("tl", n).replicate("hd", n).connect().unwrap();
 //!
 //! // Typed handles: these ports carry plain i64s, no Value wrapping.
 //! let producers = session.typed_outports::<i64>("tl").unwrap();
@@ -68,6 +68,6 @@ pub use reo_runtime as runtime;
 
 pub use reo_automata::{FromValue, IntoValue, Value};
 pub use reo_runtime::{
-    select2, select_slice, Connector, Either, Inport, Mode, Outport, RecvFuture, RuntimeError,
-    SendFuture, Session,
+    select2, select_slice, Branch, Connector, ConnectorHandle, Either, Inport, Mode, Outport,
+    RecvFuture, RuntimeError, SendFuture, Session, SessionSpec,
 };

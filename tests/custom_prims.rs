@@ -27,8 +27,11 @@ fn filter_channel_drops_non_matching_messages() {
     );
 
     for mode in [Mode::jit(), Mode::existing()] {
-        let connector = Connector::compile(&program, "Evens", mode).unwrap();
-        let mut connected = connector.connect(&[]).unwrap();
+        let connector = Connector::builder(&program, "Evens")
+            .mode(mode)
+            .build()
+            .unwrap();
+        let mut connected = connector.session().connect().unwrap();
         let tx = connected.outports("a").unwrap().pop().unwrap();
         let rx = connected.inports("b").unwrap().pop().unwrap();
         let producer = thread::spawn(move || {
@@ -57,8 +60,11 @@ fn transformer_applies_function_in_flight() {
             }),
         },
     );
-    let connector = Connector::compile(&program, "Doubler", Mode::jit()).unwrap();
-    let mut connected = connector.connect(&[]).unwrap();
+    let connector = Connector::builder(&program, "Doubler")
+        .mode(Mode::jit())
+        .build()
+        .unwrap();
+    let mut connected = connector.session().connect().unwrap();
     let tx = connected.outports("a").unwrap().pop().unwrap();
     let rx = connected.inports("b").unwrap().pop().unwrap();
     tx.send(Value::Int(21)).unwrap();
@@ -82,8 +88,16 @@ fn custom_prims_compose_under_iteration() {
             }),
         },
     );
-    let connector = Connector::compile(&program, "Gate", Mode::jit()).unwrap();
-    let mut connected = connector.connect(&[("a", 3), ("b", 3)]).unwrap();
+    let connector = Connector::builder(&program, "Gate")
+        .mode(Mode::jit())
+        .build()
+        .unwrap();
+    let mut connected = connector
+        .session()
+        .replicate("a", 3)
+        .replicate("b", 3)
+        .connect()
+        .unwrap();
     let txs = connected.outports("a").unwrap();
     let rxs = connected.inports("b").unwrap();
     // Negative values are swallowed (filter's lossy branch), positives pass.
@@ -108,7 +122,10 @@ fn custom_prims_compose_under_iteration() {
 #[test]
 fn unknown_custom_prim_is_a_compile_error() {
     let program = reo::dsl::parse_program("Nope(a;b) = Mystery(a;b)").unwrap();
-    assert!(Connector::compile(&program, "Nope", Mode::jit()).is_err());
+    assert!(Connector::builder(&program, "Nope")
+        .mode(Mode::jit())
+        .build()
+        .is_err());
 }
 
 #[test]
@@ -122,5 +139,8 @@ fn custom_prim_arity_is_checked() {
             build: Arc::new(|tails, heads, _| primitives::sync(tails[0], heads[0])),
         },
     );
-    assert!(Connector::compile(&program, "Bad", Mode::jit()).is_err());
+    assert!(Connector::builder(&program, "Bad")
+        .mode(Mode::jit())
+        .build()
+        .is_err());
 }

@@ -21,7 +21,12 @@ fn stdlib_connector_connects_end_to_end() {
 
     // N chosen at run time — the paper's headline generalization.
     for n in [1, 2, 4] {
-        let mut session: reo::Session = connector.connect(&[("tl", n), ("hd", n)]).unwrap();
+        let mut session: reo::Session = connector
+            .session()
+            .replicate("tl", n)
+            .replicate("hd", n)
+            .connect()
+            .unwrap();
         let producers = session.typed_outports::<i64>("tl").unwrap();
         let consumers = session.typed_inports::<i64>("hd").unwrap();
         assert_eq!(producers.len(), n);
@@ -42,8 +47,16 @@ fn stdlib_connector_connects_end_to_end() {
 #[test]
 fn untyped_handles_still_speak_raw_values() {
     let program = reo::dsl::parse_program(reo::dsl::stdlib::FIG9_SOURCE).unwrap();
-    let connector = Connector::compile(&program, "ConnectorEx11N", Mode::jit()).unwrap();
-    let mut session = connector.connect(&[("tl", 2), ("hd", 2)]).unwrap();
+    let connector = Connector::builder(&program, "ConnectorEx11N")
+        .mode(Mode::jit())
+        .build()
+        .unwrap();
+    let mut session = connector
+        .session()
+        .replicate("tl", 2)
+        .replicate("hd", 2)
+        .connect()
+        .unwrap();
     let producers = session.outports("tl").unwrap();
     let consumers = session.inports("hd").unwrap();
     producers[0].send(Value::Int(99)).unwrap();
@@ -58,7 +71,12 @@ fn facade_exposes_aot_mode_too() {
         .mode(Mode::AotCompose { simplify: true })
         .build()
         .unwrap();
-    let mut session = connector.connect(&[("tl", 2), ("hd", 2)]).unwrap();
+    let mut session = connector
+        .session()
+        .replicate("tl", 2)
+        .replicate("hd", 2)
+        .connect()
+        .unwrap();
     let producers = session.outports("tl").unwrap();
     let consumers = session.inports("hd").unwrap();
     producers[0].send(Value::Int(7)).unwrap();

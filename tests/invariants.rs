@@ -135,8 +135,11 @@ fn cache_policies_observationally_equal_on_sequencer() {
         .unwrap();
     let program = family.program();
     let run = |cache: CachePolicy| -> u64 {
-        let connector = Connector::compile(&program, family.def, Mode::Jit { cache }).unwrap();
-        let mut connected = connector.connect(&[("t", 4)]).unwrap();
+        let connector = Connector::builder(&program, family.def)
+            .mode(Mode::Jit { cache })
+            .build()
+            .unwrap();
+        let mut connected = connector.session().replicate("t", 4).connect().unwrap();
         let clients = connected.outports("t").unwrap();
         for _round in 0..3 {
             for c in &clients {

@@ -95,8 +95,11 @@ fn modes() -> Vec<Mode> {
 /// guarantees a fifo.)
 fn run_pipeline(src: &str, k: usize, mode: Mode) -> Vec<i64> {
     let program = reo::dsl::parse_program(src).unwrap();
-    let connector = Connector::compile(&program, "P", mode).unwrap();
-    let mut connected = connector.connect(&[]).unwrap();
+    let connector = Connector::builder(&program, "P")
+        .mode(mode)
+        .build()
+        .unwrap();
+    let mut connected = connector.session().connect().unwrap();
     let tx = connected.outports("a").unwrap().pop().unwrap();
     let rx = connected.inports("b").unwrap().pop().unwrap();
     let producer = std::thread::spawn(move || {
@@ -123,9 +126,15 @@ fn traces_for(
     k: usize,
 ) -> (Vec<Vec<i64>>, reo::runtime::EngineStats) {
     let program = reo::dsl::parse_program(src).unwrap();
-    let connector = Connector::compile(&program, "P", mode).unwrap();
+    let connector = Connector::builder(&program, "P")
+        .mode(mode)
+        .build()
+        .unwrap();
     let mut session = connector
-        .connect(&[("a", channels), ("b", channels)])
+        .session()
+        .replicate("a", channels)
+        .replicate("b", channels)
+        .connect()
         .unwrap();
     let txs = session.typed_outports::<i64>("a").unwrap();
     let rxs = session.typed_inports::<i64>("b").unwrap();
@@ -174,8 +183,11 @@ fn channel_traces(
 /// `send_async`/`recv_async` instead of parking OS threads.
 fn run_pipeline_async(src: &str, k: usize, mode: Mode) -> Vec<i64> {
     let program = reo::dsl::parse_program(src).unwrap();
-    let connector = Connector::compile(&program, "P", mode).unwrap();
-    let mut session = connector.connect(&[]).unwrap();
+    let connector = Connector::builder(&program, "P")
+        .mode(mode)
+        .build()
+        .unwrap();
+    let mut session = connector.session().connect().unwrap();
     let tx = session.typed_outport::<i64>("a").unwrap();
     let rx = session.typed_inport::<i64>("b").unwrap();
     let exec = reo::exec::Executor::new(2);
@@ -226,8 +238,11 @@ fn cancelled_recv_futures_lose_nothing_across_the_runtime_grid() {
     const K: i64 = 400;
     for mode in modes() {
         let program = reo::dsl::parse_program("P(a;b) = Fifo1(a;b)").unwrap();
-        let connector = Connector::compile(&program, "P", mode).unwrap();
-        let mut session = connector.connect(&[]).unwrap();
+        let connector = Connector::builder(&program, "P")
+            .mode(mode)
+            .build()
+            .unwrap();
+        let mut session = connector.session().connect().unwrap();
         let tx = session.typed_outport::<i64>("a").unwrap();
         let rx = session.typed_inport::<i64>("b").unwrap();
         let waker = noop_waker();
@@ -376,10 +391,15 @@ fn skewed_load_steals_across_workers_without_reordering() {
     let mut total_batch_surplus = 0u64; // batched_values - batch_moves
     for _attempt in 0..5 {
         let program = reo::dsl::parse_program(DUAL_RELAY_SRC).unwrap();
-        let connector =
-            Connector::compile(&program, "P", Mode::partitioned_with_workers(2)).unwrap();
+        let connector = Connector::builder(&program, "P")
+            .mode(Mode::partitioned_with_workers(2))
+            .build()
+            .unwrap();
         let mut session = connector
-            .connect(&[("a", CHANNELS), ("b", CHANNELS)])
+            .session()
+            .replicate("a", CHANNELS)
+            .replicate("b", CHANNELS)
+            .connect()
             .unwrap();
         let handle = session.handle();
         assert_eq!(handle.region_count(), 2 * CHANNELS);
@@ -589,8 +609,8 @@ proptest! {
         let src = src.replace("#legs", &n.to_string());
         for mode in modes() {
             let program = reo::dsl::parse_program(&src).unwrap();
-            let connector = Connector::compile(&program, "F", mode).unwrap();
-            let mut connected = connector.connect(&[]).unwrap();
+            let connector = Connector::builder(&program, "F").mode(mode).build().unwrap();
+            let mut connected = connector.session().connect().unwrap();
             let tx = connected.outports("a").unwrap().pop().unwrap();
             let rx = connected.inports("b").unwrap().pop().unwrap();
             let kk = k;

@@ -27,8 +27,11 @@ fn example1_order_enforced_in_every_mode() {
     let program = reo::dsl::parse_program(reo::dsl::stdlib::FIG8_SOURCE).unwrap();
     for mode in all_modes() {
         for def in ["ConnectorEx11a", "ConnectorEx11b"] {
-            let connector = Connector::compile(&program, def, mode).unwrap();
-            let mut connected = connector.connect(&[]).unwrap();
+            let connector = Connector::builder(&program, def)
+                .mode(mode)
+                .build()
+                .unwrap();
+            let mut connected = connector.session().connect().unwrap();
             let a_out = connected.outports("tl1").unwrap().pop().unwrap();
             let b_out = connected.outports("tl2").unwrap().pop().unwrap();
             let c1 = connected.inports("hd1").unwrap().pop().unwrap();
@@ -85,9 +88,17 @@ fn example9_a_and_b_have_equal_medium_structure() {
 fn example8_parametrized_order_all_modes() {
     let program = reo::dsl::parse_program(reo::dsl::stdlib::FIG9_SOURCE).unwrap();
     for mode in all_modes() {
-        let connector = Connector::compile(&program, "ConnectorEx11N", mode).unwrap();
+        let connector = Connector::builder(&program, "ConnectorEx11N")
+            .mode(mode)
+            .build()
+            .unwrap();
         for n in [1usize, 2, 5] {
-            let mut connected = connector.connect(&[("tl", n), ("hd", n)]).unwrap();
+            let mut connected = connector
+                .session()
+                .replicate("tl", n)
+                .replicate("hd", n)
+                .connect()
+                .unwrap();
             let producers = connected.outports("tl").unwrap();
             let consumers = connected.inports("hd").unwrap();
             let senders: Vec<_> = producers
@@ -119,8 +130,11 @@ fn example8_parametrized_order_all_modes() {
 fn fig5_diagram_runs_like_fig8() {
     let def = reo::dsl::graph::fig5_diagram().to_def().unwrap();
     let program = reo::core::Program::new(vec![def]);
-    let connector = Connector::compile(&program, "ConnectorEx11", Mode::jit()).unwrap();
-    let mut connected = connector.connect(&[]).unwrap();
+    let connector = Connector::builder(&program, "ConnectorEx11")
+        .mode(Mode::jit())
+        .build()
+        .unwrap();
+    let mut connected = connector.session().connect().unwrap();
     let a_out = connected.outports("tl1").unwrap().pop().unwrap();
     let b_out = connected.outports("tl2").unwrap().pop().unwrap();
     let c1 = connected.inports("hd1").unwrap().pop().unwrap();
@@ -141,14 +155,20 @@ fn footnote1_buffering_controls_send_blocking() {
     let program =
         reo::dsl::parse_program("Buffered(a;b) = Fifo1(a;b)\nUnbuffered(a;b) = Sync(a;b)").unwrap();
     // Buffered: send completes without any receiver.
-    let connector = Connector::compile(&program, "Buffered", Mode::jit()).unwrap();
-    let mut connected = connector.connect(&[]).unwrap();
+    let connector = Connector::builder(&program, "Buffered")
+        .mode(Mode::jit())
+        .build()
+        .unwrap();
+    let mut connected = connector.session().connect().unwrap();
     let tx = connected.outports("a").unwrap().pop().unwrap();
     tx.send(Value::Int(1)).unwrap(); // returns immediately
 
     // Unbuffered: send blocks until the receiver shows up.
-    let connector = Connector::compile(&program, "Unbuffered", Mode::jit()).unwrap();
-    let mut connected = connector.connect(&[]).unwrap();
+    let connector = Connector::builder(&program, "Unbuffered")
+        .mode(Mode::jit())
+        .build()
+        .unwrap();
+    let mut connected = connector.session().connect().unwrap();
     let tx = connected.outports("a").unwrap().pop().unwrap();
     let rx = connected.inports("b").unwrap().pop().unwrap();
     let done = Arc::new(std::sync::atomic::AtomicBool::new(false));

@@ -42,7 +42,7 @@ impl std::task::Wake for FlagWaker {
 fn fifo_session() -> reo::Session {
     let program = reo::dsl::parse_program("Buf(a;b) = Fifo1(a;b)").unwrap();
     let connector = Connector::builder(&program, "Buf").build().unwrap();
-    connector.connect(&[]).unwrap()
+    connector.session().connect().unwrap()
 }
 
 #[test]
@@ -68,7 +68,12 @@ fn unknown_and_taken_params_are_typed_errors_not_panics() {
     let program =
         reo::dsl::parse_program("Arr(a[];b[]) = prod (i:1..#a) Fifo1(a[i];b[i])").unwrap();
     let connector = Connector::builder(&program, "Arr").build().unwrap();
-    let mut session = connector.connect(&[("a", 2), ("b", 2)]).unwrap();
+    let mut session = connector
+        .session()
+        .replicate("a", 2)
+        .replicate("b", 2)
+        .connect()
+        .unwrap();
     assert!(matches!(
         session.outport("a"),
         Err(RuntimeError::NotScalar { len: 2, .. })
@@ -83,7 +88,12 @@ fn recv_timeout_expires_within_twice_the_deadline_under_contention() {
     let program =
         reo::dsl::parse_program("Buf(a[];b[]) = prod (i:1..#a) Fifo1(a[i];b[i])").unwrap();
     let connector = Connector::builder(&program, "Buf").build().unwrap();
-    let mut session = connector.connect(&[("a", 2), ("b", 2)]).unwrap();
+    let mut session = connector
+        .session()
+        .replicate("a", 2)
+        .replicate("b", 2)
+        .connect()
+        .unwrap();
     let mut txs = session.typed_outports::<i64>("a").unwrap();
     let mut rxs = session.typed_inports::<i64>("b").unwrap();
     // `pop()` takes the *last* element: the timed receive sits on the
@@ -152,7 +162,7 @@ fn timed_out_sends_retract_cleanly_with_no_loss_or_duplication() {
             .mode(mode)
             .build()
             .unwrap();
-        let mut session = connector.connect(&[]).unwrap();
+        let mut session = connector.session().connect().unwrap();
         let tx = session.typed_outport::<i64>("a").unwrap();
         let rx = session.typed_inport::<i64>("b").unwrap();
 
@@ -233,7 +243,7 @@ fn dropped_pending_futures_retract_atomically_with_no_loss_or_duplication() {
             .mode(mode)
             .build()
             .unwrap();
-        let mut session = connector.connect(&[]).unwrap();
+        let mut session = connector.session().connect().unwrap();
         let tx = session.typed_outport::<i64>("a").unwrap();
         let rx = session.typed_inport::<i64>("b").unwrap();
 
@@ -372,7 +382,12 @@ fn close_wakes_parked_future_wakers_which_resolve_to_closed() {
     let program =
         reo::dsl::parse_program("Buf(a[];b[]) = prod (i:1..#a) Fifo1(a[i];b[i])").unwrap();
     let connector = Connector::builder(&program, "Buf").build().unwrap();
-    let mut session = connector.connect(&[("a", 2), ("b", 2)]).unwrap();
+    let mut session = connector
+        .session()
+        .replicate("a", 2)
+        .replicate("b", 2)
+        .connect()
+        .unwrap();
     let mut txs = session.typed_outports::<i64>("a").unwrap();
     let mut rxs = session.typed_inports::<i64>("b").unwrap();
     // `pop()` takes the last element: the a[2]→b[2] fifo is filled so its
@@ -416,7 +431,7 @@ fn poisoned_engine_surfaces_through_typed_ops() {
         .expansion_budget(0)
         .build()
         .unwrap();
-    let mut session = connector.connect(&[]).unwrap();
+    let mut session = connector.session().connect().unwrap();
     let tx = session.typed_outport::<i64>("a").unwrap();
     let rx = session.typed_inport::<i64>("b").unwrap();
     assert!(matches!(tx.send(1), Err(RuntimeError::Poisoned(_))));
@@ -524,7 +539,7 @@ fn one_shot_try_recv_sees_cross_region_value_in_all_schedulers() {
             .mode(mode)
             .build()
             .unwrap();
-        let mut session = connector.connect(&[]).unwrap();
+        let mut session = connector.session().connect().unwrap();
         assert_eq!(session.handle().link_count(), 1, "{mode:?}");
         let tx = session.typed_outport::<i64>("a").unwrap();
         let rx = session.typed_inport::<i64>("b").unwrap();
@@ -552,7 +567,12 @@ fn select_takes_the_ready_port_and_losers_retract_without_loss() {
         .mode(Mode::jit())
         .build()
         .unwrap();
-    let mut session = connector.connect(&[("a", 4), ("b", 4)]).unwrap();
+    let mut session = connector
+        .session()
+        .replicate("a", 4)
+        .replicate("b", 4)
+        .connect()
+        .unwrap();
     let txs = session.typed_outports::<i64>("a").unwrap();
     let rxs = session.typed_inports::<i64>("b").unwrap();
 
@@ -622,7 +642,7 @@ fn one_shot_try_recv_crosses_a_two_link_chain() {
             .mode(mode)
             .build()
             .unwrap();
-        let mut session = connector.connect(&[]).unwrap();
+        let mut session = connector.session().connect().unwrap();
         assert_eq!(session.handle().link_count(), 2, "{mode:?}");
         let tx = session.typed_outport::<i64>("a").unwrap();
         let rx = session.typed_inport::<i64>("b").unwrap();
