@@ -196,6 +196,21 @@ fn resolve_valuation(
             return Err(UnresolvedPort(p));
         }
     }
+
+    // Memory-write sources are evaluated at commit; their port reads must
+    // be resolved as well (same error as a cycle among port writers).
+    for a in &t.assigns {
+        if matches!(
+            a.dst,
+            crate::assign::Dst::MemSet(_) | crate::assign::Dst::MemPush(_)
+        ) {
+            scratch.clear();
+            a.src.ports_read(&mut scratch);
+            if let Some(p) = scratch.iter().find(|p| val.get(**p).is_none()) {
+                return Err(UnresolvedPort(*p));
+            }
+        }
+    }
     Ok(val)
 }
 

@@ -34,7 +34,7 @@
 //! use reo_automata::{MemId, MemLayout, PortId, Store, Value};
 //!
 //! let aut = fifo1(PortId(0), PortId(1), MemId(0));
-//! let low = lower(&aut);
+//! let low = lower(&aut).unwrap();
 //! let mut store = Store::new(&MemLayout::cells(1));
 //! let mut scratch = low.new_scratch();
 //! let mut deliveries = Vec::new();
@@ -157,9 +157,50 @@ pub struct LowerOptions<'a> {
     pub deliver: Option<&'a PortSet>,
 }
 
+/// Lowering refused the automaton: the flat instruction encoding packs
+/// register and pool indices into `u16`s, and one transition (or the
+/// shared pools) needed more than `u16::MAX` of them. Reachable only
+/// through adversarial shapes — e.g. a replicator with ~70 000 heads,
+/// whose single transition copies into one register per head. The
+/// interpreting engines ([`crate::fire::try_fire`]) have no such encoding
+/// limit and remain available as a fallback.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LowerError {
+    /// One transition's stepping program needs more than `u16::MAX`
+    /// registers.
+    RegisterOverflow { automaton: String },
+    /// A shared pool (`"const"`, `"func"` or `"pred"`) outgrew the `u16`
+    /// index space.
+    PoolOverflow {
+        automaton: String,
+        pool: &'static str,
+    },
+}
+
+impl std::fmt::Display for LowerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LowerError::RegisterOverflow { automaton } => write!(
+                f,
+                "cannot lower automaton `{automaton}`: one transition needs \
+                 more than {} registers; use an interpreting mode instead",
+                u16::MAX
+            ),
+            LowerError::PoolOverflow { automaton, pool } => write!(
+                f,
+                "cannot lower automaton `{automaton}`: the {pool} pool outgrew \
+                 its {}-entry index space; use an interpreting mode instead",
+                u16::MAX
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
 /// Lower with the engine's conventions: seeds = the automaton's inputs,
 /// all deliveries kept.
-pub fn lower(a: &Automaton) -> Lowered {
+pub fn lower(a: &Automaton) -> Result<Lowered, LowerError> {
     lower_with(
         a,
         &LowerOptions {
@@ -171,7 +212,7 @@ pub fn lower(a: &Automaton) -> Lowered {
 
 /// Lower with explicit seed/delivery sets (engines pass their boundary
 /// classes so internal deliveries are dropped at build time).
-pub fn lower_with(a: &Automaton, opts: &LowerOptions<'_>) -> Lowered {
+pub fn lower_with(a: &Automaton, opts: &LowerOptions<'_>) -> Result<Lowered, LowerError> {
     let mut pools = Pools::default();
     let mut reg_count = 0usize;
     let states: Vec<Box<[LoweredTransition]>> = a
@@ -187,7 +228,18 @@ pub fn lower_with(a: &Automaton, opts: &LowerOptions<'_>) -> Lowered {
                 .collect()
         })
         .collect();
-    Lowered {
+    if reg_count > u16::MAX as usize {
+        return Err(LowerError::RegisterOverflow {
+            automaton: a.name().to_string(),
+        });
+    }
+    if let Some(pool) = pools.overflowed {
+        return Err(LowerError::PoolOverflow {
+            automaton: a.name().to_string(),
+            pool,
+        });
+    }
+    Ok(Lowered {
         name: a.name().to_string(),
         initial: a.initial(),
         states,
@@ -195,7 +247,7 @@ pub fn lower_with(a: &Automaton, opts: &LowerOptions<'_>) -> Lowered {
         funcs: pools.funcs.into_boxed_slice(),
         preds: pools.preds.into_boxed_slice(),
         reg_count,
-    }
+    })
 }
 
 #[derive(Default)]
@@ -203,9 +255,21 @@ struct Pools {
     consts: Vec<Value>,
     funcs: Vec<Func>,
     preds: Vec<Pred>,
+    /// Set when any pool index no longer fits a `u16`; checked once at the
+    /// end of [`lower_with`] so the per-entry paths stay branch-light.
+    overflowed: Option<&'static str>,
 }
 
 impl Pools {
+    fn clamp(&mut self, ix: usize, pool: &'static str) -> u16 {
+        if ix > u16::MAX as usize {
+            self.overflowed = Some(pool);
+            u16::MAX
+        } else {
+            ix as u16
+        }
+    }
+
     fn const_ix(&mut self, v: &Value) -> u16 {
         let ix = match self.consts.iter().position(|c| c.structurally_eq(v)) {
             Some(i) => i,
@@ -214,7 +278,7 @@ impl Pools {
                 self.consts.len() - 1
             }
         };
-        ix as u16
+        self.clamp(ix, "const")
     }
 
     fn func_ix(&mut self, f: &Func) -> u16 {
@@ -225,7 +289,7 @@ impl Pools {
                 self.funcs.len() - 1
             }
         };
-        ix as u16
+        self.clamp(ix, "func")
     }
 
     fn pred_ix(&mut self, p: &Pred) -> u16 {
@@ -236,7 +300,7 @@ impl Pools {
                 self.preds.len() - 1
             }
         };
-        ix as u16
+        self.clamp(ix, "pred")
     }
 }
 
@@ -245,13 +309,16 @@ struct Ctx<'a> {
     ops: Vec<Op>,
     /// Port valuation registers (first write wins, like the interpreter).
     port_regs: Vec<(PortId, u16)>,
-    next_reg: u16,
+    /// Registers handed out so far; `usize` so adversarial transitions
+    /// count past `u16::MAX` instead of wrapping — [`lower_with`] turns
+    /// any excess into [`LowerError::RegisterOverflow`].
+    next_reg: usize,
     pools: &'a mut Pools,
 }
 
 impl Ctx<'_> {
     fn fresh(&mut self) -> u16 {
-        let r = self.next_reg;
+        let r = self.next_reg.min(u16::MAX as usize) as u16;
         self.next_reg += 1;
         r
     }
@@ -447,6 +514,19 @@ fn lower_transition(
         return (fail(*p), 0);
     }
 
+    // Memory-write sources compile in the commit phase via `ctx.term`,
+    // which requires every port read to hold a register — check them here,
+    // mirroring the interpreter's commit-source readiness rule.
+    for a in &t.assigns {
+        if matches!(a.dst, Dst::MemSet(_) | Dst::MemPush(_)) {
+            reads.clear();
+            a.src.ports_read(&mut reads);
+            if let Some(p) = reads.iter().find(|p| ctx.port_reg(**p).is_none()) {
+                return (fail(*p), 0);
+            }
+        }
+    }
+
     // Guard phase: early-exit checks in conjunct order.
     ctx.guard(&t.guard);
 
@@ -484,7 +564,7 @@ fn lower_transition(
         });
     }
 
-    let regs = ctx.next_reg as usize;
+    let regs = ctx.next_reg;
     (
         LoweredTransition {
             sync: t.sync.clone(),
@@ -772,7 +852,7 @@ mod tests {
         index: usize,
         inputs: &dyn Fn(PortId) -> Option<Value>,
     ) {
-        let low = lower(aut);
+        let low = lower(aut).unwrap();
         let mut layout = MemLayout::cells(0);
         layout.merge(aut.mem_layout());
         let mut store_i = Store::new(&layout);
@@ -816,7 +896,7 @@ mod tests {
     #[test]
     fn fifo_fill_take_matches_interpreter() {
         let aut = crate::primitives::fifo1(PortId(0), PortId(1), MemId(0));
-        let low = lower(&aut);
+        let low = lower(&aut).unwrap();
         let mut store = Store::new(&MemLayout::cells(1));
         let mut scratch = low.new_scratch();
         let mut deliveries = Vec::new();
@@ -872,7 +952,7 @@ mod tests {
         b.internal(PortId(2));
         b.transition(s, t);
         let aut = b.build();
-        let low = lower(&aut);
+        let low = lower(&aut).unwrap();
         let lt = &low.transitions_from(s)[0];
         assert!(lt.unresolved.is_some(), "cycle must be caught statically");
         roundtrip(&aut, s, 0, &|_| None);
@@ -905,7 +985,7 @@ mod tests {
         b.mem(m, vec![]);
         b.transition(s, t);
         let aut = b.build();
-        let low = lower(&aut);
+        let low = lower(&aut).unwrap();
         let mut store = Store::new(&MemLayout::cells(1));
         let mut scratch = low.new_scratch();
         let mut deliveries = Vec::new();
@@ -952,7 +1032,7 @@ mod tests {
         b.input(PortId(0));
         b.transition(s, t);
         let aut = b.build();
-        let low = lower(&aut);
+        let low = lower(&aut).unwrap();
         let mut store = Store::new(&MemLayout::cells(0));
         let mut scratch = low.new_scratch();
         let mut deliveries = Vec::new();
@@ -991,7 +1071,8 @@ mod tests {
                 seeds: aut.inputs(),
                 deliver: Some(aut.outputs()),
             },
-        );
+        )
+        .unwrap();
         let mut store = Store::new(&MemLayout::cells(0));
         let mut scratch = low.new_scratch();
         let mut deliveries = Vec::new();
@@ -1010,9 +1091,30 @@ mod tests {
     }
 
     #[test]
+    fn register_overflow_is_a_typed_error() {
+        // One transition whose program needs > u16::MAX registers (a
+        // 70 000-argument apply: one register per argument) must be
+        // refused, not silently wrapped into aliased registers.
+        let f = Func::new("sink", |_| Value::Unit);
+        let args: Vec<Term> = (0..70_000).map(|_| Term::Const(Value::Int(1))).collect();
+        let t = Transition::new(PortSet::singleton(PortId(0)), StateId(0))
+            .with_assign(Assign::set_mem(MemId(0), Term::Apply(f, args)));
+        let mut b = crate::automaton::AutomatonBuilder::new("wide");
+        let s = b.state();
+        b.input(PortId(0));
+        b.mem(MemId(0), vec![]);
+        b.transition(s, t);
+        let aut = b.build();
+        assert!(matches!(
+            lower(&aut),
+            Err(LowerError::RegisterOverflow { .. })
+        ));
+    }
+
+    #[test]
     fn emitted_rust_is_straight_line() {
         let aut = crate::primitives::fifo1(PortId(0), PortId(1), MemId(0));
-        let src = lower(&aut).emit_rust("step_fifo1");
+        let src = lower(&aut).unwrap().emit_rust("step_fifo1");
         assert!(src.contains("pub fn step_fifo1"));
         assert!(src.contains("match (state.0, transition)"));
         assert!(src.contains("store.set"));

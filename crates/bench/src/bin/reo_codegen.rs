@@ -65,7 +65,8 @@ fn emit_family(family: &Family, n: usize, opts: &ProductOptions) -> Result<Strin
             seeds: product.inputs(),
             deliver: Some(product.outputs()),
         },
-    );
+    )
+    .map_err(|e| e.to_string())?;
     let fn_name = format!("step_{}_n{n}", family.name.replace('-', "_"));
     let mut out = format!(
         "// {}: N = {n}, {} state(s), {} transition(s), {} register(s).\n\

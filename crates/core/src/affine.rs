@@ -63,13 +63,21 @@ impl Affine {
         self.terms.is_empty().then_some(self.constant)
     }
 
+    // Canonicalization arithmetic wraps on overflow: coefficients are
+    // compile-time symbols, so wrapping keeps canonical forms total and
+    // deterministic (identical in debug and release) on adversarial
+    // constants; any *concrete* number that reaches a range or index goes
+    // through the checked [`Affine::eval`]/[`Env::eval`] instead.
     fn combine(&self, other: &Affine, sign: i64) -> Affine {
         let mut map: BTreeMap<Sym, i64> = self.terms.iter().cloned().collect();
         for (sym, c) in &other.terms {
-            *map.entry(sym.clone()).or_insert(0) += sign * c;
+            let e = map.entry(sym.clone()).or_insert(0);
+            *e = e.wrapping_add(sign.wrapping_mul(*c));
         }
         Affine {
-            constant: self.constant + sign * other.constant,
+            constant: self
+                .constant
+                .wrapping_add(sign.wrapping_mul(other.constant)),
             terms: map.into_iter().filter(|(_, c)| *c != 0).collect(),
         }
     }
@@ -84,22 +92,27 @@ impl Affine {
 
     pub fn scale(&self, k: i64) -> Affine {
         Affine {
-            constant: self.constant * k,
+            constant: self.constant.wrapping_mul(k),
             terms: self
                 .terms
                 .iter()
-                .map(|(s, c)| (s.clone(), c * k))
+                .map(|(s, c)| (s.clone(), c.wrapping_mul(k)))
                 .filter(|(_, c)| *c != 0)
                 .collect(),
         }
     }
 
-    /// Evaluate under an environment binding every symbol.
+    /// Evaluate under an environment binding every symbol. Overflow is a
+    /// typed error, not a panic: concrete results feed `prod` ranges and
+    /// array indices.
     pub fn eval(&self, env: &Env) -> Result<i64, CoreError> {
         let mut acc = self.constant;
         for (sym, coeff) in &self.terms {
             let v = env.lookup(sym)?;
-            acc += coeff * v;
+            acc = coeff
+                .checked_mul(v)
+                .and_then(|t| acc.checked_add(t))
+                .ok_or_else(|| CoreError::IndexOverflow(self.to_string()))?;
         }
         Ok(acc)
     }
@@ -234,15 +247,26 @@ impl Env {
         }
     }
 
-    /// Evaluate an index expression directly.
+    /// Evaluate an index expression directly. Overflow is a typed error,
+    /// not a panic (adversarial sources multiply near-`i64::MAX` literals).
     pub fn eval(&self, e: &IExpr) -> Result<i64, CoreError> {
+        let overflow = || CoreError::IndexOverflow(e.to_string());
         match e {
             IExpr::Const(c) => Ok(*c),
             IExpr::Var(v) => self.lookup(&Sym::Var(v.clone())),
             IExpr::Len(a) => self.lookup(&Sym::Len(a.clone())),
-            IExpr::Add(a, b) => Ok(self.eval(a)? + self.eval(b)?),
-            IExpr::Sub(a, b) => Ok(self.eval(a)? - self.eval(b)?),
-            IExpr::Mul(a, b) => Ok(self.eval(a)? * self.eval(b)?),
+            IExpr::Add(a, b) => self
+                .eval(a)?
+                .checked_add(self.eval(b)?)
+                .ok_or_else(overflow),
+            IExpr::Sub(a, b) => self
+                .eval(a)?
+                .checked_sub(self.eval(b)?)
+                .ok_or_else(overflow),
+            IExpr::Mul(a, b) => self
+                .eval(a)?
+                .checked_mul(self.eval(b)?)
+                .ok_or_else(overflow),
         }
     }
 
@@ -312,6 +336,20 @@ mod tests {
         let g = f.substitute(&Sym::Len("tl".into()), &width);
         let env = Env::new().with_var("a", 2).with_var("b", 5);
         assert_eq!(g.eval(&env).unwrap(), 4);
+    }
+
+    #[test]
+    fn overflow_is_a_typed_error_not_a_panic() {
+        // Concrete evaluation: checked arithmetic surfaces IndexOverflow.
+        let env = Env::new().with_var("i", 2);
+        let e = IExpr::Mul(Box::new(IExpr::Const(i64::MAX)), Box::new(IExpr::var("i")));
+        assert!(matches!(env.eval(&e), Err(CoreError::IndexOverflow(_))));
+        let a = canon(&e).unwrap();
+        assert!(matches!(a.eval(&env), Err(CoreError::IndexOverflow(_))));
+        // Canonicalization itself stays total on adversarial constants
+        // (wrapping, identical in debug and release).
+        let wrap = canon(&(IExpr::Const(i64::MAX) + IExpr::Const(1))).unwrap();
+        assert_eq!(wrap.is_constant(), Some(i64::MIN));
     }
 
     #[test]

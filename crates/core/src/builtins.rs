@@ -11,6 +11,13 @@ use reo_automata::{primitives, Automaton, MemId, PortId, Value};
 use crate::error::CoreError;
 use crate::ir::Arity;
 
+/// Largest accepted `FifoN` capacity. The bounded fifo materializes one
+/// control state per fill level, so an adversarial `FifoN<999999999>`
+/// would allocate a billion states before the first product budget could
+/// intervene; capacities above this return [`CoreError::BadIntArg`].
+/// Deeper buffering is what the unbounded `Fifo` is for.
+pub const MAX_FIFO_CAPACITY: i64 = 1 << 16;
+
 /// The builtin primitive kinds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum Builtin {
@@ -160,7 +167,7 @@ pub fn build(
         Builtin::Fifo => primitives::fifo_unbounded(tails[0], heads[0], fresh_mem()),
         Builtin::FifoN => {
             let n = iargs[0];
-            if n < 1 {
+            if !(1..=MAX_FIFO_CAPACITY).contains(&n) {
                 return Err(CoreError::BadIntArg {
                     name: name.to_string(),
                     value: n,
@@ -259,6 +266,30 @@ mod tests {
         ));
         let ok = build("FifoN", Builtin::FifoN, &[2], &[p(0)], &[p(1)], &mut fm).unwrap();
         assert_eq!(ok.state_count(), 3);
+    }
+
+    #[test]
+    fn fifon_rejects_adversarial_capacities() {
+        // One control state per fill level — a giant capacity must be a
+        // typed error, not an allocation storm.
+        let mut fm = mems();
+        for n in [-1, 0, MAX_FIFO_CAPACITY + 1, i64::MAX] {
+            assert!(matches!(
+                build("FifoN", Builtin::FifoN, &[n], &[p(0)], &[p(1)], &mut fm),
+                Err(CoreError::BadIntArg { value, .. }) if value == n
+            ));
+        }
+        // The cap itself still builds.
+        let at_cap = build(
+            "FifoN",
+            Builtin::FifoN,
+            &[MAX_FIFO_CAPACITY],
+            &[p(0)],
+            &[p(1)],
+            &mut fm,
+        )
+        .unwrap();
+        assert_eq!(at_cap.state_count() as i64, MAX_FIFO_CAPACITY + 1);
     }
 
     #[test]

@@ -440,6 +440,18 @@ pub(crate) fn build_prim(
     heads: &[PortId],
     fresh_mem: &mut dyn FnMut() -> MemId,
 ) -> Result<Automaton, CoreError> {
+    // Two operands resolving to one concrete port (`Fifo(m;m)`) would make
+    // the primitive unsound — its input and output sets must be disjoint —
+    // so refuse exactly as `stamp` does for compile-time-composed sections.
+    let mut seen = std::collections::HashSet::new();
+    for p in tails.iter().chain(heads) {
+        if !seen.insert(*p) {
+            return Err(CoreError::AliasedPorts {
+                section: name.to_string(),
+                port: p.to_string(),
+            });
+        }
+    }
     if let Some(kind) = builtins::lookup(name) {
         return builtins::build(name, kind, iargs, tails, heads, fresh_mem);
     }

@@ -134,6 +134,12 @@ pub fn compile_monolithic(
 ) -> Result<ConnectorInstance, CoreError> {
     let flat = flatten(program, name)?;
     let primitives = elaborate(&flat, program, binding, alloc)?;
+    if primitives.is_empty() {
+        // Same refusal the lazy path makes in `instantiate`: a connector
+        // with zero constituents has no behaviour any backend can hold.
+        return Err(CoreError::NoConstituents(flat.name.clone()));
+    }
+    crate::instantiate::check_vertex_arity(&primitives)?;
     let large = product_all(&primitives, &opts.product)?;
     let large = if opts.simplify {
         let keep: PortSet = binding.values().flatten().copied().collect();

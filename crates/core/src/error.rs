@@ -22,6 +22,9 @@ pub enum CoreError {
     RecursiveDefinition(String),
     /// An index expression multiplies two symbols.
     NonAffineIndex(String),
+    /// Evaluating an index expression overflowed `i64` (adversarial
+    /// near-`i64::MAX` literals); carries the offending expression.
+    IndexOverflow(String),
     /// An iteration variable or `main` parameter is unbound.
     UnboundVar(String),
     /// `#array` of an unknown array.
@@ -39,8 +42,23 @@ pub enum CoreError {
     BadIntArg { name: String, value: i64 },
     /// Product state-space explosion (carries which composition failed).
     Explosion(Explosion),
+    /// Instantiation exceeded its work budget: unrolling `prod` iterations
+    /// and stamping constituents stopped after `budget` units. Guards
+    /// against adversarial constant ranges (`prod (i:1..999999999) …`)
+    /// turning `connect` into an unbounded loop.
+    InstantiationBudget { budget: usize },
     /// A slice argument was passed to a definition expecting a scalar.
     SliceAsScalar(String),
+    /// The connector elaborated to zero constituents (e.g. an `if` with
+    /// no `else` whose condition is false for the given replication
+    /// counts): it has boundary ports but no behaviour at all, which no
+    /// backend can represent, so every mode refuses it uniformly.
+    NoConstituents(String),
+    /// One vertex is the tail (or head) of two arcs: a port resolved to
+    /// an input (resp. output) of two different constituents. The model
+    /// gives every vertex at most one incoming and one outgoing arc —
+    /// fan-out and fan-in are explicit `Replicator`/`Merger` primitives.
+    MultipleArcs { port: String, tail: bool },
 }
 
 impl fmt::Display for CoreError {
@@ -65,6 +83,9 @@ impl fmt::Display for CoreError {
                 )
             }
             CoreError::NonAffineIndex(e) => write!(f, "non-affine index expression `{e}`"),
+            CoreError::IndexOverflow(e) => {
+                write!(f, "index expression `{e}` overflows 64-bit arithmetic")
+            }
             CoreError::UnboundVar(v) => write!(f, "unbound variable `{v}`"),
             CoreError::UnboundLen(a) => write!(f, "length of unknown array `#{a}`"),
             CoreError::KindMismatch {
@@ -91,8 +112,35 @@ impl fmt::Display for CoreError {
                 write!(f, "invalid integer argument {value} for `{name}`")
             }
             CoreError::Explosion(e) => write!(f, "{e}"),
+            CoreError::InstantiationBudget { budget } => write!(
+                f,
+                "instantiation exceeded its work budget of {budget} units \
+                 (iterations unrolled + constituents stamped); the connector's \
+                 `prod` ranges or replication counts are unreasonably large"
+            ),
             CoreError::SliceAsScalar(n) => {
                 write!(f, "slice argument passed where scalar `{n}` expected")
+            }
+            CoreError::NoConstituents(n) => {
+                write!(
+                    f,
+                    "connector `{n}` elaborates to zero constituents for these \
+                     replication counts (an `if` without `else`?); a connector \
+                     must contain at least one primitive"
+                )
+            }
+            CoreError::MultipleArcs { port, tail } => {
+                let (end, prim) = if *tail {
+                    ("tail", "Replicator")
+                } else {
+                    ("head", "Merger")
+                };
+                write!(
+                    f,
+                    "vertex {port} is the {end} of two arcs; a vertex joins at \
+                     most one incoming and one outgoing channel end — use an \
+                     explicit `{prim}` to share it"
+                )
             }
         }
     }

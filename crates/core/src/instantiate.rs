@@ -7,7 +7,7 @@
 //! list of state machines that the execution engines then compose
 //! ahead-of-time or just-in-time (Sect. IV-D).
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use reo_automata::{remap::remap, Automaton, MemId, MemLayout, PortAllocator, PortId};
 
@@ -55,6 +55,16 @@ impl ConnectorInstance {
     }
 }
 
+/// Instantiation work budget: the maximum number of `prod` iterations
+/// unrolled plus constituents stamped in one [`instantiate`] call.
+///
+/// Without it, an adversarial constant range (`prod (i:1..999999999) …`)
+/// turns `connect` into an effectively unbounded loop long before any
+/// product budget can intervene. The limit is far above real workloads
+/// (the session-scale sweep instantiates ~10⁵ constituents) and exceeding
+/// it returns [`CoreError::InstantiationBudget`].
+pub const INSTANTIATION_BUDGET: usize = 1 << 21;
+
 /// Instantiate a compiled connector for the given boundary ports.
 ///
 /// `binding` supplies one concrete port array per formal parameter (scalar
@@ -82,12 +92,79 @@ pub fn instantiate(
     let mut env = env_from_binding(binding);
     let mut resolver = Resolver::new(binding, alloc);
     let mut automata = Vec::new();
-    walk(&cc.root, cc, &mut env, &mut resolver, &mut automata)?;
+    let mut work = Work {
+        left: INSTANTIATION_BUDGET,
+    };
+    walk(
+        &cc.root,
+        cc,
+        &mut env,
+        &mut resolver,
+        &mut automata,
+        &mut work,
+    )?;
+    if automata.is_empty() {
+        // A connector with boundary ports but no constituents has no
+        // behaviour at all; refuse here so every backend (including the
+        // lazy ones that never compose) rejects it uniformly.
+        return Err(CoreError::NoConstituents(cc.name.clone()));
+    }
+    check_vertex_arity(&automata)?;
     Ok(ConnectorInstance::from_automata(
         automata,
         binding.clone(),
         alloc,
     ))
+}
+
+/// Every vertex joins at most one incoming and one outgoing channel end:
+/// a port may be the input of at most one constituent and the output of
+/// at most one (fan-in/fan-out are the explicit `Merger`/`Replicator`
+/// primitives). Violations composed unsoundly in release builds and
+/// tripped `debug_assert`s in the product in debug builds; both paths
+/// (lazy instantiation here, eager elaboration in `compile_monolithic`)
+/// now refuse with the same typed error.
+pub(crate) fn check_vertex_arity(automata: &[Automaton]) -> Result<(), CoreError> {
+    let mut as_input: HashSet<PortId> = HashSet::new();
+    let mut as_output: HashSet<PortId> = HashSet::new();
+    for a in automata {
+        for p in a.inputs().iter() {
+            if !as_input.insert(p) {
+                return Err(CoreError::MultipleArcs {
+                    port: p.to_string(),
+                    tail: true,
+                });
+            }
+        }
+        for p in a.outputs().iter() {
+            if !as_output.insert(p) {
+                return Err(CoreError::MultipleArcs {
+                    port: p.to_string(),
+                    tail: false,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Remaining instantiation work units (see [`INSTANTIATION_BUDGET`]).
+struct Work {
+    left: usize,
+}
+
+impl Work {
+    fn spend(&mut self) -> Result<(), CoreError> {
+        match self.left.checked_sub(1) {
+            Some(left) => {
+                self.left = left;
+                Ok(())
+            }
+            None => Err(CoreError::InstantiationBudget {
+                budget: INSTANTIATION_BUDGET,
+            }),
+        }
+    }
 }
 
 fn walk(
@@ -96,28 +173,34 @@ fn walk(
     env: &mut Env,
     resolver: &mut Resolver<'_>,
     out: &mut Vec<Automaton>,
+    work: &mut Work,
 ) -> Result<(), CoreError> {
     match node {
         CompiledNode::Medium(template) => {
+            work.spend()?;
             out.push(stamp(template, env, resolver)?);
             Ok(())
         }
         CompiledNode::Deferred(inst) => {
+            work.spend()?;
             out.push(build_deferred(inst, cc, env, resolver)?);
             Ok(())
         }
         CompiledNode::Seq(parts) => {
             for p in parts {
-                walk(p, cc, env, resolver, out)?;
+                walk(p, cc, env, resolver, out, work)?;
             }
             Ok(())
         }
         CompiledNode::For { var, lo, hi, body } => {
             let lo = lo.eval(env)?;
             let hi = hi.eval(env)?;
+            // Each iteration costs a unit even if the body stamps nothing
+            // (e.g. an `if` with no else), so empty-body ranges terminate.
             for k in lo..=hi {
+                work.spend()?;
                 env.set_var(var, k);
-                walk(body, cc, env, resolver, out)?;
+                walk(body, cc, env, resolver, out, work)?;
             }
             env.remove_var(var);
             Ok(())
@@ -128,9 +211,9 @@ fn walk(
             else_branch,
         } => {
             if eval_cond(cond, env)? {
-                walk(then_branch, cc, env, resolver, out)
+                walk(then_branch, cc, env, resolver, out, work)
             } else if let Some(e) = else_branch {
-                walk(e, cc, env, resolver, out)
+                walk(e, cc, env, resolver, out, work)
             } else {
                 Ok(())
             }
@@ -265,6 +348,43 @@ mod tests {
                 assert!(p.index() < inst.port_count);
             }
         }
+    }
+
+    #[test]
+    fn huge_constant_prod_range_hits_the_work_budget() {
+        // prod (i:1..10⁹) if (#tl == 2) { Sync(tl[1];hd[1]) } — the body
+        // stamps nothing for #tl == 1, but every iteration still costs a
+        // work unit, so connect returns a typed error instead of spinning.
+        use crate::ir::{BExpr, CExpr, Cmp, ConnectorDef, IExpr, Inst, Param, PortRef, Program};
+        let def = ConnectorDef {
+            name: "Huge".into(),
+            tails: vec![Param::array("tl")],
+            heads: vec![Param::array("hd")],
+            body: CExpr::prod(
+                "i",
+                IExpr::Const(1),
+                IExpr::Const(1_000_000_000),
+                CExpr::If {
+                    cond: BExpr::Cmp(Cmp::Eq, IExpr::len("tl"), IExpr::Const(2)),
+                    then_branch: Box::new(CExpr::Inst(Inst::new(
+                        "Sync",
+                        vec![PortRef::indexed("tl", IExpr::Const(1))],
+                        vec![PortRef::indexed("hd", IExpr::Const(1))],
+                    ))),
+                    else_branch: None,
+                },
+            ),
+        };
+        let prog = Program::new(vec![def]);
+        let cc = compile(&prog, "Huge").unwrap();
+        let mut alloc = PortAllocator::new();
+        let binding = bind(&mut alloc, &[("tl", 1), ("hd", 1)]);
+        assert!(matches!(
+            instantiate(&cc, &binding, &mut alloc),
+            Err(CoreError::InstantiationBudget {
+                budget: INSTANTIATION_BUDGET
+            })
+        ));
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub use compile::{compile, CompiledConnector, CompiledNode, MediumTemplate};
 pub use elaborate::{compile_monolithic, elaborate, MonolithicOptions};
 pub use error::CoreError;
 pub use flat::{flatten, FlatDef};
-pub use instantiate::{instantiate, ConnectorInstance};
+pub use instantiate::{instantiate, ConnectorInstance, INSTANTIATION_BUDGET};
 pub use ir::{
     Arity, BExpr, CExpr, Cmp, ConnectorDef, CustomPrim, IExpr, Inst, MainDef, Param, PortRef,
     PrimRegistry, Program, TaskInst,

@@ -100,7 +100,29 @@ impl<'a> Resolver<'a> {
         if hi < lo {
             return Err(CoreError::EmptyArray(sl.base.clone()));
         }
-        let mut out = Vec::with_capacity((hi - lo + 1) as usize);
+        // Bound the length *before* allocating: an adversarial constant
+        // range (`a[1..4e14]`) must become a typed error, not an
+        // allocation-failure abort no `catch_unwind` can stop. Bound
+        // bases are checked against the binding; unbound (local-vertex)
+        // slices fall back to the instantiation work budget.
+        let len = hi
+            .checked_sub(lo)
+            .and_then(|d| d.checked_add(1))
+            .ok_or_else(|| CoreError::IndexOverflow(format!("{}[{lo}..{hi}]", sl.base)))?;
+        if let Some(ports) = self.binding.get(&sl.base) {
+            if lo < 1 || hi > ports.len() as i64 {
+                return Err(CoreError::IndexOutOfBounds {
+                    name: sl.base.clone(),
+                    index: if lo < 1 { lo } else { hi },
+                    len: ports.len() as i64,
+                });
+            }
+        } else if len as u128 > crate::instantiate::INSTANTIATION_BUDGET as u128 {
+            return Err(CoreError::InstantiationBudget {
+                budget: crate::instantiate::INSTANTIATION_BUDGET,
+            });
+        }
+        let mut out = Vec::with_capacity(len as usize);
         for k in lo..=hi {
             let mut indices = vec![Affine::constant(k)];
             indices.extend(sl.suffix.iter().cloned());
@@ -183,6 +205,37 @@ mod tests {
             terms: vec![(Sym::Len("tl".into()), 1)],
         };
         assert_eq!(len.eval(&env).unwrap(), 5);
+    }
+
+    #[test]
+    fn adversarial_slice_lengths_refuse_before_allocating() {
+        let mut alloc = PortAllocator::new();
+        let binding: Binding = [("out".to_string(), alloc.fresh_ports(4))].into();
+        let env = env_from_binding(&binding);
+        let mut r = Resolver::new(&binding, &mut alloc);
+        let slice = |base: &str, lo: i64, hi: i64| FlatSlice {
+            base: base.into(),
+            lo: Affine::constant(lo),
+            hi: Affine::constant(hi),
+            suffix: vec![],
+        };
+        // Bound base: checked against the binding, eagerly.
+        assert!(matches!(
+            r.resolve_slice(&slice("out", 1, 400_000_000_000_000), &env),
+            Err(CoreError::IndexOutOfBounds { .. })
+        ));
+        // Unbound (local-vertex) base: capped by the work budget — the
+        // fuzzer aborted the whole process on a ~4e14-element
+        // `with_capacity` here before this check existed.
+        assert!(matches!(
+            r.resolve_slice(&slice("m", 1, 400_000_000_000_000), &env),
+            Err(CoreError::InstantiationBudget { .. })
+        ));
+        // hi - lo + 1 itself can overflow i64.
+        assert!(matches!(
+            r.resolve_slice(&slice("m", i64::MIN + 1, i64::MAX), &env),
+            Err(CoreError::IndexOverflow(_))
+        ));
     }
 
     #[test]

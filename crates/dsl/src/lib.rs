@@ -23,5 +23,5 @@ pub mod stdlib;
 
 pub use graph::{Diagram, GraphError};
 pub use lexer::{lex, LexError, Tok, Token};
-pub use parser::{parse_def, parse_program, ParseError};
+pub use parser::{parse_def, parse_program, ParseError, MAX_NESTING_DEPTH};
 pub use pretty::{pretty_def, pretty_program};

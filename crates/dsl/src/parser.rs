@@ -60,7 +60,11 @@ impl From<LexError> for ParseError {
 /// Parse a whole program.
 pub fn parse_program(src: &str) -> Result<Program, ParseError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let mut defs = Vec::new();
     let mut main = None;
     while !p.at(&Tok::Eof) {
@@ -81,15 +85,30 @@ pub fn parse_program(src: &str) -> Result<Program, ParseError> {
 /// Parse a single connector definition (convenience for tests/doctests).
 pub fn parse_def(src: &str) -> Result<ConnectorDef, ParseError> {
     let tokens = lex(src)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        depth: 0,
+    };
     let def = p.parse_def()?;
     p.expect(&Tok::Eof)?;
     Ok(def)
 }
 
+/// Maximum nesting depth of the recursive grammar (braces, `prod`/`if`
+/// bodies, parenthesized index and boolean expressions, unary operators).
+///
+/// The recursive-descent parser uses the call stack; without a limit,
+/// adversarial input like ten thousand nested `{`/`(` overflows the stack
+/// and aborts the process. Inputs deeper than this return a regular
+/// [`ParseError`] instead. Real connector programs nest a handful of
+/// levels; the limit is far above anything reachable by hand.
+pub const MAX_NESTING_DEPTH: u32 = 200;
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    depth: u32,
 }
 
 impl Parser {
@@ -149,6 +168,24 @@ impl Parser {
         }
     }
 
+    /// Enter one level of grammar recursion; fails with a typed error once
+    /// [`MAX_NESTING_DEPTH`] is exceeded (instead of overflowing the call
+    /// stack). Callers must pair with [`Parser::ascend`] on success paths;
+    /// error paths abandon the parse, so an unpaired descend is harmless.
+    fn descend(&mut self) -> Result<(), ParseError> {
+        self.depth += 1;
+        if self.depth > MAX_NESTING_DEPTH {
+            return Err(self.error(&format!(
+                "expression nesting exceeds the maximum depth of {MAX_NESTING_DEPTH}"
+            )));
+        }
+        Ok(())
+    }
+
+    fn ascend(&mut self) {
+        self.depth -= 1;
+    }
+
     // ---- definitions -----------------------------------------------------
 
     fn parse_def(&mut self) -> Result<ConnectorDef, ParseError> {
@@ -203,6 +240,13 @@ impl Parser {
     }
 
     fn parse_term(&mut self) -> Result<CExpr, ParseError> {
+        self.descend()?;
+        let term = self.parse_term_inner()?;
+        self.ascend();
+        Ok(term)
+    }
+
+    fn parse_term_inner(&mut self) -> Result<CExpr, ParseError> {
         match self.peek().clone() {
             Tok::Prod => {
                 self.bump();
@@ -333,6 +377,13 @@ impl Parser {
     }
 
     fn parse_iatom(&mut self) -> Result<IExpr, ParseError> {
+        self.descend()?;
+        let atom = self.parse_iatom_inner()?;
+        self.ascend();
+        Ok(atom)
+    }
+
+    fn parse_iatom_inner(&mut self) -> Result<IExpr, ParseError> {
         match self.peek().clone() {
             Tok::Int(v) => {
                 self.bump();
@@ -382,6 +433,13 @@ impl Parser {
     }
 
     fn parse_batom(&mut self) -> Result<BExpr, ParseError> {
+        self.descend()?;
+        let atom = self.parse_batom_inner()?;
+        self.ascend();
+        Ok(atom)
+    }
+
+    fn parse_batom_inner(&mut self) -> Result<BExpr, ParseError> {
         if self.eat(&Tok::Bang) {
             return Ok(BExpr::Not(Box::new(self.parse_batom()?)));
         }
@@ -390,6 +448,9 @@ impl Parser {
         // and backtrack on failure.
         if self.at(&Tok::LParen) {
             let save = self.pos;
+            // A failed speculative parse abandons descend/ascend pairs
+            // mid-flight; restore the depth along with the position.
+            let save_depth = self.depth;
             self.bump();
             if let Ok(inner) = self.parse_bexpr() {
                 if self.eat(&Tok::RParen) {
@@ -398,6 +459,7 @@ impl Parser {
                 }
             }
             self.pos = save;
+            self.depth = save_depth;
         }
         let lhs = self.parse_iexpr()?;
         let op = match self.peek() {
@@ -597,6 +659,42 @@ mod tests {
         // Spouts have no tails; drains no heads.
         let def = parse_def("D(a,b;) = SyncDrain(a,b;)").unwrap();
         assert_eq!(def.heads.len(), 0);
+    }
+
+    #[test]
+    fn deep_nesting_returns_a_typed_error_not_a_stack_overflow() {
+        // Braces nest the connector-expression grammar.
+        let n = 50_000;
+        let src = format!("D(a;b) = {}Sync(a;b){}", "{".repeat(n), "}".repeat(n));
+        let err = parse_def(&src).unwrap_err();
+        assert!(err.message.contains("nesting"), "{}", err.message);
+
+        // Parens nest the index-expression grammar.
+        let src = format!("D(a;b) = FifoN<{}1{}>(a;b)", "(".repeat(n), ")".repeat(n));
+        let err = parse_def(&src).unwrap_err();
+        assert!(err.message.contains("nesting"), "{}", err.message);
+
+        // `!` chains nest the boolean grammar.
+        let src = format!("D(a;b) = if ({}1 == 1) {{ Sync(a;b) }}", "!".repeat(n));
+        let err = parse_def(&src).unwrap_err();
+        assert!(err.message.contains("nesting"), "{}", err.message);
+
+        // Unary minus chains nest the index-expression grammar.
+        let src = format!("D(a;b) = FifoN<{}1>(a;b)", "-".repeat(n));
+        let err = parse_def(&src).unwrap_err();
+        assert!(err.message.contains("nesting"), "{}", err.message);
+    }
+
+    #[test]
+    fn nesting_within_the_limit_still_parses() {
+        let n = 64;
+        let src = format!("D(a;b) = {}Fifo1(a;b){}", "{".repeat(n), "}".repeat(n));
+        parse_def(&src).unwrap();
+        // Repeated backtracking over parenthesized comparisons must not
+        // leak depth budget across atoms.
+        let cond = (0..80).map(|_| "(1 == 1)").collect::<Vec<_>>().join(" && ");
+        let src = format!("D(a;b) = if ({cond}) {{ Fifo1(a;b) }}");
+        parse_def(&src).unwrap();
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! The differential harness: one scenario, the whole 10-mode grid.
+//!
+//! Every generated case runs under each mode of [`mode_grid`] with the
+//! case's driver; the resulting [`Observation`]s are normalized according
+//! to the case's [`Agreement`] and compared pairwise against the first
+//! mode's. Any discrepancy — a diverging trace, a value delivered zero or
+//! two times, a timeout, a mode that errors while another succeeds — is a
+//! [`Finding`] the caller minimizes and persists to the corpus.
+//!
+//! Modes are allowed to *refuse uniformly*: if every mode reports the
+//! same error the scenario is counted as [`CaseOutcome::Refused`], not a
+//! finding. A compiled mode may also individually refuse with the typed
+//! "cannot encode, use an interpreting mode" lowering error — that is a
+//! documented capability boundary, not a bug, and is skipped per mode.
+
+use reo_runtime::{run_scenario, Mode, Observation, OpResult};
+
+use crate::gen::{Agreement, GenCase};
+
+/// The full runtime-mode grid, with stable display names. Must stay in
+/// sync with `tests/mode_equivalence.rs` — the fuzzer's whole claim is
+/// "every mode the equivalence suite covers, the fuzzer covers".
+pub fn mode_grid() -> Vec<(&'static str, Mode)> {
+    use reo_runtime::CachePolicy;
+    vec![
+        ("mono", Mode::ExistingMonolithic { simplify: true }),
+        ("mono-raw", Mode::ExistingMonolithic { simplify: false }),
+        ("aot", Mode::AotCompose { simplify: true }),
+        ("jit", Mode::jit()),
+        (
+            "jit-lru1",
+            Mode::Jit {
+                cache: CachePolicy::BoundedLru { capacity: 1 },
+            },
+        ),
+        ("part", Mode::partitioned()),
+        ("part-2", Mode::partitioned_with_workers(2)),
+        ("part-auto", Mode::partitioned_auto()),
+        ("comp", Mode::compiled()),
+        ("comp-part", Mode::compiled_partitioned()),
+    ]
+}
+
+/// What the differential check concluded about one case.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CaseOutcome {
+    /// Every mode agreed (modulo the case's legitimate freedom).
+    Agreed,
+    /// Every mode refused identically (e.g. a generated connector a
+    /// budget rejects) — consistent, so not a finding.
+    Refused,
+}
+
+/// One confirmed disagreement, attributable to a single mode.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Display name of the disagreeing mode.
+    pub mode: &'static str,
+    pub kind: FindingKind,
+    /// Human-readable evidence (both sides of the diff).
+    pub detail: String,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FindingKind {
+    /// An op hit the scenario deadline under this mode: a hang.
+    Hang,
+    /// Normalized observations differ from the baseline mode's.
+    TraceDivergence,
+    /// Received + residual values don't equal the sent multiset.
+    ExactlyOnceViolation,
+    /// This mode failed to run a scenario other modes ran.
+    ErrorDisagreement,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self.kind {
+            FindingKind::Hang => "hang",
+            FindingKind::TraceDivergence => "trace divergence",
+            FindingKind::ExactlyOnceViolation => "exactly-once violation",
+            FindingKind::ErrorDisagreement => "error disagreement",
+        };
+        write!(f, "[{}] {}: {}", self.mode, kind, self.detail)
+    }
+}
+
+/// A mode-legitimate individual refusal: the compiled backends may reject
+/// automata their u16 encoding cannot hold, pointing at the interpreter,
+/// and eager composition strategies may hit the state-space budget on
+/// connectors the lazy modes handle fine. Budget messages embed the
+/// mode's own composition tree, so two modes refusing for the same
+/// reason do not produce byte-identical errors — they are matched by
+/// category, not text.
+fn is_capability_refusal(msg: &str) -> bool {
+    msg.contains("interpreting mode") || msg.contains("state-space explosion")
+}
+
+/// An [`Observation`] reduced to the comparison the agreement allows.
+#[derive(Debug, PartialEq, Eq)]
+struct Normalized {
+    /// One rendered result list per step, sorted within a step under
+    /// [`Agreement::Multiset`]. Under `Multiset` received *values* are
+    /// replaced by a placeholder — merge arrival order is scheduling
+    /// freedom across the whole run, not just within one batch (a
+    /// merger may serve serialized receives in any leg order) — and
+    /// compared as the pooled [`Normalized::received`] multiset.
+    steps: Vec<Vec<String>>,
+    /// All received values, sorted; only populated under `Multiset`
+    /// (under `Exact` the values stay in `steps`, in order).
+    received: Vec<i64>,
+    /// Residual buffered values; per-port under `Exact`, pooled and
+    /// sorted under `Multiset` (a value may legitimately be parked
+    /// behind a different merge leg).
+    residual: Vec<String>,
+    epoch: u64,
+}
+
+fn normalize(obs: &Observation, agreement: Agreement) -> Normalized {
+    let mut received = Vec::new();
+    let steps = obs
+        .results
+        .iter()
+        .map(|batch| {
+            let mut rendered: Vec<String> = batch
+                .iter()
+                .map(|r| match r {
+                    OpResult::Received(v) if agreement == Agreement::Multiset => {
+                        received.push(*v);
+                        "Received".to_string()
+                    }
+                    other => format!("{other:?}"),
+                })
+                .collect();
+            if agreement == Agreement::Multiset {
+                rendered.sort_unstable();
+            }
+            rendered
+        })
+        .collect();
+    received.sort_unstable();
+    let residual = match agreement {
+        Agreement::Exact => obs
+            .residual
+            .iter()
+            .map(|(label, vs)| format!("{label}={vs:?}"))
+            .collect(),
+        Agreement::Multiset => {
+            let mut pooled: Vec<i64> = obs
+                .residual
+                .iter()
+                .flat_map(|(_, vs)| vs)
+                .copied()
+                .collect();
+            pooled.sort_unstable();
+            pooled.iter().map(|v| v.to_string()).collect()
+        }
+    };
+    Normalized {
+        steps,
+        received,
+        residual,
+        epoch: obs.epoch,
+    }
+}
+
+/// Every value the run actually delivered (receives + drained residue),
+/// as a sorted multiset for the exactly-once comparison.
+fn delivered(obs: &Observation) -> Vec<i64> {
+    let mut vs: Vec<i64> = obs
+        .results
+        .iter()
+        .flatten()
+        .filter_map(|r| match r {
+            OpResult::Received(v) => Some(*v),
+            _ => None,
+        })
+        .collect();
+    vs.extend(obs.residual.iter().flat_map(|(_, drained)| drained));
+    vs.sort_unstable();
+    vs
+}
+
+fn has_timeout(obs: &Observation) -> bool {
+    obs.results
+        .iter()
+        .flatten()
+        .any(|r| matches!(r, OpResult::TimedOut))
+}
+
+/// Run `case` under every mode and compare. `Ok` means no finding.
+pub fn diff_case(case: &GenCase) -> Result<CaseOutcome, Finding> {
+    let mut baseline: Option<(&'static str, Normalized)> = None;
+    let mut first_error: Option<(&'static str, String)> = None;
+    let mut ran = 0usize;
+    for (name, mode) in mode_grid() {
+        match run_scenario(&case.scenario, mode, case.driver) {
+            Err(e) => {
+                let msg = e.to_string();
+                if is_capability_refusal(&msg) {
+                    continue; // documented per-mode capability boundary
+                }
+                match &first_error {
+                    None if ran == 0 => first_error = Some((name, msg)),
+                    None => {
+                        return Err(Finding {
+                            mode: name,
+                            kind: FindingKind::ErrorDisagreement,
+                            detail: format!("failed with `{msg}` where earlier modes ran"),
+                        });
+                    }
+                    Some((_, prior)) if *prior == msg => {}
+                    Some((prior_mode, prior)) => {
+                        return Err(Finding {
+                            mode: name,
+                            kind: FindingKind::ErrorDisagreement,
+                            detail: format!("`{msg}` vs [{prior_mode}] `{prior}`"),
+                        });
+                    }
+                }
+            }
+            Ok(obs) => {
+                if let Some((err_mode, err)) = &first_error {
+                    return Err(Finding {
+                        mode: err_mode,
+                        kind: FindingKind::ErrorDisagreement,
+                        detail: format!("failed with `{err}` where [{name}] ran"),
+                    });
+                }
+                ran += 1;
+                if has_timeout(&obs) {
+                    return Err(Finding {
+                        mode: name,
+                        kind: FindingKind::Hang,
+                        detail: format!("op past the {:?} deadline", case.scenario.timeout),
+                    });
+                }
+                if let Some(expected) = &case.expected {
+                    let got = delivered(&obs);
+                    if &got != expected {
+                        return Err(Finding {
+                            mode: name,
+                            kind: FindingKind::ExactlyOnceViolation,
+                            detail: format!("delivered {got:?}, sent {expected:?}"),
+                        });
+                    }
+                }
+                let norm = normalize(&obs, case.agreement);
+                match &baseline {
+                    None => baseline = Some((name, norm)),
+                    Some((base_name, base)) => {
+                        if *base != norm {
+                            return Err(Finding {
+                                mode: name,
+                                kind: FindingKind::TraceDivergence,
+                                detail: format!("{norm:?} vs [{base_name}] {base:?}"),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(if ran > 0 {
+        CaseOutcome::Agreed
+    } else {
+        CaseOutcome::Refused
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::generate;
+
+    #[test]
+    fn a_generated_pipeline_agrees_across_the_grid() {
+        // Index chosen so the 0|1 arms (pipeline shape) are hit.
+        let case = (0..16)
+            .map(|i| generate(11, i))
+            .find(|c| c.shape == "pipeline")
+            .expect("pipeline shape within 16 draws");
+        assert_eq!(diff_case(&case), Ok(CaseOutcome::Agreed));
+    }
+
+    #[test]
+    fn the_grid_is_the_documented_ten() {
+        assert_eq!(mode_grid().len(), 10);
+    }
+}

@@ -1,0 +1,38 @@
+//! `reo-fuzz`: adversarial scenario generation for the connector runtime.
+//!
+//! Three pieces, layered on the scripted scenario driver
+//! ([`reo_runtime::run_scenario`]):
+//!
+//! 1. [`gen`] — a deterministic, seed-driven generator of structured
+//!    connector scenarios: random compositions of the paper's primitives
+//!    (relays, replicated grids, fan-in/out, routers, the Fig. 9
+//!    sequencer) plus churn scripts exercising the reconfiguration API.
+//!    Every scenario is constructed together with a driving script the
+//!    generator can prove live, so a timeout is evidence, not noise.
+//! 2. [`diff`] — the differential harness: each scenario runs under all
+//!    ten runtime modes and both port front-ends; observations must
+//!    agree modulo the scenario's documented scheduling freedom, every
+//!    value must arrive exactly once, and nothing may hang.
+//! 3. [`pipeline`] — a front-end fuzzer feeding mutated and synthetic
+//!    DSL text through lexer → parser → elaborator → lowering, hunting
+//!    panics; typed refusals are the expected outcome.
+//!
+//! Findings are shrunk by [`minimize`] and persisted by [`corpus`] as
+//! `tests/corpus/*.case` files, which `tests/corpus_replay.rs` replays
+//! on every `cargo test` run — the corpus only grows. The `reo-fuzz`
+//! binary (`cargo run --release -p reo-fuzz -- diff --seconds 60`) is
+//! the exploration front end, run time-boxed in CI.
+
+pub mod corpus;
+pub mod diff;
+pub mod gen;
+pub mod minimize;
+pub mod pipeline;
+pub mod rng;
+
+pub use corpus::{from_text, load_dir, replay, to_text, CorpusCase};
+pub use diff::{diff_case, mode_grid, CaseOutcome, Finding, FindingKind};
+pub use gen::{generate, Agreement, GenCase};
+pub use minimize::{minimize_case, minimize_source};
+pub use pipeline::{check_source, hostile_source, PipeFinding, PipeStage};
+pub use rng::Rng;

@@ -1,0 +1,83 @@
+//! Deterministic seed-driven randomness: SplitMix64.
+//!
+//! The fuzzer must reproduce any finding from `(seed, index)` alone, on
+//! any platform, forever — so no `std` hashing, no OS entropy, no
+//! external crates. SplitMix64 (Steele, Lea & Flood 2014) is the standard
+//! tiny generator for exactly this job: a 64-bit state advanced by a
+//! Weyl constant, finalized by two xor-shift-multiply rounds.
+
+/// A deterministic 64-bit generator; identical streams on every platform.
+#[derive(Clone, Debug)]
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    /// A derived generator for sub-stream `index` — scenario `i` of seed
+    /// `s` draws from `Rng::new(s).fork(i)` so inserting a draw in one
+    /// scenario never shifts every later scenario.
+    pub fn fork(&self, index: u64) -> Rng {
+        let mut r = Rng(self.0 ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        r.next();
+        r
+    }
+
+    #[allow(clippy::should_implement_trait)] // not an Iterator: never ends
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+
+    /// Uniform in `lo..=hi`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// True with probability `num/den`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next() % den < num
+    }
+
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.below(xs.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_platform_stable() {
+        let mut r = Rng::new(42);
+        // Pinned outputs: a change here means every recorded seed in the
+        // corpus silently reproduces something else.
+        assert_eq!(r.next(), 13679457532755275413);
+        assert_eq!(r.next(), 2949826092126892291);
+        let mut a = Rng::new(7).fork(3);
+        let mut b = Rng::new(7).fork(3);
+        assert_eq!(a.next(), b.next());
+        let mut c = Rng::new(7).fork(4);
+        assert_ne!(a.next(), c.next());
+    }
+
+    #[test]
+    fn range_is_inclusive() {
+        let mut r = Rng::new(1);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.range(1, 3)] = true;
+        }
+        assert_eq!(seen, [false, true, true, true]);
+    }
+}

@@ -106,12 +106,12 @@ impl CompiledCore {
         } else {
             large
         };
-        Ok(Self::from_automaton(&large))
+        Self::from_automaton(&large)
     }
 
     /// Lower an already-composed automaton, taking its own port classes as
     /// the boundary.
-    pub fn from_automaton(a: &Automaton) -> Self {
+    pub fn from_automaton(a: &Automaton) -> Result<Self, RuntimeError> {
         Self::from_parts(a, a.inputs().clone(), a.outputs().clone())
     }
 
@@ -125,7 +125,7 @@ impl CompiledCore {
     ) -> Result<Self, RuntimeError> {
         let (inputs, outputs) = boundary_classes(automata);
         let product = product_all(automata, opts)?;
-        Ok(Self::from_parts(&product, inputs, outputs))
+        Self::from_parts(&product, inputs, outputs)
     }
 
     /// Compose from an explicit constituent state tuple, recording the
@@ -140,7 +140,7 @@ impl CompiledCore {
         opts: &ProductOptions,
     ) -> Result<Self, RuntimeError> {
         let (large, trace) = product_all_traced(automata, starts, opts)?;
-        let mut core = Self::from_automaton(&large);
+        let mut core = Self::from_automaton(&large)?;
         core.trace = Some(trace);
         Ok(core)
     }
@@ -155,19 +155,19 @@ impl CompiledCore {
     ) -> Result<Self, RuntimeError> {
         let (inputs, outputs) = boundary_classes(automata);
         let (product, trace) = product_all_traced(automata, starts, opts)?;
-        let mut core = Self::from_parts(&product, inputs, outputs);
+        let mut core = Self::from_parts(&product, inputs, outputs)?;
         core.trace = Some(trace);
         Ok(core)
     }
 
-    fn from_parts(a: &Automaton, inputs: PortSet, outputs: PortSet) -> Self {
+    fn from_parts(a: &Automaton, inputs: PortSet, outputs: PortSet) -> Result<Self, RuntimeError> {
         let lowered = lower_with(
             a,
             &LowerOptions {
                 seeds: &inputs,
                 deliver: Some(&outputs),
             },
-        );
+        )?;
         let mask_ports: Box<[(PortId, bool)]> = inputs
             .iter()
             .map(|p| (p, true))
@@ -219,7 +219,7 @@ impl CompiledCore {
                     .collect()
             });
 
-        CompiledCore {
+        Ok(CompiledCore {
             state: a.initial(),
             scratch: lowered.new_scratch(),
             lowered,
@@ -234,7 +234,7 @@ impl CompiledCore {
             mask_version: u64::MAX,
             deliveries: Vec::new(),
             trace: None,
-        }
+        })
     }
 
     pub fn state_count(&self) -> usize {

@@ -26,7 +26,7 @@ use reo_automata::{
 };
 use reo_core::{
     compile, compile_monolithic, instantiate, Binding, CompiledConnector, ConnectorInstance,
-    MonolithicOptions, Program,
+    CoreError, MonolithicOptions, Program,
 };
 
 use crate::aot::AotCore;
@@ -354,6 +354,14 @@ impl Connector {
                 .map(|(_, n)| *n)
                 .unwrap_or(1);
             let n = if *is_array { n } else { 1 };
+            // A replication count beyond the instantiation budget could
+            // never elaborate anyway; refuse before allocating millions of
+            // ports (and long before the `u32` port-id space could wrap).
+            if n > reo_core::INSTANTIATION_BUDGET {
+                return Err(RuntimeError::Core(CoreError::InstantiationBudget {
+                    budget: reo_core::INSTANTIATION_BUDGET,
+                }));
+            }
             binding.insert(name.clone(), alloc.fresh_ports(n));
         }
 

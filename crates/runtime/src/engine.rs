@@ -379,6 +379,12 @@ pub(crate) struct EngineInner {
     /// port suffices — no waker lists. A completed step takes and wakes
     /// exactly the completed ports' wakers, mirroring the condvar path.
     wakers: Vec<Option<Waker>>,
+    /// Per-slot: the parked `DoneRecv` in this slot belongs to a
+    /// *cancelled* future (see [`Engine::abandon_recv`]), so the next
+    /// registration may absorb it. Without this bit a new registrant
+    /// could steal a delivery that a still-blocked receiver owns, leaving
+    /// that receiver waiting on an empty slot.
+    abandoned: Vec<bool>,
     /// Scratch buffer for the ports completed by one step (reused).
     completed: Vec<PortId>,
     pub steps: u64,
@@ -422,6 +428,7 @@ impl Engine {
                 store,
                 waiters: vec![0; n],
                 wakers: (0..n).map(|_| None).collect(),
+                abandoned: vec![false; n],
                 completed: Vec::new(),
                 steps: 0,
                 completions: 0,
@@ -693,10 +700,14 @@ impl Engine {
 
     /// Phase 1 of `recv`.
     ///
-    /// A pre-existing `DoneRecv` is *not* an error: a cancelled
+    /// A pre-existing *abandoned* `DoneRecv` is not an error: a cancelled
     /// [`RecvFuture`](crate::port::RecvFuture) leaves a delivery that
     /// raced its drop parked in the slot (see [`abandon_recv`]), and this
     /// registration is then already satisfied — the wait phase takes it.
+    /// A `DoneRecv` whose receiver is alive but not yet woken is
+    /// [`PortBusy`](RuntimeError::PortBusy), exactly like its `Recv`
+    /// moments earlier — absorbing it here would strand that receiver on
+    /// an empty slot.
     ///
     /// [`abandon_recv`]: Engine::abandon_recv
     pub(crate) fn register_recv(&self, p: PortId) -> Result<(), RuntimeError> {
@@ -705,7 +716,14 @@ impl Engine {
         Self::check_served(&inner, p)?;
         match inner.pending.get(p) {
             Pending::None => inner.pending.set(p, Pending::Recv),
-            Pending::DoneRecv(_) => return Ok(()), // abandoned delivery: take it in phase 2
+            Pending::DoneRecv(_) => {
+                let slot = inner.pending.port_map().slot(p);
+                if !inner.abandoned[slot] {
+                    return Err(RuntimeError::PortBusy(p));
+                }
+                inner.abandoned[slot] = false;
+                return Ok(()); // abandoned delivery: take it in phase 2
+            }
             _ => return Err(RuntimeError::PortBusy(p)),
         }
         self.fire_loop(&mut inner);
@@ -868,7 +886,15 @@ impl Engine {
                     *registered = true;
                     self.fire_loop(&mut inner);
                 }
-                Pending::DoneRecv(_) => *registered = true,
+                Pending::DoneRecv(_) => {
+                    let slot = inner.pending.port_map().slot(p);
+                    if !inner.abandoned[slot] {
+                        // A live receiver owns this delivery.
+                        return Some(Err(RuntimeError::PortBusy(p)));
+                    }
+                    inner.abandoned[slot] = false;
+                    *registered = true;
+                }
                 _ => return Some(Err(RuntimeError::PortBusy(p))),
             }
         }
@@ -924,8 +950,12 @@ impl Engine {
         let Some(slot) = inner.pending.port_map().try_slot(p) else {
             return; // detached by a reconfiguration: nothing to retract
         };
-        if matches!(inner.pending.get(p), Pending::Recv) {
-            inner.pending.set(p, Pending::None);
+        match inner.pending.get(p) {
+            Pending::Recv => inner.pending.set(p, Pending::None),
+            // Mark the parked delivery orphaned so the next registration
+            // may absorb it.
+            Pending::DoneRecv(_) => inner.abandoned[slot] = true,
+            _ => {}
         }
         inner.wakers[slot] = None;
     }
@@ -1112,6 +1142,7 @@ impl Engine {
         let mut pending = PendingTable::new(Arc::clone(&new_ports));
         let mut waiters = vec![0u32; n];
         let mut wakers: Vec<Option<Waker>> = (0..n).map(|_| None).collect();
+        let mut abandoned = vec![false; n];
         let mut cvs: Vec<Arc<Condvar>> = (0..n).map(|_| Arc::new(Condvar::new())).collect();
         {
             let old_cvs = self.port_cvs.read().unwrap();
@@ -1124,12 +1155,14 @@ impl Engine {
                 pending.set(p, inner.pending.take(p));
                 waiters[new_slot] = inner.waiters[old_slot];
                 wakers[new_slot] = inner.wakers[old_slot].take();
+                abandoned[new_slot] = inner.abandoned[old_slot];
                 cvs[new_slot] = Arc::clone(&old_cvs[old_slot]);
             }
         }
         inner.pending = pending;
         inner.waiters = waiters;
         inner.wakers = wakers;
+        inner.abandoned = abandoned;
         inner.store.grow(layout);
         inner.core = core;
         *self.port_cvs.write().unwrap() = cvs;

@@ -23,6 +23,9 @@ pub enum RuntimeError {
     },
     /// Compilation/instantiation failed.
     Core(reo_core::CoreError),
+    /// Whole-region lowering refused the automaton (its flat `u16`
+    /// register/pool encoding overflowed); interpreting modes still work.
+    Lower(reo_automata::LowerError),
     /// A port operation was issued on a port that already has one pending
     /// (ports are single-owner, one operation at a time).
     PortBusy(reo_automata::PortId),
@@ -81,6 +84,7 @@ impl fmt::Display for RuntimeError {
                  execution (Mode::JitPartitioned)"
             ),
             RuntimeError::Core(e) => write!(f, "{e}"),
+            RuntimeError::Lower(e) => write!(f, "{e}"),
             RuntimeError::PortBusy(p) => {
                 write!(f, "port {p} already has a pending operation")
             }
@@ -122,6 +126,12 @@ impl std::error::Error for RuntimeError {}
 impl From<reo_core::CoreError> for RuntimeError {
     fn from(e: reo_core::CoreError) -> Self {
         RuntimeError::Core(e)
+    }
+}
+
+impl From<reo_automata::LowerError> for RuntimeError {
+    fn from(e: reo_automata::LowerError) -> Self {
+        RuntimeError::Lower(e)
     }
 }
 

@@ -72,7 +72,7 @@ fn roundtrip(a: Automaton, port_count: usize) {
     let mem_ids: Vec<MemId> = a.mem_ids().to_vec();
     let name = a.name().to_string();
 
-    let mut compiled = CompiledCore::from_automaton(&a);
+    let mut compiled = CompiledCore::from_automaton(&a).unwrap();
     let mut jit = JitCore::new(vec![a], CachePolicy::Unbounded.build(), 1 << 20);
 
     let (trace_j, store_j) = drive(&mut jit, port_count, &layout);
@@ -151,4 +151,34 @@ fn composed_products_roundtrip_through_lowering() {
     ];
     let product = product_all(&autos, &ProductOptions::default()).unwrap();
     roundtrip(product, 5);
+}
+
+/// An automaton whose stepping program cannot be encoded (one transition
+/// needing > u16::MAX registers) must surface as a typed `RuntimeError`
+/// from the compiled-core constructor, never a silently-wrapped register
+/// file. The interpreting JIT core keeps accepting the same automaton.
+#[test]
+fn unencodable_automaton_is_a_typed_error() {
+    use reo_automata::assign::Assign;
+    use reo_automata::term::{Func, Term};
+    use reo_automata::{AutomatonBuilder, PortSet, StateId, Transition};
+    use reo_runtime::RuntimeError;
+
+    let f = Func::new("sink", |_| Value::Unit);
+    let args: Vec<Term> = (0..70_000).map(|_| Term::Const(Value::Int(1))).collect();
+    let t = Transition::new(PortSet::singleton(p(0)), StateId(0))
+        .with_assign(Assign::set_mem(MemId(0), Term::Apply(f, args)));
+    let mut b = AutomatonBuilder::new("wide");
+    let s = b.state();
+    b.input(p(0));
+    b.mem(MemId(0), vec![]);
+    b.transition(s, t);
+    let aut = b.build();
+
+    let err = CompiledCore::from_automaton(&aut)
+        .err()
+        .expect("must refuse");
+    assert!(matches!(err, RuntimeError::Lower(_)), "got: {err}");
+    // The interpreter has no u16 encoding and still builds.
+    let _jit = JitCore::new(vec![aut], CachePolicy::Unbounded.build(), 1 << 20);
 }

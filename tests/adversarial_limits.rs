@@ -1,0 +1,106 @@
+//! End-to-end regressions for the adversarial-input limits: every resource
+//! bound added for the fuzzer must surface as a *typed* error through the
+//! public facade — never a panic, hang, or allocation storm. Each case here
+//! mirrors a defect class the structured fuzzer (`reo-fuzz`) probes for.
+
+use reo::runtime::{Connector, Mode, RuntimeError};
+
+fn build(src: &str, name: &str) -> Connector {
+    let program = reo::dsl::parse_program(src).unwrap();
+    Connector::builder(&program, name)
+        .mode(Mode::jit())
+        .build()
+        .unwrap()
+}
+
+/// A replication count beyond the instantiation budget is refused before a
+/// single port is allocated.
+#[test]
+fn oversized_replication_is_a_typed_error() {
+    let connector = build("P(a[];b[]) = prod (i:1..#a) Sync(a[i];b[i])", "P");
+    let err = connector
+        .session()
+        .replicate("a", reo::core::INSTANTIATION_BUDGET + 1)
+        .replicate("b", 1)
+        .connect()
+        .err()
+        .expect("connect must fail");
+    assert!(
+        matches!(
+            err,
+            RuntimeError::Core(reo::core::CoreError::InstantiationBudget { .. })
+        ),
+        "got: {err}"
+    );
+}
+
+/// A constant `prod` range far beyond any real workload terminates with the
+/// budget error instead of unrolling forever at `connect`.
+#[test]
+fn huge_constant_prod_range_is_a_typed_error() {
+    let connector = build(
+        "P(a;b) = Sync(a;b) mult prod (i:1..999999999) if (1 == 2) { Sync(a;b) }",
+        "P",
+    );
+    let err = connector
+        .session()
+        .connect()
+        .err()
+        .expect("connect must fail");
+    assert!(
+        err.to_string().contains("budget"),
+        "expected a budget error, got: {err}"
+    );
+}
+
+/// `FifoN` materializes one control state per fill level; adversarial
+/// capacities (zero, negative, enormous) must be rejected up front.
+#[test]
+fn adversarial_fifon_capacities_are_typed_errors() {
+    for cap in ["0", "-3", "999999999", "9223372036854775807"] {
+        // Constant capacities are caught while compiling the medium
+        // automaton, before a session even exists.
+        let src = format!("P(a;b) = FifoN<{cap}>(a;b)");
+        let program = reo::dsl::parse_program(&src).unwrap();
+        let err = Connector::builder(&program, "P")
+            .mode(Mode::jit())
+            .build()
+            .err()
+            .expect("build must fail");
+        assert!(
+            err.to_string().contains("invalid integer argument"),
+            "capacity {cap}: expected BadIntArg, got: {err}"
+        );
+    }
+}
+
+/// Near-`i64::MAX` literals in index arithmetic overflow into a typed
+/// error, not a debug-build panic.
+#[test]
+fn giant_int_literal_arithmetic_is_a_typed_error() {
+    // 2^62 * #a overflows once #a >= 4.
+    let connector = build(
+        "P(a[];b[]) = prod (i:1..4611686018427387904*#a) Sync(a[1];b[1])",
+        "P",
+    );
+    let err = connector
+        .session()
+        .replicate("a", 4)
+        .replicate("b", 4)
+        .connect()
+        .err()
+        .expect("connect must fail");
+    assert!(
+        err.to_string().contains("overflow"),
+        "expected IndexOverflow, got: {err}"
+    );
+}
+
+/// The parser's recursion-depth limit is visible through the facade parse
+/// entry point (the fuzzer feeds sources this deep constantly).
+#[test]
+fn deep_nesting_is_a_typed_parse_error() {
+    let src = format!("P(a;b) = {}Sync(a;b){}", "{".repeat(9000), "}".repeat(9000));
+    let err = reo::dsl::parse_program(&src).unwrap_err();
+    assert!(err.to_string().contains("nesting"), "got: {err}");
+}

@@ -654,3 +654,69 @@ fn one_shot_try_recv_crosses_a_two_link_chain() {
         );
     }
 }
+
+/// Regression (found by the differential fuzzer, shape `churn-merger`):
+/// a delivery parked for a *live* pending receiver must not be absorbed
+/// by a second registration on the same port. `abandon_recv` parks the
+/// delivery of a cancelled future for its successor, and the takeover
+/// path used to treat *any* parked delivery as abandoned — a rival
+/// receiver could steal the value and leave the original waiter blocked
+/// on an empty slot (an `unreachable!` at timeout expiry).
+#[test]
+fn parked_delivery_belongs_to_the_live_receiver_not_a_late_rival() {
+    let mut session = fifo_session();
+    let tx = session.typed_outport::<i64>("a").unwrap();
+    let rx = session.typed_inport::<i64>("b").unwrap();
+
+    // A registers a receive and blocks (buffer empty).
+    let (flag, waker) = FlagWaker::new();
+    let mut cx = Context::from_waker(&waker);
+    let mut fut_a = rx.recv_async();
+    assert!(Pin::new(&mut fut_a).poll(&mut cx).is_pending());
+
+    // The send lets the fifo drain: the value parks on `b` for A, and
+    // A's waker fires. (Firing may happen on a worker thread.)
+    tx.send(41).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !flag.woken() && Instant::now() < deadline {
+        thread::yield_now();
+    }
+    assert!(flag.woken(), "delivery never woke the registered receiver");
+
+    // Rivals arriving before A re-polls are refused, not served.
+    assert!(matches!(rx.try_recv(), Err(RuntimeError::PortBusy(_))));
+    {
+        let (_, rival_waker) = FlagWaker::new();
+        let mut rival_cx = Context::from_waker(&rival_waker);
+        let mut fut_b = rx.recv_async();
+        match Pin::new(&mut fut_b).poll(&mut rival_cx) {
+            Poll::Ready(Err(RuntimeError::PortBusy(_))) => {}
+            other => panic!("rival recv was not refused: {other:?}"),
+        }
+    }
+
+    // A still receives its value.
+    match Pin::new(&mut fut_a).poll(&mut cx) {
+        Poll::Ready(Ok(v)) => assert_eq!(v, 41),
+        other => panic!("owner lost its parked delivery: {other:?}"),
+    }
+
+    // The abandoned-delivery path still works: when the *owner* of a
+    // parked delivery is dropped, the next receiver absorbs the value
+    // instead of deadlocking.
+    let (flag_c, waker_c) = FlagWaker::new();
+    let mut cx_c = Context::from_waker(&waker_c);
+    let mut fut_c = rx.recv_async();
+    assert!(Pin::new(&mut fut_c).poll(&mut cx_c).is_pending());
+    tx.send(42).unwrap();
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while !flag_c.woken() && Instant::now() < deadline {
+        thread::yield_now();
+    }
+    assert!(
+        flag_c.woken(),
+        "delivery never parked for the cancelled future"
+    );
+    drop(fut_c); // abandons the parked delivery mid-flight
+    assert_eq!(rx.recv().unwrap(), 42, "abandoned delivery was lost");
+}
