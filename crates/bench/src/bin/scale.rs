@@ -23,8 +23,8 @@ use std::time::Duration;
 
 use reo_bench::json::{json_opt_str, json_path, json_str};
 use reo_bench::scale::{
-    run, run_churn, run_codegen, run_sessions, verdict, Cell, ChurnCell, CodegenCell, Config,
-    SessionsCell,
+    run, run_churn, run_codegen, run_faults, run_sessions, verdict, Cell, ChurnCell, CodegenCell,
+    Config, FaultCell, SessionsCell,
 };
 use reo_bench::Args;
 
@@ -42,6 +42,7 @@ fn main() {
         workers: args.usize("workers", 2),
         session_counts: args.usize_list("session-ns", &[1_000, 10_000, 100_000]),
         churn_counts: args.usize_list("churn-ns", &[2, 8]),
+        fault_iters: args.usize("fault-iters", 40),
         ..Config::default()
     };
     if args.get("families").is_some() {
@@ -198,7 +199,28 @@ fn main() {
         );
     });
 
-    let v = verdict(&cells, &codegen, &sessions, &churn);
+    // The fault-recovery sweep: park an op, inject a fault (drop, panic,
+    // poison, close), and time the typed error it must resolve with.
+    println!(
+        "\nFault-recovery sweep ({} injections per cell):",
+        config.fault_iters
+    );
+    println!(
+        "{:<8}{:<20}{:>7}  {:>7}  {:>9}  {:>10}  {:>10}",
+        "fault", "mode", "typed", "strand", "iters", "p50-us", "p99-us"
+    );
+    let faults = run_faults(&config, |c| {
+        if let Some(f) = &c.failure {
+            println!("{:<8}{:<20}FAIL: {f}", c.kind, c.mode);
+            return;
+        }
+        println!(
+            "{:<8}{:<20}{:>7}  {:>7}  {:>9}  {:>10.1}  {:>10.1}",
+            c.kind, c.mode, c.typed_errors, c.stranded, c.iters, c.p50_us, c.p99_us
+        );
+    });
+
+    let v = verdict(&cells, &codegen, &sessions, &churn, &faults);
     println!(
         "\nverdict: targeted wakeups below broadcast baseline (channels, threads>2): {}",
         v.wakeups_below_broadcast
@@ -243,11 +265,20 @@ fn main() {
         v.reconfig_churn_scale,
         churn.len()
     );
+    println!(
+        "verdict: fault cells resolve typed errors, zero stranded, p99 <= {}us: {} ({} cell(s))",
+        reo_bench::scale::FAULT_RECOVERY_P99_CEILING_US,
+        v.fault_recovery_bounded,
+        faults.len()
+    );
 
     if let Some(value) = args.get("json") {
         let path = json_path(value, "BENCH_scale.json");
-        std::fs::write(path, to_json(&cells, &codegen, &sessions, &churn, &config))
-            .expect("write JSON report");
+        std::fs::write(
+            path,
+            to_json(&cells, &codegen, &sessions, &churn, &faults, &config),
+        )
+        .expect("write JSON report");
         println!("wrote {path} ({} cells)", cells.len());
     }
 }
@@ -259,10 +290,11 @@ fn to_json(
     codegen: &[CodegenCell],
     sessions: &[SessionsCell],
     churn: &[ChurnCell],
+    faults: &[FaultCell],
     config: &Config,
 ) -> String {
     let mut s = String::from("{\n");
-    let v = verdict(cells, codegen, sessions, churn);
+    let v = verdict(cells, codegen, sessions, churn, faults);
     let _ = writeln!(
         s,
         r#"  "benchmark": "scale",
@@ -277,6 +309,7 @@ fn to_json(
   "codegen_beats_jit": {},
   "async_sessions_scale": {},
   "reconfig_churn_scale": {},
+  "fault_recovery_bounded": {},
   "codegen": ["#,
         config.window.as_secs_f64(),
         config.ns,
@@ -288,7 +321,8 @@ fn to_json(
         v.locks_per_value_below_seed,
         v.codegen_beats_jit,
         v.async_sessions_scale,
-        v.reconfig_churn_scale
+        v.reconfig_churn_scale,
+        v.fault_recovery_bounded
     );
     let secs = config.window.as_secs_f64();
     for (i, c) in codegen.iter().enumerate() {
@@ -346,6 +380,22 @@ fn to_json(
             json_opt_str(&c.failure)
         );
         s.push_str(if i + 1 < churn.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("  ],\n  \"faults\": [\n");
+    for (i, c) in faults.iter().enumerate() {
+        let _ = write!(
+            s,
+            r#"    {{"family":"faults","kind":{},"mode":{},"iters":{},"typed_errors":{},"stranded":{},"p50_us":{:.1},"p99_us":{:.1},"failure":{}}}"#,
+            json_str(c.kind),
+            json_str(c.mode),
+            c.iters,
+            c.typed_errors,
+            c.stranded,
+            c.p50_us,
+            c.p99_us,
+            json_opt_str(&c.failure)
+        );
+        s.push_str(if i + 1 < faults.len() { ",\n" } else { "\n" });
     }
     s.push_str("  ],\n  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {

@@ -510,6 +510,24 @@ pub fn validate(doc: &Json, kind: Kind) -> Result<usize, String> {
                 check_failure(cell, "failure", &ctx)?;
             }
         }
+        // Optional fault-recovery section (absent from pre-containment
+        // baselines): time-to-typed-error cells behind the
+        // `fault_recovery_bounded` verdict.
+        if let Some(faults) = doc.get("faults") {
+            let faults = faults
+                .as_arr()
+                .ok_or("document: `faults` is not an array")?;
+            for (i, cell) in faults.iter().enumerate() {
+                let ctx = format!("faults {i}");
+                require_str(cell, "family", &ctx)?;
+                require_str(cell, "kind", &ctx)?;
+                require_str(cell, "mode", &ctx)?;
+                for key in ["iters", "typed_errors", "stranded", "p50_us", "p99_us"] {
+                    require_num(cell, key, &ctx)?;
+                }
+                check_failure(cell, "failure", &ctx)?;
+            }
+        }
     }
     Ok(cells.len())
 }
@@ -585,6 +603,22 @@ fn failure_map(doc: &Json, kind: Kind) -> Result<HashMap<String, bool>, String> 
             let key = format!(
                 "churn/n={}/{}",
                 require_num(cell, "n", &ctx)?,
+                require_str(cell, "mode", &ctx)?
+            );
+            out.insert(key, check_failure(cell, "failure", &ctx)?);
+        }
+        // Fault-recovery cells (optional section) likewise.
+        for (i, cell) in doc
+            .get("faults")
+            .and_then(Json::as_arr)
+            .unwrap_or_default()
+            .iter()
+            .enumerate()
+        {
+            let ctx = format!("faults {i}");
+            let key = format!(
+                "faults/{}/{}",
+                require_str(cell, "kind", &ctx)?,
                 require_str(cell, "mode", &ctx)?
             );
             out.insert(key, check_failure(cell, "failure", &ctx)?);

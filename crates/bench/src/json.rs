@@ -49,7 +49,7 @@
 //!   "wakeups_below_broadcast": true, "workers_reach_jit": true,
 //!   "kick_wakeups_below_kicks": true, "locks_per_value_below_seed": true,
 //!   "codegen_beats_jit": true, "async_sessions_scale": true,
-//!   "reconfig_churn_scale": true,
+//!   "reconfig_churn_scale": true, "fault_recovery_bounded": true,
 //!   "sessions": [
 //!     { "sessions": 100000, "tasks": 200000, "threads": 4, "values": 2,
 //!       "completions": 400000, "waker_wakes": 100000, "wakeups": 0,
@@ -62,6 +62,10 @@
 //!       "splices": 46, "splices_per_sec": 230.0,
 //!       "values": 5012, "received": 5012, "values_per_sec": 25060.0,
 //!       "window_secs": 0.2, "failure": null } ],
+//!   "faults": [
+//!     { "family": "faults", "kind": "drop", "mode": "jit",
+//!       "iters": 40, "typed_errors": 40, "stranded": 0,
+//!       "p50_us": 57.0, "p99_us": 180.0, "failure": null } ],
 //!   "cells": [
 //!     { "family": "burst", "n": 8, "mode": "partitioned",
 //!       "threads": 9, "steps": 10917, "steps_per_sec": 54585.0,
@@ -126,6 +130,18 @@
 //! `received` the consumer-side deliveries after a full drain — the
 //! `reconfig_churn_scale` verdict requires `received == values` (no
 //! loss, no duplicates) and `splices ≥ 2` on every cell.
+//!
+//! The `faults` array is the fault-recovery sweep
+//! ([`crate::scale::run_faults`]): per cell, `iters` injections of one
+//! fault `kind` (`drop`, `panic`, `poison`, `close` — see
+//! [`crate::scale::FAULT_KINDS`]) against a parked receive on a Fifo1
+//! connector in one mode. `typed_errors` counts injections that resolved
+//! to the expected typed `RuntimeError` (Hangup / Poisoned / Closed),
+//! `stranded` counts ops still parked after the 5 s bound, and
+//! `p50_us`/`p99_us` are the time-to-typed-error percentiles. The
+//! `fault_recovery_bounded` verdict requires every cell to resolve all
+//! iterations typed, strand none, and keep `p99_us` under
+//! [`crate::scale::FAULT_RECOVERY_P99_CEILING_US`].
 
 use std::fmt::Write as _;
 

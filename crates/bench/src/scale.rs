@@ -124,6 +124,10 @@ pub struct Config {
     /// ([`run_churn`]): producers merging into one sink while branches
     /// join and leave mid-window.
     pub churn_counts: Vec<usize>,
+    /// Injections per cell of the fault-recovery `faults` family
+    /// ([`run_faults`]): each iteration parks an op, injects one fault,
+    /// and times the typed error.
+    pub fault_iters: usize,
     pub limits: Limits,
 }
 
@@ -136,6 +140,7 @@ impl Default for Config {
             workers: 2,
             session_counts: vec![1_000, 10_000, 100_000],
             churn_counts: vec![2, 8],
+            fault_iters: 40,
             limits: Limits {
                 product: ProductOptions {
                     max_states: 1 << 16,
@@ -512,7 +517,7 @@ pub fn run_sessions(config: &Config, mut progress: impl FnMut(&SessionsCell)) ->
             })
         };
         for j in joins {
-            j.join();
+            j.join().expect("session task panicked");
         }
         let drain_secs = t_drain.elapsed().as_secs_f64();
         done.store(true, Ordering::Relaxed);
@@ -817,6 +822,184 @@ fn churn_cell(connector: &Connector, n: usize, label: &'static str, window: Dura
     }
 }
 
+/// The fault kinds injected by the fault-recovery `faults` family: drop
+/// the producer port of a parked receive (hangup-on-drop), panic inside
+/// the next firing (panic containment), poison the session directly, and
+/// close it from under the op.
+pub const FAULT_KINDS: &[&str] = &["drop", "panic", "poison", "close"];
+
+/// Ceiling on the p99 time from fault injection to the parked op's typed
+/// error, in microseconds, for [`Verdict::fault_recovery_bounded`]. The
+/// wake itself is a condvar notify (microseconds); the quarter-second
+/// ceiling leaves room for scheduler hiccups on loaded CI machines while
+/// still being ~20× under the bound a stranded op burns.
+pub const FAULT_RECOVERY_P99_CEILING_US: f64 = 250_000.0;
+
+/// How long a parked op may wait before the harness declares it
+/// *stranded* — a fault that failed to produce any resolution at all.
+const FAULT_STRANDED_BOUND: Duration = Duration::from_secs(5);
+
+/// One cell of the fault-recovery `faults` sweep: [`Config::fault_iters`]
+/// injections of one fault kind under one runtime, each timed from the
+/// injection to the moment the parked operation resolved with the typed
+/// error that fault promises (`Hangup`, `Poisoned`, or `Closed`).
+#[derive(Clone, Debug)]
+pub struct FaultCell {
+    /// One of [`FAULT_KINDS`].
+    pub kind: &'static str,
+    /// Report label of the runtime (the [`mode_grid`] labels).
+    pub mode: &'static str,
+    /// Injections performed.
+    pub iters: usize,
+    /// Injections that resolved with the expected typed error.
+    pub typed_errors: u64,
+    /// Injections whose parked op was still unresolved after the stranded
+    /// bound (`FAULT_STRANDED_BOUND`) — must be zero on a healthy runtime.
+    pub stranded: u64,
+    /// Median time-to-typed-error in microseconds.
+    pub p50_us: f64,
+    /// 99th-percentile time-to-typed-error in microseconds.
+    pub p99_us: f64,
+    pub failure: Option<String>,
+}
+
+/// Run the fault-recovery sweep: [`FAULT_KINDS`] × [`mode_grid`].
+///
+/// Each iteration opens a fresh `Fifo1` session, parks a deadline-bounded
+/// receive on the empty buffer, injects the cell's fault, and measures
+/// the wall-clock until the receive resolves. The receive can *only*
+/// resolve through the fault's containment path — nothing is ever
+/// delivered to it — so the elapsed time is exactly the runtime's
+/// time-to-typed-error, and a deadline expiry is a stranded op.
+pub fn run_faults(config: &Config, mut progress: impl FnMut(&FaultCell)) -> Vec<FaultCell> {
+    let program = reo_dsl::parse_program("P(a;b) = Fifo1(a;b)").expect("faults family parses");
+    let mut cells = Vec::new();
+    // The `panic` kind injects a panic per iteration by design; silence
+    // the default hook so contained backtraces don't bury the report.
+    std::panic::set_hook(Box::new(|_| {}));
+    for &kind in FAULT_KINDS {
+        for (label, mode) in mode_grid(config.workers) {
+            let connector = match Connector::builder(&program, "P")
+                .mode(mode)
+                .limits(config.limits)
+                .build()
+            {
+                Ok(c) => c,
+                Err(e) => {
+                    let cell = FaultCell {
+                        kind,
+                        mode: label,
+                        iters: 0,
+                        typed_errors: 0,
+                        stranded: 0,
+                        p50_us: 0.0,
+                        p99_us: 0.0,
+                        failure: Some(format!("build failed: {e}")),
+                    };
+                    progress(&cell);
+                    cells.push(cell);
+                    continue;
+                }
+            };
+            let cell = fault_cell(&connector, kind, label, config.fault_iters);
+            progress(&cell);
+            cells.push(cell);
+        }
+    }
+    let _ = std::panic::take_hook();
+    cells
+}
+
+fn fault_cell(
+    connector: &Connector,
+    kind: &'static str,
+    label: &'static str,
+    iters: usize,
+) -> FaultCell {
+    use reo_runtime::RuntimeError;
+
+    let mut elapsed_us: Vec<f64> = Vec::with_capacity(iters);
+    let mut typed_errors = 0u64;
+    let mut stranded = 0u64;
+    let mut failure: Option<String> = None;
+    for _ in 0..iters {
+        let mut session = match connector.session().connect() {
+            Ok(s) => s,
+            Err(e) => {
+                failure = Some(format!("connect failed: {e}"));
+                break;
+            }
+        };
+        let tx = session.typed_outport::<i64>("a").expect("producer port");
+        let rx = session.typed_inport::<i64>("b").expect("consumer port");
+        let handle = session.handle();
+
+        // Park the victim: a bounded receive on an empty fifo. Nothing
+        // will ever serve it; only the injected fault can resolve it.
+        let waiter = std::thread::spawn(move || {
+            let r = rx.recv_timeout(FAULT_STRANDED_BOUND);
+            (r, Instant::now())
+        });
+        // Let the receive actually park before injecting.
+        std::thread::sleep(Duration::from_millis(1));
+
+        let t0 = Instant::now();
+        let mut tx = Some(tx);
+        match kind {
+            "drop" => drop(tx.take()),
+            "panic" => {
+                // The very next firing panics inside the engine; the
+                // send that triggers it resolves `Poisoned` itself.
+                reo_runtime::fault::arm_panic_after_steps(0);
+                let _ = tx.as_ref().expect("tx live").try_send(1);
+            }
+            "poison" => handle.poison("bench: scripted poison"),
+            "close" => handle.close(),
+            other => unreachable!("unknown fault kind {other}"),
+        }
+        let (result, t_done) = waiter.join().expect("victim thread never panics");
+        reo_runtime::fault::disarm();
+        handle.close();
+
+        let expected = matches!(
+            (&result, kind),
+            (Err(RuntimeError::Hangup(_)), "drop")
+                | (Err(RuntimeError::Poisoned(_)), "panic" | "poison")
+                | (Err(RuntimeError::Closed), "close")
+        );
+        if expected {
+            typed_errors += 1;
+            elapsed_us.push(t_done.saturating_duration_since(t0).as_secs_f64() * 1e6);
+        } else if matches!(result, Err(RuntimeError::Timeout)) {
+            stranded += 1;
+        } else if failure.is_none() {
+            failure = Some(format!("{kind} fault resolved as {result:?}"));
+        }
+    }
+
+    elapsed_us.sort_by(|a, b| a.partial_cmp(b).expect("no NaN latencies"));
+    let pct = |p: f64| -> f64 {
+        if elapsed_us.is_empty() {
+            return 0.0;
+        }
+        let ix = ((elapsed_us.len() as f64 * p).ceil() as usize).clamp(1, elapsed_us.len()) - 1;
+        elapsed_us[ix]
+    };
+    if failure.is_none() && stranded > 0 {
+        failure = Some(format!("{stranded} stranded op(s)"));
+    }
+    FaultCell {
+        kind,
+        mode: label,
+        iters,
+        typed_errors,
+        stranded,
+        p50_us: pct(0.50),
+        p99_us: pct(0.99),
+        failure,
+    }
+}
+
 /// The acceptance checks the scale sweep exists to witness, evaluated on a
 /// finished grid (also asserted by `tests/mode_equivalence.rs` at a
 /// smaller scale):
@@ -840,7 +1023,11 @@ fn churn_cell(connector: &Connector, n: usize, label: &'static str, window: Dura
 ///    [`SESSIONS_WAKE_PRECISION_CEILING`];
 /// 7. every reconfiguration `churn` cell survives its window of
 ///    join/leave splices with exactly-once delivery and an epoch equal
-///    to the splice count.
+///    to the splice count;
+/// 8. every fault-recovery `faults` cell resolves every injected fault
+///    with the expected typed error — zero stranded ops — and its p99
+///    time-to-typed-error stays under
+///    [`FAULT_RECOVERY_P99_CEILING_US`].
 #[derive(Clone, Copy, Debug, Default)]
 pub struct Verdict {
     /// Check 1, over every `channels` cell with `threads > 2` and
@@ -859,6 +1046,8 @@ pub struct Verdict {
     pub async_sessions_scale: bool,
     /// Check 7, over every [`ChurnCell`]; false when none ran.
     pub reconfig_churn_scale: bool,
+    /// Check 8, over every [`FaultCell`]; false when none ran.
+    pub fault_recovery_bounded: bool,
 }
 
 pub fn verdict(
@@ -866,6 +1055,7 @@ pub fn verdict(
     codegen: &[CodegenCell],
     sessions: &[SessionsCell],
     churn: &[ChurnCell],
+    faults: &[FaultCell],
 ) -> Verdict {
     let disjoint: Vec<&Cell> = cells
         .iter()
@@ -958,6 +1148,17 @@ pub fn verdict(
             c.failure.is_none() && c.splices >= 2 && c.values > 0 && c.received == c.values
         });
 
+    // Check 8: every injected fault produced its promised typed error
+    // (no stranded ops, no misclassified resolutions) and the p99
+    // injection-to-error latency is bounded.
+    let fault_recovery_bounded = !faults.is_empty()
+        && faults.iter().all(|c| {
+            c.failure.is_none()
+                && c.stranded == 0
+                && c.typed_errors == c.iters as u64
+                && c.p99_us <= FAULT_RECOVERY_P99_CEILING_US
+        });
+
     Verdict {
         wakeups_below_broadcast,
         workers_reach_jit,
@@ -966,6 +1167,7 @@ pub fn verdict(
         codegen_beats_jit,
         async_sessions_scale,
         reconfig_churn_scale,
+        fault_recovery_bounded,
     }
 }
 
@@ -1007,7 +1209,7 @@ mod tests {
             ..Config::default()
         };
         let cells = run(&config, |_| {});
-        let v = verdict(&cells, &[], &[], &[]);
+        let v = verdict(&cells, &[], &[], &[], &[]);
         assert!(
             v.wakeups_below_broadcast,
             "targeted wakeups not below broadcast baseline: {:?}",
@@ -1033,7 +1235,7 @@ mod tests {
             ..Config::default()
         };
         let cells = run(&config, |_| {});
-        let v = verdict(&cells, &[], &[], &[]);
+        let v = verdict(&cells, &[], &[], &[], &[]);
         assert!(
             v.kick_wakeups_below_kicks,
             "kick-queue wakeups not below the kick baseline: {:?}",
@@ -1097,7 +1299,7 @@ mod tests {
             "lowered stepping not ahead of the interpreter: {c:?}"
         );
         // The verdict is false on an empty duel set (nothing witnessed).
-        assert!(!verdict(&[], &[], &[], &[]).codegen_beats_jit);
+        assert!(!verdict(&[], &[], &[], &[], &[]).codegen_beats_jit);
     }
 
     #[test]
@@ -1124,9 +1326,9 @@ mod tests {
             c.wake_precision() <= SESSIONS_WAKE_PRECISION_CEILING,
             "waker storm in miniature: {c:?}"
         );
-        assert!(verdict(&[], &[], &cells, &[]).async_sessions_scale);
+        assert!(verdict(&[], &[], &cells, &[], &[]).async_sessions_scale);
         // No sessions run → nothing witnessed → verdict false.
-        assert!(!verdict(&[], &[], &[], &[]).async_sessions_scale);
+        assert!(!verdict(&[], &[], &[], &[], &[]).async_sessions_scale);
     }
 
     #[test]
@@ -1150,9 +1352,38 @@ mod tests {
                 c.mode
             );
         }
-        assert!(verdict(&[], &[], &[], &cells).reconfig_churn_scale);
+        assert!(verdict(&[], &[], &[], &cells, &[]).reconfig_churn_scale);
         // No churn cells run → nothing witnessed → verdict false.
-        assert!(!verdict(&[], &[], &[], &[]).reconfig_churn_scale);
+        assert!(!verdict(&[], &[], &[], &[], &[]).reconfig_churn_scale);
+    }
+
+    #[test]
+    fn fault_sweep_resolves_typed_errors_in_miniature() {
+        // A few injections per (kind, mode) cell: every parked receive
+        // must resolve to the expected typed error within the stranded
+        // bound, satisfying the eighth verdict.
+        let config = Config {
+            fault_iters: 3,
+            ..Config::default()
+        };
+        let cells = run_faults(&config, |_| {});
+        assert_eq!(
+            cells.len(),
+            FAULT_KINDS.len() * 5,
+            "one cell per fault kind per runtime mode"
+        );
+        for c in &cells {
+            assert!(c.failure.is_none(), "{}/{}: {:?}", c.kind, c.mode, c);
+            assert_eq!(c.stranded, 0, "{}/{}: stranded ops: {c:?}", c.kind, c.mode);
+            assert_eq!(
+                c.typed_errors, c.iters as u64,
+                "{}/{}: untyped resolution: {c:?}",
+                c.kind, c.mode
+            );
+        }
+        assert!(verdict(&[], &[], &[], &[], &cells).fault_recovery_bounded);
+        // No fault cells run → nothing witnessed → verdict false.
+        assert!(!verdict(&[], &[], &[], &[], &[]).fault_recovery_bounded);
     }
 
     #[test]
@@ -1168,7 +1399,7 @@ mod tests {
             ..Config::default()
         };
         let cells = run(&config, |_| {});
-        let v = verdict(&cells, &[], &[], &[]);
+        let v = verdict(&cells, &[], &[], &[], &[]);
         assert!(
             v.locks_per_value_below_seed,
             "locks per value not below the unbatched baseline {}: {:?}",

@@ -50,11 +50,31 @@
 //! let exec = Executor::new(2);
 //! let a = exec.spawn(async { 40 });
 //! let b = exec.spawn(async { 2 });
-//! let sum = reo_exec::block_on(async move { a.await + b.await });
+//! let sum = reo_exec::block_on(async move { a.await.unwrap() + b.await.unwrap() });
 //! assert_eq!(sum, 42);
 //!
 //! let c = exec.spawn(async { "done" });
-//! assert_eq!(c.join(), "done"); // blocking join, same handle type
+//! assert_eq!(c.join().unwrap(), "done"); // blocking join, same handle type
+//! ```
+//!
+//! ## Fault containment
+//!
+//! A panic inside a spawned future is **contained**: the poll runs under
+//! [`std::panic::catch_unwind`], the panicking task is retired, and its
+//! [`JoinHandle`] resolves to [`JoinError::Panicked`] carrying the panic
+//! message — a join never hangs on a dead task, and the worker thread
+//! survives to keep driving every other task. Contained panics are
+//! counted in [`Executor::contained_panics`].
+//!
+//! ```
+//! use reo_exec::{Executor, JoinError};
+//!
+//! let exec = Executor::new(1);
+//! let bad = exec.spawn(async { panic!("boom") });
+//! assert!(matches!(bad.join(), Err(JoinError::Panicked(m)) if m.contains("boom")));
+//! let good = exec.spawn(async { 7 }); // the worker survived
+//! assert_eq!(good.join().unwrap(), 7);
+//! assert_eq!(exec.contained_panics(), 1);
 //! ```
 //!
 //! Dropping the [`Executor`] shuts the pool down: workers finish the
@@ -64,12 +84,79 @@
 
 use std::collections::VecDeque;
 use std::future::Future;
+use std::panic::AssertUnwindSafe;
 use std::pin::Pin;
 use std::sync::atomic::{AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Weak};
 use std::task::{Context, Poll, Wake, Waker};
 
 use parking_lot::{Condvar, Mutex};
+
+/// Why a [`JoinHandle`] resolved without the task's output.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JoinError {
+    /// The task's future panicked. The panic was contained (the worker
+    /// thread survived); the payload's message is carried here.
+    Panicked(String),
+}
+
+impl std::fmt::Display for JoinError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JoinError::Panicked(msg) => write!(f, "task panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JoinError {}
+
+/// Best-effort text of a panic payload (`&str` and `String` payloads
+/// cover `panic!`/`assert!`/`unwrap`; anything else gets a placeholder).
+fn payload_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic payload of unknown type".to_string()
+    }
+}
+
+/// Future adapter that polls its inner future under `catch_unwind`,
+/// turning a panic into a `Err(payload)` completion instead of letting
+/// it unwind through the executor. The inner future is boxed, so the
+/// adapter is `Unpin` and needs no pin projection; after a panic the
+/// poisoned future is dropped immediately (a half-unwound future must
+/// never be polled again).
+struct CatchUnwind<F: Future> {
+    inner: Option<Pin<Box<F>>>,
+}
+
+impl<F: Future> Future for CatchUnwind<F> {
+    type Output = Result<F::Output, String>;
+
+    fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let inner = self
+            .inner
+            .as_mut()
+            .expect("CatchUnwind polled after completion");
+        match std::panic::catch_unwind(AssertUnwindSafe(|| inner.as_mut().poll(cx))) {
+            Ok(Poll::Ready(v)) => {
+                self.inner = None;
+                Poll::Ready(Ok(v))
+            }
+            Ok(Poll::Pending) => Poll::Pending,
+            Err(payload) => {
+                let msg = payload_message(payload.as_ref());
+                // Dropping a future that panicked mid-poll may itself
+                // panic; contain that too rather than poison the worker.
+                let inner = self.inner.take();
+                let _ = std::panic::catch_unwind(AssertUnwindSafe(move || drop(inner)));
+                Poll::Ready(Err(msg))
+            }
+        }
+    }
+}
 
 /// Scheduling states of a [`Task`] (one `AtomicU8`).
 mod state {
@@ -164,6 +251,10 @@ struct Shared {
     park_cv: Condvar,
     /// Tasks spawned and not yet completed (diagnostics).
     live: AtomicUsize,
+    /// Panics contained by the poll wrapper or the worker backstop
+    /// (diagnostics): each one is a task that died without taking its
+    /// worker thread — or any sibling task — down with it.
+    contained_panics: AtomicU64,
 }
 
 impl Shared {
@@ -244,6 +335,7 @@ impl Executor {
             park_lock: Mutex::new(false),
             park_cv: Condvar::new(),
             live: AtomicUsize::new(0),
+            contained_panics: AtomicU64::new(0),
         });
         let workers = (0..threads)
             .map(|idx| {
@@ -269,9 +361,20 @@ impl Executor {
         self.shared.live.load(Ordering::Relaxed)
     }
 
+    /// Panics contained so far: tasks whose future panicked and were
+    /// retired with a [`JoinError::Panicked`] while their worker thread
+    /// — and every sibling task — kept running.
+    pub fn contained_panics(&self) -> u64 {
+        self.shared.contained_panics.load(Ordering::Relaxed)
+    }
+
     /// Spawn a future onto the pool; returns a [`JoinHandle`] yielding
     /// its output. The task starts running without any further action —
     /// dropping the handle detaches it.
+    ///
+    /// A panic inside `future` is contained: the handle resolves to
+    /// [`JoinError::Panicked`] instead of hanging, and the worker thread
+    /// survives (see the crate docs).
     pub fn spawn<F>(&self, future: F) -> JoinHandle<F::Output>
     where
         F: Future + Send + 'static,
@@ -289,7 +392,14 @@ impl Executor {
         let join2 = Arc::clone(&join);
         let shared2 = Arc::clone(&shared);
         let wrapped = async move {
-            let out = future.await;
+            let out = CatchUnwind {
+                inner: Some(Box::pin(future)),
+            }
+            .await;
+            let out = out.map_err(|msg| {
+                shared2.contained_panics.fetch_add(1, Ordering::Relaxed);
+                JoinError::Panicked(msg)
+            });
             let mut slot = join2.slot.lock();
             // Decrement *before* publishing the result (still under the
             // slot lock): once any join observes completion,
@@ -340,7 +450,22 @@ fn worker_loop(shared: Arc<Shared>, idx: usize) {
         // under the park lock below catches exactly those.
         let gen = shared.generation.load(Ordering::SeqCst);
         if let Some(task) = shared.pop(idx) {
-            run_task(task);
+            // Backstop containment: the poll adapter inside the spawn
+            // wrapper already catches panics from the user future, so
+            // anything unwinding out of `run_task` is a pathology (a
+            // panicking future `Drop`, say). Contain it too — retire the
+            // task and keep this worker alive — rather than let one bad
+            // task strand every sibling queued behind the dead thread.
+            let contained = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                run_task(Arc::clone(&task));
+            }));
+            if contained.is_err() {
+                shared.contained_panics.fetch_add(1, Ordering::Relaxed);
+                task.state.store(state::DONE, Ordering::Release);
+                let _ = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    *task.future.lock() = None;
+                }));
+            }
             continue;
         }
         shared.sleepers.fetch_add(1, Ordering::SeqCst);
@@ -406,14 +531,16 @@ struct JoinState<T> {
 }
 
 struct JoinSlot<T> {
-    result: Option<T>,
+    result: Option<Result<T, JoinError>>,
     waker: Option<Waker>,
 }
 
 /// Handle to a spawned task's output. Use as a future (`handle.await`
 /// inside another task) or call [`JoinHandle::join`] to block an OS
-/// thread on it. Dropping the handle detaches the task (it keeps
-/// running; its output is discarded).
+/// thread on it; both yield `Err(JoinError::Panicked)` if the task's
+/// future panicked (the panic was contained — see the crate docs).
+/// Dropping the handle detaches the task (it keeps running; its output
+/// is discarded).
 #[must_use = "dropping a JoinHandle detaches the task"]
 pub struct JoinHandle<T> {
     state: Arc<JoinState<T>>,
@@ -421,9 +548,10 @@ pub struct JoinHandle<T> {
 
 impl<T> JoinHandle<T> {
     /// Block the calling OS thread until the task completes, returning
-    /// its output. Do not call from inside an executor task — that
-    /// parks a worker thread.
-    pub fn join(self) -> T {
+    /// its output — or [`JoinError::Panicked`] if the task panicked,
+    /// never hanging on a dead task. Do not call from inside an executor
+    /// task — that parks a worker thread.
+    pub fn join(self) -> Result<T, JoinError> {
         let mut slot = self.state.slot.lock();
         loop {
             if let Some(v) = slot.result.take() {
@@ -440,9 +568,9 @@ impl<T> JoinHandle<T> {
 }
 
 impl<T> Future for JoinHandle<T> {
-    type Output = T;
+    type Output = Result<T, JoinError>;
 
-    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<T> {
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
         let mut slot = self.state.slot.lock();
         if let Some(v) = slot.result.take() {
             Poll::Ready(v)
@@ -550,7 +678,7 @@ mod tests {
         let handles: Vec<_> = (0..100).map(|i| exec.spawn(async move { i * 2 })).collect();
         let mut sum = 0;
         for (i, h) in handles.into_iter().enumerate() {
-            assert_eq!(h.join(), i * 2);
+            assert_eq!(h.join().unwrap(), i * 2);
             sum += i;
         }
         assert_eq!(sum, 4950);
@@ -562,7 +690,10 @@ mod tests {
         let exec = Executor::new(1);
         let a = exec.spawn(async { 40 });
         let b = exec.spawn(async { 2 });
-        assert_eq!(block_on(async move { a.await + b.await }), 42);
+        assert_eq!(
+            block_on(async move { a.await.unwrap() + b.await.unwrap() }),
+            42
+        );
     }
 
     #[test]
@@ -616,7 +747,7 @@ mod tests {
             .collect();
         slots[0].put(0);
         for h in handles {
-            h.join();
+            h.join().unwrap();
         }
         let got = block_on(Take(&slots[N]));
         assert_eq!(got, N as u64);
@@ -637,9 +768,46 @@ mod tests {
             })
             .collect();
         for h in handles {
-            h.join();
+            h.join().unwrap();
         }
         assert_eq!(counter.load(Ordering::Relaxed), 50_000);
+    }
+
+    #[test]
+    fn join_on_panicked_task_returns_typed_error_not_blocking() {
+        // Regression: a panic inside a spawned future used to unwind
+        // through the worker, killing the thread and leaving every
+        // JoinHandle to block forever. It must instead resolve to a
+        // typed error carrying the panic message — promptly.
+        let exec = Executor::new(2);
+        let h = exec.spawn(async { panic!("kaboom {}", 41 + 1) });
+        let start = std::time::Instant::now();
+        match h.join() {
+            Err(JoinError::Panicked(msg)) => assert!(msg.contains("kaboom 42"), "got {msg:?}"),
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "join blocked on the dead task"
+        );
+        assert_eq!(exec.contained_panics(), 1);
+        assert_eq!(exec.live_tasks(), 0, "panicked task still counted live");
+    }
+
+    #[test]
+    fn panicked_task_is_awaitable_and_spares_its_siblings() {
+        // One task of many panics: its handle resolves Err when awaited
+        // from another task, and every sibling still runs to completion
+        // on the surviving workers.
+        let exec = Executor::new(2);
+        let bad = exec.spawn(async { panic!("contained") });
+        let goods: Vec<_> = (0..64).map(|i| exec.spawn(async move { i })).collect();
+        let bad_err = block_on(bad);
+        assert!(matches!(bad_err, Err(JoinError::Panicked(_))));
+        for (i, g) in goods.into_iter().enumerate() {
+            assert_eq!(g.join().unwrap(), i);
+        }
+        assert_eq!(exec.contained_panics(), 1);
     }
 
     #[test]

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! reo-fuzz diff     [--seconds 60] [--scenarios N] [--seed S] [--corpus DIR]
+//! reo-fuzz faults   [--seconds 60] [--scenarios N] [--seed S] [--corpus DIR]
 //! reo-fuzz pipeline [--seconds 30] [--sources N]   [--seed S] [--corpus DIR]
 //! reo-fuzz replay   [--corpus DIR]
 //! ```
@@ -11,6 +12,10 @@
 //!   the scenario budget, whichever comes first. Scenario counting is
 //!   grid-wide: one generated case counts as 10 executed scenarios, one
 //!   per mode.
+//! * `faults` generates *fault-injection* scenarios — dropped ports,
+//!   panics injected into firings, scripted poisons, close races — and
+//!   checks graceful degradation across the same grid: typed errors
+//!   within the deadline, zero hangs, zero escaped panics.
 //! * `pipeline` feeds mutated and synthetic DSL through the compilation
 //!   pipeline hunting panics.
 //! * `replay` re-runs every `*.case` file in the corpus and fails on
@@ -26,8 +31,8 @@ use std::time::{Duration, Instant};
 
 use reo_bench::cli::Args;
 use reo_fuzz::{
-    check_source, diff_case, generate, hostile_source, load_dir, minimize_case, minimize_source,
-    mode_grid, replay, to_text, CaseOutcome, CorpusCase, Rng,
+    check_source, diff_case, fault_case, generate, generate_fault, hostile_source, load_dir,
+    minimize_case, minimize_source, mode_grid, replay, to_text, CaseOutcome, CorpusCase, Rng,
 };
 
 fn main() {
@@ -36,10 +41,11 @@ fn main() {
     let seed = args.usize("seed", 1) as u64;
     let ok = match args.positional.first().map(String::as_str) {
         Some("diff") => run_diff(&args, seed, &corpus_dir),
+        Some("faults") => run_faults(&args, seed, &corpus_dir),
         Some("pipeline") => run_pipeline(&args, seed, &corpus_dir),
         Some("replay") => run_replay(&corpus_dir),
         other => {
-            eprintln!("usage: reo-fuzz <diff|pipeline|replay> [--seconds N] [--seed S] [--corpus DIR]; got {other:?}");
+            eprintln!("usage: reo-fuzz <diff|faults|pipeline|replay> [--seconds N] [--seed S] [--corpus DIR]; got {other:?}");
             false
         }
     };
@@ -108,6 +114,67 @@ fn run_diff(args: &Args, seed: u64, corpus_dir: &PathBuf) -> bool {
     findings == 0
 }
 
+/// Fault-injection fuzzing: graceful degradation across the grid.
+fn run_faults(args: &Args, seed: u64, corpus_dir: &PathBuf) -> bool {
+    let deadline = Instant::now() + Duration::from_secs_f64(args.f64("seconds", 60.0));
+    let budget = args.usize("scenarios", usize::MAX);
+    let grid = mode_grid().len();
+    let mut executed = 0usize;
+    let mut graceful = 0usize;
+    let mut refused = 0usize;
+    let mut findings = 0usize;
+    let mut index = 0u64;
+    let verbose = args.bool("verbose");
+    // Injected panics are *supposed* to fire (and be contained) on most
+    // cases: silence the default hook so thousands of caught panics
+    // don't bury the report.
+    std::panic::set_hook(Box::new(|_| {}));
+    while Instant::now() < deadline && executed < budget {
+        let case = generate_fault(seed, index);
+        if verbose {
+            eprintln!("fault case seed={seed} index={index} shape={}", case.shape);
+        }
+        match fault_case(&case) {
+            Ok(CaseOutcome::Agreed) => graceful += 1,
+            Ok(CaseOutcome::Refused) => refused += 1,
+            Err(finding) => {
+                findings += 1;
+                let _ = std::panic::take_hook();
+                eprintln!(
+                    "FINDING seed={seed} index={index} shape={}: {finding}",
+                    case.shape
+                );
+                let mut probe = case.clone();
+                probe.scenario.timeout = probe.scenario.timeout.min(Duration::from_millis(500));
+                std::panic::set_hook(Box::new(|_| {}));
+                let min = minimize_case(&probe, |c| match fault_case(c) {
+                    Err(f) => f.mode == finding.mode && f.kind == finding.kind,
+                    Ok(_) => false,
+                });
+                let _ = std::panic::take_hook();
+                let name = format!("fault-{}-{seed}-{index}", case.shape);
+                let provenance = format!("seed={seed} index={index} finding={finding}");
+                let path = write_case(corpus_dir, &name, &CorpusCase::Fault(min), &provenance);
+                eprintln!("  minimized reproducer: {}", path.display());
+                std::panic::set_hook(Box::new(|_| {}));
+            }
+        }
+        executed += grid;
+        index += 1;
+        if index.is_multiple_of(256) {
+            eprintln!(
+                "  …{executed} fault scenario-runs ({graceful} graceful, {refused} refused, {findings} findings)"
+            );
+        }
+    }
+    let _ = std::panic::take_hook();
+    println!(
+        "faults: {executed} scenario-runs across the {grid}-mode grid \
+         ({graceful} cases degraded gracefully, {refused} refused uniformly, {findings} findings)"
+    );
+    findings == 0
+}
+
 /// Pipeline fuzzing: parse/build/connect must never panic.
 fn run_pipeline(args: &Args, seed: u64, corpus_dir: &PathBuf) -> bool {
     let deadline = Instant::now() + Duration::from_secs_f64(args.f64("seconds", 30.0));
@@ -157,12 +224,16 @@ fn run_replay(corpus_dir: &Path) -> bool {
         }
     };
     let mut failed = 0usize;
+    // Fault cases replay injected panics that are contained by design;
+    // keep the default hook from echoing each one.
+    std::panic::set_hook(Box::new(|_| {}));
     for (path, case) in &cases {
         if let Err(e) = replay(case) {
             failed += 1;
             eprintln!("REGRESSION {}: {e}", path.display());
         }
     }
+    let _ = std::panic::take_hook();
     println!("replay: {} corpus cases, {failed} regressions", cases.len());
     failed == 0
 }

@@ -1,10 +1,14 @@
 //! The corpus: every failure the fuzzer ever found, as a checked-in file.
 //!
 //! A corpus case is a small, human-readable text file (`*.case`) under
-//! `tests/corpus/`. Two kinds exist, matching the two fuzzers:
+//! `tests/corpus/`. Three kinds exist, matching the three fuzzers:
 //!
 //! * `kind: diff` — a full differential scenario (script + replication +
 //!   agreement) that must agree across the entire mode grid.
+//! * `kind: fault` — a scenario that injects a failure on purpose
+//!   (dropped port, scripted panic/poison, close race) and must degrade
+//!   gracefully under every mode: typed errors within the deadline, no
+//!   hangs, no escaped panics.
 //! * `kind: pipeline` — hostile source text that must traverse
 //!   parse/build/connect without a panic.
 //!
@@ -35,13 +39,16 @@
 //!
 //! Branch ports (from reconfiguration) are written `@N`: `send @0 7`,
 //! `recv @0`; `step: attach src` and `step: detach 0` script the churn.
+//! Fault steps: `step: dropport a 0` (or `dropport @N`), `step: panic 2`
+//! (panic injected into the 2nd-next firing), `step: poison`,
+//! `step: close 5` (close from a background thread after 5 ms).
 
 use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use reo_runtime::{Op, PortRef, Scenario, Step};
 
-use crate::diff::diff_case;
+use crate::diff::{diff_case, fault_case};
 use crate::gen::{Agreement, GenCase};
 use crate::pipeline::check_source;
 
@@ -50,6 +57,9 @@ use crate::pipeline::check_source;
 pub enum CorpusCase {
     /// Replay across the mode grid; any finding is a regression.
     Diff(GenCase),
+    /// Replay across the mode grid with the graceful-degradation checks
+    /// of [`fault_case`]; a hang or escaped panic is a regression.
+    Fault(GenCase),
     /// Push through the compilation pipeline; any panic is a regression.
     Pipeline { source: String },
 }
@@ -80,6 +90,10 @@ fn step_to_text(step: &Step) -> String {
         }
         Step::Attach { param } => format!("step: attach {param}"),
         Step::Detach { branch } => format!("step: detach {branch}"),
+        Step::DropPort { port } => format!("step: dropport {}", port_to_text(port)),
+        Step::InjectPanic { after } => format!("step: panic {after}"),
+        Step::Poison => "step: poison".to_string(),
+        Step::Close { delay_ms } => format!("step: close {delay_ms}"),
     }
 }
 
@@ -96,29 +110,33 @@ pub fn to_text(case: &CorpusCase, provenance: &str) -> String {
             out.push_str("source:\n");
             out.push_str(source);
         }
-        CorpusCase::Diff(case) => {
-            out.push_str("kind: diff\n");
-            out.push_str(&format!("shape: {}\n", case.shape));
+        CorpusCase::Diff(gen) | CorpusCase::Fault(gen) => {
+            let kind = match case {
+                CorpusCase::Fault(_) => "fault",
+                _ => "diff",
+            };
+            out.push_str(&format!("kind: {kind}\n"));
+            out.push_str(&format!("shape: {}\n", gen.shape));
             if !provenance.is_empty() {
                 out.push_str(&format!("provenance: {provenance}\n"));
             }
-            out.push_str(&format!("entry: {}\n", case.scenario.entry));
+            out.push_str(&format!("entry: {}\n", gen.scenario.entry));
             out.push_str(&format!(
                 "driver: {}\n",
-                match case.driver {
+                match gen.driver {
                     reo_runtime::Driver::Threads => "threads",
                     reo_runtime::Driver::Polled => "polled",
                 }
             ));
             out.push_str(&format!(
                 "agreement: {}\n",
-                match case.agreement {
+                match gen.agreement {
                     Agreement::Exact => "exact",
                     Agreement::Multiset => "multiset",
                 }
             ));
-            if !case.scenario.replicate.is_empty() {
-                let widths: Vec<String> = case
+            if !gen.scenario.replicate.is_empty() {
+                let widths: Vec<String> = gen
                     .scenario
                     .replicate
                     .iter()
@@ -128,22 +146,22 @@ pub fn to_text(case: &CorpusCase, provenance: &str) -> String {
             }
             out.push_str(&format!(
                 "reconfigurable: {}\n",
-                case.scenario.reconfigurable
+                gen.scenario.reconfigurable
             ));
             out.push_str(&format!(
                 "timeout-ms: {}\n",
-                case.scenario.timeout.as_millis()
+                gen.scenario.timeout.as_millis()
             ));
-            if let Some(expected) = &case.expected {
+            if let Some(expected) = &gen.expected {
                 let vs: Vec<String> = expected.iter().map(|v| v.to_string()).collect();
                 out.push_str(&format!("expect: {}\n", vs.join(" ")));
             }
-            for step in &case.scenario.steps {
+            for step in &gen.scenario.steps {
                 out.push_str(&step_to_text(step));
                 out.push('\n');
             }
             out.push_str("source:\n");
-            out.push_str(&case.scenario.source);
+            out.push_str(&gen.scenario.source);
         }
     }
     if !out.ends_with('\n') {
@@ -186,6 +204,27 @@ fn parse_step(rest: &str) -> Result<Step, String> {
                 .ok_or("detach needs a branch index")?
                 .parse()
                 .map_err(|_| "bad detach index".to_string())?,
+        }),
+        Some("dropport") => {
+            let mut it = head_words[1..].iter();
+            Ok(Step::DropPort {
+                port: parse_port(&mut it)?,
+            })
+        }
+        Some("panic") => Ok(Step::InjectPanic {
+            after: head_words
+                .get(1)
+                .ok_or("panic needs a step count")?
+                .parse()
+                .map_err(|_| "bad panic step count".to_string())?,
+        }),
+        Some("poison") => Ok(Step::Poison),
+        Some("close") => Ok(Step::Close {
+            delay_ms: head_words
+                .get(1)
+                .ok_or("close needs a delay in ms")?
+                .parse()
+                .map_err(|_| "bad close delay".to_string())?,
         }),
         Some("batch") => {
             let mut quorum = None;
@@ -304,22 +343,27 @@ pub fn from_text(text: &str) -> Result<CorpusCase, String> {
     let src = src.trim_end().to_string();
     match kind.as_deref() {
         Some("pipeline") => Ok(CorpusCase::Pipeline { source: src }),
-        Some("diff") => {
+        Some(k @ ("diff" | "fault")) => {
             if entry.is_empty() {
-                return Err("diff case missing `entry`".into());
+                return Err(format!("{k} case missing `entry`"));
             }
             let mut scenario = Scenario::new(src, entry);
             scenario.replicate = replicate;
             scenario.reconfigurable = reconfigurable;
             scenario.steps = steps;
             scenario.timeout = timeout;
-            Ok(CorpusCase::Diff(GenCase {
+            let gen = GenCase {
                 scenario,
                 agreement,
                 driver,
                 expected,
                 shape: known_shape(&shape),
-            }))
+            };
+            Ok(if k == "fault" {
+                CorpusCase::Fault(gen)
+            } else {
+                CorpusCase::Diff(gen)
+            })
         }
         other => Err(format!("unknown kind `{other:?}`")),
     }
@@ -336,6 +380,10 @@ fn known_shape(s: &str) -> &'static str {
         "router",
         "sequencer",
         "churn-merger",
+        "fault-drop",
+        "fault-panic",
+        "fault-poison",
+        "fault-close",
         "corpus",
     ] {
         if s == known {
@@ -378,6 +426,10 @@ pub fn replay(case: &CorpusCase) -> Result<(), String> {
             Ok(_) => Ok(()),
             Err(f) => Err(f.to_string()),
         },
+        CorpusCase::Fault(case) => match fault_case(case) {
+            Ok(_) => Ok(()),
+            Err(f) => Err(f.to_string()),
+        },
     }
 }
 
@@ -405,6 +457,22 @@ mod tests {
             assert_eq!(parsed.agreement, case.agreement);
             assert_eq!(parsed.driver, case.driver);
             assert_eq!(parsed.expected, case.expected);
+            assert_eq!(parsed.shape, case.shape);
+        }
+    }
+
+    #[test]
+    fn fault_cases_round_trip_through_the_text_format() {
+        for i in 0..40 {
+            let case = crate::gen::generate_fault(33, i);
+            let text = to_text(&CorpusCase::Fault(case.clone()), "seed=33");
+            let parsed = match from_text(&text).unwrap() {
+                CorpusCase::Fault(c) => c,
+                other => panic!("wrong kind: {other:?}"),
+            };
+            assert_eq!(parsed.scenario.source, case.scenario.source.trim_end());
+            assert_eq!(parsed.scenario.steps, case.scenario.steps);
+            assert_eq!(parsed.driver, case.driver);
             assert_eq!(parsed.shape, case.shape);
         }
     }

@@ -71,6 +71,9 @@ pub enum FindingKind {
     ExactlyOnceViolation,
     /// This mode failed to run a scenario other modes ran.
     ErrorDisagreement,
+    /// A panic escaped the runtime's containment into the harness — the
+    /// fault-injection check's "zero aborts" assertion failed.
+    PanicEscape,
 }
 
 impl std::fmt::Display for Finding {
@@ -80,6 +83,7 @@ impl std::fmt::Display for Finding {
             FindingKind::TraceDivergence => "trace divergence",
             FindingKind::ExactlyOnceViolation => "exactly-once violation",
             FindingKind::ErrorDisagreement => "error disagreement",
+            FindingKind::PanicEscape => "panic escape",
         };
         write!(f, "[{}] {}: {}", self.mode, kind, self.detail)
     }
@@ -257,6 +261,96 @@ pub fn diff_case(case: &GenCase) -> Result<CaseOutcome, Finding> {
                             });
                         }
                     }
+                }
+            }
+        }
+    }
+    Ok(if ran > 0 {
+        CaseOutcome::Agreed
+    } else {
+        CaseOutcome::Refused
+    })
+}
+
+/// Run a *fault* case under every mode and check graceful degradation.
+///
+/// Fault scenarios script a failure on purpose — a dropped port, a panic
+/// injected into a firing, a direct poison, a close racing live ops — so
+/// trace agreement and exactly-once are **not** required: the fault's
+/// timing relative to the script differs legitimately per mode. What
+/// every mode must guarantee instead:
+///
+/// - **no hangs** — every op resolves (value, retraction, or *typed*
+///   error) before the scenario deadline; a `TimedOut` is a finding;
+/// - **no aborts** — the injected panic never escapes the runtime's
+///   containment into the harness;
+/// - **uniform refusal** — a mode that cannot run the scenario at all
+///   must refuse exactly like the others (capability refusals aside).
+pub fn fault_case(case: &GenCase) -> Result<CaseOutcome, Finding> {
+    let mut first_error: Option<(&'static str, String)> = None;
+    let mut ran = 0usize;
+    for (name, mode) in mode_grid() {
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_scenario(&case.scenario, mode, case.driver)
+        }));
+        let outcome = match run {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                return Err(Finding {
+                    mode: name,
+                    kind: FindingKind::PanicEscape,
+                    detail: format!("panic escaped containment: `{msg}`"),
+                });
+            }
+        };
+        match outcome {
+            Err(e) => {
+                let msg = e.to_string();
+                if is_capability_refusal(&msg) {
+                    continue;
+                }
+                match &first_error {
+                    None if ran == 0 => first_error = Some((name, msg)),
+                    None => {
+                        return Err(Finding {
+                            mode: name,
+                            kind: FindingKind::ErrorDisagreement,
+                            detail: format!("failed with `{msg}` where earlier modes ran"),
+                        });
+                    }
+                    Some((_, prior)) if *prior == msg => {}
+                    Some((prior_mode, prior)) => {
+                        return Err(Finding {
+                            mode: name,
+                            kind: FindingKind::ErrorDisagreement,
+                            detail: format!("`{msg}` vs [{prior_mode}] `{prior}`"),
+                        });
+                    }
+                }
+            }
+            Ok(obs) => {
+                if let Some((err_mode, err)) = &first_error {
+                    return Err(Finding {
+                        mode: err_mode,
+                        kind: FindingKind::ErrorDisagreement,
+                        detail: format!("failed with `{err}` where [{name}] ran"),
+                    });
+                }
+                ran += 1;
+                if has_timeout(&obs) {
+                    return Err(Finding {
+                        mode: name,
+                        kind: FindingKind::Hang,
+                        detail: format!(
+                            "op past the {:?} deadline under an injected fault",
+                            case.scenario.timeout
+                        ),
+                    });
                 }
             }
         }

@@ -482,6 +482,174 @@ fn gen_churn_merger(rng: &mut Rng) -> GenCase {
     }
 }
 
+/// Drop-mid-stream: a Fifo1 channel whose producer port is dropped
+/// partway through. Values already buffered must still drain (a buffered
+/// value keeps the drain transition live); the first receive past the
+/// buffered tail must resolve `Hangup` promptly — a typed end-of-stream,
+/// not a deadline.
+fn gen_fault_drop(rng: &mut Rng) -> GenCase {
+    let source = "P(a;b) = Fifo1(a;b)".to_string();
+    let mut scenario = Scenario::new(source, "P");
+    let rounds = rng.range(0, 3);
+    let mut value = 1i64;
+    for _ in 0..rounds {
+        scenario.steps.push(batch(vec![send("a", 0, value)]));
+        scenario.steps.push(batch(vec![recv("b", 0)]));
+        value += 1;
+    }
+    // Sometimes leave a value parked in the fifo across the drop, so the
+    // check covers drain-before-hangup, not just hangup.
+    let buffered = rng.chance(1, 2);
+    if buffered {
+        scenario.steps.push(batch(vec![send("a", 0, value)]));
+    }
+    scenario.steps.push(Step::DropPort {
+        port: param("a", 0),
+    });
+    if buffered {
+        scenario.steps.push(batch(vec![recv("b", 0)]));
+    }
+    // End-of-stream: must resolve `Hangup`, never block to the deadline.
+    scenario.steps.push(batch(vec![recv("b", 0)]));
+    GenCase {
+        scenario,
+        agreement: Agreement::Multiset,
+        driver: if rng.chance(1, 2) {
+            Driver::Threads
+        } else {
+            Driver::Polled
+        },
+        expected: None,
+        shape: "fault-drop",
+    }
+}
+
+/// Worker panic: the test-only hook panics inside the `after`-th firing
+/// from arming. Whichever thread drives that firing — caller, fire
+/// worker, executor — the panic must be contained, the engine poisoned,
+/// and every subsequent (and parked) op must resolve `Poisoned` promptly.
+fn gen_fault_panic(rng: &mut Rng) -> GenCase {
+    let source = "P(a;b) = Fifo1(a;b)".to_string();
+    let mut scenario = Scenario::new(source, "P");
+    let warmup = rng.range(0, 2);
+    let mut value = 1i64;
+    for _ in 0..warmup {
+        scenario.steps.push(batch(vec![send("a", 0, value)]));
+        scenario.steps.push(batch(vec![recv("b", 0)]));
+        value += 1;
+    }
+    scenario.steps.push(Step::InjectPanic {
+        after: rng.below(3) as u64,
+    });
+    // Each round fires at most twice (fill, drain); whichever firing the
+    // countdown lands on, every op here either completes or resolves
+    // `Poisoned` — never times out.
+    for _ in 0..3 {
+        scenario.steps.push(batch(vec![send("a", 0, value)]));
+        scenario.steps.push(batch(vec![recv("b", 0)]));
+        value += 1;
+    }
+    GenCase {
+        scenario,
+        agreement: Agreement::Multiset,
+        driver: if rng.chance(1, 2) {
+            Driver::Threads
+        } else {
+            Driver::Polled
+        },
+        expected: None,
+        shape: "fault-panic",
+    }
+}
+
+/// Direct poison under load: rounds of traffic, then a scripted poison,
+/// then more scripted traffic that must all resolve `Poisoned` promptly.
+fn gen_fault_poison(rng: &mut Rng) -> GenCase {
+    let channels = rng.range(2, 3);
+    let source =
+        "M(src[];c) = prod (i:1..#src) Fifo1(src[i];m[i]) mult Merger(m[1..#src];c)".to_string();
+    let mut scenario = Scenario::new(source, "M");
+    scenario.replicate = vec![("src".into(), channels)];
+    let mut value = 1i64;
+    for _ in 0..rng.range(1, 3) {
+        let sends: Vec<Op> = (0..channels)
+            .map(|ch| {
+                let op = send("src", ch, value);
+                value += 1;
+                op
+            })
+            .collect();
+        scenario.steps.push(batch(sends));
+        for _ in 0..channels {
+            scenario.steps.push(batch(vec![recv("c", 0)]));
+        }
+    }
+    scenario.steps.push(Step::Poison);
+    // Post-poison ops: sends and receives alike resolve `Poisoned`.
+    scenario.steps.push(batch(vec![send("src", 0, value)]));
+    scenario.steps.push(batch(vec![recv("c", 0)]));
+    GenCase {
+        scenario,
+        agreement: Agreement::Multiset,
+        driver: if rng.chance(1, 2) {
+            Driver::Threads
+        } else {
+            Driver::Polled
+        },
+        expected: None,
+        shape: "fault-poison",
+    }
+}
+
+/// Close racing live ops: a background close fires after a few
+/// milliseconds while the script arms a receive nothing will ever serve.
+/// The racing op must resolve — a value or a typed `Closed` — within the
+/// deadline, never hang.
+fn gen_fault_close(rng: &mut Rng) -> GenCase {
+    let source = "P(a;b) = Fifo1(a;b)".to_string();
+    let mut scenario = Scenario::new(source, "P");
+    let buffered = rng.chance(1, 2);
+    if buffered {
+        scenario.steps.push(batch(vec![send("a", 0, 1)]));
+    }
+    scenario.steps.push(Step::Close {
+        delay_ms: rng.range(1, 10) as u64,
+    });
+    if buffered {
+        // Races the close: a value or `Closed` are both graceful.
+        scenario.steps.push(batch(vec![recv("b", 0)]));
+    }
+    // Nothing will ever serve this receive; only the close resolves it.
+    scenario.steps.push(batch(vec![recv("b", 0)]));
+    GenCase {
+        scenario,
+        agreement: Agreement::Multiset,
+        driver: if rng.chance(1, 2) {
+            Driver::Threads
+        } else {
+            Driver::Polled
+        },
+        expected: None,
+        shape: "fault-close",
+    }
+}
+
+/// Generate fault case `index` of `seed`'s stream: scenarios that inject
+/// a failure on purpose and are checked with [`crate::fault_case`]'s
+/// graceful-degradation discipline instead of trace agreement.
+pub fn generate_fault(seed: u64, index: u64) -> GenCase {
+    // Offset the fork so fault streams don't mirror the diff streams.
+    let mut rng = Rng::new(seed ^ 0xfau64).fork(index);
+    let mut case = match rng.below(4) {
+        0 => gen_fault_drop(&mut rng),
+        1 => gen_fault_panic(&mut rng),
+        2 => gen_fault_poison(&mut rng),
+        _ => gen_fault_close(&mut rng),
+    };
+    case.scenario.timeout = Duration::from_secs(5);
+    case
+}
+
 /// Generate case `index` of `seed`'s stream.
 pub fn generate(seed: u64, index: u64) -> GenCase {
     let mut rng = Rng::new(seed).fork(index);

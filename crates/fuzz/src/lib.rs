@@ -16,6 +16,12 @@
 //! 3. [`pipeline`] — a front-end fuzzer feeding mutated and synthetic
 //!    DSL text through lexer → parser → elaborator → lowering, hunting
 //!    panics; typed refusals are the expected outcome.
+//! 4. fault injection ([`gen::generate_fault`] + [`diff::fault_case`]) —
+//!    scenarios that script a failure on purpose (a dropped port, a
+//!    panic injected into a firing, a direct poison, a close racing
+//!    live ops) and assert *graceful degradation* under every mode:
+//!    typed errors within the deadline, zero hangs, zero escaped
+//!    panics.
 //!
 //! Findings are shrunk by [`minimize`] and persisted by [`corpus`] as
 //! `tests/corpus/*.case` files, which `tests/corpus_replay.rs` replays
@@ -31,8 +37,8 @@ pub mod pipeline;
 pub mod rng;
 
 pub use corpus::{from_text, load_dir, replay, to_text, CorpusCase};
-pub use diff::{diff_case, mode_grid, CaseOutcome, Finding, FindingKind};
-pub use gen::{generate, Agreement, GenCase};
+pub use diff::{diff_case, fault_case, mode_grid, CaseOutcome, Finding, FindingKind};
+pub use gen::{generate, generate_fault, Agreement, GenCase};
 pub use minimize::{minimize_case, minimize_source};
 pub use pipeline::{check_source, hostile_source, PipeFinding, PipeStage};
 pub use rng::Rng;

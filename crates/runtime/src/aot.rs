@@ -123,6 +123,33 @@ impl EngineCore for AotCore {
     fn constituent_states(&self) -> Option<Vec<StateId>> {
         self.trace.as_ref().map(|t| t[self.state.index()].to_vec())
     }
+
+    fn any_enabled(&mut self, pending: &PendingTable) -> bool {
+        self.automaton
+            .transitions_from(self.state)
+            .iter()
+            .any(|t| op_enabled(t, &self.inputs, &self.outputs, pending))
+    }
+
+    fn dead_ports(&self, hungup: &PortSet) -> PortSet {
+        // Product-level reachability from the current state via live
+        // transitions; the boundary ports none of them synchronize are
+        // dead.
+        let boundary = self.inputs.union(&self.outputs);
+        crate::engine::dead_ports_reach(
+            self.automaton.state_count(),
+            self.state,
+            hungup,
+            &boundary,
+            &|s| {
+                self.automaton
+                    .transitions_from(s)
+                    .iter()
+                    .map(|t| (t.sync.clone(), t.target))
+                    .collect()
+            },
+        )
+    }
 }
 
 #[cfg(test)]

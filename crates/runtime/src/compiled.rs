@@ -400,4 +400,37 @@ impl EngineCore for CompiledCore {
     fn constituent_states(&self) -> Option<Vec<StateId>> {
         self.trace.as_ref().map(|t| t[self.state.index()].to_vec())
     }
+
+    fn any_enabled(&mut self, pending: &PendingTable) -> bool {
+        if self.wide {
+            return self
+                .lowered
+                .transitions_from(self.state)
+                .iter()
+                .any(|t| self.wide_enabled(&t.sync, pending));
+        }
+        let mask = self.armed_mask(pending);
+        self.need[self.state.index()]
+            .iter()
+            .any(|need| need & mask == *need)
+    }
+
+    fn dead_ports(&self, hungup: &PortSet) -> PortSet {
+        // Same product-level reachability as the AOT core, over the
+        // lowered transition tables (sync sets survive lowering intact).
+        let boundary = self.inputs.union(&self.outputs);
+        crate::engine::dead_ports_reach(
+            self.lowered.state_count(),
+            self.state,
+            hungup,
+            &boundary,
+            &|s| {
+                self.lowered
+                    .transitions_from(s)
+                    .iter()
+                    .map(|t| (t.sync.clone(), t.target))
+                    .collect()
+            },
+        )
+    }
 }

@@ -299,6 +299,7 @@ impl Connector {
             connector: self,
             sizes: Vec::new(),
             reconfigurable: false,
+            watchdog: None,
         }
     }
 
@@ -310,13 +311,14 @@ impl Connector {
         note = "use `Connector::session()` — e.g. `c.session().replicate(\"prod\", n).connect()`"
     )]
     pub fn connect(&self, sizes: &[(&str, usize)]) -> Result<Session, RuntimeError> {
-        self.connect_impl(sizes, false)
+        self.connect_impl(sizes, false, None)
     }
 
     fn connect_impl(
         &self,
         sizes: &[(&str, usize)],
         reconfigurable: bool,
+        watchdog: Option<Duration>,
     ) -> Result<Session, RuntimeError> {
         let mut alloc = PortAllocator::new();
         // Reconfiguration replays the instantiation walk at every splice,
@@ -403,6 +405,32 @@ impl Connector {
             self.static_backend(instance, &alloc, &layout)?
         };
 
+        // Fault containment wiring: one region's contained panic poisons
+        // the whole partition (peers in other regions fail fast instead
+        // of waiting on a dead rendezvous).
+        if let Backend::Multi(m) = &backend {
+            m.wire_fault_fanout();
+        }
+        // Opt-in stall watchdog: a sampler thread holding only a `Weak`
+        // to the backend, so it can never keep a dropped session alive.
+        let watchdog = watchdog.map(|deadline| {
+            let state = match &backend {
+                Backend::Single(e) => crate::watchdog::spawn_watchdog(
+                    Arc::downgrade(e) as std::sync::Weak<dyn crate::watchdog::StallSample>,
+                    deadline,
+                ),
+                Backend::Multi(m) => crate::watchdog::spawn_watchdog(
+                    Arc::downgrade(m) as std::sync::Weak<dyn crate::watchdog::StallSample>,
+                    deadline,
+                ),
+            };
+            match &backend {
+                Backend::Single(e) => e.set_watchdog(Arc::clone(&state)),
+                Backend::Multi(m) => m.set_watchdog_state(Arc::clone(&state)),
+            }
+            state
+        });
+
         let reconfig = reconfig_seed.map(|(automata, cc)| {
             Arc::new(ReconfigShared {
                 state: parking_lot::Mutex::new(ReconfigState {
@@ -454,6 +482,7 @@ impl Connector {
                 backend,
                 medium_count,
                 reconfig,
+                watchdog,
             },
         })
     }
@@ -597,6 +626,7 @@ pub struct SessionSpec<'c> {
     connector: &'c Connector,
     sizes: Vec<(String, usize)>,
     reconfigurable: bool,
+    watchdog: Option<Duration>,
 }
 
 impl SessionSpec<'_> {
@@ -624,10 +654,27 @@ impl SessionSpec<'_> {
         self
     }
 
+    /// Arm a stall watchdog on this session: an off-thread sampler that
+    /// flags the session as stalled when operations are parked but the
+    /// global progress counter has not moved for `deadline`. While the
+    /// flag is up, an expiring `send_timeout`/`recv_timeout` reports
+    /// [`RuntimeError::Stalled`] with a full wait-for snapshot
+    /// ([`crate::StallReport`]: parked ports, per-region
+    /// enabled-transition status, link queue depths) instead of a bare
+    /// `Timeout`; the latest report is also pulled via
+    /// [`ConnectorHandle::stall_report`]. Costs one sampler thread and
+    /// two relaxed reads per tick; sessions without a watchdog are
+    /// unaffected.
+    pub fn watchdog(mut self, deadline: Duration) -> Self {
+        self.watchdog = Some(deadline);
+        self
+    }
+
     /// Instantiate and build the engine(s) — the terminal call.
     pub fn connect(self) -> Result<Session, RuntimeError> {
         let sizes: Vec<(&str, usize)> = self.sizes.iter().map(|(s, n)| (s.as_str(), *n)).collect();
-        self.connector.connect_impl(&sizes, self.reconfigurable)
+        self.connector
+            .connect_impl(&sizes, self.reconfigurable, self.watchdog)
     }
 }
 
@@ -754,6 +801,7 @@ pub struct ConnectorHandle {
     backend: Backend,
     medium_count: usize,
     reconfig: Option<Arc<ReconfigShared>>,
+    watchdog: Option<Arc<crate::watchdog::WatchdogState>>,
 }
 
 impl ConnectorHandle {
@@ -779,6 +827,30 @@ impl ConnectorHandle {
     /// classify a run that kept its tasks alive but stopped progressing.
     pub fn poison_message(&self) -> Option<String> {
         self.backend.poison_message()
+    }
+
+    /// Poison every engine of this session directly, as a contained
+    /// firing failure would: parked and future operations resolve
+    /// [`RuntimeError::Poisoned`](crate::RuntimeError::Poisoned). A
+    /// fault-injection hook for harnesses, not part of the stable API.
+    #[doc(hidden)]
+    pub fn poison(&self, msg: &str) {
+        self.backend.poison(msg);
+    }
+
+    /// The most recent stall report assembled by this session's watchdog
+    /// ([`SessionSpec::watchdog`]), or `None` without a watchdog or
+    /// before any stall was detected. The report is retained after
+    /// progress resumes, so post-mortems can still read what the stall
+    /// looked like.
+    pub fn stall_report(&self) -> Option<crate::StallReport> {
+        self.watchdog.as_ref().and_then(|w| w.latest())
+    }
+
+    /// Whether the watchdog currently flags the session as stalled
+    /// (parked operations, no progress past the deadline).
+    pub fn is_stalled(&self) -> bool {
+        self.watchdog.as_ref().is_some_and(|w| w.is_stalled())
     }
 
     pub fn cache_stats(&self) -> Option<CacheStats> {

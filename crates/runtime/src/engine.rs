@@ -55,7 +55,7 @@
 //! ```
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 use std::task::Waker;
 use std::time::Instant;
 
@@ -362,6 +362,72 @@ pub trait EngineCore: Send {
     fn constituent_states(&self) -> Option<Vec<StateId>> {
         None
     }
+
+    /// Diagnostic probe for the stall watchdog: whether any transition
+    /// out of the current state is *operationally* enabled right now
+    /// (guards not evaluated). `&mut self` because JIT cores consult
+    /// their expansion cache. The default pleads ignorance.
+    fn any_enabled(&mut self, _pending: &PendingTable) -> bool {
+        false
+    }
+
+    /// Hangup analysis: given the hung-up (departed) ports, return every
+    /// port that can never take part in a firing again — no transition
+    /// reachable from the current state without crossing a hung-up port
+    /// synchronizes it. The conservative default declares only the
+    /// departed ports themselves dead (peers keep blocking); the real
+    /// cores override this with reachability so peers resolve
+    /// [`RuntimeError::Hangup`].
+    fn dead_ports(&self, hungup: &PortSet) -> PortSet {
+        hungup.clone()
+    }
+}
+
+/// Reachability-based hangup analysis over one flat state machine, shared
+/// by the AOT, compiled, and (per constituent) JIT cores: walk the states
+/// reachable from `start` via *live* transitions — those whose sync set
+/// avoids every hung-up port — and collect the ports they synchronize.
+/// Every `boundary` port never synchronized by a reachable live
+/// transition is dead, as are the hung-up ports themselves.
+pub(crate) fn dead_ports_reach(
+    state_count: usize,
+    start: StateId,
+    hungup: &PortSet,
+    boundary: &PortSet,
+    transitions: &dyn Fn(StateId) -> Vec<(PortSet, StateId)>,
+) -> PortSet {
+    let mut seen = vec![false; state_count];
+    let mut stack = vec![start];
+    seen[start.index()] = true;
+    let mut synced = PortSet::new();
+    while let Some(s) = stack.pop() {
+        for (sync, target) in transitions(s) {
+            if !sync.is_disjoint(hungup) {
+                continue; // dead transition: requires a departed port
+            }
+            synced = synced.union(&sync);
+            if !seen[target.index()] {
+                seen[target.index()] = true;
+                stack.push(target);
+            }
+        }
+    }
+    let mut dead = hungup.clone();
+    for p in boundary.iter() {
+        if !synced.contains(p) {
+            dead.insert(p);
+        }
+    }
+    dead
+}
+
+/// Best-effort extraction of a panic payload's message for poison text.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    payload
+        .downcast_ref::<&'static str>()
+        .copied()
+        .or_else(|| payload.downcast_ref::<String>().map(String::as_str))
+        .unwrap_or("non-string panic payload")
 }
 
 pub(crate) struct EngineInner {
@@ -397,7 +463,17 @@ pub(crate) struct EngineInner {
     pub closed: bool,
     /// Set when a fire failed irrecoverably; all operations then error.
     pub poisoned: Option<String>,
+    /// Ports deregistered by a dropped handle (phaser-style hangup).
+    pub(crate) hungup: PortSet,
+    /// Ports the core's hangup analysis proved can never fire again;
+    /// operations on them resolve
+    /// [`RuntimeError::Hangup`](crate::RuntimeError::Hangup) instead of
+    /// blocking forever. Always a superset of `hungup`.
+    dead: PortSet,
 }
+
+/// The cross-engine fault fan-out callback (see `Engine::fault_notify`).
+type FaultNotify = Box<dyn Fn(&str) + Send + Sync>;
 
 /// One sequential protocol engine, shared by all ports it serves.
 pub struct Engine {
@@ -415,6 +491,18 @@ pub struct Engine {
     /// `close()` can interrupt a long fire loop instead of queueing behind
     /// it (a fire loop may expand large states under the lock).
     closing: AtomicBool,
+    /// Mirrors `!inner.hungup.is_empty()` without the lock, so link pumps
+    /// can skip dead-source probing entirely on healthy topologies.
+    has_hungup: AtomicBool,
+    /// Cross-engine fault fan-out, wired by the partitioned backend: a
+    /// poisoning firing calls it *with the engine lock held*, so the
+    /// callback must defer real work (e.g. to a thread) — it exists so
+    /// sibling regions poison too instead of stranding their parked
+    /// tasks.
+    fault_notify: OnceLock<FaultNotify>,
+    /// The session's stall watchdog, when armed (`SessionSpec::watchdog`):
+    /// deadline expiries consult it to upgrade `Timeout` to `Stalled`.
+    watchdog: OnceLock<Arc<crate::watchdog::WatchdogState>>,
 }
 
 impl Engine {
@@ -439,10 +527,15 @@ impl Engine {
                 batched_values: 0,
                 closed: false,
                 poisoned: None,
+                hungup: PortSet::new(),
+                dead: PortSet::new(),
             }),
             port_cvs: RwLock::new((0..n).map(|_| Arc::new(Condvar::new())).collect()),
             lock_acquisitions: AtomicU64::new(0),
             closing: AtomicBool::new(false),
+            has_hungup: AtomicBool::new(false),
+            fault_notify: OnceLock::new(),
+            watchdog: OnceLock::new(),
         }
     }
 
@@ -507,6 +600,170 @@ impl Engine {
         self.lock().poisoned.clone()
     }
 
+    /// Poison the engine directly (fault fan-out, injected faults): every
+    /// pending and future operation reports `Poisoned(msg)`, and every
+    /// parked waiter and stored waker is woken. Idempotent; the first
+    /// message wins, and an engine that is already closed stays closed.
+    pub fn poison(&self, msg: &str) {
+        let mut inner = self.lock();
+        if inner.poisoned.is_some() || inner.closed {
+            return;
+        }
+        inner.poisoned = Some(msg.to_string());
+        inner.closed = true;
+        self.wake_all(&mut inner);
+    }
+
+    /// Wire the cross-engine fault notifier (first caller wins). Called
+    /// by a poisoning fire loop *with the engine lock held*; the callback
+    /// must defer real work.
+    pub(crate) fn set_fault_notifier(&self, f: Box<dyn Fn(&str) + Send + Sync>) {
+        let _ = self.fault_notify.set(f);
+    }
+
+    /// Arm the stall watchdog (first caller wins).
+    pub(crate) fn set_watchdog(&self, w: Arc<crate::watchdog::WatchdogState>) {
+        let _ = self.watchdog.set(w);
+    }
+
+    /// Whether any port of this engine has hung up — lock-free, so link
+    /// pumps can skip dead-source probing on healthy topologies.
+    pub(crate) fn any_hungup(&self) -> bool {
+        self.has_hungup.load(Ordering::Acquire)
+    }
+
+    /// Whether the hangup analysis proved `p` can never fire again.
+    pub(crate) fn is_dead(&self, p: PortId) -> bool {
+        self.lock().dead.contains(p)
+    }
+
+    /// Phaser-style deregistration: mark `ports` hung up, rerun the
+    /// core's hangup analysis, and wake every operation parked on a dead
+    /// port (the woken paths translate to
+    /// [`RuntimeError::Hangup`](crate::RuntimeError::Hangup)). Returns
+    /// the ports that *newly* became dead — the partitioned backend
+    /// propagates them across links. No-op on closed or poisoned
+    /// engines, where everything already resolves with a typed error.
+    pub(crate) fn hangup(&self, ports: &[PortId]) -> Vec<PortId> {
+        let mut inner = self.lock();
+        if inner.closed || inner.poisoned.is_some() {
+            return Vec::new();
+        }
+        let mut changed = false;
+        for &p in ports {
+            if inner.pending.port_map().try_slot(p).is_some() && !inner.hungup.contains(p) {
+                inner.hungup.insert(p);
+                changed = true;
+            }
+        }
+        if !changed {
+            return Vec::new();
+        }
+        self.has_hungup.store(true, Ordering::Release);
+        self.refresh_dead(&mut inner)
+    }
+
+    /// Re-run the hangup analysis and wake every parked operation on a
+    /// newly dead port. Called with the lock held; returns the newly dead
+    /// ports.
+    fn refresh_dead(&self, inner: &mut EngineInner) -> Vec<PortId> {
+        let dead = inner.core.dead_ports(&inner.hungup);
+        let newly: Vec<PortId> = dead.iter().filter(|p| !inner.dead.contains(*p)).collect();
+        inner.dead = dead;
+        let cvs = self.port_cvs.read().unwrap();
+        for &p in &newly {
+            let Some(slot) = inner.pending.port_map().try_slot(p) else {
+                continue;
+            };
+            let w = inner.waiters[slot];
+            if w > 0 {
+                inner.wakeups += w as u64;
+                cvs[slot].notify_all();
+            }
+            if let Some(w) = inner.wakers[slot].take() {
+                inner.waker_wakes += 1;
+                w.wake();
+            }
+        }
+        newly
+    }
+
+    /// With an armed watchdog that currently flags a stall, a deadline
+    /// expiry carries the wait-for snapshot instead of a bare timeout.
+    fn upgrade_timeout(&self, e: RuntimeError) -> RuntimeError {
+        if matches!(e, RuntimeError::Timeout) {
+            if let Some(w) = self.watchdog.get() {
+                if w.is_stalled() {
+                    if let Some(report) = w.latest() {
+                        return RuntimeError::Stalled(Box::new(report));
+                    }
+                }
+            }
+        }
+        e
+    }
+
+    /// Watchdog sampling: the monotone progress counter (steps +
+    /// completions) and the number of parked operations, excluding the
+    /// `exclude` ports (cross-region link ports, which the pumps keep
+    /// armed without any task behind them).
+    pub(crate) fn sample_progress(&self, exclude: &PortSet) -> (u64, usize) {
+        let inner = self.lock();
+        let mut parked = 0usize;
+        for p in inner.pending.port_map().iter() {
+            if exclude.contains(p) {
+                continue;
+            }
+            if matches!(inner.pending.get(p), Pending::Send(_) | Pending::Recv) {
+                parked += 1;
+            }
+        }
+        (inner.steps + inner.completions, parked)
+    }
+
+    /// Watchdog snapshot of this engine as one region of the wait-for
+    /// picture.
+    pub(crate) fn sample_region(
+        &self,
+        region: usize,
+        exclude: &PortSet,
+    ) -> (
+        Vec<crate::watchdog::ParkedOp>,
+        crate::watchdog::RegionReport,
+    ) {
+        use crate::watchdog::{ParkedKind, ParkedOp, RegionReport};
+        let mut inner = self.lock();
+        let mut parked = Vec::new();
+        for p in inner.pending.port_map().iter() {
+            if exclude.contains(p) {
+                continue;
+            }
+            let kind = match inner.pending.get(p) {
+                Pending::Send(_) => ParkedKind::Send,
+                Pending::Recv => ParkedKind::Recv,
+                _ => continue,
+            };
+            parked.push(ParkedOp {
+                port: p,
+                kind,
+                region,
+            });
+        }
+        let enabled = {
+            let EngineInner { core, pending, .. } = &mut *inner;
+            core.any_enabled(pending)
+        };
+        let report = RegionReport {
+            region,
+            steps: inner.steps,
+            parked_ops: parked.len(),
+            enabled,
+            closed: inner.closed,
+            poisoned: inner.poisoned.is_some(),
+        };
+        (parked, report)
+    }
+
     /// Notify every port with a registered waiter — condvar parkers *and*
     /// stored wakers (close/poison paths: a pending future polled after
     /// close must resolve to `Closed`, not hang). Called with the lock
@@ -530,15 +787,25 @@ impl Engine {
 
     /// Fire transitions until quiescent, waking exactly the ports each step
     /// completed. Called with the lock held.
+    ///
+    /// A panicking core does **not** unwind out of here: the step runs
+    /// under `catch_unwind`, and a caught panic poisons the engine with
+    /// the payload message (then fans out via the fault notifier) exactly
+    /// like a typed firing error. The core's state may be torn mid-step —
+    /// poisoning makes that unobservable. Containing the panic at the
+    /// step boundary protects *whichever* thread drove the loop: a task
+    /// calling `register_*`, a fire worker pumping links, or an executor
+    /// polling a future.
     fn fire_loop(&self, inner: &mut EngineInner) {
         if inner.poisoned.is_some() || inner.closed {
             return;
         }
+        let mut fired_any = false;
         loop {
             if self.closing.load(Ordering::Relaxed) {
                 inner.closed = true;
                 self.wake_all(inner);
-                break;
+                return;
             }
             let EngineInner {
                 core,
@@ -548,8 +815,18 @@ impl Engine {
                 ..
             } = inner;
             completed.clear();
-            match core.try_step(pending, store, completed) {
-                Ok(true) => {
+            let step = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let r = core.try_step(pending, store, completed);
+                if matches!(r, Ok(true)) {
+                    // The injection hook panics at a step boundary, inside
+                    // the catch — the worst-case interleaving for peers.
+                    crate::fault::tick_fired_step();
+                }
+                r
+            }));
+            match step {
+                Ok(Ok(true)) => {
+                    fired_any = true;
                     inner.steps += 1;
                     inner.completions += inner.completed.len() as u64;
                     let completed = std::mem::take(&mut inner.completed);
@@ -569,14 +846,34 @@ impl Engine {
                     drop(cvs);
                     inner.completed = completed;
                 }
-                Ok(false) => break,
-                Err(e) => {
-                    inner.poisoned = Some(e.to_string());
-                    inner.closed = true;
-                    self.wake_all(inner);
-                    break;
+                Ok(Ok(false)) => break,
+                Ok(Err(e)) => {
+                    self.poison_locked(inner, e.to_string());
+                    return;
+                }
+                Err(payload) => {
+                    let msg = format!("panic in firing: {}", panic_message(payload.as_ref()));
+                    self.poison_locked(inner, msg);
+                    return;
                 }
             }
+        }
+        // Steps drained state (e.g. a buffer emptied): ports that were
+        // only alive through that state may now be dead — re-analyze so
+        // their parked peers resolve `Hangup` instead of blocking.
+        if fired_any && !inner.hungup.is_empty() {
+            self.refresh_dead(inner);
+        }
+    }
+
+    /// Poison under an already-held lock and fan out through the fault
+    /// notifier (which must defer real work — this lock is held).
+    fn poison_locked(&self, inner: &mut EngineInner, msg: String) {
+        inner.poisoned = Some(msg.clone());
+        inner.closed = true;
+        self.wake_all(inner);
+        if let Some(notify) = self.fault_notify.get() {
+            notify(&msg);
         }
     }
 
@@ -608,7 +905,12 @@ impl Engine {
         Self::check_open(&inner)?;
         Self::check_served(&inner, p)?;
         match inner.pending.get(p) {
-            Pending::None => inner.pending.set(p, Pending::Send(v)),
+            Pending::None => {
+                if inner.dead.contains(p) {
+                    return Err(RuntimeError::Hangup(p));
+                }
+                inner.pending.set(p, Pending::Send(v))
+            }
             _ => return Err(RuntimeError::PortBusy(p)),
         }
         self.fire_loop(&mut inner);
@@ -646,13 +948,19 @@ impl Engine {
             if inner.closed {
                 return Err(RuntimeError::Closed);
             }
+            if inner.dead.contains(p) {
+                // A peer hung up and no reachable transition can ever
+                // complete this send: retract the value and report it.
+                inner.pending.set(p, Pending::None);
+                return Err(RuntimeError::Hangup(p));
+            }
             if woken {
                 inner.spurious_wakeups += 1;
             }
             let timed_out = self.block_on_port(&mut inner, p, deadline);
             woken = true;
             if timed_out {
-                return Self::expire_send(&mut inner, p);
+                return Self::expire_send(&mut inner, p).map_err(|e| self.upgrade_timeout(e));
             }
         }
     }
@@ -715,7 +1023,12 @@ impl Engine {
         Self::check_open(&inner)?;
         Self::check_served(&inner, p)?;
         match inner.pending.get(p) {
-            Pending::None => inner.pending.set(p, Pending::Recv),
+            Pending::None => {
+                if inner.dead.contains(p) {
+                    return Err(RuntimeError::Hangup(p));
+                }
+                inner.pending.set(p, Pending::Recv)
+            }
             Pending::DoneRecv(_) => {
                 let slot = inner.pending.port_map().slot(p);
                 if !inner.abandoned[slot] {
@@ -754,13 +1067,18 @@ impl Engine {
             if inner.closed {
                 return Err(RuntimeError::Closed);
             }
+            if inner.dead.contains(p) {
+                // A peer hung up: nothing can ever deliver here.
+                inner.pending.set(p, Pending::None);
+                return Err(RuntimeError::Hangup(p));
+            }
             if woken {
                 inner.spurious_wakeups += 1;
             }
             let timed_out = self.block_on_port(&mut inner, p, deadline);
             woken = true;
             if timed_out {
-                return Self::expire_recv(&mut inner, p);
+                return Self::expire_recv(&mut inner, p).map_err(|e| self.upgrade_timeout(e));
             }
         }
     }
@@ -853,6 +1171,10 @@ impl Engine {
         if inner.closed {
             return Some(Err(RuntimeError::Closed));
         }
+        if inner.dead.contains(p) {
+            inner.pending.set(p, Pending::None);
+            return Some(Err(RuntimeError::Hangup(p)));
+        }
         let slot = inner.pending.port_map().slot(p);
         inner.wakers[slot] = Some(waker.clone());
         None
@@ -909,6 +1231,10 @@ impl Engine {
         }
         if inner.closed {
             return Some(Err(RuntimeError::Closed));
+        }
+        if inner.dead.contains(p) {
+            inner.pending.set(p, Pending::None);
+            return Some(Err(RuntimeError::Hangup(p)));
         }
         let slot = inner.pending.port_map().slot(p);
         inner.wakers[slot] = Some(waker.clone());
@@ -971,6 +1297,18 @@ impl Engine {
     ///
     /// Returns `true` iff the call made progress (drained a value or
     /// newly armed the receive) — the link pump's cascade trigger.
+    /// True iff a fired-but-uncollected delivery is parked at `p` — the
+    /// link pump has not yet moved it into the link queue. Forward hangup
+    /// propagation must not cross a link while one exists: the value was
+    /// produced before the hangup and is still deliverable downstream.
+    pub(crate) fn has_parked_delivery(&self, p: PortId) -> bool {
+        let inner = self.lock();
+        if Self::check_served(&inner, p).is_err() {
+            return false;
+        }
+        matches!(inner.pending.get(p), Pending::DoneRecv(_))
+    }
+
     pub(crate) fn link_drain_deliveries(
         &self,
         p: PortId,
@@ -1167,6 +1505,13 @@ impl Engine {
         inner.core = core;
         *self.port_cvs.write().unwrap() = cvs;
         self.fire_loop(inner);
+        // `hungup` holds global ids and survives the splice as-is; the
+        // dead set depends on the (new) core and state, so recompute it —
+        // a splice can revive a port (a fresh branch replaces a departed
+        // peer) or kill one (its last live transition left with a branch).
+        if !inner.hungup.is_empty() {
+            self.refresh_dead(inner);
+        }
         self.wake_all(inner);
     }
 
@@ -1191,6 +1536,26 @@ impl Engine {
         let core = build(&inner)?;
         self.install(&mut inner, core, ports, layout);
         Ok(())
+    }
+}
+
+impl crate::watchdog::StallSample for Engine {
+    fn progress_counter(&self) -> u64 {
+        self.sample_progress(&PortSet::new()).0
+    }
+
+    fn parked_count(&self) -> usize {
+        self.sample_progress(&PortSet::new()).1
+    }
+
+    fn stall_snapshot(&self, stalled_for: std::time::Duration) -> crate::watchdog::StallReport {
+        let (parked, region) = self.sample_region(0, &PortSet::new());
+        crate::watchdog::StallReport {
+            stalled_for,
+            parked,
+            regions: vec![region],
+            links: Vec::new(),
+        }
     }
 }
 

@@ -67,6 +67,20 @@ pub enum RuntimeError {
     /// `SessionSpec::reconfigurable`, or the parameter is not replicated,
     /// so it cannot attach or detach branches at runtime.
     NotReconfigurable,
+    /// A peer the operation needed to synchronize with hung up: its port
+    /// was dropped (phaser-style deregistration), every transition that
+    /// could still serve this port transitively requires the departed
+    /// port, and no buffered value can ever release it. The operation can
+    /// never complete, so it resolves with this error instead of blocking
+    /// forever. The id is the *departed* port.
+    Hangup(reo_automata::PortId),
+    /// A watchdog-armed session made no progress past its deadline while
+    /// operations were parked; the report is a wait-for snapshot (parked
+    /// ports, per-region status, link queue depths) taken at detection
+    /// time. Only produced by sessions built with
+    /// `SessionSpec::watchdog`, and only on paths that would otherwise
+    /// report [`RuntimeError::Timeout`].
+    Stalled(Box<crate::watchdog::StallReport>),
 }
 
 impl fmt::Display for RuntimeError {
@@ -117,6 +131,12 @@ impl fmt::Display for RuntimeError {
                 f,
                 "session was not connected with SessionSpec::reconfigurable"
             ),
+            RuntimeError::Hangup(p) => {
+                write!(f, "peer port {p} hung up; the operation can never complete")
+            }
+            RuntimeError::Stalled(report) => {
+                write!(f, "session stalled: {report}")
+            }
         }
     }
 }

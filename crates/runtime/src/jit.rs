@@ -272,6 +272,47 @@ impl EngineCore for JitCore {
     fn constituent_states(&self) -> Option<Vec<StateId>> {
         Some(self.states.to_vec())
     }
+
+    fn any_enabled(&mut self, pending: &PendingTable) -> bool {
+        // Diagnostic only: consult the cache but do not expand — an
+        // unexpanded current state reports not-enabled rather than paying
+        // (or failing) an expansion inside a stall snapshot.
+        let Some(expanded) = self.cache.get(&self.states) else {
+            return false;
+        };
+        expanded
+            .transitions
+            .iter()
+            .any(|gt| op_enabled(&gt.trans, &self.inputs, &self.outputs, pending))
+    }
+
+    fn dead_ports(&self, hungup: &PortSet) -> PortSet {
+        // Per-constituent reachability: a local transition is dead when it
+        // synchronizes a hung-up port, and local states reachable from the
+        // current one via live transitions over-approximate the global
+        // reach (every global step either idles a constituent or takes one
+        // of its local transitions). So a port that *some* constituent can
+        // no longer synchronize on any reachable live local transition is
+        // dead for the whole product — sound, and it never builds the
+        // product the JIT exists to avoid.
+        let mut dead = hungup.clone();
+        for (i, a) in self.automata.iter().enumerate() {
+            let local = crate::engine::dead_ports_reach(
+                a.state_count(),
+                self.states[i],
+                hungup,
+                &self.ports[i],
+                &|s| {
+                    a.transitions_from(s)
+                        .iter()
+                        .map(|t| (t.sync.clone(), t.target))
+                        .collect()
+                },
+            );
+            dead = dead.union(&local);
+        }
+        dead
+    }
 }
 
 #[cfg(test)]

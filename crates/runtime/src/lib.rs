@@ -73,6 +73,8 @@ pub mod compiled;
 pub mod connector;
 pub mod engine;
 pub mod error;
+#[doc(hidden)]
+pub mod fault;
 pub mod jit;
 pub mod partition;
 pub mod port;
@@ -81,6 +83,7 @@ mod reconfig;
 pub mod scenario;
 pub mod select;
 pub mod stepping;
+pub mod watchdog;
 
 pub use cache::{CachePolicy, CacheStats};
 pub use compiled::CompiledCore;
@@ -98,3 +101,4 @@ pub use scenario::{
 };
 pub use select::{select2, select_slice, Either, Select2, SelectSlice};
 pub use stepping::{stepping_run, SteppingMode, SteppingRun};
+pub use watchdog::{LinkReport, ParkedKind, ParkedOp, RegionReport, StallReport};

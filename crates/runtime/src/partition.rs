@@ -153,7 +153,7 @@ use std::sync::{Arc, OnceLock, RwLock, Weak};
 use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
-use reo_automata::{Automaton, MemLayout, PortId, ProductOptions, StateId, Store, Value};
+use reo_automata::{Automaton, MemLayout, PortId, PortSet, ProductOptions, StateId, Store, Value};
 
 use crate::cache::CachePolicy;
 use crate::compiled::CompiledCore;
@@ -225,6 +225,14 @@ pub struct Link {
     /// the holder's post-release re-check — a delegated pump cannot be
     /// stranded.
     repump: AtomicBool,
+    /// Hangup propagation latches (monotone; reset only by a splice,
+    /// which re-runs the fixpoint). `hangup_fwd`: the *from* engine's
+    /// tail port is dead and the queue drained, so the head port was
+    /// hung up on the *to* engine. `hangup_back`: the head port is dead
+    /// (nothing downstream will ever consume), so the tail port was
+    /// hung up on the *from* engine.
+    hangup_fwd: AtomicBool,
+    hangup_back: AtomicBool,
 }
 
 impl Link {
@@ -247,6 +255,8 @@ impl Link {
             }),
             queued: AtomicBool::new(false),
             repump: AtomicBool::new(false),
+            hangup_fwd: AtomicBool::new(false),
+            hangup_back: AtomicBool::new(false),
         }
     }
 }
@@ -307,6 +317,9 @@ struct Pool {
     kick_wakeups: AtomicU64,
     /// Links pumped by a non-owner worker ([`EngineStats::steals`]).
     steals: AtomicU64,
+    /// Panics caught inside a worker's pump (the worker survives; the
+    /// session is poisoned so tasks get a typed error, not a hang).
+    contained_panics: AtomicU64,
 }
 
 /// One immutable snapshot of the partition's structure: regions, links,
@@ -357,6 +370,16 @@ pub struct Partitioned {
     workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
     /// Cached "pool is up", readable without locks on the hot kick path.
     has_workers: AtomicBool,
+    /// Back-reference for fault fan-out, set once the partition is behind
+    /// an `Arc` ([`Partitioned::wire_fault_fanout`]); splices use it to
+    /// wire fresh region engines the same way.
+    fanout: OnceLock<Weak<Partitioned>>,
+    /// Shared stall-watchdog state, mirrored into every region engine so
+    /// a deadline expiry anywhere can upgrade to [`RuntimeError::Stalled`].
+    watchdog_state: OnceLock<Arc<crate::watchdog::WatchdogState>>,
+    /// One-shot latch: a poisoned topology lock has already been reported
+    /// (every engine poisoned), so recovery paths stay quiet afterwards.
+    lock_poison_noted: AtomicBool,
 }
 
 /// A planned link: where a cut queue automaton will sit between regions.
@@ -499,6 +522,9 @@ pub fn partition_with_opts(
         pool: OnceLock::new(),
         workers: Mutex::new(Vec::new()),
         has_workers: AtomicBool::new(false),
+        fanout: OnceLock::new(),
+        watchdog_state: OnceLock::new(),
+        lock_poison_noted: AtomicBool::new(false),
     })
 }
 
@@ -661,7 +687,24 @@ impl Partitioned {
     /// concurrent splice swaps in a successor snapshot without ever
     /// blocking readers for longer than the pointer swap.
     pub fn topo(&self) -> Arc<Topology> {
-        Arc::clone(&self.topo.read().expect("topology lock poisoned"))
+        match self.topo.read() {
+            Ok(g) => Arc::clone(&g),
+            Err(poisoned) => {
+                // A thread panicked while holding the topology lock. The
+                // guarded value is a plain `Arc` pointer (the swap cannot
+                // tear), so the snapshot itself is consistent — recover it
+                // instead of cascading the panic into every operation, and
+                // poison the engines once so tasks get a typed error
+                // rather than running against a half-spliced session.
+                let snap = Arc::clone(&poisoned.into_inner());
+                if !self.lock_poison_noted.swap(true, Ordering::SeqCst) {
+                    for e in &snap.engines {
+                        e.poison("topology lock poisoned by a panicked reconfiguration");
+                    }
+                }
+                snap
+            }
+        }
     }
 
     /// One **batched** pump step of one link, with the link's state locked
@@ -736,6 +779,23 @@ impl Partitioned {
                 .map_or(usize::MAX, |cap| cap.saturating_sub(queue.len()));
             progressed |=
                 topo.engines[link.from].link_drain_deliveries(link.in_port, queue, credit);
+        }
+        // Deferred hangup propagation: a link whose source port is dead
+        // keeps delivering its buffered values; the moment the queue runs
+        // dry (and no front is armed) the head port can never produce
+        // again either, so it hangs up on the downstream engine. The
+        // `any_hungup` probe is one atomic load, so the no-fault hot path
+        // pays nothing beyond it.
+        if queue.is_empty()
+            && !*armed
+            && !link.hangup_fwd.load(Ordering::Acquire)
+            && topo.engines[link.from].any_hungup()
+            && topo.engines[link.from].is_dead(link.in_port)
+            && !topo.engines[link.from].has_parked_delivery(link.in_port)
+        {
+            link.hangup_fwd.store(true, Ordering::Release);
+            topo.engines[link.to].hangup(&[link.out_port]);
+            progressed = true; // cascade: downstream links may now be dead too
         }
         progressed
     }
@@ -918,6 +978,34 @@ impl Partitioned {
         self.pump_cascade(topo, std::iter::once(l), scratch);
     }
 
+    /// [`Partitioned::process_link`] with panic containment for fire
+    /// workers: a panic that escapes the pump (the firing loop catches its
+    /// own, so this is pump-protocol or wake-path code) is caught, the
+    /// session is poisoned so every parked task resolves with a typed
+    /// error, and the worker *survives* — its kick slot keeps draining, so
+    /// no ownership redistribution is needed.
+    fn process_link_contained(
+        &self,
+        topo: &Topology,
+        l: usize,
+        scratch: &mut Vec<bool>,
+        pool: &Pool,
+    ) {
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            self.process_link(topo, l, scratch)
+        }));
+        if let Err(payload) = caught {
+            pool.contained_panics.fetch_add(1, Ordering::Relaxed);
+            // The unwound cascade left in-worklist marks set; restore the
+            // all-false invariant before the scratch is reused.
+            scratch.iter_mut().for_each(|m| *m = false);
+            self.poison_all(&format!(
+                "panic in fire worker pump: {}",
+                crate::engine::panic_message(payload.as_ref())
+            ));
+        }
+    }
+
     /// Spawn a static pool of `n` fire workers that pump kicked links.
     /// Workers hold only a [`Weak`] reference to the partition, so they
     /// can never keep a dropped connector alive; they exit on
@@ -960,6 +1048,7 @@ impl Partitioned {
             idle: AtomicUsize::new(0),
             kick_wakeups: AtomicU64::new(0),
             steals: AtomicU64::new(0),
+            contained_panics: AtomicU64::new(0),
         });
         assert!(
             self.pool.set(Arc::clone(&pool)).is_ok(),
@@ -1022,6 +1111,132 @@ impl Partitioned {
     /// First poison message among the region engines, if any.
     pub fn poison_message(&self) -> Option<String> {
         self.topo().engines.iter().find_map(|e| e.poison_message())
+    }
+
+    /// Poison every region engine (fault fan-out): one region's panic
+    /// must not strand tasks parked in *other* regions, so the poison is
+    /// spread session-wide and every parked waiter — condvar or async
+    /// waker — resolves with [`RuntimeError::Poisoned`]. Idempotent.
+    pub fn poison_all(&self, msg: &str) {
+        for e in &self.topo().engines {
+            e.poison(msg);
+        }
+    }
+
+    /// Panics caught (and contained) inside fire workers' pump cascades.
+    pub fn contained_panics(&self) -> u64 {
+        self.pool
+            .get()
+            .map_or(0, |p| p.contained_panics.load(Ordering::Relaxed))
+    }
+
+    /// Wire each region engine's fault notifier to poison the *whole*
+    /// partition: a panic contained in one region's firing loop fans out
+    /// so peers in other regions fail fast instead of waiting forever.
+    /// Must be called once the partition sits behind its final `Arc`;
+    /// splices reuse the stored back-reference for fresh regions.
+    ///
+    /// The notifier runs with the panicking engine's lock held, so the
+    /// fan-out is deferred to a detached thread (lock order: never take
+    /// another engine's lock while holding one).
+    pub fn wire_fault_fanout(self: &Arc<Self>) {
+        let _ = self.fanout.set(Arc::downgrade(self));
+        for e in &self.topo().engines {
+            Self::wire_engine_fanout(self.fanout.get().expect("fanout just set"), e);
+        }
+    }
+
+    fn wire_engine_fanout(weak: &Weak<Partitioned>, engine: &Arc<Engine>) {
+        let weak = weak.clone();
+        engine.set_fault_notifier(Box::new(move |msg| {
+            let weak = weak.clone();
+            let msg = msg.to_string();
+            // Deferred: the notifier fires under the poisoned engine's
+            // lock; poisoning the siblings needs their locks.
+            std::thread::spawn(move || {
+                if let Some(part) = weak.upgrade() {
+                    part.poison_all(&msg);
+                }
+            });
+        }));
+    }
+
+    /// Arm the shared stall watchdog: every region engine gets the same
+    /// state handle so a deadline expiry on any port can upgrade to
+    /// [`RuntimeError::Stalled`] with the full cross-region report.
+    pub(crate) fn set_watchdog_state(&self, w: Arc<crate::watchdog::WatchdogState>) {
+        let _ = self.watchdog_state.set(Arc::clone(&w));
+        for e in &self.topo().engines {
+            e.set_watchdog(Arc::clone(&w));
+        }
+    }
+
+    /// Hang up the given ports (their tasks dropped the handles) and
+    /// propagate deadness across links to a fixpoint, then pump so any
+    /// transition enabled by the wake-ups runs.
+    pub fn hangup(&self, ports: &[PortId]) {
+        let topo = self.topo();
+        let mut any = false;
+        for &p in ports {
+            if let Some(&r) = topo.router.get(&p) {
+                topo.engines[r].hangup(&[p]);
+                any = true;
+            }
+        }
+        if any {
+            self.propagate_hangups(&topo);
+            self.pump();
+        }
+    }
+
+    /// Cross-link hangup fixpoint. Forward: a link whose tail port is
+    /// dead on the *from* engine and whose queue is drained hangs up its
+    /// head port on the *to* engine (buffered values still deliver — the
+    /// drained-later case is covered by the pump,
+    /// [`Partitioned::pump_link_locked`]). Backward: a link whose head
+    /// port is dead on the *to* engine (nothing will ever consume) hangs
+    /// up its tail port on the *from* engine immediately — values parked
+    /// behind it could never be delivered anyway. The latches are
+    /// monotone and finite, so the loop terminates.
+    fn propagate_hangups(&self, topo: &Topology) {
+        if !topo.engines.iter().any(|e| e.any_hungup()) {
+            return;
+        }
+        loop {
+            let mut changed = false;
+            for link in &topo.links {
+                let from = &topo.engines[link.from];
+                let to = &topo.engines[link.to];
+                if !link.hangup_fwd.load(Ordering::Acquire)
+                    && from.any_hungup()
+                    && from.is_dead(link.in_port)
+                {
+                    // Drained means *really* drained: the link queue is
+                    // empty, no front is offered, and no fired delivery
+                    // is still parked on the tail awaiting its pump.
+                    let drained = {
+                        let st = link.state.lock();
+                        st.queue.is_empty() && !st.armed
+                    } && !from.has_parked_delivery(link.in_port);
+                    if drained {
+                        link.hangup_fwd.store(true, Ordering::Release);
+                        to.hangup(&[link.out_port]);
+                        changed = true;
+                    }
+                }
+                if !link.hangup_back.load(Ordering::Acquire)
+                    && to.any_hungup()
+                    && to.is_dead(link.out_port)
+                {
+                    link.hangup_back.store(true, Ordering::Release);
+                    from.hangup(&[link.in_port]);
+                    changed = true;
+                }
+            }
+            if !changed {
+                return;
+            }
+        }
     }
 
     pub fn close(&self) {
@@ -1365,7 +1580,16 @@ impl Partitioned {
                 Some(or) => Arc::clone(&old.engines[or]),
                 None => {
                     let (core, ports) = fresh.remove(&nr).expect("fresh region core built");
-                    Arc::new(Engine::new(core, ports, Store::new(layout)))
+                    let engine = Arc::new(Engine::new(core, ports, Store::new(layout)));
+                    // Fresh regions join the fault-containment fabric:
+                    // poison fan-out and the shared stall watchdog.
+                    if let Some(weak) = self.fanout.get() {
+                        Self::wire_engine_fanout(weak, &engine);
+                    }
+                    if let Some(w) = self.watchdog_state.get() {
+                        engine.set_watchdog(Arc::clone(w));
+                    }
+                    engine
                 }
             })
             .collect();
@@ -1386,7 +1610,12 @@ impl Partitioned {
             automaton_region: plan.automaton_region,
             version: old.version + 1,
         };
-        *self.topo.write().expect("topology lock poisoned") = Arc::new(next);
+        let next = Arc::new(next);
+        // A poisoned write lock means a reader panicked (the write section
+        // itself is a pointer swap that cannot tear): recover the guard —
+        // the swap below is still fully consistent — rather than aborting
+        // a splice that already passed its point of no return.
+        *self.topo.write().unwrap_or_else(|p| p.into_inner()) = Arc::clone(&next);
         drop(guards);
         drop(removed_link_guards);
         // Detached regions' engines are shut so any straggling reference
@@ -1394,11 +1623,77 @@ impl Partitioned {
         for &r in &removed_regions {
             old.engines[r].close();
         }
+        // The fresh `Link` records reset the hangup-propagation latches;
+        // surviving engines keep their hungup sets, so one fixpoint pass
+        // re-establishes cross-link deadness before the pump runs.
+        self.propagate_hangups(&next);
         // One full pump covers everything the splice may have enabled
         // (fresh links arm, carried tokens reach new heads) and replaces
         // any version-dropped kick.
         self.pump();
         Ok(())
+    }
+}
+
+/// Per-region sets of link-protocol ports: the pump keeps a receive armed
+/// on every tail and offers fronts on every head, so these show up as
+/// pending operations with no task behind them — the watchdog must not
+/// count them as parked work.
+fn link_port_excludes(topo: &Topology) -> Vec<PortSet> {
+    let mut excludes = vec![PortSet::new(); topo.engines.len()];
+    for link in &topo.links {
+        excludes[link.from].insert(link.in_port);
+        excludes[link.to].insert(link.out_port);
+    }
+    excludes
+}
+
+impl crate::watchdog::StallSample for Partitioned {
+    fn progress_counter(&self) -> u64 {
+        let topo = self.topo();
+        topo.engines
+            .iter()
+            .map(|e| e.sample_progress(&PortSet::new()).0)
+            .sum()
+    }
+
+    fn parked_count(&self) -> usize {
+        let topo = self.topo();
+        let excludes = link_port_excludes(&topo);
+        topo.engines
+            .iter()
+            .zip(&excludes)
+            .map(|(e, ex)| e.sample_progress(ex).1)
+            .sum()
+    }
+
+    fn stall_snapshot(&self, stalled_for: Duration) -> crate::watchdog::StallReport {
+        let topo = self.topo();
+        let excludes = link_port_excludes(&topo);
+        let mut parked = Vec::new();
+        let mut regions = Vec::new();
+        for (r, e) in topo.engines.iter().enumerate() {
+            let (ops, report) = e.sample_region(r, &excludes[r]);
+            parked.extend(ops);
+            regions.push(report);
+        }
+        let links = topo
+            .links
+            .iter()
+            .enumerate()
+            .map(|(i, l)| crate::watchdog::LinkReport {
+                link: i,
+                from: l.from,
+                to: l.to,
+                depth: l.depth(),
+            })
+            .collect();
+        crate::watchdog::StallReport {
+            stalled_for,
+            parked,
+            regions,
+            links,
+        }
     }
 }
 
@@ -1474,7 +1769,7 @@ fn worker_loop(part: Weak<Partitioned>, pool: Arc<Pool>, idx: usize) {
             // A stale entry names a link of a superseded topology: drop
             // it — the splice that superseded it re-pumped everything.
             if ver == topo.version {
-                part.process_link(&topo, l, &mut scratch);
+                part.process_link_contained(&topo, l, &mut scratch, &pool);
             }
         }
         // Idle: steal one backlog link from a neighbour.
@@ -1492,7 +1787,7 @@ fn worker_loop(part: Weak<Partitioned>, pool: Arc<Pool>, idx: usize) {
                 let Some(part) = part.upgrade() else { return };
                 let topo = part.topo();
                 if ver == topo.version {
-                    part.process_link(&topo, l, &mut scratch);
+                    part.process_link_contained(&topo, l, &mut scratch, &pool);
                 }
                 continue 'outer;
             }

@@ -216,6 +216,20 @@ impl Backend {
         }
     }
 
+    /// Phaser-style deregistration on handle drop: the task behind `p` is
+    /// gone, so transitions that synchronize `p` can never fire again.
+    /// The engine's hangup analysis wakes every peer whose remaining
+    /// transitions are all dead with [`RuntimeError::Hangup`]; the
+    /// partitioned backend also propagates deadness across drained links.
+    fn hangup(&self, p: PortId) {
+        match self {
+            Backend::Single(e) => {
+                e.hangup(&[p]);
+            }
+            Backend::Multi(m) => m.hangup(&[p]),
+        }
+    }
+
     pub(crate) fn steps(&self) -> u64 {
         match self {
             Backend::Single(e) => e.steps(),
@@ -241,6 +255,13 @@ impl Backend {
         match self {
             Backend::Single(e) => e.close(),
             Backend::Multi(m) => m.close(),
+        }
+    }
+
+    pub(crate) fn poison(&self, msg: &str) {
+        match self {
+            Backend::Single(e) => e.poison(msg),
+            Backend::Multi(m) => m.poison_all(msg),
         }
     }
 
@@ -350,7 +371,10 @@ impl<T: IntoValue> Outport<T> {
     /// Re-type the handle; the connector itself is data-agnostic, so this
     /// only changes what the `send` signature accepts.
     pub fn typed<U: IntoValue>(self) -> Outport<U> {
-        Outport::new(self.backend, self.port)
+        // Re-typing is not a departure: defuse this handle's hangup-on-
+        // drop, the new handle carries the registration on.
+        let this = std::mem::ManuallyDrop::new(self);
+        Outport::new(this.backend.clone(), this.port)
     }
 
     /// Back to the untyped handle.
@@ -460,7 +484,9 @@ impl<T: FromValue> Inport<T> {
 
     /// Re-type the handle: subsequent receives unwrap into `U`.
     pub fn typed<U: FromValue>(self) -> Inport<U> {
-        Inport::new(self.backend, self.port)
+        // Not a departure — see `Outport::typed`.
+        let this = std::mem::ManuallyDrop::new(self);
+        Inport::new(this.backend.clone(), this.port)
     }
 
     /// Back to the untyped handle.
@@ -629,6 +655,28 @@ impl<T> Drop for RecvFuture<'_, T> {
 impl<T> std::fmt::Debug for RecvFuture<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "RecvFuture({})", self.port)
+    }
+}
+
+/// Hangup on drop (phaser-style deregistration): a departed producer can
+/// never offer again, so transitions synchronizing this port are dead
+/// from here on. Peers left with only dead transitions are woken with
+/// [`RuntimeError::Hangup`] instead of blocking forever. Values already
+/// *inside* the connector (buffers, link queues) still deliver — only
+/// after they drain does deadness propagate downstream.
+impl<T> Drop for Outport<T> {
+    fn drop(&mut self) {
+        self.backend.hangup(self.port);
+    }
+}
+
+/// Hangup on drop — see [`Outport`]'s `Drop`. A departed consumer frees
+/// its rendezvous partners immediately: a producer blocked on (or later
+/// attempting) a send that requires this port gets
+/// [`RuntimeError::Hangup`].
+impl<T> Drop for Inport<T> {
+    fn drop(&mut self) {
+        self.backend.hangup(self.port);
     }
 }
 

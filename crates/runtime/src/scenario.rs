@@ -92,6 +92,23 @@ pub enum Step {
     Attach { param: String },
     /// Detach the `branch`-th attached branch.
     Detach { branch: usize },
+    /// Fault: drop the named port handle mid-script. Hangup-on-drop
+    /// fires; peers whose every remaining transition needed the departed
+    /// port must resolve `RuntimeError::Hangup` promptly instead of
+    /// blocking to the deadline.
+    DropPort { port: PortRef },
+    /// Fault: arm the test-only panic hook — the `after`-th step fired
+    /// from now (0 = the very next one) panics *inside the firing*,
+    /// exercising panic containment (catch → poison → wake).
+    InjectPanic { after: u64 },
+    /// Fault: poison the session directly, as a contained engine failure
+    /// would. Every subsequent (and parked) op must resolve
+    /// `RuntimeError::Poisoned` promptly.
+    Poison,
+    /// Fault: close the session from a background thread after
+    /// `delay_ms` — a close racing whatever the following steps arm.
+    /// Racing ops must resolve (value or typed error), never hang.
+    Close { delay_ms: u64 },
 }
 
 /// The outcome of one scripted op (or structural step), in script order.
@@ -208,10 +225,13 @@ struct BranchSlot {
     inp: Option<Inport>,
 }
 
-/// All ports a running scenario can address.
+/// All ports a running scenario can address. Slots are `Option` so a
+/// fault step ([`Step::DropPort`]) can drop a handle mid-script; a
+/// dropped slot surfaces as a script error at any later op that
+/// references it.
 struct Ports {
-    outs: HashMap<String, Vec<Outport>>,
-    ins: HashMap<String, Vec<Inport>>,
+    outs: HashMap<String, Vec<Option<Outport>>>,
+    ins: HashMap<String, Vec<Option<Inport>>>,
     branches: Vec<BranchSlot>,
 }
 
@@ -223,6 +243,7 @@ impl Ports {
                 .outs
                 .get(name)
                 .and_then(|v| v.get(*index))
+                .and_then(|slot| slot.as_ref())
                 .ok_or_else(missing),
             PortRef::Branch { index } => self
                 .branches
@@ -239,12 +260,44 @@ impl Ports {
                 .ins
                 .get(name)
                 .and_then(|v| v.get(*index))
+                .and_then(|slot| slot.as_ref())
                 .ok_or_else(missing),
             PortRef::Branch { index } => self
                 .branches
                 .get(*index)
                 .and_then(|b| b.inp.as_ref())
                 .ok_or_else(missing),
+        }
+    }
+
+    /// Drop the named port handle (the [`Step::DropPort`] fault). The
+    /// handle's `Drop` impl performs the hangup; a reference to a port
+    /// that does not exist — or was already dropped — is reported as an
+    /// op-level error rather than aborting the script, so shrunk fault
+    /// scripts stay runnable.
+    fn drop_port(&mut self, r: &PortRef) -> OpResult {
+        let dropped = match r {
+            PortRef::Param { name, index } => {
+                if let Some(slot) = self.outs.get_mut(name).and_then(|v| v.get_mut(*index)) {
+                    Some(slot.take().is_some())
+                } else {
+                    self.ins
+                        .get_mut(name)
+                        .and_then(|v| v.get_mut(*index))
+                        .map(|slot| slot.take().is_some())
+                }
+            }
+            PortRef::Branch { index } => self.branches.get_mut(*index).map(|b| {
+                let had = b.out.is_some() || b.inp.is_some();
+                b.out = None;
+                b.inp = None;
+                had
+            }),
+        };
+        match dropped {
+            Some(true) => OpResult::Done,
+            Some(false) => OpResult::Error(format!("port `{r}` already dropped")),
+            None => OpResult::Error(format!("no port `{r}` to drop")),
         }
     }
 }
@@ -293,31 +346,78 @@ pub fn run_scenario(
     };
     let mut names: Vec<&str> = scenario.replicate.iter().map(|(n, _)| n.as_str()).collect();
     for step in &scenario.steps {
-        if let Step::Batch { ops, .. } = step {
-            for op in ops {
-                let (Op::Send { port, .. } | Op::Recv { port }) = op;
-                if let PortRef::Param { name, .. } = port {
-                    names.push(name.as_str());
+        match step {
+            Step::Batch { ops, .. } => {
+                for op in ops {
+                    let (Op::Send { port, .. } | Op::Recv { port }) = op;
+                    if let PortRef::Param { name, .. } = port {
+                        names.push(name.as_str());
+                    }
                 }
             }
+            Step::DropPort {
+                port: PortRef::Param { name, .. },
+            } => {
+                names.push(name.as_str());
+            }
+            _ => {}
         }
     }
     names.sort_unstable();
     names.dedup();
     for name in names {
         if let Ok(outs) = session.outports(name) {
-            ports.outs.insert(name.to_string(), outs);
+            ports
+                .outs
+                .insert(name.to_string(), outs.into_iter().map(Some).collect());
         } else if let Ok(ins) = session.inports(name) {
-            ports.ins.insert(name.to_string(), ins);
+            ports
+                .ins
+                .insert(name.to_string(), ins.into_iter().map(Some).collect());
         }
         // A name the connector does not have at all surfaces later as a
         // Script error at the op that references it.
     }
     let handle = session.handle();
 
+    // Background closer threads armed by `Step::Close`; joined before
+    // the observation is assembled so their effect is part of the run.
+    let mut closers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+
+    // A scripted panic that never fired (script ended or errored first)
+    // must not leak into the next scenario run in this process — the
+    // hook is process-global. Disarm on every exit path.
+    struct FaultGuard;
+    impl Drop for FaultGuard {
+        fn drop(&mut self) {
+            crate::fault::disarm();
+        }
+    }
+    let _fault_guard = FaultGuard;
+
     let mut results: Vec<Vec<OpResult>> = Vec::with_capacity(scenario.steps.len());
     for step in &scenario.steps {
         match step {
+            Step::DropPort { port } => {
+                results.push(vec![ports.drop_port(port)]);
+            }
+            Step::InjectPanic { after } => {
+                crate::fault::arm_panic_after_steps(*after);
+                results.push(vec![OpResult::Done]);
+            }
+            Step::Poison => {
+                handle.poison("injected fault: scripted poison");
+                results.push(vec![OpResult::Done]);
+            }
+            Step::Close { delay_ms } => {
+                let h = handle.clone();
+                let delay = Duration::from_millis(*delay_ms);
+                closers.push(std::thread::spawn(move || {
+                    std::thread::sleep(delay);
+                    h.close();
+                }));
+                results.push(vec![OpResult::Done]);
+            }
             Step::Attach { param } => {
                 let res = match handle.attach(param) {
                     Ok(mut branch) => {
@@ -387,7 +487,9 @@ pub fn run_scenario(
     in_names.sort_unstable();
     for name in in_names {
         for (i, port) in ports.ins[name].iter().enumerate() {
-            drain(format!("{name}[{i}]"), port);
+            if let Some(port) = port {
+                drain(format!("{name}[{i}]"), port);
+            }
         }
     }
     for (i, slot) in ports.branches.iter().enumerate() {
@@ -397,6 +499,9 @@ pub fn run_scenario(
     }
     let epoch = handle.epoch();
     handle.close();
+    for c in closers {
+        let _ = c.join();
+    }
     Ok(Observation {
         results,
         residual,

@@ -169,7 +169,7 @@ fn main() {
     let t_run = Instant::now();
     gate.open();
     for j in joins {
-        j.join();
+        j.join().expect("session task panicked");
     }
     let run_secs = t_run.elapsed().as_secs_f64();
 

@@ -59,7 +59,8 @@ fn corpus_files_round_trip_through_the_text_format() {
             (CorpusCase::Pipeline { source: a }, CorpusCase::Pipeline { source: b }) => {
                 assert_eq!(a, b, "{}", path.display())
             }
-            (CorpusCase::Diff(a), CorpusCase::Diff(b)) => {
+            (CorpusCase::Diff(a), CorpusCase::Diff(b))
+            | (CorpusCase::Fault(a), CorpusCase::Fault(b)) => {
                 assert_eq!(a.scenario.steps, b.scenario.steps, "{}", path.display());
                 assert_eq!(a.scenario.source, b.scenario.source, "{}", path.display());
                 assert_eq!(a.expected, b.expected, "{}", path.display());

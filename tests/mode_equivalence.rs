@@ -203,8 +203,8 @@ fn run_pipeline_async(src: &str, k: usize, mode: Mode) -> Vec<i64> {
         }
         got
     });
-    producer.join();
-    consumer.join()
+    producer.join().unwrap();
+    consumer.join().unwrap()
 }
 
 /// The async backend joins the grid: futures-driven traces must be

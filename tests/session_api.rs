@@ -327,6 +327,11 @@ fn dropped_pending_futures_retract_atomically_with_no_loss_or_duplication() {
                             break;
                         }
                     }
+                    // The producer dropped its port: hangup-on-drop. The
+                    // port only goes dead once the fifo is fully drained
+                    // (a buffered value keeps the drain transition live),
+                    // so this is a clean end-of-stream.
+                    Err(RuntimeError::Hangup(_)) => break,
                     Err(e) => panic!("recv: {e}"),
                 }
             }
